@@ -1,0 +1,105 @@
+// Ablation of the 32-bit bitmap index (paper §III-C2 / §VII-A: "the
+// effectiveness of limiting bitmaps to just 32 bits warrants further
+// evaluation"). For attribute queries of varying selectivity on real BAT
+// data we report:
+//   - how much of the tree the bitmaps prune,
+//   - the false-positive rate the final exact check has to absorb,
+//   - points tested vs a layout without bitmap pruning (= every point in
+//     the spatially matching subtree).
+// Run on both spatially correlated attributes (the favorable case the
+// paper assumes) and a spatially shuffled attribute (its stated
+// limitation, where bitmaps should degrade).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/bat_query.hpp"
+#include "util/rng.hpp"
+#include "workloads/uniform.hpp"
+
+using namespace bat;
+using namespace bat::bench;
+
+namespace {
+
+void run_queries(const char* label, const BatFile& file, std::size_t attr,
+                 std::uint64_t total_points, double center_frac = 0.45) {
+    std::printf("\n--- %s ---\n", label);
+    Table table({"selectivity", "emitted", "tested", "false_pos%", "pruned_nodes",
+                 "tested_vs_no_bitmap%"});
+    const auto [lo, hi] = file.attr_range(attr);
+    for (const double width : {0.5, 0.2, 0.05, 0.01}) {
+        BatQuery query;
+        const double qlo = lo + center_frac * (hi - lo) * (1.0 - width);
+        query.attr_filters.push_back(
+            {static_cast<std::uint32_t>(attr), qlo, qlo + width * (hi - lo)});
+        QueryStats stats;
+        query_bat(file, query, [](Vec3, std::span<const double>) {}, &stats);
+        const double false_pos =
+            stats.points_tested > 0
+                ? 100.0 * static_cast<double>(stats.points_tested - stats.points_emitted) /
+                      static_cast<double>(stats.points_tested)
+                : 0.0;
+        table.add_row({fmt(width, 2), std::to_string(stats.points_emitted),
+                       std::to_string(stats.points_tested), fmt(false_pos, 1),
+                       std::to_string(stats.pruned_by_bitmap),
+                       fmt(100.0 * static_cast<double>(stats.points_tested) /
+                               static_cast<double>(total_points),
+                           1)});
+    }
+    table.print();
+}
+
+}  // namespace
+
+int main() {
+    const Box domain({0, 0, 0}, {1, 1, 1});
+    const std::size_t n = static_cast<std::size_t>(800'000 * bench_scale());
+
+    // Favorable case: spatially correlated attribute (generator default).
+    ParticleSet correlated = make_uniform_particles(domain, n, 2, 11);
+    // Adverse case: same values, spatially shuffled (no coherence).
+    ParticleSet shuffled = correlated;
+    {
+        Pcg32 rng(99);
+        auto attr = shuffled.attr_mut(0);
+        for (std::size_t i = attr.size(); i > 1; --i) {
+            std::swap(attr[i - 1], attr[rng.next_bounded(static_cast<std::uint32_t>(i))]);
+        }
+    }
+
+    // Skewed-but-correlated case: equal-width binning collapses, the
+    // §VII-A equal-depth scheme keeps resolving.
+    ParticleSet skewed = make_uniform_particles(domain, n, 2, 12);
+    for (std::size_t i = 0; i < skewed.count(); ++i) {
+        skewed.attr_mut(0)[i] =
+            std::pow(static_cast<double>(skewed.position(i).x), 8.0);
+    }
+    ParticleSet skewed_copy = skewed;
+    BatConfig depth_config;
+    depth_config.binning = BinningScheme::equal_depth;
+
+    const auto corr_bytes = serialize_bat(build_bat(std::move(correlated), BatConfig{}));
+    const auto shuf_bytes = serialize_bat(build_bat(std::move(shuffled), BatConfig{}));
+    const auto skw_bytes = serialize_bat(build_bat(std::move(skewed), BatConfig{}));
+    const auto skd_bytes = serialize_bat(build_bat(std::move(skewed_copy), depth_config));
+    const BatFile corr_file{std::span<const std::byte>(corr_bytes)};
+    const BatFile shuf_file{std::span<const std::byte>(shuf_bytes)};
+    const BatFile skw_file{std::span<const std::byte>(skw_bytes)};
+    const BatFile skd_file{std::span<const std::byte>(skd_bytes)};
+
+    std::printf("=== Ablation: 32-bit bitmap attribute filtering (%zu points) ===\n", n);
+    run_queries("spatially correlated attribute (paper's assumption)", corr_file, 0, n);
+    run_queries("spatially shuffled attribute (paper's stated limitation)", shuf_file, 0,
+                n);
+    // Query near the dense low end of the skewed distribution, where the
+    // equal-width bins collapse into bin 0.
+    run_queries("skewed attribute, equal-width bins (paper default)", skw_file, 0, n,
+                0.002);
+    run_queries("skewed attribute, equal-depth bins (§VII-A extension)", skd_file, 0, n,
+                0.002);
+    std::printf("\nExpected: strong pruning and low false-positive rates on the "
+                "correlated attribute; little-to-no pruning on the shuffled one; "
+                "equal-depth bins restore pruning on skewed value distributions.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation of the Aggregation Tree's design choices (paper §III-A / §VII):
+//   - split search: longest-axis only vs the optional best-of-all-axes mode;
+//   - overfull-leaf policy: imbalance threshold and size factor.
+// Reports leaf-file statistics and modeled write bandwidth on the Coal
+// Boiler's most imbalanced timestep, where these choices matter most.
+
+#include "bench_common.hpp"
+#include "workloads/boiler.hpp"
+
+using namespace bat;
+using namespace bat::bench;
+
+int main() {
+    const int nranks = 1536;
+    BoilerConfig boiler;
+    boiler.particles_at_start = 4'600'000;
+    boiler.particles_at_end = 41'500'000;
+    const std::uint64_t bpp = 12 + 7 * 8;
+    const simio::MachineConfig machine = simio::stampede2_like();
+
+    const BoilerCounts counts =
+        boiler_rank_counts(boiler, 4501, nranks, /*max_sample=*/2'000'000);
+    const GridDecomp decomp = grid_decomp_3d(nranks, counts.data_bounds);
+    const std::vector<RankInfo> ranks = make_rank_infos(decomp, counts.rank_counts);
+
+    struct Variant {
+        std::string name;
+        bool all_axes;
+        double overfull_imbalance;
+        double overfull_factor;
+    };
+    const std::vector<Variant> variants{
+        {"longest-axis (paper default)", false, 4.0, 1.5},
+        {"best-of-all-axes", true, 4.0, 1.5},
+        {"no overfull leaves", false, 1e30, 1.0},
+        {"overfull imbalance>=2", false, 2.0, 1.5},
+        {"overfull imbalance>=8", false, 8.0, 1.5},
+        {"overfull up to 3x target", false, 4.0, 3.0},
+    };
+
+    std::printf("=== Ablation: aggregation-tree split policy (boiler t=4501, 8 MB "
+                "target, 1536 ranks) ===\n");
+    Table table({"variant", "files", "mean_MB", "std_MB", "max_MB", "write_GB/s"});
+    for (const Variant& v : variants) {
+        simio::TwoPhaseParams params =
+            two_phase_params(machine, AggStrategy::adaptive, 8 << 20, bpp);
+        params.tree.split_all_axes = v.all_axes;
+        params.tree.overfull_imbalance = v.overfull_imbalance;
+        params.tree.overfull_factor = v.overfull_factor;
+        const simio::SimResult r = simio::simulate_write(ranks, params);
+        table.add_row({v.name, std::to_string(r.files.num_files),
+                       fmt(r.files.mean_bytes / (1 << 20), 1),
+                       fmt(r.files.std_bytes / (1 << 20), 1),
+                       fmt(r.files.max_bytes / (1 << 20), 1), fmt(r.gb_per_s())});
+    }
+    table.print();
+    return 0;
+}

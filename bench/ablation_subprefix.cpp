@@ -1,0 +1,67 @@
+// Ablation of the shallow-tree subprefix length (paper §III-C1: "We have
+// found that a 12-bit subprefix provides satisfactory results with respect
+// to the number of leaves and particles within each"). Sweeps the
+// subprefix bits and reports treelet counts/sizes, build time, file
+// overhead, and spatial-query speed — exposing the trade-off the paper's
+// choice balances (more treelets = finer page-level access granularity but
+// more alignment padding and per-treelet overhead).
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "core/bat_file.hpp"
+#include "core/bat_query.hpp"
+#include "workloads/boiler.hpp"
+
+using namespace bat;
+using namespace bat::bench;
+
+int main() {
+    const double scale = bench_scale() * 0.4;
+    BoilerConfig boiler;
+    boiler.particles_at_start = static_cast<std::uint64_t>(4'600'000 * scale);
+    boiler.particles_at_end = static_cast<std::uint64_t>(41'500'000 * scale);
+    const ParticleSet base = make_boiler_particles(boiler, 2501);
+    std::printf("=== Ablation: shallow-tree subprefix bits (%llu boiler particles) ===\n",
+                static_cast<unsigned long long>(base.count()));
+
+    Table table({"bits", "treelets", "avg_pts/treelet", "build_ms", "overhead%",
+                 "box_query_ms"});
+    for (const int bits : {2, 4, 6, 8, 10, 12}) {
+        BatConfig config;
+        config.subprefix_bits = bits;
+        config.auto_subprefix = false;
+        ParticleSet particles = base;
+        const auto t0 = std::chrono::steady_clock::now();
+        const BatData bat = build_bat(std::move(particles), config);
+        const double build_ms = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count();
+        const auto bytes = serialize_bat(bat);
+        const BatSizeStats stats = bat_size_stats(bat, bytes.size());
+        const BatFile file{std::span<const std::byte>(bytes)};
+
+        // Spatial box query over ~1/8 of the domain, repeated for stable ms.
+        const Box domain = bat.bounds;
+        const Vec3 c = domain.center();
+        BatQuery query;
+        query.box = Box(domain.lower, c);
+        const auto q0 = std::chrono::steady_clock::now();
+        std::uint64_t matched = 0;
+        for (int rep = 0; rep < 5; ++rep) {
+            matched = query_bat(file, query, [](Vec3, std::span<const double>) {});
+        }
+        const double query_ms = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - q0)
+                                    .count() /
+                                5.0;
+        (void)matched;
+        table.add_row({std::to_string(bits), std::to_string(bat.treelets.size()),
+                       std::to_string(bat.particles.count() /
+                                      std::max<std::size_t>(1, bat.treelets.size())),
+                       fmt(build_ms, 1), fmt(100.0 * stats.overhead_fraction(), 2),
+                       fmt(query_ms, 2)});
+    }
+    table.print();
+    return 0;
+}

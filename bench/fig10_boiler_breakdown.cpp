@@ -1,0 +1,47 @@
+// Reproduces paper Fig 10: component breakdowns of adaptive vs AUG I/O on
+// the Coal Boiler time series at the 8 MB target size, 1536 ranks.
+//
+// Expected shape: the improved load balance of adaptive aggregation
+// reduces the time spent in the major pipeline components (transfer, BAT
+// build, file write) relative to AUG, and the gap grows over the series as
+// injection makes the distribution more imbalanced.
+
+#include "bench_common.hpp"
+#include "workloads/boiler.hpp"
+
+using namespace bat;
+using namespace bat::bench;
+
+int main() {
+    const int nranks = 1536;
+    BoilerConfig boiler;
+    boiler.particles_at_start = 4'600'000;
+    boiler.particles_at_end = 41'500'000;
+    const std::uint64_t bpp = 12 + 7 * 8;
+    const simio::MachineConfig machine = simio::stampede2_like();
+
+    std::printf("\n=== Fig 10: Coal Boiler component times (ms), 8 MB target, 1536 ranks "
+                "===\n");
+    Table table({"timestep", "strategy", "transfer", "bat_build", "file_write", "other",
+                 "total"});
+    for (int timestep = 501; timestep <= 4501; timestep += 1000) {
+        const BoilerCounts counts =
+            boiler_rank_counts(boiler, timestep, nranks, /*max_sample=*/2'000'000);
+        const GridDecomp decomp = grid_decomp_3d(nranks, counts.data_bounds);
+        const std::vector<RankInfo> ranks = make_rank_infos(decomp, counts.rank_counts);
+        for (AggStrategy strategy : {AggStrategy::adaptive, AggStrategy::aug}) {
+            const simio::SimResult r = simio::simulate_write(
+                ranks, two_phase_params(machine, strategy, 8 << 20, bpp));
+            const double transfer = r.phase_seconds("transfer");
+            const double build = r.phase_seconds("bat_build");
+            const double write = r.phase_seconds("file_write");
+            const double other = r.seconds - transfer - build - write;
+            table.add_row({std::to_string(timestep), to_string(strategy),
+                           fmt(1e3 * transfer, 1), fmt(1e3 * build, 1),
+                           fmt(1e3 * write, 1), fmt(1e3 * other, 1),
+                           fmt(1e3 * r.seconds, 1)});
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Fig 11: adaptive vs AUG aggregation on the Dam Break
+// time series — the 2M-particle run on 1536 ranks and the 8M-particle run
+// on 6144 ranks — reporting write and read bandwidth over time for
+// file-per-process and target sizes around the paper's 3 MB setting.
+//
+// Expected shape (paper): on the 2M run file-per-process writes are best
+// for both strategies (and similar), while adaptive reads are slightly
+// faster; on the 8M run the 3 MB adaptive configuration achieves the best
+// write performance at a 1.5-2x speedup over AUG, with up to 3x for reads;
+// the adaptive advantage grows with scale.
+
+#include "bench_common.hpp"
+#include "workloads/dambreak.hpp"
+
+using namespace bat;
+using namespace bat::bench;
+
+namespace {
+
+void run_case(const char* label, std::uint64_t particles, int nranks) {
+    DamBreakConfig dam;
+    dam.num_particles = particles;
+    const std::uint64_t bpp = 12 + 4 * 8;  // 3*f32 + 4*f64 (paper's schema)
+    const simio::MachineConfig machine = simio::stampede2_like();
+    const std::vector<std::uint64_t> targets = {3ull << 20, 6ull << 20, 12ull << 20};
+
+    std::vector<std::string> headers{"timestep"};
+    headers.push_back("adp_fpp");
+    headers.push_back("aug_fpp");
+    for (std::uint64_t t : targets) {
+        const std::string mb = std::to_string(t >> 20);
+        headers.push_back("adp_" + mb + "MB");
+        headers.push_back("aug_" + mb + "MB");
+    }
+    Table write_table(headers);
+    Table read_table(headers);
+
+    for (int timestep = 0; timestep <= 4001; timestep += 500) {
+        const std::vector<std::uint64_t> counts =
+            dambreak_rank_counts(dam, timestep, nranks, /*max_sample=*/2'000'000);
+        const GridDecomp decomp = grid_decomp_2d(nranks, dam.domain);
+        const std::vector<RankInfo> ranks = make_rank_infos(decomp, counts);
+        std::vector<std::string> wrow{std::to_string(timestep)};
+        std::vector<std::string> rrow{std::to_string(timestep)};
+        // File-per-process through our pipeline (both strategies write one
+        // file per particle-owning rank, so they coincide algorithmically;
+        // print both for the figure's paired series).
+        for (int copy = 0; copy < 2; ++copy) {
+            const auto params =
+                two_phase_params(machine, AggStrategy::file_per_process, 1, bpp);
+            wrow.push_back(fmt(simio::simulate_write(ranks, params).gb_per_s()));
+            rrow.push_back(fmt(simio::simulate_read(ranks, params).gb_per_s()));
+        }
+        for (std::uint64_t target : targets) {
+            for (AggStrategy strategy : {AggStrategy::adaptive, AggStrategy::aug}) {
+                const auto params = two_phase_params(machine, strategy, target, bpp);
+                wrow.push_back(fmt(simio::simulate_write(ranks, params).gb_per_s()));
+                rrow.push_back(fmt(simio::simulate_read(ranks, params).gb_per_s()));
+            }
+        }
+        write_table.add_row(std::move(wrow));
+        read_table.add_row(std::move(rrow));
+    }
+    std::printf("\n=== Fig 11 (%s): write bandwidth (GB/s) ===\n", label);
+    write_table.print();
+    std::printf("\n=== Fig 11 (%s): read bandwidth (GB/s) ===\n", label);
+    read_table.print();
+}
+
+}  // namespace
+
+int main() {
+    run_case("2M Dam Break, 1536 ranks", 2'000'000, 1536);
+    run_case("8M Dam Break, 6144 ranks", 8'000'000, 6144);
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces paper Fig 6: timing breakdowns of our pipeline components on
+// the uniform weak-scaling workload at 8 MB vs 64 MB target sizes, on both
+// machine models.
+//
+// Expected shape (paper): the bulk of the time goes to writing aggregator
+// files, constructing the BATs, and transferring data; the 64 MB
+// configuration spends a relatively consistent share in each component as
+// the scale grows, whereas 8 MB spends a growing share in writes at high
+// core counts.
+
+#include "bench_common.hpp"
+
+using namespace bat;
+using namespace bat::bench;
+
+int main() {
+    for (const simio::MachineConfig& machine : {simio::stampede2_like(),
+                                                simio::summit_like()}) {
+        const std::vector<int> series = machine.fs == simio::FsKind::lustre
+                                            ? stampede2_rank_series()
+                                            : summit_rank_series();
+        for (const std::uint64_t target : {8ull << 20, 64ull << 20}) {
+            std::printf("\n=== Fig 6 (%s, %llu MB target): component share of write time "
+                        "===\n",
+                        machine.name.c_str(),
+                        static_cast<unsigned long long>(target >> 20));
+            Table table({"ranks", "total_s", "gather%", "tree%", "scatter%", "transfer%",
+                         "build%", "write%", "meta%"});
+            for (int nranks : series) {
+                const std::vector<RankInfo> ranks = uniform_rank_infos(nranks);
+                const simio::SimResult r = simio::simulate_write(
+                    ranks, two_phase_params(machine, AggStrategy::adaptive, target,
+                                            kUniformBpp));
+                auto pct = [&](const char* phase) {
+                    return fmt(100.0 * r.phase_seconds(phase) / r.seconds, 1);
+                };
+                table.add_row({std::to_string(nranks), fmt(r.seconds, 3), pct("gather"),
+                               pct("tree_build"), pct("scatter"), pct("transfer"),
+                               pct("bat_build"), pct("file_write"), pct("metadata")});
+            }
+            table.print();
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces paper Fig 7: read bandwidth weak scaling on the fixed uniform
+// test data, mirroring Fig 5's matrix for the two-phase parallel read
+// pipeline vs IOR-style file-per-process and shared-file reads.
+//
+// Expected shape (paper): the overheads of many small files (fpp, small
+// target sizes) and shared-file global communication both limit read
+// scalability; our two-phase reads with a suitable target size win at
+// scale, with the largest aggregation size flattening off slowest.
+
+#include "bench_common.hpp"
+
+using namespace bat;
+using namespace bat::bench;
+
+int main() {
+    const std::vector<std::uint64_t> targets = {8ull << 20, 32ull << 20, 64ull << 20,
+                                                256ull << 20};
+    for (const simio::MachineConfig& machine : {simio::stampede2_like(),
+                                                simio::summit_like()}) {
+        const std::vector<int> series = machine.fs == simio::FsKind::lustre
+                                            ? stampede2_rank_series()
+                                            : summit_rank_series();
+        std::printf("\n=== Fig 7 (%s): read bandwidth weak scaling, GB/s ===\n",
+                    machine.name.c_str());
+        std::vector<std::string> headers{"ranks", "data_GB"};
+        for (std::uint64_t t : targets) {
+            headers.push_back("ours_" + std::to_string(t >> 20) + "MB");
+        }
+        headers.insert(headers.end(), {"fpp", "shared", "hdf5"});
+        Table table(std::move(headers));
+
+        for (int nranks : series) {
+            const std::vector<RankInfo> ranks = uniform_rank_infos(nranks);
+            const double data_gb =
+                static_cast<double>(simio::workload_bytes(ranks, kUniformBpp)) / 1e9;
+            std::vector<std::string> row{std::to_string(nranks), fmt(data_gb, 1)};
+            for (std::uint64_t target : targets) {
+                const simio::SimResult r = simio::simulate_read(
+                    ranks, two_phase_params(machine, AggStrategy::adaptive, target,
+                                            kUniformBpp));
+                row.push_back(fmt(r.gb_per_s()));
+            }
+            row.push_back(fmt(simio::simulate_ior_fpp_read(ranks, machine).gb_per_s()));
+            row.push_back(
+                fmt(simio::simulate_ior_shared_read(ranks, machine, false).gb_per_s()));
+            row.push_back(
+                fmt(simio::simulate_ior_shared_read(ranks, machine, true).gb_per_s()));
+            table.add_row(std::move(row));
+        }
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+// Functional (real-disk) counterpart to the modeled scaling figures:
+// measures actual wall-clock write and read bandwidth of the three I/O
+// strategies — two-phase adaptive (this paper), file per process, and a
+// single shared file — on the local filesystem at small virtual-MPI rank
+// counts. This exercises the genuine end-to-end pipelines (aggregation,
+// transfers, BAT builds, POSIX I/O) rather than the performance model; the
+// absolute numbers reflect this machine's disk, not an HPC system.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "io/baselines.hpp"
+#include "io/reader.hpp"
+#include "io/writer.hpp"
+#include "test_output_free.hpp"
+#include "vmpi/comm.hpp"
+#include "workloads/decomposition.hpp"
+#include "workloads/uniform.hpp"
+
+using namespace bat;
+using namespace bat::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_timed(const std::function<void()>& fn) {
+    const auto t0 = Clock::now();
+    fn();
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+    const std::filesystem::path dir = scratch_dir("local_disk");
+    const Box domain({0, 0, 0}, {2, 2, 2});
+    const std::size_t particles_per_rank =
+        static_cast<std::size_t>(32'768 * bench_scale());
+
+    std::printf("=== Functional local-disk I/O (real pipelines, %zu particles/rank, "
+                "14 f64 attrs) ===\n",
+                particles_per_rank);
+    Table table({"ranks", "data_MB", "write:two-phase", "write:fpp", "write:shared",
+                 "read:two-phase", "read:fpp", "read:shared"});
+
+    for (const int nranks : {2, 4, 8, 16}) {
+        const GridDecomp decomp = grid_decomp_3d(nranks, domain);
+        std::vector<ParticleSet> per_rank;
+        for (int r = 0; r < nranks; ++r) {
+            per_rank.push_back(make_uniform_particles(decomp.rank_box(r),
+                                                      particles_per_rank, 14,
+                                                      static_cast<std::uint64_t>(r) + 1));
+        }
+        const double total_mb = static_cast<double>(nranks) *
+                                static_cast<double>(per_rank[0].payload_bytes()) /
+                                (1 << 20);
+        auto gbps = [total_mb](double seconds) {
+            return total_mb / 1024.0 / seconds;
+        };
+
+        std::filesystem::path meta_path;
+        double w_two = 0, w_fpp = 0, w_shared = 0, r_two = 0, r_fpp = 0, r_shared = 0;
+        vmpi::Runtime::run(nranks, [&](vmpi::Comm& comm) {
+            const auto& mine = per_rank[static_cast<std::size_t>(comm.rank())];
+            const Box my_box = decomp.rank_box(comm.rank());
+            // two-phase adaptive
+            WriterConfig config;
+            config.tree.target_file_size = 4 << 20;
+            config.directory = dir / ("tp_" + std::to_string(nranks));
+            const double tw = run_timed([&] {
+                const WriteResult res = write_particles(comm, mine, my_box, config);
+                if (comm.rank() == 0) {
+                    meta_path = res.metadata_path;
+                }
+            });
+            comm.barrier();
+            const double tr = run_timed([&] {
+                read_particles(comm, meta_path, decomp.rank_read_box(comm.rank()));
+            });
+            comm.barrier();
+            // file per process
+            const double fw = run_timed(
+                [&] { fpp_write(comm, mine, dir / "fpp", std::to_string(nranks)); });
+            comm.barrier();
+            const double fr = run_timed(
+                [&] { fpp_read(comm, dir / "fpp", std::to_string(nranks), 1); });
+            comm.barrier();
+            // shared file
+            const auto shared_path =
+                dir / ("shared_" + std::to_string(nranks) + ".dat");
+            const double sw = run_timed([&] { shared_write(comm, mine, shared_path); });
+            comm.barrier();
+            const double sr = run_timed([&] { shared_read(comm, shared_path, 1); });
+            if (comm.rank() == 0) {
+                w_two = tw;
+                r_two = tr;
+                w_fpp = fw;
+                r_fpp = fr;
+                w_shared = sw;
+                r_shared = sr;
+            }
+        });
+        table.add_row({std::to_string(nranks), fmt(total_mb, 1), fmt(gbps(w_two), 2),
+                       fmt(gbps(w_fpp), 2), fmt(gbps(w_shared), 2), fmt(gbps(r_two), 2),
+                       fmt(gbps(r_fpp), 2), fmt(gbps(r_shared), 2)});
+    }
+    table.print();
+    std::printf("(GB/s; single local disk — shapes are not expected to match the HPC "
+                "figures, which the simio model reproduces)\n");
+    return 0;
+}

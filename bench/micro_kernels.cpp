@@ -1,0 +1,167 @@
+// google-benchmark micro-kernels for the library's hot paths: Morton
+// encode/decode, Karras radix-tree construction, BAT build stages, bitmap
+// operations, particle (de)serialization, and query traversal. These give
+// per-component throughput numbers to sanity-check the calibrated
+// performance model and track regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bat_builder.hpp"
+#include "core/bat_file.hpp"
+#include "core/bat_query.hpp"
+#include "core/karras.hpp"
+#include "util/morton.hpp"
+#include "util/rng.hpp"
+#include "workloads/uniform.hpp"
+
+namespace bat {
+namespace {
+
+void BM_MortonEncode(benchmark::State& state) {
+    Pcg32 rng(1);
+    std::vector<std::uint32_t> coords(3 * 1024);
+    for (auto& c : coords) {
+        c = rng.next_u32() & ((1u << kMortonBitsPerAxis) - 1);
+    }
+    for (auto _ : state) {
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < coords.size(); i += 3) {
+            acc ^= morton_encode(coords[i], coords[i + 1], coords[i + 2]);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_MortonDecode(benchmark::State& state) {
+    Pcg32 rng(2);
+    std::vector<std::uint64_t> codes(1024);
+    for (auto& c : codes) {
+        c = rng.next_u64() & ((std::uint64_t{1} << kMortonBits) - 1);
+    }
+    for (auto _ : state) {
+        std::uint32_t x, y, z, acc = 0;
+        for (std::uint64_t c : codes) {
+            morton_decode(c, x, y, z);
+            acc ^= x ^ y ^ z;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MortonDecode);
+
+void BM_KarrasBuild(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Pcg32 rng(3);
+    std::set<std::uint64_t> keys;
+    while (keys.size() < n) {
+        keys.insert(rng.next_u64() & ((std::uint64_t{1} << 30) - 1));
+    }
+    const std::vector<std::uint64_t> codes(keys.begin(), keys.end());
+    for (auto _ : state) {
+        const RadixTree tree = build_radix_tree(codes, 30);
+        benchmark::DoNotOptimize(tree.internal.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KarrasBuild)->Arg(1024)->Arg(16384);
+
+void BM_BatBuild(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const ParticleSet base =
+        make_uniform_particles(Box({0, 0, 0}, {1, 1, 1}), n, 7, 4);
+    for (auto _ : state) {
+        ParticleSet copy = base;
+        const BatData bat = build_bat(std::move(copy), BatConfig{});
+        benchmark::DoNotOptimize(bat.treelets.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(base.payload_bytes()));
+}
+BENCHMARK(BM_BatBuild)->Arg(50'000)->Arg(200'000)->Unit(benchmark::kMillisecond);
+
+void BM_BatSerialize(benchmark::State& state) {
+    const BatData bat = build_bat(
+        make_uniform_particles(Box({0, 0, 0}, {1, 1, 1}), 100'000, 7, 5), BatConfig{});
+    for (auto _ : state) {
+        const auto bytes = serialize_bat(bat);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bat.particles.payload_bytes()));
+}
+BENCHMARK(BM_BatSerialize)->Unit(benchmark::kMillisecond);
+
+void BM_BitmapForRange(benchmark::State& state) {
+    for (auto _ : state) {
+        std::uint32_t acc = 0;
+        for (int i = 0; i < 1024; ++i) {
+            acc ^= bitmap_for_range(i * 0.001, i * 0.001 + 0.05, 0.0, 1.0);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_BitmapForRange);
+
+void BM_SpatialQuery(benchmark::State& state) {
+    const auto bytes = serialize_bat(build_bat(
+        make_uniform_particles(Box({0, 0, 0}, {1, 1, 1}), 200'000, 2, 6), BatConfig{}));
+    const BatFile file{std::span<const std::byte>(bytes)};
+    BatQuery query;
+    query.box = Box({0.25f, 0.25f, 0.25f}, {0.75f, 0.75f, 0.75f});
+    for (auto _ : state) {
+        std::uint64_t n = 0;
+        query_bat(file, query, [&n](Vec3, std::span<const double>) { ++n; });
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_SpatialQuery)->Unit(benchmark::kMillisecond);
+
+void BM_AttributeQuery(benchmark::State& state) {
+    const auto bytes = serialize_bat(build_bat(
+        make_uniform_particles(Box({0, 0, 0}, {1, 1, 1}), 200'000, 2, 7), BatConfig{}));
+    const BatFile file{std::span<const std::byte>(bytes)};
+    const auto [lo, hi] = file.attr_range(0);
+    BatQuery query;
+    query.attr_filters.push_back({0, lo + 0.48 * (hi - lo), lo + 0.52 * (hi - lo)});
+    for (auto _ : state) {
+        std::uint64_t n = 0;
+        query_bat(file, query, [&n](Vec3, std::span<const double>) { ++n; });
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_AttributeQuery)->Unit(benchmark::kMillisecond);
+
+void BM_ProgressiveCoarseRead(benchmark::State& state) {
+    const auto bytes = serialize_bat(build_bat(
+        make_uniform_particles(Box({0, 0, 0}, {1, 1, 1}), 200'000, 2, 8), BatConfig{}));
+    const BatFile file{std::span<const std::byte>(bytes)};
+    BatQuery query;
+    query.quality_hi = 0.1f;
+    for (auto _ : state) {
+        std::uint64_t n = 0;
+        query_bat(file, query, [&n](Vec3, std::span<const double>) { ++n; });
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_ProgressiveCoarseRead)->Unit(benchmark::kMillisecond);
+
+void BM_ParticleSerialize(benchmark::State& state) {
+    const ParticleSet set =
+        make_uniform_particles(Box({0, 0, 0}, {1, 1, 1}), 100'000, 14, 9);
+    for (auto _ : state) {
+        const auto bytes = set.to_bytes();
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(set.payload_bytes()));
+}
+BENCHMARK(BM_ParticleSerialize)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Reproduces paper Table I: progressive single-thread read times and
+// throughput on the Coal Boiler time series written using 1536 ranks, for
+// target sizes 2-16 MB. BATs are built with 8 LOD particles per treelet
+// inner node and up to 128 particles per treelet leaf (the paper's
+// settings). Starting from quality 0.1 (~10% of the data), successively
+// higher quality levels are requested in increments of 0.1 until the whole
+// data set is loaded; we report the average per-step read time and the
+// points/ms throughput.
+//
+// This bench builds and reads REAL BAT files. The particle counts are
+// scaled by BAT_BENCH_SCALE (default 0.25) from the paper's 4.6M-41.5M;
+// per-point throughput (pts/ms) is largely size-independent, so the
+// paper's ~52-56k pts/ms order of magnitude is the comparison target.
+// Expected shape: read time is nearly independent of target size; the
+// dominant cost is the number of points returned.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "core/bat_query.hpp"
+#include "io/writer.hpp"
+#include "test_output_free.hpp"
+#include "workloads/boiler.hpp"
+#include "workloads/decomposition.hpp"
+
+using namespace bat;
+using namespace bat::bench;
+
+int main() {
+    // Tables measure per-point read latency/throughput, which is volume-
+    // independent, so this bench runs at a deeper reduction than the
+    // default BAT_BENCH_SCALE (x0.2 on top of it).
+    const double scale = bench_scale() * 0.2;
+    const int nranks = 1536;
+    BoilerConfig boiler;
+    boiler.particles_at_start = static_cast<std::uint64_t>(4'600'000 * scale);
+    boiler.particles_at_end = static_cast<std::uint64_t>(41'500'000 * scale);
+    const std::vector<int> timesteps{1501, 3501};
+    const std::vector<std::uint64_t> targets = {2ull << 20, 4ull << 20, 8ull << 20,
+                                                16ull << 20};
+    const std::filesystem::path dir = scratch_dir("table1");
+
+    std::printf("=== Table I: progressive single-thread reads, Coal Boiler "
+                "(scale %.2f, 1536 writer ranks) ===\n",
+                scale);
+    Table table({"target", "avg_read_ms", "avg_throughput_pts_per_ms"});
+    for (const std::uint64_t target : targets) {
+        double total_ms = 0;
+        std::uint64_t total_points = 0;
+        int reads = 0;
+        for (const int timestep : timesteps) {
+            // Write this timestep through the adaptive pipeline at 1536
+            // ranks (serial driver over the same code path).
+            const ParticleSet global = make_boiler_particles(boiler, timestep);
+            const GridDecomp decomp = grid_decomp_3d(nranks, global.bounds());
+            const std::vector<ParticleSet> per_rank = partition_particles(global, decomp);
+            std::vector<Box> bounds;
+            for (int r = 0; r < nranks; ++r) {
+                bounds.push_back(decomp.rank_box(r));
+            }
+            WriterConfig config;
+            config.tree.target_file_size = target;
+            config.directory = dir;
+            config.basename = "t1_" + std::to_string(target >> 20) + "_" +
+                              std::to_string(timestep);
+            const WriteResult written = write_particles_serial(per_rank, bounds, config);
+
+            // Progressive read: quality 0.1 steps through the whole set.
+            const Metadata meta = Metadata::load(written.metadata_path);
+            std::vector<BatFile> files;
+            files.reserve(meta.leaves.size());
+            for (const MetaLeaf& leaf : meta.leaves) {
+                files.emplace_back(dir / leaf.file);
+            }
+            for (int step = 0; step < 10; ++step) {
+                BatQuery query;
+                query.quality_lo = static_cast<float>(step) / 10.f;
+                query.quality_hi = static_cast<float>(step + 1) / 10.f;
+                std::uint64_t points = 0;
+                const auto t0 = std::chrono::steady_clock::now();
+                for (const BatFile& file : files) {
+                    points +=
+                        query_bat(file, query, [](Vec3, std::span<const double>) {});
+                }
+                const double ms = std::chrono::duration<double, std::milli>(
+                                      std::chrono::steady_clock::now() - t0)
+                                      .count();
+                total_ms += ms;
+                total_points += points;
+                ++reads;
+            }
+        }
+        table.add_row({std::to_string(target >> 20) + "MB", fmt(total_ms / reads, 1),
+                       fmt(static_cast<double>(total_points) / total_ms, 0)});
+    }
+    table.print();
+    std::printf("(paper, full scale: 2MB 72.5ms 54968 pts/ms; 4MB 69.1ms 55663; "
+                "8MB 71.8ms 54148; 16MB 70.2ms 52501)\n");
+    return 0;
+}

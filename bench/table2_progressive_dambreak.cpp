@@ -1,0 +1,95 @@
+// Reproduces paper Table II: progressive single-thread read times and
+// throughput on the Dam Break time series — the 2M-particle run written
+// using 1536 ranks and the 8M run written using 6144 ranks — at target
+// sizes around the paper's settings.
+//
+// Real BAT files are built and read; counts are scaled by BAT_BENCH_SCALE
+// (default 0.25). Expected shape: per-target read times are similar (the
+// dominant factor is the number of points returned); the smaller run has
+// somewhat higher pts/ms throughput thanks to OS caching (paper §VI-B1).
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "core/bat_query.hpp"
+#include "io/writer.hpp"
+#include "test_output_free.hpp"
+#include "workloads/dambreak.hpp"
+#include "workloads/decomposition.hpp"
+
+using namespace bat;
+using namespace bat::bench;
+
+namespace {
+
+void run_case(const char* label, std::uint64_t particles, int nranks,
+              const std::vector<std::uint64_t>& targets,
+              const std::filesystem::path& dir) {
+    DamBreakConfig dam;
+    dam.num_particles = particles;
+    const std::vector<int> timesteps{501, 3001};
+
+    std::printf("\n=== Table II (%s): progressive single-thread reads ===\n", label);
+    Table table({"target", "avg_read_ms", "avg_throughput_pts_per_ms"});
+    for (const std::uint64_t target : targets) {
+        double total_ms = 0;
+        std::uint64_t total_points = 0;
+        int reads = 0;
+        for (const int timestep : timesteps) {
+            const ParticleSet global = make_dambreak_particles(dam, timestep);
+            const GridDecomp decomp = grid_decomp_2d(nranks, dam.domain);
+            const std::vector<ParticleSet> per_rank = partition_particles(global, decomp);
+            std::vector<Box> bounds;
+            for (int r = 0; r < nranks; ++r) {
+                bounds.push_back(decomp.rank_box(r));
+            }
+            WriterConfig config;
+            config.tree.target_file_size = target;
+            config.directory = dir;
+            config.basename = std::string("t2_") + label[0] +
+                              std::to_string(target >> 20) + "_" +
+                              std::to_string(timestep);
+            const WriteResult written = write_particles_serial(per_rank, bounds, config);
+
+            const Metadata meta = Metadata::load(written.metadata_path);
+            std::vector<BatFile> files;
+            files.reserve(meta.leaves.size());
+            for (const MetaLeaf& leaf : meta.leaves) {
+                files.emplace_back(dir / leaf.file);
+            }
+            for (int step = 0; step < 10; ++step) {
+                BatQuery query;
+                query.quality_lo = static_cast<float>(step) / 10.f;
+                query.quality_hi = static_cast<float>(step + 1) / 10.f;
+                std::uint64_t points = 0;
+                const auto t0 = std::chrono::steady_clock::now();
+                for (const BatFile& file : files) {
+                    points +=
+                        query_bat(file, query, [](Vec3, std::span<const double>) {});
+                }
+                total_ms += std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+                total_points += points;
+                ++reads;
+            }
+        }
+        table.add_row({std::to_string(target >> 20) + "MB", fmt(total_ms / reads, 1),
+                       fmt(static_cast<double>(total_points) / total_ms, 0)});
+    }
+    table.print();
+}
+
+}  // namespace
+
+int main() {
+    const double scale = bench_scale() * 0.4;  // see table1 note
+    const std::filesystem::path dir = scratch_dir("table2");
+    std::printf("=== Table II: Dam Break progressive reads (scale %.2f) ===\n", scale);
+    run_case("2M run, 1536 writer ranks", static_cast<std::uint64_t>(2'000'000 * scale),
+             1536, {1ull << 20, 2ull << 20, 4ull << 20}, dir);
+    run_case("8M run, 6144 writer ranks", static_cast<std::uint64_t>(8'000'000 * scale),
+             6144, {3ull << 20, 6ull << 20, 12ull << 20}, dir);
+    std::printf("\n(paper, full scale: 2M run ~70-73k pts/ms; 8M run ~57-59k pts/ms)\n");
+    return 0;
+}

@@ -1,0 +1,24 @@
+#pragma once
+// Scratch-directory helper for functional benches that write real BAT
+// files: a per-bench directory under TMPDIR, wiped at process start so
+// repeated runs do not accumulate files.
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace bat::bench {
+
+inline std::filesystem::path scratch_dir(const std::string& name) {
+    const char* tmp = std::getenv("TMPDIR");
+    std::filesystem::path dir =
+        (tmp != nullptr ? std::filesystem::path(tmp)
+                        : std::filesystem::temp_directory_path()) /
+        ("bat_bench_" + name);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+}  // namespace bat::bench

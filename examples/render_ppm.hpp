@@ -1,0 +1,108 @@
+#pragma once
+// Minimal splat renderer shared by the visual examples: orthographic
+// projection of particles onto an image plane with z-buffered, radius-
+// scaled splats and a viridis-like color map. Writes binary PPM files —
+// enough to reproduce the paper's Fig 8 dataset previews and Fig 13 LOD
+// quality progression without a GUI.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/vec3.hpp"
+
+namespace bat::examples {
+
+struct Image {
+    int width = 0;
+    int height = 0;
+    std::vector<float> rgb;    // 3 * width * height
+    std::vector<float> depth;  // z-buffer
+
+    Image(int w, int h) : width(w), height(h) {
+        rgb.assign(static_cast<std::size_t>(3 * w * h), 0.06f);  // dark background
+        depth.assign(static_cast<std::size_t>(w * h),
+                     std::numeric_limits<float>::max());
+    }
+};
+
+/// Map t in [0, 1] to a viridis-like gradient.
+inline void colormap(float t, float rgb[3]) {
+    t = std::clamp(t, 0.f, 1.f);
+    rgb[0] = std::clamp(0.267f + t * (0.993f - 0.267f) * t, 0.f, 1.f);
+    rgb[1] = std::clamp(0.005f + 0.90f * t, 0.f, 1.f);
+    rgb[2] = std::clamp(0.329f + 0.45f * std::sin(3.1415926f * t), 0.f, 1.f);
+}
+
+/// Axis-aligned orthographic projection: drop `depth_axis`, map the other
+/// two onto the image.
+class SplatRenderer {
+public:
+    SplatRenderer(int width, int height, const Box& bounds, int depth_axis = 1)
+        : image_(width, height), bounds_(bounds), depth_axis_(depth_axis) {
+        axis_u_ = depth_axis == 0 ? 1 : 0;
+        axis_v_ = depth_axis == 2 ? 1 : 2;
+    }
+
+    /// Splat one particle; `value` in [0, 1] picks the color, `radius` is
+    /// in pixels (the paper's LOD example grows radii at coarser quality).
+    void splat(Vec3 p, float value, float radius) {
+        const Vec3 ext = bounds_.extent();
+        const float u = ext[axis_u_] > 0
+                            ? (p[axis_u_] - bounds_.lower[axis_u_]) / ext[axis_u_]
+                            : 0.5f;
+        const float v = ext[axis_v_] > 0
+                            ? (p[axis_v_] - bounds_.lower[axis_v_]) / ext[axis_v_]
+                            : 0.5f;
+        const float z = p[depth_axis_];
+        const int cx = static_cast<int>(u * static_cast<float>(image_.width - 1));
+        const int cy = static_cast<int>((1.f - v) * static_cast<float>(image_.height - 1));
+        float color[3];
+        colormap(value, color);
+        const int r = std::max(1, static_cast<int>(radius));
+        for (int dy = -r; dy <= r; ++dy) {
+            for (int dx = -r; dx <= r; ++dx) {
+                if (dx * dx + dy * dy > r * r) {
+                    continue;
+                }
+                const int x = cx + dx;
+                const int y = cy + dy;
+                if (x < 0 || x >= image_.width || y < 0 || y >= image_.height) {
+                    continue;
+                }
+                const auto idx = static_cast<std::size_t>(y * image_.width + x);
+                if (z < image_.depth[idx]) {
+                    image_.depth[idx] = z;
+                    image_.rgb[3 * idx] = color[0];
+                    image_.rgb[3 * idx + 1] = color[1];
+                    image_.rgb[3 * idx + 2] = color[2];
+                }
+            }
+        }
+    }
+
+    void write_ppm(const std::filesystem::path& path) const {
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        BAT_CHECK_MSG(f != nullptr, "cannot open " << path);
+        std::fprintf(f, "P6\n%d %d\n255\n", image_.width, image_.height);
+        for (std::size_t i = 0; i < image_.rgb.size(); ++i) {
+            const auto byte = static_cast<unsigned char>(
+                std::clamp(image_.rgb[i], 0.f, 1.f) * 255.f);
+            std::fputc(byte, f);
+        }
+        std::fclose(f);
+    }
+
+private:
+    Image image_;
+    Box bounds_;
+    int depth_axis_;
+    int axis_u_;
+    int axis_v_;
+};
+
+}  // namespace bat::examples

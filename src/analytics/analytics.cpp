@@ -1,0 +1,136 @@
+#include "analytics/analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+std::uint64_t Histogram::total() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t b : bins) {
+        n += b;
+    }
+    return n;
+}
+
+double Histogram::bin_center(std::size_t b) const {
+    BAT_CHECK(b < bins.size());
+    const double width = (hi - lo) / static_cast<double>(bins.size());
+    return lo + (static_cast<double>(b) + 0.5) * width;
+}
+
+std::size_t Histogram::mode() const {
+    BAT_CHECK(!bins.empty());
+    return static_cast<std::size_t>(
+        std::max_element(bins.begin(), bins.end()) - bins.begin());
+}
+
+Histogram attribute_histogram(Dataset& ds, std::size_t attr, std::size_t num_bins,
+                              const BatQuery& query,
+                              std::optional<std::pair<double, double>> range) {
+    BAT_CHECK(attr < ds.num_attrs());
+    BAT_CHECK(num_bins >= 1);
+    Histogram hist;
+    const auto [lo, hi] = range.value_or(ds.attr_range(attr));
+    hist.lo = lo;
+    hist.hi = hi;
+    hist.bins.assign(num_bins, 0);
+    const double width = hi > lo ? (hi - lo) / static_cast<double>(num_bins) : 1.0;
+    ds.query(query, [&](Vec3, std::span<const double> attrs) {
+        const double v = attrs[attr];
+        if (v < lo || v > hi) {
+            return;
+        }
+        const auto bin = std::min(
+            static_cast<std::size_t>((v - lo) / width), num_bins - 1);
+        ++hist.bins[bin];
+    });
+    return hist;
+}
+
+std::uint64_t DensityGrid::max_count() const {
+    std::uint64_t m = 0;
+    for (std::uint64_t c : counts) {
+        m = std::max(m, c);
+    }
+    return m;
+}
+
+double DensityGrid::imbalance() const {
+    std::uint64_t total = 0;
+    std::uint64_t nonzero = 0;
+    std::uint64_t m = 0;
+    for (std::uint64_t c : counts) {
+        total += c;
+        nonzero += c > 0;
+        m = std::max(m, c);
+    }
+    if (nonzero == 0) {
+        return 0.0;
+    }
+    const double mean = static_cast<double>(total) / static_cast<double>(nonzero);
+    return static_cast<double>(m) / mean;
+}
+
+DensityGrid density_grid(Dataset& ds, int nx, int ny, int nz, const BatQuery& query) {
+    BAT_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+    DensityGrid grid;
+    grid.nx = nx;
+    grid.ny = ny;
+    grid.nz = nz;
+    grid.bounds = query.box.value_or(ds.bounds());
+    grid.counts.assign(static_cast<std::size_t>(nx) * ny * nz, 0);
+    const Vec3 ext = grid.bounds.extent();
+    ds.query(query, [&](Vec3 p, std::span<const double>) {
+        int idx[3];
+        const int dims[3] = {nx, ny, nz};
+        for (int a = 0; a < 3; ++a) {
+            const float e = ext[a];
+            float t = e > 0.f ? (p[a] - grid.bounds.lower[a]) / e : 0.f;
+            t = std::clamp(t, 0.f, 1.f);
+            idx[a] = std::min(static_cast<int>(t * static_cast<float>(dims[a])),
+                              dims[a] - 1);
+        }
+        ++grid.at(idx[0], idx[1], idx[2]);
+    });
+    return grid;
+}
+
+SelectionStats selection_stats(Dataset& ds, std::size_t attr, const BatQuery& query) {
+    BAT_CHECK(attr < ds.num_attrs());
+    SelectionStats stats;
+    double m2 = 0.0;
+    ds.query(query, [&](Vec3, std::span<const double> attrs) {
+        const double v = attrs[attr];
+        if (stats.count == 0) {
+            stats.min = stats.max = v;
+        } else {
+            stats.min = std::min(stats.min, v);
+            stats.max = std::max(stats.max, v);
+        }
+        ++stats.count;
+        const double delta = v - stats.mean;
+        stats.mean += delta / static_cast<double>(stats.count);
+        m2 += delta * (v - stats.mean);
+    });
+    if (stats.count >= 2) {
+        stats.stddev = std::sqrt(m2 / static_cast<double>(stats.count));
+    }
+    return stats;
+}
+
+std::vector<SeriesPoint> series_curve(const SeriesReader& reader, std::size_t attr,
+                                      const BatQuery& query) {
+    std::vector<SeriesPoint> curve;
+    curve.reserve(reader.num_timesteps());
+    for (std::size_t i = 0; i < reader.num_timesteps(); ++i) {
+        Dataset ds = reader.open(i);
+        const SelectionStats stats = selection_stats(ds, attr, query);
+        curve.push_back({reader.timestep_at(i), stats.count, stats.mean});
+    }
+    return curve;
+}
+
+}  // namespace bat

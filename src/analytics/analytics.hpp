@@ -1,0 +1,91 @@
+#pragma once
+// Postprocess analytics over BAT data sets. The paper motivates the layout
+// with "visualization and analysis tasks involving spatial and attribute
+// subset queries" (§V-A); this module provides the common ones —
+// histograms, density grids, selection statistics, and time-series curves —
+// implemented on top of Dataset queries so they benefit from the layout's
+// leaf pruning, bitmap filtering, and progressive quality levels (an
+// analysis pass can run on a representative subset first).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "io/series.hpp"
+
+namespace bat {
+
+// ---- histogram --------------------------------------------------------------
+
+struct Histogram {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<std::uint64_t> bins;
+
+    std::uint64_t total() const;
+    /// Value at the center of bin b.
+    double bin_center(std::size_t b) const;
+    /// Index of the fullest bin.
+    std::size_t mode() const;
+};
+
+/// Histogram of attribute `attr` over the query's selection. The value
+/// range defaults to the data set's global attribute range.
+Histogram attribute_histogram(Dataset& ds, std::size_t attr, std::size_t num_bins,
+                              const BatQuery& query = {},
+                              std::optional<std::pair<double, double>> range = {});
+
+// ---- density grid ------------------------------------------------------------
+
+/// Particle counts on a regular grid over the data bounds — the standard
+/// first look at a nonuniform distribution (and the quantity the adaptive
+/// aggregation balances).
+struct DensityGrid {
+    int nx = 1;
+    int ny = 1;
+    int nz = 1;
+    Box bounds;
+    std::vector<std::uint64_t> counts;  // x-fastest
+
+    std::uint64_t& at(int x, int y, int z) {
+        return counts[static_cast<std::size_t>((z * ny + y) * nx + x)];
+    }
+    std::uint64_t at(int x, int y, int z) const {
+        return counts[static_cast<std::size_t>((z * ny + y) * nx + x)];
+    }
+    std::uint64_t max_count() const;
+    /// Imbalance: max cell count over mean nonzero cell count.
+    double imbalance() const;
+};
+
+DensityGrid density_grid(Dataset& ds, int nx, int ny, int nz, const BatQuery& query = {});
+
+// ---- selection statistics ------------------------------------------------------
+
+struct SelectionStats {
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/// Streaming statistics of attribute `attr` over the query's selection.
+SelectionStats selection_stats(Dataset& ds, std::size_t attr, const BatQuery& query = {});
+
+// ---- time series curves --------------------------------------------------------
+
+struct SeriesPoint {
+    int timestep = 0;
+    std::uint64_t count = 0;
+    double mean = 0.0;
+};
+
+/// Per-timestep count and mean of `attr` over the query's selection, for
+/// every timestep in the series (e.g. "mean temperature of the hottest
+/// region over time").
+std::vector<SeriesPoint> series_curve(const SeriesReader& reader, std::size_t attr,
+                                      const BatQuery& query = {});
+
+}  // namespace bat

@@ -1,0 +1,92 @@
+#ifndef BAT_C_H
+#define BAT_C_H
+/* C API for the BAT parallel I/O library (paper §III: "We provide a C API
+ * to ease integration of our proposed I/O strategy into simulations written
+ * in a range of programming languages. The API follows an array-based
+ * attribute storage model similar to HDF5, ADIOS, and Silo.").
+ *
+ * Usage (write):
+ *   bat_io* io = bat_io_create();
+ *   bat_io_set_output(io, "/tmp/out", "step42");
+ *   bat_io_set_strategy(io, "adaptive");
+ *   bat_io_set_target_size(io, 8ull << 20);
+ *   bat_io_set_positions(io, xyz, n);                 // 3*n floats
+ *   bat_io_add_attribute(io, "temperature", temp);    // n doubles
+ *   bat_io_commit(io);                                // writes BAT + metadata
+ *   bat_io_destroy(io);
+ *
+ * All functions return BAT_OK (0) on success; bat_io_last_error() returns a
+ * message for the most recent failure.
+ */
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define BAT_OK 0
+#define BAT_ERR 1
+
+typedef struct bat_io_s bat_io;
+
+bat_io* bat_io_create(void);
+void bat_io_destroy(bat_io* io);
+const char* bat_io_last_error(const bat_io* io);
+
+int bat_io_set_output(bat_io* io, const char* directory, const char* basename);
+/* strategy: "adaptive" (default), "aug", or "file-per-process". */
+int bat_io_set_strategy(bat_io* io, const char* strategy);
+int bat_io_set_target_size(bat_io* io, uint64_t bytes);
+/* Domain bounds of this dataset (optional; defaults to the particle
+ * bounds). */
+int bat_io_set_bounds(bat_io* io, const float lower[3], const float upper[3]);
+
+/* Positions: interleaved xyz, `count` particles. Must be set before
+ * attributes. The data is copied. */
+int bat_io_set_positions(bat_io* io, const float* xyz, uint64_t count);
+/* One named double array of `count` values (count from set_positions). */
+int bat_io_add_attribute(bat_io* io, const char* name, const double* values);
+
+/* Write the BAT file(s) + metadata. Returns BAT_OK on success. After a
+ * commit the staged particles are cleared so the handle can be reused for
+ * the next timestep. */
+int bat_io_commit(bat_io* io);
+/* Path of the metadata file written by the last successful commit. */
+const char* bat_io_metadata_path(const bat_io* io);
+
+/* ---- reads ------------------------------------------------------------ */
+
+typedef struct bat_dataset_s bat_dataset;
+
+bat_dataset* bat_dataset_open(const char* metadata_path);
+void bat_dataset_close(bat_dataset* ds);
+const char* bat_dataset_last_error(const bat_dataset* ds);
+
+uint64_t bat_dataset_num_particles(const bat_dataset* ds);
+uint32_t bat_dataset_num_attributes(const bat_dataset* ds);
+const char* bat_dataset_attribute_name(const bat_dataset* ds, uint32_t index);
+/* Global (min, max) of an attribute. */
+int bat_dataset_attribute_range(const bat_dataset* ds, uint32_t index, double* lo,
+                                double* hi);
+
+/* Callback receives the position and one value per attribute. Return is
+ * ignored. */
+typedef void (*bat_query_callback)(const float position[3], const double* attributes,
+                                   void* user);
+
+/* Query the data set: spatial box (NULL for the full domain), optional
+ * single attribute filter (attr_index < 0 disables it), and a progressive
+ * quality window (quality_lo, quality_hi] in [0, 1]. Returns the number of
+ * points emitted, or UINT64_MAX on error. */
+uint64_t bat_dataset_query(bat_dataset* ds, const float lower[3], const float upper[3],
+                           int attr_index, double attr_lo, double attr_hi,
+                           float quality_lo, float quality_hi, bat_query_callback cb,
+                           void* user);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* BAT_C_H */

@@ -1,0 +1,361 @@
+#include "core/agg_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+namespace {
+
+struct BuildNode {
+    Box bounds;
+    int axis = -1;
+    float split = 0.f;
+    std::unique_ptr<BuildNode> left;
+    std::unique_ptr<BuildNode> right;
+    std::vector<int> ranks;  // filled for leaves only
+    std::uint64_t num_particles = 0;
+    bool is_leaf = false;
+};
+
+struct SplitResult {
+    int axis = -1;
+    float position = 0.f;
+    double cost = 0.0;        // |0.5 - nl/(nl+nr)|, paper's split cost
+    double imbalance = 1.0;   // max(nl,nr)/min(nl,nr), drives overfull leaves
+    bool valid = false;
+};
+
+struct Builder {
+    std::span<const RankInfo> ranks;
+    const AggTreeConfig& config;
+    ThreadPool* pool;
+
+    Box bounds_of(std::span<const int> ids) const {
+        Box b;
+        for (int id : ids) {
+            b.extend(ranks[static_cast<std::size_t>(id)].bounds);
+        }
+        return b;
+    }
+
+    Box bounds_of_nonempty(std::span<const int> ids) const {
+        Box b;
+        for (int id : ids) {
+            if (ranks[static_cast<std::size_t>(id)].num_particles > 0) {
+                b.extend(ranks[static_cast<std::size_t>(id)].bounds);
+            }
+        }
+        return b;
+    }
+
+    std::uint64_t particles_of(std::span<const int> ids) const {
+        std::uint64_t n = 0;
+        for (int id : ids) {
+            n += ranks[static_cast<std::size_t>(id)].num_particles;
+        }
+        return n;
+    }
+
+    /// Find the lowest-cost candidate split of `ids` along `axis`.
+    /// Candidates are the unique edges of member ranks' bounds; a rank falls
+    /// left when its bounds center is below the split (so ranks are never
+    /// divided between subtrees).
+    SplitResult best_split_on_axis(std::span<const int> ids, int axis) const {
+        // Sort member ranks by bounds center along the axis, with prefix
+        // particle sums, so each candidate is evaluated in O(log R).
+        std::vector<std::pair<float, std::uint64_t>> by_center;
+        by_center.reserve(ids.size());
+        std::vector<float> candidates;
+        candidates.reserve(2 * ids.size());
+        for (int id : ids) {
+            const RankInfo& r = ranks[static_cast<std::size_t>(id)];
+            by_center.emplace_back(r.bounds.center()[axis], r.num_particles);
+            candidates.push_back(r.bounds.lower[axis]);
+            candidates.push_back(r.bounds.upper[axis]);
+        }
+        std::sort(by_center.begin(), by_center.end());
+        std::vector<std::uint64_t> prefix(by_center.size() + 1, 0);
+        for (std::size_t i = 0; i < by_center.size(); ++i) {
+            prefix[i + 1] = prefix[i] + by_center[i].second;
+        }
+        const std::uint64_t total = prefix.back();
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+        SplitResult best;
+        for (float s : candidates) {
+            // Number of ranks whose center is strictly below s.
+            const auto it = std::lower_bound(
+                by_center.begin(), by_center.end(), s,
+                [](const std::pair<float, std::uint64_t>& a, float v) { return a.first < v; });
+            const auto n_left_ranks = static_cast<std::size_t>(it - by_center.begin());
+            if (n_left_ranks == 0 || n_left_ranks == by_center.size()) {
+                continue;  // one side would hold no ranks
+            }
+            const std::uint64_t nl = prefix[n_left_ranks];
+            const std::uint64_t nr = total - nl;
+            const double frac =
+                total > 0 ? static_cast<double>(nl) / static_cast<double>(total) : 0.5;
+            const double cost = std::abs(0.5 - frac);
+            if (!best.valid || cost < best.cost) {
+                best.valid = true;
+                best.axis = axis;
+                best.position = s;
+                best.cost = cost;
+                const auto lo = static_cast<double>(std::min(nl, nr));
+                const auto hi = static_cast<double>(std::max(nl, nr));
+                best.imbalance = hi / std::max(1.0, lo);
+            }
+        }
+        return best;
+    }
+
+    SplitResult best_split(std::span<const int> ids) const {
+        if (config.split_all_axes) {
+            SplitResult best;
+            for (int axis = 0; axis < 3; ++axis) {
+                const SplitResult s = best_split_on_axis(ids, axis);
+                if (s.valid && (!best.valid || s.cost < best.cost)) {
+                    best = s;
+                }
+            }
+            return best;
+        }
+        // Paper: choose the longest axis of the aggregate bounds of the
+        // member ranks that have particles. If that axis admits no valid
+        // candidate (e.g. a 2D decomposition where every rank spans the
+        // whole z extent), fall back to the remaining axes by decreasing
+        // extent — otherwise the build would stop at an unsplittable node.
+        Box b = bounds_of_nonempty(ids);
+        if (b.empty()) {
+            b = bounds_of(ids);
+        }
+        const Vec3 ext = b.extent();
+        int axes[3] = {0, 1, 2};
+        std::sort(axes, axes + 3, [&ext](int a, int c) { return ext[a] > ext[c]; });
+        for (int axis : axes) {
+            const SplitResult s = best_split_on_axis(ids, axis);
+            if (s.valid) {
+                return s;
+            }
+        }
+        return SplitResult{};
+    }
+
+    void build(std::vector<int> ids, BuildNode* node, TaskGroup* group) const {
+        node->bounds = bounds_of(ids);
+        node->num_particles = particles_of(ids);
+        const std::uint64_t bytes = node->num_particles * config.bytes_per_particle;
+
+        const bool fits = bytes <= config.target_file_size;
+        if (fits || ids.size() == 1) {
+            make_leaf(std::move(ids), node);
+            return;
+        }
+
+        const SplitResult split = best_split(ids);
+        if (!split.valid) {
+            // Every candidate left one side without ranks (e.g. all ranks
+            // share identical bounds); the node cannot be subdivided.
+            make_leaf(std::move(ids), node);
+            return;
+        }
+
+        // Overfull leaf: the best split is very uneven and the node is not
+        // too far over the target (paper §III-A).
+        const bool bad_split = split.imbalance >= config.overfull_imbalance;
+        const bool near_target =
+            static_cast<double>(bytes) <=
+            config.overfull_factor * static_cast<double>(config.target_file_size);
+        if (bad_split && near_target) {
+            make_leaf(std::move(ids), node);
+            return;
+        }
+
+        node->axis = split.axis;
+        node->split = split.position;
+        std::vector<int> left_ids;
+        std::vector<int> right_ids;
+        for (int id : ids) {
+            const float c = ranks[static_cast<std::size_t>(id)].bounds.center()[split.axis];
+            (c < split.position ? left_ids : right_ids).push_back(id);
+        }
+        BAT_CHECK(!left_ids.empty() && !right_ids.empty());
+
+        node->left = std::make_unique<BuildNode>();
+        node->right = std::make_unique<BuildNode>();
+        // Paper: a task is spawned for the right subtree while the current
+        // thread proceeds with the left.
+        if (group != nullptr && right_ids.size() > 64) {
+            BuildNode* right_node = node->right.get();
+            auto right_work = std::make_shared<std::vector<int>>(std::move(right_ids));
+            group->run([this, right_work, right_node, group] {
+                build(std::move(*right_work), right_node, group);
+            });
+        } else {
+            build(std::move(right_ids), node->right.get(), group);
+        }
+        build(std::move(left_ids), node->left.get(), group);
+    }
+
+    static void make_leaf(std::vector<int> ids, BuildNode* node) {
+        std::sort(ids.begin(), ids.end());
+        node->ranks = std::move(ids);
+        node->is_leaf = true;
+    }
+};
+
+/// Flatten the pointer tree into Aggregation's arrays (pre-order). Leaves
+/// with no particles are dropped: their ranks have nothing to send.
+int flatten(const BuildNode& node, Aggregation& out) {
+    const int index = static_cast<int>(out.nodes.size());
+    out.nodes.push_back(AggNode{});
+    out.nodes[static_cast<std::size_t>(index)].bounds = node.bounds;
+    if (node.is_leaf) {
+        if (node.num_particles > 0) {
+            const int leaf_id = static_cast<int>(out.leaves.size());
+            AggLeaf leaf;
+            leaf.bounds = node.bounds;
+            leaf.ranks = node.ranks;
+            leaf.num_particles = node.num_particles;
+            out.leaves.push_back(std::move(leaf));
+            out.nodes[static_cast<std::size_t>(index)].leaf_id = leaf_id;
+            for (int r : node.ranks) {
+                out.rank_to_leaf[static_cast<std::size_t>(r)] = leaf_id;
+            }
+        }
+        return index;
+    }
+    out.nodes[static_cast<std::size_t>(index)].axis = node.axis;
+    out.nodes[static_cast<std::size_t>(index)].split = node.split;
+    const int l = flatten(*node.left, out);
+    const int r = flatten(*node.right, out);
+    out.nodes[static_cast<std::size_t>(index)].left = l;
+    out.nodes[static_cast<std::size_t>(index)].right = r;
+    return index;
+}
+
+}  // namespace
+
+Aggregation build_agg_tree(std::span<const RankInfo> ranks, const AggTreeConfig& config,
+                           ThreadPool* pool) {
+    BAT_CHECK_MSG(!ranks.empty(), "build_agg_tree requires at least one rank");
+    BAT_CHECK(config.target_file_size > 0);
+    BAT_CHECK(config.bytes_per_particle > 0);
+
+    Builder builder{ranks, config, pool};
+    std::vector<int> all(ranks.size());
+    std::iota(all.begin(), all.end(), 0);
+
+    BuildNode root;
+    if (pool != nullptr && pool->num_threads() > 0) {
+        TaskGroup group(*pool);
+        builder.build(std::move(all), &root, &group);
+        group.wait();
+    } else {
+        builder.build(std::move(all), &root, nullptr);
+    }
+
+    Aggregation out;
+    out.rank_to_leaf.assign(ranks.size(), -1);
+    flatten(root, out);
+    return out;
+}
+
+Aggregation build_file_per_process(std::span<const RankInfo> ranks) {
+    Aggregation out;
+    out.rank_to_leaf.assign(ranks.size(), -1);
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+        if (ranks[r].num_particles == 0) {
+            continue;
+        }
+        AggLeaf leaf;
+        leaf.bounds = ranks[r].bounds;
+        leaf.ranks = {static_cast<int>(r)};
+        leaf.num_particles = ranks[r].num_particles;
+        out.rank_to_leaf[r] = static_cast<int>(out.leaves.size());
+        out.leaves.push_back(std::move(leaf));
+    }
+    build_tree_over_leaves(out);
+    return out;
+}
+
+namespace {
+
+/// Recursively build a median-split k-d tree over leaf ids (by center).
+int build_leaf_tree(Aggregation& agg, std::span<int> leaf_ids) {
+    const int index = static_cast<int>(agg.nodes.size());
+    agg.nodes.push_back(AggNode{});
+    Box bounds;
+    for (int id : leaf_ids) {
+        bounds.extend(agg.leaves[static_cast<std::size_t>(id)].bounds);
+    }
+    agg.nodes[static_cast<std::size_t>(index)].bounds = bounds;
+    if (leaf_ids.size() == 1) {
+        agg.nodes[static_cast<std::size_t>(index)].leaf_id = leaf_ids[0];
+        return index;
+    }
+    const int axis = bounds.longest_axis();
+    const std::size_t mid = leaf_ids.size() / 2;
+    std::nth_element(leaf_ids.begin(), leaf_ids.begin() + static_cast<std::ptrdiff_t>(mid),
+                     leaf_ids.end(), [&agg, axis](int a, int b) {
+                         return agg.leaves[static_cast<std::size_t>(a)].bounds.center()[axis] <
+                                agg.leaves[static_cast<std::size_t>(b)].bounds.center()[axis];
+                     });
+    agg.nodes[static_cast<std::size_t>(index)].axis = axis;
+    agg.nodes[static_cast<std::size_t>(index)].split =
+        agg.leaves[static_cast<std::size_t>(leaf_ids[mid])].bounds.center()[axis];
+    const int l = build_leaf_tree(agg, leaf_ids.subspan(0, mid));
+    const int r = build_leaf_tree(agg, leaf_ids.subspan(mid));
+    agg.nodes[static_cast<std::size_t>(index)].left = l;
+    agg.nodes[static_cast<std::size_t>(index)].right = r;
+    return index;
+}
+
+}  // namespace
+
+void build_tree_over_leaves(Aggregation& agg) {
+    agg.nodes.clear();
+    if (agg.leaves.empty()) {
+        return;
+    }
+    std::vector<int> ids(agg.leaves.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    build_leaf_tree(agg, ids);
+}
+
+std::vector<int> Aggregation::overlapping_leaves(const Box& box) const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        if (leaves[i].bounds.overlaps(box)) {
+            out.push_back(static_cast<int>(i));
+        }
+    }
+    return out;
+}
+
+void Aggregation::assign_aggregators(int nranks) {
+    BAT_CHECK(nranks > 0);
+    BAT_CHECK_MSG(leaves.size() <= static_cast<std::size_t>(nranks),
+                  "more leaves than ranks: " << leaves.size() << " > " << nranks);
+    const auto nleaves = static_cast<std::uint64_t>(leaves.size());
+    for (std::uint64_t i = 0; i < nleaves; ++i) {
+        leaves[i].aggregator =
+            static_cast<int>((i * static_cast<std::uint64_t>(nranks)) / nleaves);
+    }
+}
+
+std::uint64_t Aggregation::total_particles() const {
+    std::uint64_t n = 0;
+    for (const auto& leaf : leaves) {
+        n += leaf.num_particles;
+    }
+    return n;
+}
+
+}  // namespace bat

@@ -1,0 +1,100 @@
+#pragma once
+// Adaptive Aggregation Tree (paper §III-A, Fig 1a).
+//
+// Rank 0 gathers every rank's spatial bounds and particle count and builds a
+// k-d tree over the *ranks* whose leaves each hold a similar amount of data.
+// Split positions are restricted to rank-bounds edges so no rank's data is
+// ever divided between aggregators. Each leaf becomes one output file,
+// aggregated and written by one assigned aggregator rank.
+//
+// The same Aggregation structure is produced by the AUG baseline (aug.hpp)
+// and by the trivial file-per-process strategy, so the writer, metadata, and
+// performance models are strategy-agnostic.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/vec3.hpp"
+
+namespace bat {
+
+/// Per-rank input to aggregation: the rank's domain bounds and how many
+/// particles it currently owns.
+struct RankInfo {
+    Box bounds;
+    std::uint64_t num_particles = 0;
+};
+
+struct AggTreeConfig {
+    /// Desired size of each output file, in bytes. Determines the number of
+    /// leaves and the aggregation factor (paper: tunable for portability).
+    std::uint64_t target_file_size = 8ull << 20;
+    /// Bytes per particle (schema-dependent; 3*f32 + nattrs*f64).
+    std::uint64_t bytes_per_particle = 12 + 14 * 8;
+    /// Overfull leaves may grow to this multiple of the target size when the
+    /// best available split is too uneven (paper §III-A; results use 1.5x).
+    double overfull_factor = 1.5;
+    /// A split is "bad" when the heavier side holds at least this many times
+    /// the particles of the lighter side (paper's runs use 4).
+    double overfull_imbalance = 4.0;
+    /// When true, candidate splits on all three axes are tested instead of
+    /// only the longest axis (optional mode mentioned in §III-A).
+    bool split_all_axes = false;
+};
+
+struct AggNode {
+    Box bounds;               // union of contained ranks' bounds
+    int axis = -1;            // split axis for inner nodes
+    float split = 0.f;        // split position (a rank-bounds edge)
+    int left = -1;            // child node index; -1 for leaves
+    int right = -1;
+    int leaf_id = -1;         // index into Aggregation::leaves; -1 for inner
+
+    bool is_leaf() const { return leaf_id >= 0; }
+};
+
+struct AggLeaf {
+    Box bounds;                    // union of member ranks' bounds
+    std::vector<int> ranks;        // member ranks (ascending)
+    std::uint64_t num_particles = 0;
+    int aggregator = -1;           // rank that aggregates + writes this leaf
+};
+
+/// Result of any aggregation strategy: a spatial tree whose leaves are the
+/// output files, plus the rank -> leaf map.
+struct Aggregation {
+    std::vector<AggNode> nodes;    // nodes[0] is the root (when non-empty)
+    std::vector<AggLeaf> leaves;
+    std::vector<int> rank_to_leaf; // per input rank; -1 only when a rank has
+                                   // no particles and fell outside all leaves
+
+    /// IDs of leaves whose bounds overlap `box`.
+    std::vector<int> overlapping_leaves(const Box& box) const;
+
+    /// Spread leaf->aggregator assignments evenly across the rank space
+    /// (paper §III-A, following Kumar et al. [39]).
+    void assign_aggregators(int nranks);
+
+    /// Sum of particles over leaves (for invariant checks).
+    std::uint64_t total_particles() const;
+};
+
+/// Build the adaptive Aggregation Tree over rank bounds (runs on rank 0).
+/// `pool` parallelizes the top-down build (a task per right subtree); pass
+/// nullptr for serial construction.
+Aggregation build_agg_tree(std::span<const RankInfo> ranks, const AggTreeConfig& config,
+                           ThreadPool* pool = nullptr);
+
+/// Trivial baseline: one leaf per rank that owns particles (file per
+/// process), with a k-d tree built over the leaves for metadata queries.
+Aggregation build_file_per_process(std::span<const RankInfo> ranks);
+
+/// Build a balanced k-d tree over a set of finished leaves (used by the
+/// AUG and file-per-process strategies, which produce leaves without a
+/// tree). Fills `nodes` and leaf_id links; leaves themselves are untouched.
+void build_tree_over_leaves(Aggregation& agg);
+
+}  // namespace bat

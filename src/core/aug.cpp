@@ -1,0 +1,109 @@
+#include "core/aug.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+AugGridDims aug_grid_dims(const Box& domain, std::uint64_t total_bytes,
+                          std::uint64_t target_file_size) {
+    BAT_CHECK(target_file_size > 0);
+    AugGridDims dims;
+    if (domain.empty() || total_bytes == 0) {
+        return dims;
+    }
+    const double want_cells = std::max(
+        1.0, static_cast<double>(total_bytes) / static_cast<double>(target_file_size));
+    const Vec3 ext = domain.extent();
+    // Distribute cells across axes in proportion to the extents so cells are
+    // roughly cubic (the uniform-density assumption of the AUG).
+    const double ex = std::max(1e-30, static_cast<double>(ext.x));
+    const double ey = std::max(1e-30, static_cast<double>(ext.y));
+    const double ez = std::max(1e-30, static_cast<double>(ext.z));
+    const double scale = std::cbrt(want_cells / (ex * ey * ez));
+    dims.nx = std::max(1, static_cast<int>(std::round(ex * scale)));
+    dims.ny = std::max(1, static_cast<int>(std::round(ey * scale)));
+    dims.nz = std::max(1, static_cast<int>(std::round(ez * scale)));
+    // Round-off can undershoot; grow the axis with the coarsest cells until
+    // the grid has at least the desired number of cells.
+    while (static_cast<double>(dims.cells()) < want_cells) {
+        const double cx = ex / dims.nx;
+        const double cy = ey / dims.ny;
+        const double cz = ez / dims.nz;
+        if (cx >= cy && cx >= cz) {
+            ++dims.nx;
+        } else if (cy >= cz) {
+            ++dims.ny;
+        } else {
+            ++dims.nz;
+        }
+    }
+    return dims;
+}
+
+Aggregation build_aug(std::span<const RankInfo> ranks, const AugConfig& config) {
+    BAT_CHECK_MSG(!ranks.empty(), "build_aug requires at least one rank");
+    Aggregation out;
+    out.rank_to_leaf.assign(ranks.size(), -1);
+
+    // Fit the grid to the bounds of the data (the "adjustable" part of the
+    // AUG: the grid is resized to a subdomain containing all particles).
+    Box domain;
+    std::uint64_t total_particles = 0;
+    for (const RankInfo& r : ranks) {
+        if (r.num_particles > 0) {
+            domain.extend(r.bounds);
+            total_particles += r.num_particles;
+        }
+    }
+    if (total_particles == 0) {
+        return out;
+    }
+    const AugGridDims dims =
+        aug_grid_dims(domain, total_particles * config.bytes_per_particle,
+                      config.target_file_size);
+
+    const Vec3 ext = domain.extent();
+    auto cell_of = [&](Vec3 p) {
+        int c[3];
+        const int n[3] = {dims.nx, dims.ny, dims.nz};
+        for (int a = 0; a < 3; ++a) {
+            const float e = ext[a];
+            float t = e > 0.f ? (p[a] - domain.lower[a]) / e : 0.f;
+            t = std::clamp(t, 0.f, 1.f);
+            c[a] = std::min(static_cast<int>(t * static_cast<float>(n[a])), n[a] - 1);
+        }
+        return (c[2] * dims.ny + c[1]) * dims.nx + c[0];
+    };
+
+    // Assign each particle-owning rank to the cell containing its center;
+    // discard empty cells (paper: "discards empty regions of the grid").
+    std::map<int, AggLeaf> cells;  // ordered so leaf numbering is deterministic
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+        if (ranks[r].num_particles == 0) {
+            continue;
+        }
+        const int cell = cell_of(ranks[r].bounds.center());
+        AggLeaf& leaf = cells[cell];
+        leaf.bounds.extend(ranks[r].bounds);
+        leaf.ranks.push_back(static_cast<int>(r));
+        leaf.num_particles += ranks[r].num_particles;
+    }
+
+    out.leaves.reserve(cells.size());
+    for (auto& [cell, leaf] : cells) {
+        (void)cell;
+        const int leaf_id = static_cast<int>(out.leaves.size());
+        for (int r : leaf.ranks) {
+            out.rank_to_leaf[static_cast<std::size_t>(r)] = leaf_id;
+        }
+        out.leaves.push_back(std::move(leaf));
+    }
+    build_tree_over_leaves(out);
+    return out;
+}
+
+}  // namespace bat

@@ -1,0 +1,40 @@
+#pragma once
+// Adjustable Uniform Grid (AUG) aggregation — the prior state of the art
+// this paper compares against (Kumar et al., "Spatially-aware Parallel I/O
+// for Particle Data", ICPP 2019), implemented inside this library to enable
+// a direct algorithmic comparison, exactly as the paper does (§VI-A2).
+//
+// The grid is fit to the bounds of the ranks that own particles and its
+// resolution is chosen from the target file size under a *uniform density
+// assumption*: total bytes / target size cells, distributed across axes in
+// proportion to the domain extents. Each rank is assigned to the grid cell
+// containing the center of its bounds; empty cells are discarded. On
+// nonuniform distributions the uniform-density assumption breaks down,
+// producing imbalanced aggregation — the behaviour our adaptive tree fixes.
+
+#include <span>
+
+#include "core/agg_tree.hpp"
+
+namespace bat {
+
+struct AugConfig {
+    std::uint64_t target_file_size = 8ull << 20;
+    std::uint64_t bytes_per_particle = 12 + 14 * 8;
+};
+
+/// Build an AUG aggregation. The returned structure has one leaf per
+/// non-empty grid cell and a k-d tree over the leaves for metadata queries.
+Aggregation build_aug(std::span<const RankInfo> ranks, const AugConfig& config);
+
+/// Grid dimensions the AUG would use (exposed for tests and benchmarks).
+struct AugGridDims {
+    int nx = 1;
+    int ny = 1;
+    int nz = 1;
+    int cells() const { return nx * ny * nz; }
+};
+AugGridDims aug_grid_dims(const Box& domain, std::uint64_t total_bytes,
+                          std::uint64_t target_file_size);
+
+}  // namespace bat

@@ -1,0 +1,393 @@
+#include "core/bat_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/karras.hpp"
+#include "util/check.hpp"
+#include "util/morton.hpp"
+#include "util/rng.hpp"
+
+namespace bat {
+
+int bitmap_bin(double v, double lo, double hi) {
+    if (hi <= lo) {
+        return 0;
+    }
+    const double t = (v - lo) / (hi - lo);
+    const int bin = static_cast<int>(t * kBitmapBins);
+    return std::clamp(bin, 0, kBitmapBins - 1);
+}
+
+std::uint32_t bitmap_for_range(double lo, double hi, double range_lo, double range_hi) {
+    if (hi < range_lo || lo > range_hi) {
+        return 0;
+    }
+    if (range_hi <= range_lo) {
+        // Degenerate attribute range: everything lives in bin 0.
+        return 1u;
+    }
+    const int b0 = bitmap_bin(std::max(lo, range_lo), range_lo, range_hi);
+    const int b1 = bitmap_bin(std::min(hi, range_hi), range_lo, range_hi);
+    std::uint32_t bits = 0;
+    for (int b = b0; b <= b1; ++b) {
+        bits |= 1u << b;
+    }
+    return bits;
+}
+
+BinEdges equal_width_edges(double lo, double hi) {
+    BinEdges edges(kBitmapBins + 1);
+    const double width = hi > lo ? (hi - lo) / kBitmapBins : 0.0;
+    for (int b = 0; b <= kBitmapBins; ++b) {
+        edges[static_cast<std::size_t>(b)] = lo + b * width;
+    }
+    edges.back() = hi;  // avoid rounding the last edge below the max
+    return edges;
+}
+
+BinEdges equal_depth_edges(std::span<const double> values, std::size_t max_sample) {
+    if (values.empty()) {
+        return equal_width_edges(0.0, 0.0);
+    }
+    const std::size_t stride = values.size() > max_sample
+                                   ? (values.size() + max_sample - 1) / max_sample
+                                   : 1;
+    std::vector<double> sample;
+    sample.reserve(values.size() / stride + 1);
+    for (std::size_t i = 0; i < values.size(); i += stride) {
+        sample.push_back(values[i]);
+    }
+    std::sort(sample.begin(), sample.end());
+    BinEdges edges(kBitmapBins + 1);
+    for (int b = 0; b <= kBitmapBins; ++b) {
+        const std::size_t idx = std::min(
+            sample.size() - 1, b * sample.size() / kBitmapBins);
+        edges[static_cast<std::size_t>(b)] = sample[idx];
+    }
+    edges.front() = sample.front();
+    edges.back() = sample.back();
+    // Quantiles of low-cardinality data can repeat; keep edges monotone.
+    for (int b = 1; b <= kBitmapBins; ++b) {
+        edges[static_cast<std::size_t>(b)] =
+            std::max(edges[static_cast<std::size_t>(b)],
+                     edges[static_cast<std::size_t>(b - 1)]);
+    }
+    return edges;
+}
+
+int bin_of(double v, const BinEdges& edges) {
+    BAT_CHECK(edges.size() == kBitmapBins + 1);
+    // First bin whose upper edge exceeds v; degenerate (empty) bins are
+    // skipped by upper_bound's semantics.
+    const auto it = std::upper_bound(edges.begin() + 1, edges.end() - 1, v);
+    return static_cast<int>(it - (edges.begin() + 1));
+}
+
+std::uint32_t bitmap_for_range(double lo, double hi, const BinEdges& edges) {
+    BAT_CHECK(edges.size() == kBitmapBins + 1);
+    if (hi < edges.front() || lo > edges.back()) {
+        return 0;
+    }
+    const int b0 = bin_of(std::max(lo, edges.front()), edges);
+    const int b1 = bin_of(std::min(hi, edges.back()), edges);
+    std::uint32_t bits = 0;
+    for (int b = b0; b <= b1; ++b) {
+        bits |= 1u << b;
+    }
+    return bits;
+}
+
+std::uint32_t BatData::root_bitmap(std::size_t a) const {
+    BAT_CHECK(a < num_attrs());
+    if (shallow_nodes.empty()) {
+        return 0;
+    }
+    return shallow_bitmaps[a];  // node 0 is the shallow root
+}
+
+namespace {
+
+/// Working state shared by the build steps.
+struct BuildContext {
+    const BatConfig& config;
+    const ParticleSet& particles;  // original order
+    std::span<std::uint32_t> order;
+    Box bounds;
+
+    Vec3 pos(std::uint32_t ordered_index) const {
+        return particles.position(order[ordered_index]);
+    }
+};
+
+/// Tight bounds of the ordered range [lo, hi).
+Box range_bounds(const BuildContext& ctx, std::uint32_t lo, std::uint32_t hi) {
+    Box b;
+    for (std::uint32_t i = lo; i < hi; ++i) {
+        b.extend(ctx.pos(i));
+    }
+    return b;
+}
+
+/// Stratified sampling of `k` LOD particles from the ordered (spatially
+/// coherent) range [lo, hi): one sample per stratum, swapped to the front
+/// of the range (paper §III-C2 — subsets are taken, never duplicated).
+void sample_lod(BuildContext& ctx, std::uint32_t lo, std::uint32_t hi, std::uint32_t k,
+                Pcg32& rng) {
+    const std::uint64_t n = hi - lo;
+    for (std::uint32_t j = 0; j < k; ++j) {
+        const auto s0 = static_cast<std::uint32_t>(lo + j * n / k);
+        const auto s1 = static_cast<std::uint32_t>(lo + (j + 1) * n / k);
+        const std::uint32_t begin = std::max(s0, lo + j);
+        BAT_CHECK(begin < s1);
+        const std::uint32_t pick = begin + rng.next_bounded(s1 - begin);
+        std::swap(ctx.order[lo + j], ctx.order[pick]);
+    }
+}
+
+struct TreeletBuilder {
+    BuildContext& ctx;
+    Treelet& treelet;
+    Pcg32 rng;
+
+    /// Build the node over ordered range [lo, hi) at `depth`; returns the
+    /// node's index. Preorder: the left child immediately follows.
+    std::int32_t build(std::uint32_t lo, std::uint32_t hi, int depth) {
+        const auto index = static_cast<std::int32_t>(treelet.nodes.size());
+        treelet.nodes.push_back(TreeletNode{});
+        treelet.max_depth = std::max(treelet.max_depth, depth);
+        const std::uint32_t n = hi - lo;
+        TreeletNode node;
+        node.start = lo - treelet.first_particle;
+        node.count = n;
+
+        // Leaf: small enough, or too small to both sample LOD particles and
+        // still feed two children.
+        const auto leaf_limit = static_cast<std::uint32_t>(ctx.config.max_leaf_size);
+        const auto lod = static_cast<std::uint32_t>(ctx.config.lod_per_inner);
+        if (n <= leaf_limit || n < lod + 2) {
+            node.own_count = n;
+            node.right_child = -1;
+            treelet.nodes[static_cast<std::size_t>(index)] = node;
+            return index;
+        }
+
+        // Inner node: set aside the LOD particles, then median-split the
+        // remainder along the longest axis of their bounds.
+        const std::uint32_t k = std::min(lod, n - 2);
+        sample_lod(ctx, lo, hi, k, rng);
+        node.own_count = k;
+
+        const std::uint32_t rest_lo = lo + k;
+        const Box rest_bounds = range_bounds(ctx, rest_lo, hi);
+        const int axis = rest_bounds.longest_axis();
+        const std::uint32_t mid = rest_lo + (hi - rest_lo) / 2;
+        std::nth_element(ctx.order.begin() + rest_lo, ctx.order.begin() + mid,
+                         ctx.order.begin() + hi,
+                         [this, axis](std::uint32_t a, std::uint32_t b) {
+                             return ctx.particles.position(a)[axis] <
+                                    ctx.particles.position(b)[axis];
+                         });
+        node.axis = static_cast<std::uint8_t>(axis);
+        node.split = ctx.particles.position(ctx.order[mid])[axis];
+
+        const std::int32_t left = build(rest_lo, mid, depth + 1);
+        BAT_CHECK(left == index + 1);
+        node.right_child = build(mid, hi, depth + 1);
+        treelet.nodes[static_cast<std::size_t>(index)] = node;
+        return index;
+    }
+};
+
+/// Compute per-node bitmaps for one treelet. Nodes are preorder so children
+/// always have larger indices: a reverse sweep sees children before parents.
+void compute_treelet_bitmaps(const ParticleSet& particles, Treelet& treelet,
+                             std::span<const BinEdges> edges) {
+    const std::size_t nattrs = edges.size();
+    treelet.bitmaps.assign(treelet.nodes.size() * nattrs, 0);
+    for (std::size_t i = treelet.nodes.size(); i-- > 0;) {
+        const TreeletNode& node = treelet.nodes[i];
+        std::uint32_t* bm = treelet.bitmaps.data() + i * nattrs;
+        // Bits of the node's own points (all points for leaves, the LOD
+        // samples for inner nodes).
+        const std::uint32_t begin = treelet.first_particle + node.start;
+        for (std::uint32_t p = begin; p < begin + node.own_count; ++p) {
+            for (std::size_t a = 0; a < nattrs; ++a) {
+                const double v = particles.attr(a)[p];
+                bm[a] |= 1u << bin_of(v, edges[a]);
+            }
+        }
+        if (!node.is_leaf()) {
+            const std::size_t l = i + 1;
+            const auto r = static_cast<std::size_t>(node.right_child);
+            for (std::size_t a = 0; a < nattrs; ++a) {
+                bm[a] |= treelet.bitmaps[l * nattrs + a] | treelet.bitmaps[r * nattrs + a];
+            }
+        }
+    }
+}
+
+}  // namespace
+
+BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* pool) {
+    BAT_CHECK(config.subprefix_bits >= 1 && config.subprefix_bits <= 30);
+    BAT_CHECK(config.lod_per_inner >= 1);
+    BAT_CHECK(config.max_leaf_size >= 1);
+
+    BatData bat;
+    bat.config = config;
+    const std::size_t n = particles.count();
+    const std::size_t nattrs = particles.num_attrs();
+
+    bat.attr_ranges.resize(nattrs);
+    bat.attr_edges.resize(nattrs);
+    for (std::size_t a = 0; a < nattrs; ++a) {
+        bat.attr_ranges[a] = particles.attr_range(a);
+        bat.attr_edges[a] =
+            config.binning == BinningScheme::equal_depth
+                ? equal_depth_edges(particles.attr(a))
+                : equal_width_edges(bat.attr_ranges[a].first, bat.attr_ranges[a].second);
+    }
+    if (n == 0) {
+        bat.particles = std::move(particles);
+        return bat;
+    }
+    bat.bounds = particles.bounds();
+
+    // ---- Morton sort ------------------------------------------------------
+    std::vector<std::uint64_t> codes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        codes[i] = morton_encode_position(particles.position(i), bat.bounds);
+    }
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&codes](std::uint32_t a, std::uint32_t b) {
+        return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
+    });
+
+    // ---- Shallow tree over merged subprefixes (§III-C1) -------------------
+    int subprefix_bits = config.subprefix_bits;
+    if (config.auto_subprefix) {
+        const double want_treelets = std::max(
+            1.0, static_cast<double>(n) /
+                     static_cast<double>(std::max(1, config.target_treelet_particles)));
+        const int bits = static_cast<int>(std::ceil(std::log2(want_treelets)));
+        subprefix_bits = std::clamp(bits, 1, config.subprefix_bits);
+    }
+    bat.config.subprefix_bits = subprefix_bits;
+    const int shift = kMortonBits - subprefix_bits;
+    std::vector<std::uint64_t> unique_prefixes;
+    std::vector<std::uint32_t> range_begin;  // per unique prefix
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t prefix = codes[order[i]] >> shift;
+        if (unique_prefixes.empty() || unique_prefixes.back() != prefix) {
+            unique_prefixes.push_back(prefix);
+            range_begin.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+    range_begin.push_back(static_cast<std::uint32_t>(n));
+
+    const RadixTree radix = build_radix_tree(unique_prefixes, subprefix_bits, pool);
+
+    // ---- Treelet builds (§III-C2) -----------------------------------------
+    const std::size_t num_treelets = unique_prefixes.size();
+    bat.treelets.resize(num_treelets);
+    BuildContext ctx{config, particles, order, bat.bounds};
+    auto build_treelet = [&](std::size_t t) {
+        Treelet& treelet = bat.treelets[t];
+        treelet.first_particle = range_begin[t];
+        treelet.num_particles = range_begin[t + 1] - range_begin[t];
+        treelet.bounds = range_bounds(ctx, range_begin[t], range_begin[t + 1]);
+        TreeletBuilder builder{ctx, treelet, Pcg32(mix_seed(config.seed, t))};
+        builder.build(range_begin[t], range_begin[t + 1], 0);
+    };
+    if (pool != nullptr && pool->num_threads() > 0) {
+        pool->parallel_for(0, num_treelets, build_treelet, 1);
+    } else {
+        for (std::size_t t = 0; t < num_treelets; ++t) {
+            build_treelet(t);
+        }
+    }
+
+    // ---- Final particle order ---------------------------------------------
+    particles.reorder(order);
+    bat.particles = std::move(particles);
+
+    // ---- Bitmaps ------------------------------------------------------------
+    auto bitmap_pass = [&](std::size_t t) {
+        compute_treelet_bitmaps(bat.particles, bat.treelets[t], bat.attr_edges);
+    };
+    if (pool != nullptr && pool->num_threads() > 0) {
+        pool->parallel_for(0, num_treelets, bitmap_pass, 1);
+    } else {
+        for (std::size_t t = 0; t < num_treelets; ++t) {
+            bitmap_pass(t);
+        }
+    }
+
+    // ---- Flatten the shallow tree to preorder -----------------------------
+    // The radix tree uses split indices; we convert to a preorder node array
+    // with regions decoded from the Morton prefixes.
+    bat.shallow_nodes.clear();
+    struct Frame {
+        std::int32_t radix_index;
+        bool is_leaf;
+    };
+    // Recursive flatten via explicit lambda recursion.
+    auto flatten = [&](auto&& self, std::int32_t radix_index, bool is_leaf) -> std::int32_t {
+        const auto index = static_cast<std::int32_t>(bat.shallow_nodes.size());
+        bat.shallow_nodes.push_back(ShallowNode{});
+        ShallowNode node;
+        if (is_leaf) {
+            node.treelet = radix_index;  // radix leaf i == treelet i
+            node.right_child = -1;
+            node.bounds = bat.treelets[static_cast<std::size_t>(radix_index)].bounds;
+        } else {
+            const RadixNode& rn = radix.internal[static_cast<std::size_t>(radix_index)];
+            // The split bit position selects the k-d split axis (§III-C1).
+            const int full_bit = kMortonBits - 1 - rn.prefix_len;
+            node.axis = static_cast<std::uint8_t>(morton_bit_axis(full_bit));
+            const std::int32_t left = self(self, rn.left, rn.left_is_leaf);
+            BAT_CHECK(left == index + 1);
+            node.right_child = self(self, rn.right, rn.right_is_leaf);
+            // Node bounds: union of the children's (tight) bounds. The raw
+            // Morton prefix region (subprefix_region) would also be valid
+            // but looser; tight bounds prune spatial queries better.
+            node.bounds = bat.shallow_nodes[static_cast<std::size_t>(left)].bounds;
+            node.bounds.extend(
+                bat.shallow_nodes[static_cast<std::size_t>(node.right_child)].bounds);
+            node.split = node.bounds.center()[node.axis];
+        }
+        bat.shallow_nodes[static_cast<std::size_t>(index)] = node;
+        return index;
+    };
+    if (num_treelets == 1) {
+        flatten(flatten, 0, /*is_leaf=*/true);
+    } else {
+        flatten(flatten, radix.root, /*is_leaf=*/false);
+    }
+
+    // ---- Shallow-node bitmaps (children OR; reverse preorder sweep) -------
+    bat.shallow_bitmaps.assign(bat.shallow_nodes.size() * nattrs, 0);
+    for (std::size_t i = bat.shallow_nodes.size(); i-- > 0;) {
+        const ShallowNode& node = bat.shallow_nodes[i];
+        std::uint32_t* bm = bat.shallow_bitmaps.data() + i * nattrs;
+        if (node.is_leaf()) {
+            const Treelet& t = bat.treelets[static_cast<std::size_t>(node.treelet)];
+            for (std::size_t a = 0; a < nattrs; ++a) {
+                bm[a] = t.nodes.empty() ? 0 : t.bitmaps[a];  // treelet root
+            }
+        } else {
+            const std::size_t l = i + 1;
+            const auto r = static_cast<std::size_t>(node.right_child);
+            for (std::size_t a = 0; a < nattrs; ++a) {
+                bm[a] = bat.shallow_bitmaps[l * nattrs + a] |
+                        bat.shallow_bitmaps[r * nattrs + a];
+            }
+        }
+    }
+    return bat;
+}
+
+}  // namespace bat

@@ -1,0 +1,231 @@
+#include "core/bat_compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+#include "util/mmap_file.hpp"
+
+namespace bat {
+
+namespace {
+
+constexpr std::uint32_t kBatzMagic = 0x5a544142;  // "BATZ"
+constexpr std::uint32_t kBatzVersion = 1;
+constexpr double kLevels = 65535.0;
+
+std::uint16_t quantize(double v, double lo, double hi) {
+    if (hi <= lo) {
+        return 0;
+    }
+    const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+    return static_cast<std::uint16_t>(std::lround(t * kLevels));
+}
+
+double dequantize(std::uint16_t q, double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(q) / kLevels);
+}
+
+void write_box(BufferWriter& w, const Box& b) {
+    w.write(b.lower.x);
+    w.write(b.lower.y);
+    w.write(b.lower.z);
+    w.write(b.upper.x);
+    w.write(b.upper.y);
+    w.write(b.upper.z);
+}
+
+Box read_box(BufferReader& r) {
+    Box b;
+    b.lower.x = r.read<float>();
+    b.lower.y = r.read<float>();
+    b.lower.z = r.read<float>();
+    b.upper.x = r.read<float>();
+    b.upper.y = r.read<float>();
+    b.upper.z = r.read<float>();
+    return b;
+}
+
+}  // namespace
+
+std::vector<std::byte> compress_bat(const BatData& bat) {
+    const std::size_t nattrs = bat.num_attrs();
+    BufferWriter w;
+    w.write(kBatzMagic);
+    w.write(kBatzVersion);
+    w.write(static_cast<std::uint64_t>(bat.particles.count()));
+    w.write(static_cast<std::uint32_t>(nattrs));
+    w.write(static_cast<std::int32_t>(bat.config.subprefix_bits));
+    w.write(static_cast<std::int32_t>(bat.config.lod_per_inner));
+    w.write(static_cast<std::int32_t>(bat.config.max_leaf_size));
+    w.write(bat.config.seed);
+    write_box(w, bat.bounds);
+    for (std::size_t a = 0; a < nattrs; ++a) {
+        w.write_string(bat.particles.attr_names()[a]);
+        w.write(bat.attr_ranges[a].first);
+        w.write(bat.attr_ranges[a].second);
+        BAT_CHECK(bat.attr_edges[a].size() == kBitmapBins + 1);
+        w.write_span(std::span<const double>(bat.attr_edges[a]));
+    }
+
+    // Shallow tree verbatim (bitmaps are recomputed on decode, so only the
+    // structure is stored).
+    w.write(static_cast<std::uint32_t>(bat.shallow_nodes.size()));
+    w.write_span(std::span<const ShallowNode>(bat.shallow_nodes));
+
+    // Treelets: structure + quantized payload.
+    w.write(static_cast<std::uint32_t>(bat.treelets.size()));
+    for (const Treelet& t : bat.treelets) {
+        write_box(w, t.bounds);
+        w.write(t.first_particle);
+        w.write(t.num_particles);
+        w.write(t.max_depth);
+        w.write(static_cast<std::uint32_t>(t.nodes.size()));
+        w.write_span(std::span<const TreeletNode>(t.nodes));
+        // Quantized positions relative to the treelet bounds.
+        const Box& b = t.bounds;
+        for (std::uint32_t i = 0; i < t.num_particles; ++i) {
+            const Vec3 p = bat.particles.position(t.first_particle + i);
+            for (int axis = 0; axis < 3; ++axis) {
+                w.write(quantize(p[axis], b.lower[axis], b.upper[axis]));
+            }
+        }
+        // Quantized attributes relative to the local ranges.
+        for (std::size_t a = 0; a < nattrs; ++a) {
+            const auto [lo, hi] = bat.attr_ranges[a];
+            const std::span<const double> values =
+                bat.particles.attr(a).subspan(t.first_particle, t.num_particles);
+            for (double v : values) {
+                w.write(quantize(v, lo, hi));
+            }
+        }
+    }
+    return w.take();
+}
+
+BatData decompress_bat(std::span<const std::byte> bytes) {
+    BufferReader r(bytes);
+    BAT_CHECK_MSG(r.read<std::uint32_t>() == kBatzMagic, "not a compressed BAT (.batz)");
+    BAT_CHECK_MSG(r.read<std::uint32_t>() == kBatzVersion,
+                  "unsupported .batz version");
+    BatData bat;
+    const auto num_particles = r.read<std::uint64_t>();
+    const auto nattrs = r.read<std::uint32_t>();
+    bat.config.subprefix_bits = r.read<std::int32_t>();
+    bat.config.lod_per_inner = r.read<std::int32_t>();
+    bat.config.max_leaf_size = r.read<std::int32_t>();
+    bat.config.seed = r.read<std::uint64_t>();
+    bat.bounds = read_box(r);
+    std::vector<std::string> names(nattrs);
+    bat.attr_ranges.resize(nattrs);
+    bat.attr_edges.resize(nattrs);
+    for (std::size_t a = 0; a < nattrs; ++a) {
+        names[a] = r.read_string();
+        bat.attr_ranges[a].first = r.read<double>();
+        bat.attr_ranges[a].second = r.read<double>();
+        bat.attr_edges[a].resize(kBitmapBins + 1);
+        r.read_into(std::span<double>(bat.attr_edges[a]));
+    }
+    bat.particles = ParticleSet(std::move(names));
+    bat.particles.resize(num_particles);
+
+    bat.shallow_nodes.resize(r.read<std::uint32_t>());
+    r.read_into(std::span<ShallowNode>(bat.shallow_nodes));
+
+    bat.treelets.resize(r.read<std::uint32_t>());
+    for (Treelet& t : bat.treelets) {
+        t.bounds = read_box(r);
+        t.first_particle = r.read<std::uint32_t>();
+        t.num_particles = r.read<std::uint32_t>();
+        t.max_depth = r.read<std::int32_t>();
+        t.nodes.resize(r.read<std::uint32_t>());
+        r.read_into(std::span<TreeletNode>(t.nodes));
+        for (std::uint32_t i = 0; i < t.num_particles; ++i) {
+            Vec3 p;
+            for (int axis = 0; axis < 3; ++axis) {
+                p[axis] = static_cast<float>(dequantize(
+                    r.read<std::uint16_t>(), t.bounds.lower[axis], t.bounds.upper[axis]));
+            }
+            bat.particles.set_position(t.first_particle + i, p);
+        }
+        for (std::size_t a = 0; a < nattrs; ++a) {
+            const auto [lo, hi] = bat.attr_ranges[a];
+            const std::span<double> values =
+                bat.particles.attr_mut(a).subspan(t.first_particle, t.num_particles);
+            for (double& v : values) {
+                v = dequantize(r.read<std::uint16_t>(), lo, hi);
+            }
+        }
+    }
+
+    // Recompute bitmaps from the decoded values so attribute filtering is
+    // exact for the reconstruction.
+    for (Treelet& t : bat.treelets) {
+        t.bitmaps.assign(t.nodes.size() * nattrs, 0);
+        for (std::size_t i = t.nodes.size(); i-- > 0;) {
+            const TreeletNode& node = t.nodes[i];
+            std::uint32_t* bm = t.bitmaps.data() + i * nattrs;
+            const std::uint32_t begin = t.first_particle + node.start;
+            for (std::uint32_t p = begin; p < begin + node.own_count; ++p) {
+                for (std::size_t a = 0; a < nattrs; ++a) {
+                    bm[a] |= 1u << bin_of(bat.particles.attr(a)[p], bat.attr_edges[a]);
+                }
+            }
+            if (!node.is_leaf()) {
+                const std::size_t l = i + 1;
+                const auto rc = static_cast<std::size_t>(node.right_child);
+                for (std::size_t a = 0; a < nattrs; ++a) {
+                    bm[a] |= t.bitmaps[l * nattrs + a] | t.bitmaps[rc * nattrs + a];
+                }
+            }
+        }
+    }
+    bat.shallow_bitmaps.assign(bat.shallow_nodes.size() * nattrs, 0);
+    for (std::size_t i = bat.shallow_nodes.size(); i-- > 0;) {
+        const ShallowNode& node = bat.shallow_nodes[i];
+        std::uint32_t* bm = bat.shallow_bitmaps.data() + i * nattrs;
+        if (node.is_leaf()) {
+            const Treelet& t = bat.treelets[static_cast<std::size_t>(node.treelet)];
+            for (std::size_t a = 0; a < nattrs; ++a) {
+                bm[a] = t.nodes.empty() ? 0 : t.bitmaps[a];
+            }
+        } else {
+            const std::size_t l = i + 1;
+            const auto rc = static_cast<std::size_t>(node.right_child);
+            for (std::size_t a = 0; a < nattrs; ++a) {
+                bm[a] = bat.shallow_bitmaps[l * nattrs + a] |
+                        bat.shallow_bitmaps[rc * nattrs + a];
+            }
+        }
+    }
+    return bat;
+}
+
+void write_compressed_bat(const std::filesystem::path& path, const BatData& bat) {
+    write_file(path, compress_bat(bat));
+}
+
+BatData read_compressed_bat(const std::filesystem::path& path) {
+    return decompress_bat(read_file(path));
+}
+
+QuantizationError quantization_error_bounds(const BatData& bat) {
+    QuantizationError err;
+    err.max_position_error = Vec3(0.f);
+    err.max_attr_error.assign(bat.num_attrs(), 0.0);
+    for (const Treelet& t : bat.treelets) {
+        const Vec3 ext = t.bounds.extent();
+        for (int a = 0; a < 3; ++a) {
+            err.max_position_error[a] = std::max(
+                err.max_position_error[a], static_cast<float>(ext[a] / kLevels));
+        }
+    }
+    for (std::size_t a = 0; a < bat.num_attrs(); ++a) {
+        err.max_attr_error[a] =
+            (bat.attr_ranges[a].second - bat.attr_ranges[a].first) / kLevels;
+    }
+    return err;
+}
+
+}  // namespace bat

@@ -1,0 +1,51 @@
+#pragma once
+// Quantized BAT storage (paper §VII-A future work: "our BAT layout does not
+// make use of compression or quantization, which would reduce memory use
+// further").
+//
+// compress_bat() re-encodes a built BAT's particle payload with
+//   - positions as 16-bit fixed point relative to each treelet's bounds
+//     (error <= treelet extent / 65535 per axis), and
+//   - attributes as 16-bit fixed point relative to the aggregator-local
+//     attribute range (error <= range / 65535),
+// shrinking the payload from 12 + 8*nattrs to 6 + 2*nattrs bytes per
+// particle (~3.9x for the paper's 14-attribute schema). The tree structure,
+// bitmaps, and dictionary are stored exactly as in the uncompressed format.
+//
+// The codec is intentionally a separate artifact (.batz) from the
+// mmap-oriented .bat format: quantized payloads cannot be handed to query
+// callbacks zero-copy, so decompress_bat() reconstructs an in-memory
+// BatData, which supports the full query interface via BatDataView.
+// Bitmaps remain valid after the round trip: quantized attribute values
+// round to the nearest of 65536 levels, and each node's stored 32-bit
+// bitmap is recomputed on decode so filtering stays exact with respect to
+// the decoded values.
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "core/bat_builder.hpp"
+
+namespace bat {
+
+/// Serialize `bat` with quantized particle payloads.
+std::vector<std::byte> compress_bat(const BatData& bat);
+
+/// Reconstruct an in-memory BAT from compress_bat() output. Positions and
+/// attribute values are the quantized (lossy) reconstructions; node
+/// bitmaps are recomputed from the decoded values.
+BatData decompress_bat(std::span<const std::byte> bytes);
+
+void write_compressed_bat(const std::filesystem::path& path, const BatData& bat);
+BatData read_compressed_bat(const std::filesystem::path& path);
+
+/// Worst-case absolute reconstruction errors for a given BAT.
+struct QuantizationError {
+    Vec3 max_position_error;                 // per axis
+    std::vector<double> max_attr_error;      // per attribute
+};
+QuantizationError quantization_error_bounds(const BatData& bat);
+
+}  // namespace bat

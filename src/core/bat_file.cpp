@@ -1,0 +1,276 @@
+#include "core/bat_file.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+
+namespace bat {
+
+namespace {
+
+/// Incremental bitmap dictionary with the reserved all-ones entry at ID 0.
+class BitmapDictionary {
+public:
+    BitmapDictionary() {
+        entries_.push_back(0xFFFFFFFFu);
+        ids_.emplace(0xFFFFFFFFu, kBitmapIdAllOnes);
+    }
+
+    std::uint16_t intern(std::uint32_t bitmap) {
+        const auto it = ids_.find(bitmap);
+        if (it != ids_.end()) {
+            return it->second;
+        }
+        if (entries_.size() >= 65536) {
+            // Paper: 16-bit IDs limit the dictionary to 65k bitmaps, "more
+            // than sufficient in practice". If a pathological data set
+            // overflows it we degrade to the conservative all-ones bitmap.
+            return kBitmapIdAllOnes;
+        }
+        const auto id = static_cast<std::uint16_t>(entries_.size());
+        entries_.push_back(bitmap);
+        ids_.emplace(bitmap, id);
+        return id;
+    }
+
+    const std::vector<std::uint32_t>& entries() const { return entries_; }
+
+private:
+    std::vector<std::uint32_t> entries_;
+    std::unordered_map<std::uint32_t, std::uint16_t> ids_;
+};
+
+Box box_from(const float b[6]) {
+    return Box({b[0], b[1], b[2]}, {b[3], b[4], b[5]});
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize_bat(const BatData& bat) {
+    const std::size_t nattrs = bat.num_attrs();
+    FileHeader header;
+    header.num_particles = bat.particles.count();
+    header.num_attrs = static_cast<std::uint32_t>(nattrs);
+    header.subprefix_bits = static_cast<std::uint32_t>(bat.config.subprefix_bits);
+    header.lod_per_inner = static_cast<std::uint32_t>(bat.config.lod_per_inner);
+    header.max_leaf_size = static_cast<std::uint32_t>(bat.config.max_leaf_size);
+    header.num_shallow_nodes = static_cast<std::uint32_t>(bat.shallow_nodes.size());
+    header.num_treelets = static_cast<std::uint32_t>(bat.treelets.size());
+    header.bounds[0] = bat.bounds.lower.x;
+    header.bounds[1] = bat.bounds.lower.y;
+    header.bounds[2] = bat.bounds.lower.z;
+    header.bounds[3] = bat.bounds.upper.x;
+    header.bounds[4] = bat.bounds.upper.y;
+    header.bounds[5] = bat.bounds.upper.z;
+
+    // Intern every bitmap up front (shallow tree first: it lives at the
+    // start of the file and is read on every query).
+    BitmapDictionary dict;
+    std::vector<std::uint16_t> shallow_ids(bat.shallow_bitmaps.size());
+    for (std::size_t i = 0; i < bat.shallow_bitmaps.size(); ++i) {
+        shallow_ids[i] = dict.intern(bat.shallow_bitmaps[i]);
+    }
+    std::vector<std::vector<std::uint16_t>> treelet_ids(bat.treelets.size());
+    for (std::size_t t = 0; t < bat.treelets.size(); ++t) {
+        const Treelet& tr = bat.treelets[t];
+        treelet_ids[t].resize(tr.bitmaps.size());
+        for (std::size_t i = 0; i < tr.bitmaps.size(); ++i) {
+            treelet_ids[t][i] = dict.intern(tr.bitmaps[i]);
+        }
+    }
+    header.dict_size = static_cast<std::uint32_t>(dict.entries().size());
+
+    BufferWriter w;
+    const std::size_t header_pos = w.size();
+    w.write(header);  // patched below once offsets are known
+
+    for (std::size_t a = 0; a < nattrs; ++a) {
+        w.write_string(bat.particles.attr_names()[a]);
+        w.write(bat.attr_ranges[a].first);
+        w.write(bat.attr_ranges[a].second);
+        // v2: bitmap bin edges (equal-width or equal-depth; §VII-A).
+        BAT_CHECK(bat.attr_edges[a].size() == kBitmapBins + 1);
+        w.write_span(std::span<const double>(bat.attr_edges[a]));
+    }
+
+    w.align_to(8);
+    header.shallow_nodes_offset = w.size();
+    w.write_span(std::span<const ShallowNode>(bat.shallow_nodes));
+
+    header.shallow_bitmap_ids_offset = w.size();
+    w.write_span(std::span<const std::uint16_t>(shallow_ids));
+
+    w.align_to(4);
+    header.dict_offset = w.size();
+    w.write_span(std::span<const std::uint32_t>(dict.entries()));
+
+    w.align_to(8);
+    header.treelet_dir_offset = w.size();
+    const std::size_t dir_pos = w.size();
+    for (const Treelet& tr : bat.treelets) {
+        TreeletDirEntry entry;  // offset patched once the treelet is placed
+        entry.num_nodes = static_cast<std::uint32_t>(tr.nodes.size());
+        entry.num_points = tr.num_particles;
+        entry.bounds[0] = tr.bounds.lower.x;
+        entry.bounds[1] = tr.bounds.lower.y;
+        entry.bounds[2] = tr.bounds.lower.z;
+        entry.bounds[3] = tr.bounds.upper.x;
+        entry.bounds[4] = tr.bounds.upper.y;
+        entry.bounds[5] = tr.bounds.upper.z;
+        entry.max_depth = tr.max_depth;
+        entry.first_particle = tr.first_particle;
+        w.write(entry);
+    }
+
+    for (std::size_t t = 0; t < bat.treelets.size(); ++t) {
+        const Treelet& tr = bat.treelets[t];
+        w.align_to(kTreeletAlignment);
+        const std::uint64_t offset = w.size();
+        w.patch(dir_pos + t * sizeof(TreeletDirEntry) + offsetof(TreeletDirEntry, offset),
+                offset);
+        w.write(kTreeletMagic);
+        w.write(static_cast<std::uint32_t>(tr.nodes.size()));
+        w.write(tr.num_particles);
+        w.write(std::uint32_t{0});
+        w.write_span(std::span<const TreeletNode>(tr.nodes));
+        w.write_span(std::span<const std::uint16_t>(treelet_ids[t]));
+        w.align_to(4);
+        const std::size_t p0 = 3 * tr.first_particle;
+        w.write_span(bat.particles.positions().subspan(p0, 3 * tr.num_particles));
+        w.align_to(8);
+        for (std::size_t a = 0; a < nattrs; ++a) {
+            w.write_span(bat.particles.attr(a).subspan(tr.first_particle, tr.num_particles));
+        }
+    }
+
+    header.file_size = w.size();
+    w.patch(header_pos, header);
+    return w.take();
+}
+
+void write_bat_file(const std::filesystem::path& path, const BatData& bat) {
+    const std::vector<std::byte> bytes = serialize_bat(bat);
+    write_file(path, bytes);
+}
+
+BatSizeStats bat_size_stats(const BatData& bat, std::uint64_t file_bytes) {
+    BatSizeStats stats;
+    stats.file_bytes = file_bytes;
+    stats.raw_particle_bytes = bat.particles.count() * bat.particles.bytes_per_particle();
+    return stats;
+}
+
+// ---- BatFile ---------------------------------------------------------------
+
+BatFile::BatFile(const std::filesystem::path& path) : map_(path) {
+    parse(map_.bytes());
+}
+
+BatFile::BatFile(std::span<const std::byte> bytes) { parse(bytes); }
+
+namespace {
+
+/// Reinterpret a byte range of the mapping as an array of T. The offsets
+/// are aligned by construction of the format; verify anyway.
+template <typename T>
+std::span<const T> view_array(std::span<const std::byte> bytes, std::uint64_t offset,
+                              std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    BAT_CHECK_MSG(offset + count * sizeof(T) <= bytes.size(), "BAT file truncated");
+    const auto addr = reinterpret_cast<std::uintptr_t>(bytes.data() + offset);
+    BAT_CHECK_MSG(addr % alignof(T) == 0, "misaligned BAT array");
+    return {reinterpret_cast<const T*>(bytes.data() + offset), count};
+}
+
+}  // namespace
+
+void BatFile::parse(std::span<const std::byte> bytes) {
+    bytes_ = bytes;
+    BAT_CHECK_MSG(bytes.size() >= sizeof(FileHeader), "file too small for a BAT header");
+    std::memcpy(&header_, bytes.data(), sizeof(FileHeader));
+    BAT_CHECK_MSG(header_.magic == kBatMagic, "not a BAT file (bad magic)");
+    BAT_CHECK_MSG(header_.version == kBatVersion,
+                  "unsupported BAT version " << header_.version);
+    BAT_CHECK_MSG(header_.file_size == bytes.size(),
+                  "BAT file size mismatch: header says " << header_.file_size << ", got "
+                                                         << bytes.size());
+
+    BufferReader r(bytes);
+    r.seek(sizeof(FileHeader));
+    attr_names_.resize(header_.num_attrs);
+    attr_ranges_.resize(header_.num_attrs);
+    attr_edges_.resize(header_.num_attrs);
+    for (std::size_t a = 0; a < header_.num_attrs; ++a) {
+        attr_names_[a] = r.read_string();
+        attr_ranges_[a].first = r.read<double>();
+        attr_ranges_[a].second = r.read<double>();
+        attr_edges_[a].resize(kBitmapBins + 1);
+        r.read_into(std::span<double>(attr_edges_[a]));
+    }
+
+    shallow_nodes_ =
+        view_array<ShallowNode>(bytes, header_.shallow_nodes_offset, header_.num_shallow_nodes);
+    shallow_bitmap_ids_ = view_array<std::uint16_t>(
+        bytes, header_.shallow_bitmap_ids_offset,
+        static_cast<std::size_t>(header_.num_shallow_nodes) * header_.num_attrs);
+    dict_ = view_array<std::uint32_t>(bytes, header_.dict_offset, header_.dict_size);
+    treelet_dir_ =
+        view_array<TreeletDirEntry>(bytes, header_.treelet_dir_offset, header_.num_treelets);
+    BAT_CHECK_MSG(!dict_.empty() || header_.num_shallow_nodes == 0,
+                  "BAT dictionary missing");
+}
+
+Box BatFile::bounds() const { return box_from(header_.bounds); }
+
+std::uint32_t BatFile::shallow_bitmap(std::size_t i, std::size_t a) const {
+    const std::uint16_t id = shallow_bitmap_ids_[i * header_.num_attrs + a];
+    BAT_CHECK(id < dict_.size());
+    return dict_[id];
+}
+
+BatFile::TreeletView BatFile::treelet(std::size_t t) const {
+    BAT_CHECK(t < treelet_dir_.size());
+    const TreeletDirEntry& entry = treelet_dir_[t];
+    TreeletView view;
+    view.bounds = box_from(entry.bounds);
+    view.num_points = entry.num_points;
+    view.max_depth = entry.max_depth;
+    view.first_particle = entry.first_particle;
+
+    std::uint64_t pos = entry.offset;
+    BAT_CHECK_MSG(pos % kTreeletAlignment == 0, "treelet not page aligned");
+    BufferReader r(bytes_);
+    r.seek(pos);
+    BAT_CHECK_MSG(r.read<std::uint32_t>() == kTreeletMagic, "bad treelet magic");
+    BAT_CHECK(r.read<std::uint32_t>() == entry.num_nodes);
+    BAT_CHECK(r.read<std::uint32_t>() == entry.num_points);
+    r.read<std::uint32_t>();  // reserved
+    pos += 16;
+
+    view.nodes = view_array<TreeletNode>(bytes_, pos, entry.num_nodes);
+    pos += entry.num_nodes * sizeof(TreeletNode);
+    view.bitmap_ids = view_array<std::uint16_t>(
+        bytes_, pos, static_cast<std::size_t>(entry.num_nodes) * header_.num_attrs);
+    pos += static_cast<std::uint64_t>(entry.num_nodes) * header_.num_attrs * 2;
+    pos = (pos + 3) & ~std::uint64_t{3};
+    view.positions = view_array<float>(bytes_, pos, 3ull * entry.num_points);
+    pos += 12ull * entry.num_points;
+    pos = (pos + 7) & ~std::uint64_t{7};
+    view.attrs.reserve(header_.num_attrs);
+    for (std::size_t a = 0; a < header_.num_attrs; ++a) {
+        view.attrs.push_back(view_array<double>(bytes_, pos, entry.num_points));
+        pos += 8ull * entry.num_points;
+    }
+    return view;
+}
+
+std::uint32_t BatFile::treelet_bitmap(const TreeletView& view, std::size_t node,
+                                      std::size_t a) const {
+    const std::uint16_t id = view.bitmap_ids[node * header_.num_attrs + a];
+    BAT_CHECK(id < dict_.size());
+    return dict_[id];
+}
+
+}  // namespace bat

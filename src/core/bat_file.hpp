@@ -1,0 +1,167 @@
+#pragma once
+// BAT on-disk format and memory-mapped reader (paper §III-C3, Fig 2).
+//
+// Layout (little-endian):
+//
+//   [header]                fixed-size FileHeader
+//   [attribute table]       per attr: length-prefixed name, f64 min, f64 max
+//   [shallow tree]          ShallowNode[num_shallow_nodes], preorder
+//   [shallow bitmap IDs]    u16[num_shallow_nodes * num_attrs]
+//   [bitmap dictionary]     u32[dict_size] — unique bitmaps, shared by the
+//                           shallow tree and every treelet; ID 0 is reserved
+//                           for the all-ones bitmap (a conservative
+//                           "matches anything" fallback)
+//   [treelet directory]     TreeletDirEntry[num_treelets]
+//   [treelets]              each aligned to a 4 KB page boundary:
+//       u32 magic, u32 num_nodes, u32 num_points, u32 reserved
+//       TreeletNode[num_nodes]
+//       u16 bitmap_ids[num_nodes * num_attrs]
+//       (pad to 4)  f32 positions[3 * num_points]
+//       (pad to 8)  f64 attr values[num_points], one array per attribute
+//
+// The shallow tree and dictionary sit at the start of the file because they
+// are touched by every query; treelets are page-aligned for fast mmap access
+// (the paper's motivation for the 4 KB alignment).
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/bat_builder.hpp"
+#include "util/mmap_file.hpp"
+
+namespace bat {
+
+inline constexpr std::uint32_t kBatMagic = 0x46544142;      // "BATF"
+inline constexpr std::uint32_t kTreeletMagic = 0x544c5254;  // "TRLT"
+inline constexpr std::uint32_t kBatVersion = 2;  // v2 added per-attr bin edges
+inline constexpr std::size_t kTreeletAlignment = 4096;
+/// Dictionary ID 0 always refers to the all-ones bitmap; it doubles as the
+/// overflow fallback if a file ever exceeds 65535 unique bitmaps (queries
+/// stay correct, only filtering efficiency degrades).
+inline constexpr std::uint16_t kBitmapIdAllOnes = 0;
+
+struct FileHeader {
+    std::uint32_t magic = kBatMagic;
+    std::uint32_t version = kBatVersion;
+    std::uint64_t num_particles = 0;
+    std::uint64_t shallow_nodes_offset = 0;
+    std::uint64_t shallow_bitmap_ids_offset = 0;
+    std::uint64_t dict_offset = 0;
+    std::uint64_t treelet_dir_offset = 0;
+    std::uint64_t file_size = 0;
+    std::uint32_t num_attrs = 0;
+    std::uint32_t subprefix_bits = 0;
+    std::uint32_t lod_per_inner = 0;
+    std::uint32_t max_leaf_size = 0;
+    std::uint32_t num_shallow_nodes = 0;
+    std::uint32_t dict_size = 0;
+    std::uint32_t num_treelets = 0;
+    std::uint32_t flags = 0;
+    float bounds[6] = {0, 0, 0, 0, 0, 0};
+};
+static_assert(sizeof(FileHeader) == 112);
+
+struct TreeletDirEntry {
+    std::uint64_t offset = 0;  // absolute file offset, 4 KB aligned
+    std::uint32_t num_nodes = 0;
+    std::uint32_t num_points = 0;
+    float bounds[6] = {0, 0, 0, 0, 0, 0};
+    std::int32_t max_depth = 0;
+    std::uint32_t first_particle = 0;  // offset in the file-wide point order
+};
+static_assert(sizeof(TreeletDirEntry) == 48);
+
+/// Serialize a built BAT into its on-disk byte layout.
+std::vector<std::byte> serialize_bat(const BatData& bat);
+
+/// Convenience: serialize and write to `path`.
+void write_bat_file(const std::filesystem::path& path, const BatData& bat);
+
+/// Size statistics of a serialized BAT, for the paper's §VI-B memory
+/// overhead evaluation (layout overhead ≈ 0.9% of raw data).
+struct BatSizeStats {
+    std::uint64_t file_bytes = 0;
+    std::uint64_t raw_particle_bytes = 0;  // 12 + 8*num_attrs per particle
+    std::uint64_t overhead_bytes() const {
+        return file_bytes > raw_particle_bytes ? file_bytes - raw_particle_bytes : 0;
+    }
+    double overhead_fraction() const {
+        return raw_particle_bytes > 0
+                   ? static_cast<double>(overhead_bytes()) /
+                         static_cast<double>(raw_particle_bytes)
+                   : 0.0;
+    }
+};
+BatSizeStats bat_size_stats(const BatData& bat, std::uint64_t file_bytes);
+
+/// View of one treelet's nodes, bitmaps, and particle payload. Produced by
+/// BatFile (spans into the mapping) and by BatDataView (spans into the
+/// in-memory build, for in-transit queries before/instead of writing —
+/// paper §III-C3).
+struct BatTreeletView {
+    Box bounds;
+    std::uint32_t num_points = 0;
+    std::int32_t max_depth = 0;
+    std::uint32_t first_particle = 0;
+    std::span<const TreeletNode> nodes;
+    std::span<const std::uint16_t> bitmap_ids;  // file-backed: dictionary IDs
+    std::span<const std::uint32_t> raw_bitmaps; // in-memory: bitmaps directly
+    std::span<const float> positions;           // xyz interleaved
+    std::vector<std::span<const double>> attrs;
+
+    Vec3 position(std::uint32_t i) const {
+        return {positions[3 * i], positions[3 * i + 1], positions[3 * i + 2]};
+    }
+};
+
+/// Memory-mapped, zero-copy view of a BAT file. All accessors return spans
+/// into the mapping; the BatFile must outlive them.
+class BatFile {
+public:
+    explicit BatFile(const std::filesystem::path& path);
+    /// Parse from an in-memory buffer (used for in-transit queries and
+    /// tests; the buffer must outlive the BatFile).
+    explicit BatFile(std::span<const std::byte> bytes);
+
+    std::uint64_t num_particles() const { return header_.num_particles; }
+    std::size_t num_attrs() const { return attr_names_.size(); }
+    Box bounds() const;
+    const std::vector<std::string>& attr_names() const { return attr_names_; }
+    std::pair<double, double> attr_range(std::size_t a) const { return attr_ranges_[a]; }
+    /// Bitmap bin edges of attribute `a` (kBitmapBins + 1 values).
+    const BinEdges& attr_edges(std::size_t a) const { return attr_edges_[a]; }
+    const FileHeader& header() const { return header_; }
+
+    std::span<const ShallowNode> shallow_nodes() const { return shallow_nodes_; }
+    std::span<const std::uint32_t> dictionary() const { return dict_; }
+
+    /// Bitmap of shallow node `i` for attribute `a` (dictionary resolved).
+    std::uint32_t shallow_bitmap(std::size_t i, std::size_t a) const;
+
+    using TreeletView = BatTreeletView;
+    std::size_t num_treelets() const { return treelet_dir_.size(); }
+    TreeletView treelet(std::size_t t) const;
+
+    /// Bitmap of treelet node `node` for attribute `a`.
+    std::uint32_t treelet_bitmap(const TreeletView& view, std::size_t node,
+                                 std::size_t a) const;
+
+private:
+    void parse(std::span<const std::byte> bytes);
+
+    MappedFile map_;  // empty when constructed from a buffer
+    std::span<const std::byte> bytes_;
+    FileHeader header_{};
+    std::vector<std::string> attr_names_;
+    std::vector<std::pair<double, double>> attr_ranges_;
+    std::vector<BinEdges> attr_edges_;
+    std::span<const ShallowNode> shallow_nodes_;
+    std::span<const std::uint16_t> shallow_bitmap_ids_;
+    std::span<const std::uint32_t> dict_;
+    std::span<const TreeletDirEntry> treelet_dir_;
+};
+
+}  // namespace bat

@@ -1,0 +1,239 @@
+#include "core/bat_query.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+double remap_quality(double quality, int levels) {
+    BAT_CHECK(levels >= 1);
+    if (quality <= 0.0) {
+        return 0.0;
+    }
+    if (quality >= 1.0) {
+        return static_cast<double>(levels);
+    }
+    // Log remap: the number of LOD particles stored doubles each level, so a
+    // linear quality slider would jump abruptly between coarse levels.
+    return std::log2(1.0 + quality * (std::exp2(static_cast<double>(levels)) - 1.0));
+}
+
+std::uint32_t points_at_depth(double t, int depth, std::uint32_t own_count) {
+    const auto d = static_cast<double>(depth);
+    if (t <= d) {
+        return 0;
+    }
+    if (t >= d + 1.0) {
+        return own_count;
+    }
+    const double frac = t - d;
+    return static_cast<std::uint32_t>(std::lround(frac * static_cast<double>(own_count)));
+}
+
+namespace {
+
+template <typename Source>
+struct QueryContext {
+    const Source& file;
+    const BatQuery& query;
+    const QueryCallback& cb;
+    QueryStats& stats;
+    /// Per-attribute query bitmaps (relative to the file's local attribute
+    /// ranges); empty when no attribute filters are present.
+    std::vector<std::uint32_t> query_bitmaps;  // parallel to query.attr_filters
+    std::vector<double> attr_scratch;          // one value per file attribute
+
+    bool box_contains(Vec3 p) const {
+        if (!query.box) {
+            return true;
+        }
+        const Box& b = *query.box;
+        if (query.inclusive_upper) {
+            return b.contains(p);
+        }
+        return p.x >= b.lower.x && p.x < b.upper.x && p.y >= b.lower.y && p.y < b.upper.y &&
+               p.z >= b.lower.z && p.z < b.upper.z;
+    }
+
+    bool box_overlaps(const Box& region) const {
+        return !query.box || query.box->overlaps(region);
+    }
+
+    /// Conservative bitmap test: can this node's subtree contain matches?
+    template <typename F>
+    bool bitmaps_may_match(F&& node_bitmap) const {
+        for (std::size_t f = 0; f < query.attr_filters.size(); ++f) {
+            const std::uint32_t node_bits =
+                node_bitmap(static_cast<std::size_t>(query.attr_filters[f].attr));
+            if ((node_bits & query_bitmaps[f]) == 0) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /// Exact per-point check (removes bitmap false positives) and emit.
+    void test_and_emit(const BatTreeletView& view, std::uint32_t i) {
+        ++stats.points_tested;
+        const Vec3 p = view.position(i);
+        if (!box_contains(p)) {
+            return;
+        }
+        for (const AttrFilter& f : query.attr_filters) {
+            const double v = view.attrs[f.attr][i];
+            if (v < f.lo || v > f.hi) {
+                return;
+            }
+        }
+        for (std::size_t a = 0; a < view.attrs.size(); ++a) {
+            attr_scratch[a] = view.attrs[a][i];
+        }
+        ++stats.points_emitted;
+        cb(p, attr_scratch);
+    }
+
+    void traverse_treelet(std::size_t treelet_index) {
+        const BatTreeletView view = file.treelet(treelet_index);
+        if (view.nodes.empty()) {
+            return;
+        }
+        const int levels = view.max_depth + 1;
+        const double t_lo = remap_quality(query.quality_lo, levels);
+        const double t_hi = remap_quality(query.quality_hi, levels);
+        if (t_hi <= 0.0) {
+            return;
+        }
+        traverse_node(view, 0, 0, view.bounds, t_lo, t_hi);
+    }
+
+    void traverse_node(const BatTreeletView& view, std::size_t node_index, int depth,
+                       const Box& region, double t_lo, double t_hi) {
+        const TreeletNode& node = view.nodes[node_index];
+        ++stats.treelet_nodes_visited;
+        if (!box_overlaps(region)) {
+            ++stats.pruned_by_box;
+            return;
+        }
+        if (!query.attr_filters.empty()) {
+            const auto bitmap = [this, &view, node_index](std::size_t a) {
+                return file.treelet_bitmap(view, node_index, a);
+            };
+            if (!bitmaps_may_match(bitmap)) {
+                ++stats.pruned_by_bitmap;
+                return;
+            }
+        }
+        // Progressive window over the node's own points.
+        const std::uint32_t n_lo = points_at_depth(t_lo, depth, node.own_count);
+        const std::uint32_t n_hi = points_at_depth(t_hi, depth, node.own_count);
+        for (std::uint32_t i = node.start + n_lo; i < node.start + n_hi; ++i) {
+            test_and_emit(view, i);
+        }
+        if (node.is_leaf()) {
+            return;
+        }
+        // Children hold points only at depth+1 and below; skip the descent
+        // when the quality window cannot include them.
+        if (t_hi <= static_cast<double>(depth) + 1.0) {
+            return;
+        }
+        Box left = region;
+        Box right = region;
+        left.upper[node.axis] = node.split;
+        right.lower[node.axis] = node.split;
+        traverse_node(view, node_index + 1, depth + 1, left, t_lo, t_hi);
+        traverse_node(view, static_cast<std::size_t>(node.right_child), depth + 1, right,
+                      t_lo, t_hi);
+    }
+
+    void traverse_shallow(std::size_t node_index) {
+        const ShallowNode& node = file.shallow_nodes()[node_index];
+        ++stats.shallow_nodes_visited;
+        if (!box_overlaps(node.bounds)) {
+            ++stats.pruned_by_box;
+            return;
+        }
+        if (!query.attr_filters.empty()) {
+            const auto bitmap = [this, node_index](std::size_t a) {
+                return file.shallow_bitmap(node_index, a);
+            };
+            if (!bitmaps_may_match(bitmap)) {
+                ++stats.pruned_by_bitmap;
+                return;
+            }
+        }
+        if (node.is_leaf()) {
+            traverse_treelet(static_cast<std::size_t>(node.treelet));
+            return;
+        }
+        traverse_shallow(node_index + 1);
+        traverse_shallow(static_cast<std::size_t>(node.right_child));
+    }
+};
+
+}  // namespace
+
+template <typename Source>
+std::uint64_t query_bat_impl(const Source& file, const BatQuery& query,
+                             const QueryCallback& cb, QueryStats* stats) {
+    BAT_CHECK_MSG(query.quality_lo <= query.quality_hi,
+                  "quality_lo must not exceed quality_hi");
+    for (const AttrFilter& f : query.attr_filters) {
+        BAT_CHECK_MSG(f.attr < file.num_attrs(), "attribute filter index out of range");
+        BAT_CHECK_MSG(f.lo <= f.hi, "attribute filter range inverted");
+    }
+    QueryStats local_stats;
+    QueryStats& st = stats != nullptr ? *stats : local_stats;
+    st = QueryStats{};
+
+    QueryContext<Source> ctx{file, query, cb, st, {}, {}};
+    ctx.attr_scratch.resize(file.num_attrs());
+    ctx.query_bitmaps.reserve(query.attr_filters.size());
+    for (const AttrFilter& f : query.attr_filters) {
+        const std::uint32_t bits =
+            bitmap_for_range(f.lo, f.hi, file.attr_edges(f.attr));
+        if (bits == 0) {
+            // The filter cannot match anything in this file.
+            return 0;
+        }
+        ctx.query_bitmaps.push_back(bits);
+    }
+
+    if (!file.shallow_nodes().empty()) {
+        ctx.traverse_shallow(0);
+    }
+    return st.points_emitted;
+}
+
+std::uint64_t query_bat(const BatFile& file, const BatQuery& query, const QueryCallback& cb,
+                        QueryStats* stats) {
+    return query_bat_impl(file, query, cb, stats);
+}
+
+std::uint64_t query_bat(const BatDataView& bat, const BatQuery& query,
+                        const QueryCallback& cb, QueryStats* stats) {
+    return query_bat_impl(bat, query, cb, stats);
+}
+
+BatTreeletView BatDataView::treelet(std::size_t t) const {
+    const Treelet& tr = bat_->treelets[t];
+    BatTreeletView view;
+    view.bounds = tr.bounds;
+    view.num_points = tr.num_particles;
+    view.max_depth = tr.max_depth;
+    view.first_particle = tr.first_particle;
+    view.nodes = tr.nodes;
+    view.raw_bitmaps = tr.bitmaps;
+    view.positions =
+        bat_->particles.positions().subspan(3 * tr.first_particle, 3 * tr.num_particles);
+    view.attrs.reserve(num_attrs());
+    for (std::size_t a = 0; a < num_attrs(); ++a) {
+        view.attrs.push_back(
+            bat_->particles.attr(a).subspan(tr.first_particle, tr.num_particles));
+    }
+    return view;
+}
+
+}  // namespace bat

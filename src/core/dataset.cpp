@@ -1,0 +1,67 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+Dataset::Dataset(const std::filesystem::path& metadata_path)
+    : dir_(metadata_path.parent_path()), meta_(Metadata::load(metadata_path)) {}
+
+Box Dataset::bounds() const {
+    Box b;
+    for (const MetaLeaf& leaf : meta_.leaves) {
+        b.extend(leaf.bounds);
+    }
+    return b;
+}
+
+std::size_t Dataset::attr_index(const std::string& name) const {
+    const auto it = std::find(meta_.attr_names.begin(), meta_.attr_names.end(), name);
+    BAT_CHECK_MSG(it != meta_.attr_names.end(), "unknown attribute '" << name << "'");
+    return static_cast<std::size_t>(it - meta_.attr_names.begin());
+}
+
+const BatFile& Dataset::leaf_file(int leaf_id) {
+    BAT_CHECK(leaf_id >= 0 && static_cast<std::size_t>(leaf_id) < meta_.leaves.size());
+    auto it = files_.find(leaf_id);
+    if (it == files_.end()) {
+        it = files_
+                 .emplace(leaf_id,
+                          std::make_unique<BatFile>(
+                              dir_ / meta_.leaves[static_cast<std::size_t>(leaf_id)].file))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::uint64_t Dataset::query(const BatQuery& query, const QueryCallback& cb,
+                             QueryStats* stats) {
+    QueryStats total;
+    std::uint64_t emitted = 0;
+    for (int leaf : meta_.query_leaves(query.box, query.attr_filters)) {
+        QueryStats leaf_stats;
+        emitted += query_bat(leaf_file(leaf), query, cb, &leaf_stats);
+        total.shallow_nodes_visited += leaf_stats.shallow_nodes_visited;
+        total.treelet_nodes_visited += leaf_stats.treelet_nodes_visited;
+        total.pruned_by_box += leaf_stats.pruned_by_box;
+        total.pruned_by_bitmap += leaf_stats.pruned_by_bitmap;
+        total.points_tested += leaf_stats.points_tested;
+        total.points_emitted += leaf_stats.points_emitted;
+    }
+    if (stats != nullptr) {
+        *stats = total;
+    }
+    return emitted;
+}
+
+ParticleSet Dataset::collect(const BatQuery& query) {
+    ParticleSet out(meta_.attr_names);
+    this->query(query, [&out](Vec3 p, std::span<const double> attrs) {
+        out.push_back(p, attrs);
+    });
+    return out;
+}
+
+}  // namespace bat

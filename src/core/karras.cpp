@@ -1,0 +1,113 @@
+#include "core/karras.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+int common_prefix_bits(std::uint64_t a, std::uint64_t b, int key_bits) {
+    BAT_CHECK(key_bits >= 1 && key_bits <= 63);
+    const std::uint64_t x = (a ^ b) << (64 - key_bits);
+    if (x == 0) {
+        return key_bits;
+    }
+    return std::countl_zero(x);
+}
+
+namespace {
+
+/// delta(i, j) from the paper: common prefix of keys i and j, or -1 when j
+/// is out of range. Keys are distinct so delta is well defined.
+struct Delta {
+    std::span<const std::uint64_t> codes;
+    int key_bits;
+
+    int operator()(std::int64_t i, std::int64_t j) const {
+        if (j < 0 || j >= static_cast<std::int64_t>(codes.size())) {
+            return -1;
+        }
+        return common_prefix_bits(codes[static_cast<std::size_t>(i)],
+                                  codes[static_cast<std::size_t>(j)], key_bits);
+    }
+};
+
+}  // namespace
+
+RadixTree build_radix_tree(std::span<const std::uint64_t> codes, int key_bits,
+                           ThreadPool* pool) {
+    BAT_CHECK_MSG(!codes.empty(), "radix tree requires at least one key");
+    for (std::size_t i = 1; i < codes.size(); ++i) {
+        BAT_CHECK_MSG(codes[i - 1] < codes[i], "keys must be sorted and distinct");
+    }
+    RadixTree tree;
+    const auto k = static_cast<std::int64_t>(codes.size());
+    if (k == 1) {
+        tree.internal.clear();
+        tree.root = 0;
+        return tree;
+    }
+    tree.internal.resize(static_cast<std::size_t>(k - 1));
+    const Delta delta{codes, key_bits};
+
+    auto build_node = [&](std::size_t idx) {
+        const auto i = static_cast<std::int64_t>(idx);
+        // Direction of the node's range: towards the neighbour with the
+        // longer common prefix.
+        const int d = delta(i, i + 1) > delta(i, i - 1) ? 1 : -1;
+        const int delta_min = delta(i, i - d);
+
+        // Exponential search for an upper bound on the range length.
+        std::int64_t lmax = 2;
+        while (delta(i, i + lmax * d) > delta_min) {
+            lmax *= 2;
+        }
+        // Binary search for the actual other end j.
+        std::int64_t l = 0;
+        for (std::int64_t t = lmax / 2; t >= 1; t /= 2) {
+            if (delta(i, i + (l + t) * d) > delta_min) {
+                l += t;
+            }
+        }
+        const std::int64_t j = i + l * d;
+        const std::int64_t first = std::min(i, j);
+        const std::int64_t last = std::max(i, j);
+
+        // Binary search for the split position: the largest s in
+        // [first, last) such that delta(first, s+1) > delta_node.
+        const int delta_node = delta(i, j);
+        std::int64_t s = 0;
+        std::int64_t range = last - first;
+        for (std::int64_t t = (range + 1) / 2;; t = (t + 1) / 2) {
+            if (delta(first, first + s + t) > delta_node) {
+                s += t;
+            }
+            if (t <= 1) {
+                break;
+            }
+        }
+        const std::int64_t gamma = first + s;
+
+        RadixNode& node = tree.internal[idx];
+        node.first = static_cast<std::int32_t>(first);
+        node.last = static_cast<std::int32_t>(last);
+        node.prefix_len = delta_node;
+        node.left_is_leaf = (gamma == first);
+        node.right_is_leaf = (gamma + 1 == last);
+        node.left = static_cast<std::int32_t>(gamma);
+        node.right = static_cast<std::int32_t>(gamma + 1);
+    };
+
+    if (pool != nullptr && pool->num_threads() > 0 && k > 2048) {
+        pool->parallel_for(0, static_cast<std::size_t>(k - 1), build_node, 512);
+    } else {
+        for (std::size_t i = 0; i + 1 < static_cast<std::size_t>(k); ++i) {
+            build_node(i);
+        }
+    }
+    tree.root = 0;
+    return tree;
+}
+
+}  // namespace bat

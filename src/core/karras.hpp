@@ -1,0 +1,48 @@
+#pragma once
+// Karras's parallel bottom-up radix-tree construction (HPG 2012), used by
+// the BAT builder to construct the shallow tree over merged Morton-code
+// subprefixes (paper §III-C1). For k sorted, distinct keys the algorithm
+// computes all k-1 internal nodes independently — here parallelized with
+// ThreadPool::parallel_for — by locating each node's key range and split
+// from common-prefix lengths. The resulting radix tree is interpreted as a
+// k-d tree: the split bit's position selects the split axis and plane.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace bat {
+
+/// One node of the binary radix tree. Internal nodes are numbered
+/// 0..k-2, leaves 0..k-1 (separate index spaces, as in the paper).
+struct RadixNode {
+    // Child index; the flag says whether it refers to a leaf or an
+    // internal node.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    bool left_is_leaf = false;
+    bool right_is_leaf = false;
+    // Range of keys covered by this node and the length of their common
+    // prefix (in bits, counted from the MSB of the key_bits-wide key).
+    std::int32_t first = 0;
+    std::int32_t last = 0;
+    std::int32_t prefix_len = 0;
+};
+
+struct RadixTree {
+    std::vector<RadixNode> internal;  // empty when there is a single key
+    std::int32_t root = 0;
+};
+
+/// Build the radix tree over `codes`: sorted, strictly increasing keys of
+/// `key_bits` significant bits (key_bits in [1, 63]). `pool` parallelizes
+/// the per-internal-node computation; nullptr runs serially.
+RadixTree build_radix_tree(std::span<const std::uint64_t> codes, int key_bits,
+                           ThreadPool* pool = nullptr);
+
+/// Length of the common prefix of two distinct key_bits-wide keys.
+int common_prefix_bits(std::uint64_t a, std::uint64_t b, int key_bits);
+
+}  // namespace bat

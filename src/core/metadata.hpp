@@ -1,0 +1,87 @@
+#pragma once
+// Top-level metadata file (paper §III-D, Fig 1d).
+//
+// After the aggregators write their BAT files, rank 0 populates a metadata
+// file holding the Aggregation Tree, a reference to each leaf's file, and
+// per-attribute information: the global value range, and each leaf's root
+// bitmap remapped from the aggregator-local range to the global range.
+// Inner-node bitmaps are merged bottom-up from the leaves, so readers can
+// treat the whole data set as a single file supporting spatial and
+// attribute queries and multiresolution reads.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/agg_tree.hpp"
+#include "core/bat_query.hpp"
+
+namespace bat {
+
+/// Per-leaf summary an aggregator reports to rank 0 after writing its file.
+struct LeafReport {
+    int leaf_id = -1;
+    std::uint64_t num_particles = 0;
+    std::vector<std::pair<double, double>> ranges;  // aggregator-local, per attr
+    std::vector<std::uint32_t> root_bitmaps;        // relative to local bin edges
+    /// Per-attr local bin edges the bitmaps were computed with; when empty,
+    /// equal-width edges over `ranges` are assumed.
+    std::vector<BinEdges> edges;
+
+    std::vector<std::byte> to_bytes() const;
+    static LeafReport from_bytes(std::span<const std::byte> bytes);
+    /// Edges for attribute `a` (synthesizing equal-width ones if absent).
+    BinEdges edges_for(std::size_t a) const;
+};
+
+struct MetaLeaf {
+    Box bounds;
+    std::string file;  // path relative to the metadata file's directory
+    std::uint64_t num_particles = 0;
+    std::vector<std::pair<double, double>> local_ranges;  // per attr
+    std::vector<std::uint32_t> bitmaps;                   // per attr, global range
+};
+
+class Metadata {
+public:
+    std::vector<AggNode> nodes;   // preorder; empty iff there are no leaves
+    std::vector<MetaLeaf> leaves;
+    std::vector<std::string> attr_names;
+    std::vector<std::pair<double, double>> global_ranges;  // per attr
+    std::vector<std::uint32_t> node_bitmaps;  // nodes.size() * num_attrs
+
+    std::size_t num_attrs() const { return attr_names.size(); }
+    std::uint64_t total_particles() const;
+
+    /// Leaves that can contain points matching the box/attribute filters
+    /// (attribute pruning via the global-range bitmaps; conservative).
+    std::vector<int> query_leaves(const std::optional<Box>& box,
+                                  std::span<const AttrFilter> filters = {}) const;
+
+    std::vector<std::byte> to_bytes() const;
+    static Metadata from_bytes(std::span<const std::byte> bytes);
+    void save(const std::filesystem::path& path) const;
+    static Metadata load(const std::filesystem::path& path);
+};
+
+/// Remap a 32-bit binned bitmap from a local value range onto the global
+/// range: every local bin's value interval sets the global bins it overlaps
+/// (conservative — never loses a set bin).
+std::uint32_t remap_bitmap(std::uint32_t local_bits, std::pair<double, double> local_range,
+                           std::pair<double, double> global_range);
+
+/// Same, for arbitrary local bin edges (equal-depth binning support). The
+/// global (metadata-level) bins are always equal-width over global_range.
+std::uint32_t remap_bitmap(std::uint32_t local_bits, const BinEdges& local_edges,
+                           std::pair<double, double> global_range);
+
+/// Assemble the metadata on rank 0 from the aggregation and the leaf
+/// reports (one per leaf, any order). `leaf_files[i]` is leaf i's file name.
+Metadata build_metadata(const Aggregation& agg, std::vector<std::string> attr_names,
+                        std::span<const LeafReport> reports,
+                        std::span<const std::string> leaf_files);
+
+}  // namespace bat

@@ -1,0 +1,138 @@
+#include "core/particles.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+ParticleSet::ParticleSet(std::vector<std::string> attr_names)
+    : attr_names_(std::move(attr_names)), attrs_(attr_names_.size()) {}
+
+std::size_t ParticleSet::attr_index(const std::string& name) const {
+    const auto it = std::find(attr_names_.begin(), attr_names_.end(), name);
+    BAT_CHECK_MSG(it != attr_names_.end(), "unknown attribute '" << name << "'");
+    return static_cast<std::size_t>(it - attr_names_.begin());
+}
+
+void ParticleSet::reserve(std::size_t n) {
+    positions_.reserve(3 * n);
+    for (auto& a : attrs_) {
+        a.reserve(n);
+    }
+}
+
+void ParticleSet::resize(std::size_t n) {
+    positions_.resize(3 * n);
+    for (auto& a : attrs_) {
+        a.resize(n);
+    }
+}
+
+void ParticleSet::push_back(Vec3 p, std::span<const double> attr_values) {
+    BAT_CHECK_MSG(attr_values.size() == attrs_.size(),
+                  "expected " << attrs_.size() << " attribute values, got "
+                              << attr_values.size());
+    positions_.push_back(p.x);
+    positions_.push_back(p.y);
+    positions_.push_back(p.z);
+    for (std::size_t a = 0; a < attrs_.size(); ++a) {
+        attrs_[a].push_back(attr_values[a]);
+    }
+}
+
+void ParticleSet::append(const ParticleSet& other) {
+    BAT_CHECK_MSG(other.attr_names_ == attr_names_, "schema mismatch in append");
+    positions_.insert(positions_.end(), other.positions_.begin(), other.positions_.end());
+    for (std::size_t a = 0; a < attrs_.size(); ++a) {
+        attrs_[a].insert(attrs_[a].end(), other.attrs_[a].begin(), other.attrs_[a].end());
+    }
+}
+
+void ParticleSet::append_from(const ParticleSet& other, std::size_t i) {
+    BAT_CHECK(other.attr_names_.size() == attr_names_.size());
+    positions_.push_back(other.positions_[3 * i]);
+    positions_.push_back(other.positions_[3 * i + 1]);
+    positions_.push_back(other.positions_[3 * i + 2]);
+    for (std::size_t a = 0; a < attrs_.size(); ++a) {
+        attrs_[a].push_back(other.attrs_[a][i]);
+    }
+}
+
+Box ParticleSet::bounds() const {
+    Box b;
+    for (std::size_t i = 0; i < count(); ++i) {
+        b.extend(position(i));
+    }
+    return b;
+}
+
+void ParticleSet::reorder(std::span<const std::uint32_t> order) {
+    BAT_CHECK(order.size() == count());
+    std::vector<float> pos(positions_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const std::size_t src = order[i];
+        pos[3 * i] = positions_[3 * src];
+        pos[3 * i + 1] = positions_[3 * src + 1];
+        pos[3 * i + 2] = positions_[3 * src + 2];
+    }
+    positions_ = std::move(pos);
+    for (auto& attr : attrs_) {
+        std::vector<double> tmp(attr.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            tmp[i] = attr[order[i]];
+        }
+        attr = std::move(tmp);
+    }
+}
+
+std::pair<double, double> ParticleSet::attr_range(std::size_t a) const {
+    BAT_CHECK(a < attrs_.size());
+    if (attrs_[a].empty()) {
+        return {0.0, 0.0};
+    }
+    const auto [lo, hi] = std::minmax_element(attrs_[a].begin(), attrs_[a].end());
+    return {*lo, *hi};
+}
+
+void ParticleSet::serialize(BufferWriter& w) const {
+    w.write(static_cast<std::uint64_t>(count()));
+    w.write(static_cast<std::uint32_t>(attrs_.size()));
+    for (const auto& name : attr_names_) {
+        w.write_string(name);
+    }
+    w.write_span(std::span<const float>(positions_));
+    for (const auto& a : attrs_) {
+        w.write_span(std::span<const double>(a));
+    }
+}
+
+ParticleSet ParticleSet::deserialize(BufferReader& r) {
+    const auto n = r.read<std::uint64_t>();
+    const auto nattrs = r.read<std::uint32_t>();
+    std::vector<std::string> names(nattrs);
+    for (auto& name : names) {
+        name = r.read_string();
+    }
+    ParticleSet set(std::move(names));
+    set.positions_.resize(3 * n);
+    r.read_into(std::span<float>(set.positions_));
+    for (auto& a : set.attrs_) {
+        a.resize(n);
+        r.read_into(std::span<double>(a));
+    }
+    return set;
+}
+
+std::vector<std::byte> ParticleSet::to_bytes() const {
+    BufferWriter w(payload_bytes() + 64);
+    serialize(w);
+    return w.take();
+}
+
+ParticleSet ParticleSet::from_bytes(std::span<const std::byte> bytes) {
+    BufferReader r(bytes);
+    return deserialize(r);
+}
+
+}  // namespace bat

@@ -1,0 +1,84 @@
+#pragma once
+// Particle container. Follows the paper's array-based attribute storage
+// model (like HDF5/ADIOS/Silo): three single-precision spatial coordinates
+// per particle plus any number of named double-precision attribute arrays
+// (structure-of-arrays).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/buffer.hpp"
+#include "util/vec3.hpp"
+
+namespace bat {
+
+class ParticleSet {
+public:
+    ParticleSet() = default;
+    /// Create an empty set with the given attribute names.
+    explicit ParticleSet(std::vector<std::string> attr_names);
+
+    std::size_t count() const { return positions_.size() / 3; }
+    std::size_t num_attrs() const { return attrs_.size(); }
+    bool empty() const { return positions_.empty(); }
+
+    /// Bytes one particle occupies in this set's schema (3*f32 + attrs*f64).
+    std::size_t bytes_per_particle() const { return 12 + 8 * attrs_.size(); }
+    /// Total payload bytes of the set.
+    std::size_t payload_bytes() const { return count() * bytes_per_particle(); }
+
+    const std::vector<std::string>& attr_names() const { return attr_names_; }
+    /// Index of a named attribute; throws if absent.
+    std::size_t attr_index(const std::string& name) const;
+
+    Vec3 position(std::size_t i) const {
+        return {positions_[3 * i], positions_[3 * i + 1], positions_[3 * i + 2]};
+    }
+    void set_position(std::size_t i, Vec3 p) {
+        positions_[3 * i] = p.x;
+        positions_[3 * i + 1] = p.y;
+        positions_[3 * i + 2] = p.z;
+    }
+
+    std::span<const float> positions() const { return positions_; }
+    std::span<float> positions_mut() { return positions_; }
+    std::span<const double> attr(std::size_t a) const { return attrs_[a]; }
+    std::span<double> attr_mut(std::size_t a) { return attrs_[a]; }
+
+    void reserve(std::size_t n);
+    void resize(std::size_t n);
+
+    /// Append one particle. `attr_values.size()` must equal num_attrs().
+    void push_back(Vec3 p, std::span<const double> attr_values);
+
+    /// Append all particles of `other` (same schema required).
+    void append(const ParticleSet& other);
+
+    /// Append particle `i` of `other` (same schema required).
+    void append_from(const ParticleSet& other, std::size_t i);
+
+    /// Tight bounding box of all particle positions (empty box if none).
+    Box bounds() const;
+
+    /// Reorder so particle i moves to position `perm[i]`... precisely:
+    /// new[i] = old[order[i]]. `order` must be a permutation of [0, count).
+    void reorder(std::span<const std::uint32_t> order);
+
+    /// (min, max) of attribute `a`; (0, 0) for an empty set.
+    std::pair<double, double> attr_range(std::size_t a) const;
+
+    // ---- serialization (wire format for aggregation transfers) ----------
+    void serialize(BufferWriter& w) const;
+    static ParticleSet deserialize(BufferReader& r);
+    std::vector<std::byte> to_bytes() const;
+    static ParticleSet from_bytes(std::span<const std::byte> bytes);
+
+private:
+    std::vector<float> positions_;  // xyz interleaved
+    std::vector<std::string> attr_names_;
+    std::vector<std::vector<double>> attrs_;  // [attr][particle]
+};
+
+}  // namespace bat

@@ -1,0 +1,141 @@
+#include "io/baselines.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+#include "util/mmap_file.hpp"
+
+namespace bat {
+
+namespace {
+
+std::filesystem::path fpp_file(const std::filesystem::path& dir, const std::string& basename,
+                               int rank) {
+    return dir / (basename + "_rank" + std::to_string(rank) + ".part");
+}
+
+void pwrite_all(int fd, std::span<const std::byte> bytes, std::uint64_t offset) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        const ssize_t n = ::pwrite(fd, bytes.data() + done, bytes.size() - done,
+                                   static_cast<off_t>(offset + done));
+        BAT_CHECK_MSG(n > 0, "pwrite failed: " << std::strerror(errno));
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+void pread_all(int fd, std::span<std::byte> bytes, std::uint64_t offset) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        const ssize_t n = ::pread(fd, bytes.data() + done, bytes.size() - done,
+                                  static_cast<off_t>(offset + done));
+        BAT_CHECK_MSG(n > 0, "pread failed: " << std::strerror(errno));
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace
+
+std::uint64_t fpp_write(vmpi::Comm& comm, const ParticleSet& local,
+                        const std::filesystem::path& dir, const std::string& basename) {
+    std::filesystem::create_directories(dir);
+    comm.barrier();  // ensure the directory exists before anyone opens files
+    const std::vector<std::byte> bytes = local.to_bytes();
+    write_file(fpp_file(dir, basename, comm.rank()), bytes);
+    // Manifest so readers know the writer count.
+    const auto count = static_cast<std::uint64_t>(local.count());
+    std::vector<std::uint64_t> counts = comm.gather(count, 0);
+    if (comm.rank() == 0) {
+        BufferWriter w;
+        w.write(static_cast<std::uint32_t>(comm.size()));
+        w.write_span(std::span<const std::uint64_t>(counts));
+        write_file(dir / (basename + ".manifest"), w.bytes());
+    }
+    comm.barrier();
+    return bytes.size();
+}
+
+ParticleSet fpp_read(vmpi::Comm& comm, const std::filesystem::path& dir,
+                     const std::string& basename, int shift) {
+    const std::vector<std::byte> manifest = read_file(dir / (basename + ".manifest"));
+    BufferReader r(manifest);
+    const auto nwriters = r.read<std::uint32_t>();
+    BAT_CHECK_MSG(static_cast<int>(nwriters) == comm.size(),
+                  "fpp_read requires the writer rank count (" << nwriters << ")");
+    const int src = (comm.rank() + shift) % comm.size();
+    return ParticleSet::from_bytes(read_file(fpp_file(dir, basename, src)));
+}
+
+std::uint64_t shared_write(vmpi::Comm& comm, const ParticleSet& local,
+                           const std::filesystem::path& path) {
+    const std::vector<std::byte> block = local.to_bytes();
+    const auto my_size = static_cast<std::uint64_t>(block.size());
+    // Exclusive scan of block sizes to find each rank's offset. The header
+    // (rank directory) precedes the data region.
+    std::vector<std::uint64_t> sizes = comm.gather(my_size, 0);
+    const std::size_t header_bytes =
+        8 + static_cast<std::size_t>(comm.size()) * 16;  // magic+count, (offset, size)*
+    std::vector<vmpi::Bytes> offset_msgs;
+    if (comm.rank() == 0) {
+        std::vector<std::uint64_t> offsets(sizes.size());
+        std::uint64_t pos = header_bytes;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            offsets[i] = pos;
+            pos += sizes[i];
+        }
+        // Rank 0 creates the file and writes the directory.
+        BufferWriter w;
+        w.write(static_cast<std::uint32_t>(0x52414853));  // "SHAR"
+        w.write(static_cast<std::uint32_t>(comm.size()));
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            w.write(offsets[i]);
+            w.write(sizes[i]);
+        }
+        write_file(path, w.bytes());
+        offset_msgs.resize(sizes.size());
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            BufferWriter ow;
+            ow.write(offsets[i]);
+            offset_msgs[i] = ow.take();
+        }
+    }
+    const vmpi::Bytes offset_msg = comm.scatterv(std::move(offset_msgs), 0);
+    BufferReader orr(offset_msg);
+    const auto my_offset = orr.read<std::uint64_t>();
+
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    BAT_CHECK_MSG(fd >= 0, "open(" << path << ") failed: " << std::strerror(errno));
+    pwrite_all(fd, block, my_offset);
+    ::close(fd);
+    comm.barrier();
+    return block.size();
+}
+
+ParticleSet shared_read(vmpi::Comm& comm, const std::filesystem::path& path, int shift) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    BAT_CHECK_MSG(fd >= 0, "open(" << path << ") failed: " << std::strerror(errno));
+    std::vector<std::byte> head(8);
+    pread_all(fd, head, 0);
+    BufferReader hr(head);
+    BAT_CHECK_MSG(hr.read<std::uint32_t>() == 0x52414853, "not a shared particle file");
+    const auto nwriters = hr.read<std::uint32_t>();
+    BAT_CHECK_MSG(static_cast<int>(nwriters) == comm.size(),
+                  "shared_read requires the writer rank count (" << nwriters << ")");
+    const int src = (comm.rank() + shift) % comm.size();
+    std::vector<std::byte> entry(16);
+    pread_all(fd, entry, 8 + static_cast<std::uint64_t>(src) * 16);
+    BufferReader er(entry);
+    const auto offset = er.read<std::uint64_t>();
+    const auto size = er.read<std::uint64_t>();
+    std::vector<std::byte> block(size);
+    pread_all(fd, block, offset);
+    ::close(fd);
+    return ParticleSet::from_bytes(block);
+}
+
+}  // namespace bat

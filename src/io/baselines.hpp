@@ -1,0 +1,42 @@
+#pragma once
+// Baseline I/O strategies the paper benchmarks against (via IOR): file per
+// process and a single shared file (§VI-A1). These are real, functional
+// implementations over the same virtual-MPI substrate, used both for
+// correctness comparisons and to give the performance model concrete access
+// patterns. Neither preserves spatial locality nor writes any query
+// acceleration structure — the exact shortcomings the paper's layout fixes.
+
+#include <filesystem>
+#include <string>
+
+#include "core/particles.hpp"
+#include "vmpi/comm.hpp"
+
+namespace bat {
+
+// ---- file per process -------------------------------------------------------
+
+/// Each rank writes its particles to `<dir>/<basename>_rank<r>.part`; rank 0
+/// additionally writes a manifest with per-rank counts. Returns bytes
+/// written by this rank.
+std::uint64_t fpp_write(vmpi::Comm& comm, const ParticleSet& local,
+                        const std::filesystem::path& dir, const std::string& basename);
+
+/// Each rank reads the file written by rank `(rank + shift) % size` —
+/// the paper's benchmarks read on a different rank than wrote to avoid OS
+/// cache effects.
+ParticleSet fpp_read(vmpi::Comm& comm, const std::filesystem::path& dir,
+                     const std::string& basename, int shift = 0);
+
+// ---- single shared file -----------------------------------------------------
+
+/// All ranks write into one shared file at exclusive offsets (the MPI-IO
+/// pattern: offsets from an exclusive scan of the per-rank block sizes,
+/// then concurrent pwrite). Rank 0 writes a directory of rank offsets.
+std::uint64_t shared_write(vmpi::Comm& comm, const ParticleSet& local,
+                           const std::filesystem::path& path);
+
+/// Each rank preads the block written by rank `(rank + shift) % size`.
+ParticleSet shared_read(vmpi::Comm& comm, const std::filesystem::path& path, int shift = 0);
+
+}  // namespace bat

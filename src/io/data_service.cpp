@@ -1,0 +1,161 @@
+#include "io/data_service.hpp"
+
+#include <thread>
+
+#include "io/reader.hpp"
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+
+namespace bat {
+
+namespace {
+
+constexpr int kTagServiceRequest = 4;
+constexpr int kTagServiceResponse = 5;
+
+/// Wire format of a leaf-scoped query.
+void write_query(BufferWriter& w, int leaf_id, const BatQuery& query) {
+    w.write(std::int32_t{leaf_id});
+    w.write(static_cast<std::uint8_t>(query.box.has_value()));
+    if (query.box) {
+        w.write(query.box->lower.x);
+        w.write(query.box->lower.y);
+        w.write(query.box->lower.z);
+        w.write(query.box->upper.x);
+        w.write(query.box->upper.y);
+        w.write(query.box->upper.z);
+    }
+    w.write(static_cast<std::uint32_t>(query.attr_filters.size()));
+    for (const AttrFilter& f : query.attr_filters) {
+        w.write(f.attr);
+        w.write(f.lo);
+        w.write(f.hi);
+    }
+    w.write(query.quality_lo);
+    w.write(query.quality_hi);
+    w.write(static_cast<std::uint8_t>(query.inclusive_upper));
+}
+
+std::pair<int, BatQuery> read_query(std::span<const std::byte> bytes) {
+    BufferReader r(bytes);
+    const auto leaf_id = r.read<std::int32_t>();
+    BatQuery query;
+    if (r.read<std::uint8_t>() != 0) {
+        Box box;
+        box.lower.x = r.read<float>();
+        box.lower.y = r.read<float>();
+        box.lower.z = r.read<float>();
+        box.upper.x = r.read<float>();
+        box.upper.y = r.read<float>();
+        box.upper.z = r.read<float>();
+        query.box = box;
+    }
+    query.attr_filters.resize(r.read<std::uint32_t>());
+    for (AttrFilter& f : query.attr_filters) {
+        f.attr = r.read<std::uint32_t>();
+        f.lo = r.read<double>();
+        f.hi = r.read<double>();
+    }
+    query.quality_lo = r.read<float>();
+    query.quality_hi = r.read<float>();
+    query.inclusive_upper = r.read<std::uint8_t>() != 0;
+    return {leaf_id, query};
+}
+
+}  // namespace
+
+DataService::DataService(vmpi::Comm& comm, const std::filesystem::path& metadata_path)
+    : comm_(comm), dir_(metadata_path.parent_path()), meta_(Metadata::load(metadata_path)) {
+    leaf_aggregator_ =
+        assign_read_aggregators(static_cast<int>(meta_.leaves.size()), comm.size());
+    for (std::size_t leaf = 0; leaf < leaf_aggregator_.size(); ++leaf) {
+        if (leaf_aggregator_[leaf] == comm.rank()) {
+            my_leaves_.push_back(static_cast<int>(leaf));
+        }
+    }
+}
+
+const BatFile& DataService::open_leaf(int leaf_id) {
+    auto it = files_.find(leaf_id);
+    if (it == files_.end()) {
+        it = files_
+                 .emplace(leaf_id,
+                          std::make_unique<BatFile>(
+                              dir_ / meta_.leaves[static_cast<std::size_t>(leaf_id)].file))
+                 .first;
+    }
+    return *it->second;
+}
+
+ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
+    ParticleSet result(meta_.attr_names);
+
+    // Send requests for every matching remote leaf; remember local ones.
+    std::vector<int> local_leaves;
+    int pending = 0;
+    if (query) {
+        for (int leaf : meta_.query_leaves(query->box, query->attr_filters)) {
+            const int aggregator = leaf_aggregator_[static_cast<std::size_t>(leaf)];
+            if (aggregator == comm_.rank()) {
+                local_leaves.push_back(leaf);
+                continue;
+            }
+            BufferWriter w;
+            write_query(w, leaf, *query);
+            comm_.isend(aggregator, kTagServiceRequest, w.take());
+            ++pending;
+        }
+    }
+
+    // Serve + collect until the round's barrier completes.
+    vmpi::Request barrier;
+    bool in_barrier = false;
+    if (pending == 0) {
+        barrier = comm_.ibarrier();
+        in_barrier = true;
+    }
+    std::vector<ParticleSet> responses;
+    for (;;) {
+        bool progressed = false;
+        int src = -1;
+        if (comm_.iprobe(vmpi::kAnySource, kTagServiceRequest, &src)) {
+            progressed = true;
+            const vmpi::Bytes payload = comm_.recv(src, kTagServiceRequest);
+            const auto [leaf_id, leaf_query] = read_query(payload);
+            ParticleSet out(meta_.attr_names);
+            query_bat(open_leaf(leaf_id), leaf_query,
+                      [&out](Vec3 p, std::span<const double> attrs) {
+                          out.push_back(p, attrs);
+                      });
+            comm_.isend(src, kTagServiceResponse, out.to_bytes());
+        }
+        if (pending > 0 && comm_.iprobe(vmpi::kAnySource, kTagServiceResponse, &src)) {
+            progressed = true;
+            responses.push_back(
+                ParticleSet::from_bytes(comm_.recv(src, kTagServiceResponse)));
+            if (--pending == 0) {
+                barrier = comm_.ibarrier();
+                in_barrier = true;
+            }
+        }
+        if (in_barrier && barrier.test()) {
+            break;
+        }
+        if (!progressed) {
+            std::this_thread::yield();
+        }
+    }
+    for (ParticleSet& piece : responses) {
+        result.append(piece);
+    }
+
+    // Local leaves after exiting the server loop (paper §IV-B).
+    for (int leaf : local_leaves) {
+        query_bat(open_leaf(leaf), *query, [&result](Vec3 p, std::span<const double> attrs) {
+            result.push_back(p, attrs);
+        });
+    }
+    return result;
+}
+
+}  // namespace bat

@@ -1,0 +1,211 @@
+#include "io/reader.hpp"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "core/bat_file.hpp"
+#include "core/bat_query.hpp"
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+
+namespace bat {
+
+namespace {
+
+constexpr int kTagReadRequest = 2;
+constexpr int kTagReadResponse = 3;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ReadRequest {
+    std::int32_t leaf_id = -1;
+    Box box;
+    std::uint8_t half_open = 0;
+
+    vmpi::Bytes to_bytes() const {
+        BufferWriter w;
+        w.write(leaf_id);
+        w.write(box.lower.x);
+        w.write(box.lower.y);
+        w.write(box.lower.z);
+        w.write(box.upper.x);
+        w.write(box.upper.y);
+        w.write(box.upper.z);
+        w.write(half_open);
+        return w.take();
+    }
+    static ReadRequest from_bytes(std::span<const std::byte> bytes) {
+        BufferReader r(bytes);
+        ReadRequest req;
+        req.leaf_id = r.read<std::int32_t>();
+        req.box.lower.x = r.read<float>();
+        req.box.lower.y = r.read<float>();
+        req.box.lower.z = r.read<float>();
+        req.box.upper.x = r.read<float>();
+        req.box.upper.y = r.read<float>();
+        req.box.upper.z = r.read<float>();
+        req.half_open = r.read<std::uint8_t>();
+        return req;
+    }
+};
+
+/// Lazily opened leaf files held by a read aggregator for the duration of
+/// one collective read.
+class LeafFileCache {
+public:
+    LeafFileCache(const std::filesystem::path& dir, const Metadata& meta)
+        : dir_(dir), meta_(meta) {}
+
+    const BatFile& open(int leaf_id, std::uint64_t* bytes_read) {
+        auto it = files_.find(leaf_id);
+        if (it == files_.end()) {
+            const auto& leaf = meta_.leaves[static_cast<std::size_t>(leaf_id)];
+            auto file = std::make_unique<BatFile>(dir_ / leaf.file);
+            if (bytes_read != nullptr) {
+                *bytes_read += file->header().file_size;
+            }
+            it = files_.emplace(leaf_id, std::move(file)).first;
+        }
+        return *it->second;
+    }
+
+private:
+    std::filesystem::path dir_;
+    const Metadata& meta_;
+    std::map<int, std::unique_ptr<BatFile>> files_;
+};
+
+/// Run a spatial query against one leaf file and pack the results.
+vmpi::Bytes run_leaf_query(const BatFile& file, const ReadRequest& req,
+                           const std::vector<std::string>& attr_names) {
+    ParticleSet out(attr_names);
+    BatQuery query;
+    query.box = req.box;
+    query.inclusive_upper = req.half_open == 0;
+    query_bat(file, query,
+              [&out](Vec3 p, std::span<const double> attrs) { out.push_back(p, attrs); });
+    return out.to_bytes();
+}
+
+}  // namespace
+
+std::vector<int> assign_read_aggregators(int num_leaves, int nranks) {
+    BAT_CHECK(nranks > 0);
+    std::vector<int> agg(static_cast<std::size_t>(num_leaves));
+    if (num_leaves <= nranks) {
+        // Spread the aggregators evenly through the rank space, as in the
+        // write phase.
+        for (int i = 0; i < num_leaves; ++i) {
+            agg[static_cast<std::size_t>(i)] = static_cast<int>(
+                (static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(nranks)) /
+                static_cast<std::uint64_t>(num_leaves));
+        }
+    } else {
+        // Fewer ranks than files: distribute the files evenly among ranks.
+        for (int i = 0; i < num_leaves; ++i) {
+            agg[static_cast<std::size_t>(i)] = i % nranks;
+        }
+    }
+    return agg;
+}
+
+ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadata_path,
+                          const Box& my_bounds, const ReaderConfig& config) {
+    ReadResult result;
+    ReadPhaseTimings& timings = result.timings;
+
+    // ---- (a) metadata + local aggregator assignment ------------------------
+    auto t0 = Clock::now();
+    const Metadata meta = Metadata::load(metadata_path);
+    const std::vector<int> leaf_aggregator =
+        assign_read_aggregators(static_cast<int>(meta.leaves.size()), comm.size());
+    timings.metadata = seconds_since(t0);
+
+    result.particles = ParticleSet(meta.attr_names);
+
+    // ---- (b) find overlapped leaves; send requests -------------------------
+    t0 = Clock::now();
+    const std::vector<int> my_leaves = meta.query_leaves(my_bounds);
+    std::vector<int> local_leaves;  // leaves this rank serves to itself
+    int pending_responses = 0;
+    for (int leaf : my_leaves) {
+        const int aggregator = leaf_aggregator[static_cast<std::size_t>(leaf)];
+        if (aggregator == comm.rank()) {
+            local_leaves.push_back(leaf);
+            continue;
+        }
+        ReadRequest req;
+        req.leaf_id = leaf;
+        req.box = my_bounds;
+        req.half_open = config.half_open ? 1 : 0;
+        comm.isend(aggregator, kTagReadRequest, req.to_bytes());
+        ++pending_responses;
+    }
+    timings.request = seconds_since(t0);
+
+    // ---- (c) client-server loop --------------------------------------------
+    t0 = Clock::now();
+    LeafFileCache cache(metadata_path.parent_path(), meta);
+    std::vector<ParticleSet> responses;
+    vmpi::Request barrier;
+    bool in_barrier = false;
+    if (pending_responses == 0) {
+        barrier = comm.ibarrier();
+        in_barrier = true;
+    }
+    for (;;) {
+        bool progressed = false;
+        // Serve one incoming query, if any.
+        int src = -1;
+        if (comm.iprobe(vmpi::kAnySource, kTagReadRequest, &src)) {
+            progressed = true;
+            const vmpi::Bytes payload = comm.recv(src, kTagReadRequest);
+            const ReadRequest req = ReadRequest::from_bytes(payload);
+            const BatFile& file = cache.open(req.leaf_id, &result.bytes_read);
+            comm.isend(src, kTagReadResponse, run_leaf_query(file, req, meta.attr_names));
+        }
+        // Collect any response addressed to us.
+        if (pending_responses > 0 &&
+            comm.iprobe(vmpi::kAnySource, kTagReadResponse, &src)) {
+            progressed = true;
+            const vmpi::Bytes payload = comm.recv(src, kTagReadResponse);
+            responses.push_back(ParticleSet::from_bytes(payload));
+            if (--pending_responses == 0) {
+                barrier = comm.ibarrier();
+                in_barrier = true;
+            }
+        }
+        if (in_barrier && barrier.test()) {
+            break;
+        }
+        if (!progressed) {
+            std::this_thread::yield();
+        }
+    }
+    for (ParticleSet& piece : responses) {
+        result.particles.append(piece);
+    }
+    timings.serve = seconds_since(t0);
+
+    // ---- self-queries after exiting the server loop (§IV-B) ----------------
+    t0 = Clock::now();
+    for (int leaf : local_leaves) {
+        const BatFile& file = cache.open(leaf, &result.bytes_read);
+        BatQuery query;
+        query.box = my_bounds;
+        query.inclusive_upper = !config.half_open;
+        query_bat(file, query, [&result](Vec3 p, std::span<const double> attrs) {
+            result.particles.push_back(p, attrs);
+        });
+    }
+    timings.local = seconds_since(t0);
+    return result;
+}
+
+}  // namespace bat

@@ -1,0 +1,55 @@
+#pragma once
+// Two-phase parallel read pipeline (paper §IV, Fig 3), mirroring the write:
+//
+//   (a) all ranks read the Aggregation Tree metadata and locally compute
+//       the read-aggregator assignment: with more ranks than leaf files,
+//       aggregators are spread evenly through the rank space (as in the
+//       write phase); with fewer ranks than files, files are distributed
+//       evenly among the ranks — so data can be read at much larger or
+//       smaller core counts than it was written with;
+//   (b) each rank determines which leaves overlap its bounds and sends its
+//       query box to the read aggregator assigned to each leaf;
+//   (c) read aggregators run a client–server loop on nonblocking MPI-style
+//       calls: serve incoming spatial queries from their leaf files, and
+//       once a rank has received all of its own responses it enters a
+//       nonblocking barrier, continuing to serve until the barrier
+//       completes. Self-queries run locally after exiting the loop.
+
+#include <filesystem>
+
+#include "core/metadata.hpp"
+#include "core/particles.hpp"
+#include "vmpi/comm.hpp"
+
+namespace bat {
+
+struct ReaderConfig {
+    /// Half-open containment ([lo, hi) per axis) makes non-overlapping
+    /// restart decompositions partition the particles exactly once.
+    bool half_open = true;
+};
+
+struct ReadPhaseTimings {
+    double metadata = 0;  // reading + parsing the metadata file
+    double request = 0;   // overlap computation + query sends
+    double serve = 0;     // server loop (incl. file reads + transfers)
+    double local = 0;     // self-queries after the loop
+
+    double total() const { return metadata + request + serve + local; }
+};
+
+struct ReadResult {
+    ParticleSet particles;
+    ReadPhaseTimings timings;
+    std::uint64_t bytes_read = 0;  // file bytes this rank read as aggregator
+};
+
+/// Collective: every rank reads the particles overlapping `my_bounds`.
+ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadata_path,
+                          const Box& my_bounds, const ReaderConfig& config = {});
+
+/// The read-aggregator assignment rule (§IV-A), exposed for tests:
+/// returns the rank assigned to each leaf file.
+std::vector<int> assign_read_aggregators(int num_leaves, int nranks);
+
+}  // namespace bat

@@ -1,0 +1,384 @@
+#include "io/writer.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/bat_file.hpp"
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace bat {
+
+namespace {
+
+constexpr int kTagData = 1;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string leaf_file_name(const std::string& basename, int leaf_id) {
+    return basename + "_" + std::to_string(leaf_id) + ".bat";
+}
+
+/// Per-leaf aggregation duty sent to an aggregator rank.
+struct LeafDuty {
+    int leaf_id = -1;
+    std::vector<std::pair<int, std::uint64_t>> senders;  // (rank, particle count)
+    std::uint64_t total_particles = 0;
+};
+
+/// Assignment message scattered from rank 0 to each rank.
+struct Assignment {
+    int my_leaf = -1;          // leaf this rank's data belongs to (-1: none)
+    int my_aggregator = -1;    // destination rank for this rank's data
+    int num_leaves = 0;
+    std::vector<LeafDuty> duties;  // leaves this rank aggregates
+
+    std::vector<std::byte> to_bytes() const {
+        BufferWriter w;
+        w.write(std::int32_t{my_leaf});
+        w.write(std::int32_t{my_aggregator});
+        w.write(std::int32_t{num_leaves});
+        w.write(static_cast<std::uint32_t>(duties.size()));
+        for (const LeafDuty& duty : duties) {
+            w.write(std::int32_t{duty.leaf_id});
+            w.write(duty.total_particles);
+            w.write(static_cast<std::uint32_t>(duty.senders.size()));
+            for (const auto& [rank, count] : duty.senders) {
+                w.write(std::int32_t{rank});
+                w.write(count);
+            }
+        }
+        return w.take();
+    }
+
+    static Assignment from_bytes(std::span<const std::byte> bytes) {
+        BufferReader r(bytes);
+        Assignment a;
+        a.my_leaf = r.read<std::int32_t>();
+        a.my_aggregator = r.read<std::int32_t>();
+        a.num_leaves = r.read<std::int32_t>();
+        a.duties.resize(r.read<std::uint32_t>());
+        for (LeafDuty& duty : a.duties) {
+            duty.leaf_id = r.read<std::int32_t>();
+            duty.total_particles = r.read<std::uint64_t>();
+            duty.senders.resize(r.read<std::uint32_t>());
+            for (auto& [rank, count] : duty.senders) {
+                rank = r.read<std::int32_t>();
+                count = r.read<std::uint64_t>();
+            }
+        }
+        return a;
+    }
+};
+
+}  // namespace
+
+const char* to_string(AggStrategy s) {
+    switch (s) {
+        case AggStrategy::adaptive: return "adaptive";
+        case AggStrategy::aug: return "aug";
+        case AggStrategy::file_per_process: return "file-per-process";
+    }
+    return "?";
+}
+
+WritePhaseTimings& WritePhaseTimings::operator+=(const WritePhaseTimings& o) {
+    gather += o.gather;
+    tree_build += o.tree_build;
+    scatter += o.scatter;
+    transfer += o.transfer;
+    bat_build += o.bat_build;
+    file_write += o.file_write;
+    metadata += o.metadata;
+    return *this;
+}
+
+WritePhaseTimings WritePhaseTimings::max(const WritePhaseTimings& a,
+                                         const WritePhaseTimings& b) {
+    WritePhaseTimings m;
+    m.gather = std::max(a.gather, b.gather);
+    m.tree_build = std::max(a.tree_build, b.tree_build);
+    m.scatter = std::max(a.scatter, b.scatter);
+    m.transfer = std::max(a.transfer, b.transfer);
+    m.bat_build = std::max(a.bat_build, b.bat_build);
+    m.file_write = std::max(a.file_write, b.file_write);
+    m.metadata = std::max(a.metadata, b.metadata);
+    return m;
+}
+
+Aggregation build_aggregation(std::span<const RankInfo> ranks, AggStrategy strategy,
+                              const AggTreeConfig& tree_config, ThreadPool* pool) {
+    switch (strategy) {
+        case AggStrategy::adaptive:
+            return build_agg_tree(ranks, tree_config, pool);
+        case AggStrategy::aug: {
+            AugConfig aug;
+            aug.target_file_size = tree_config.target_file_size;
+            aug.bytes_per_particle = tree_config.bytes_per_particle;
+            return build_aug(ranks, aug);
+        }
+        case AggStrategy::file_per_process:
+            return build_file_per_process(ranks);
+    }
+    BAT_FAIL("unknown aggregation strategy");
+}
+
+namespace {
+
+/// Assign aggregators for a built aggregation: file-per-process writes from
+/// the owning rank itself, the others spread aggregators over rank space.
+void assign_strategy_aggregators(Aggregation& agg, AggStrategy strategy, int nranks) {
+    if (strategy == AggStrategy::file_per_process) {
+        for (AggLeaf& leaf : agg.leaves) {
+            leaf.aggregator = leaf.ranks.front();
+        }
+    } else {
+        agg.assign_aggregators(nranks);
+    }
+}
+
+std::vector<vmpi::Bytes> make_assignments(const Aggregation& agg,
+                                          std::span<const RankInfo> infos, int nranks) {
+    std::vector<Assignment> assignments(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        Assignment& a = assignments[static_cast<std::size_t>(r)];
+        a.num_leaves = static_cast<int>(agg.leaves.size());
+        a.my_leaf = agg.rank_to_leaf[static_cast<std::size_t>(r)];
+        a.my_aggregator =
+            a.my_leaf >= 0 ? agg.leaves[static_cast<std::size_t>(a.my_leaf)].aggregator : -1;
+    }
+    for (std::size_t leaf_id = 0; leaf_id < agg.leaves.size(); ++leaf_id) {
+        const AggLeaf& leaf = agg.leaves[leaf_id];
+        LeafDuty duty;
+        duty.leaf_id = static_cast<int>(leaf_id);
+        duty.total_particles = leaf.num_particles;
+        duty.senders.reserve(leaf.ranks.size());
+        for (int r : leaf.ranks) {
+            // Ranks without particles skip the transfer (paper §III-B).
+            const std::uint64_t count = infos[static_cast<std::size_t>(r)].num_particles;
+            if (count > 0) {
+                duty.senders.emplace_back(r, count);
+            }
+        }
+        assignments[static_cast<std::size_t>(leaf.aggregator)].duties.push_back(
+            std::move(duty));
+    }
+    std::vector<vmpi::Bytes> blobs;
+    blobs.reserve(assignments.size());
+    for (const Assignment& a : assignments) {
+        blobs.push_back(a.to_bytes());
+    }
+    return blobs;
+}
+
+}  // namespace
+
+WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
+                            const Box& local_bounds, const WriterConfig& config) {
+    WriteResult result;
+    WritePhaseTimings& timings = result.timings;
+    const int nranks = comm.size();
+    const std::size_t nattrs = local.num_attrs();
+
+    // ---- (a) gather counts + bounds; build the aggregation on rank 0 ------
+    auto t0 = Clock::now();
+    RankInfo my_info{local_bounds, local.count()};
+    std::vector<RankInfo> infos = comm.gather(my_info, 0);
+    timings.gather = seconds_since(t0);
+
+    Aggregation agg;  // populated on rank 0 only
+    std::vector<vmpi::Bytes> assignment_blobs;
+    t0 = Clock::now();
+    if (comm.rank() == 0) {
+        AggTreeConfig tree_config = config.tree;
+        tree_config.bytes_per_particle = local.bytes_per_particle();
+        agg = build_aggregation(infos, config.strategy, tree_config, config.pool);
+        assign_strategy_aggregators(agg, config.strategy, nranks);
+        assignment_blobs = make_assignments(agg, infos, nranks);
+    }
+    timings.tree_build = seconds_since(t0);
+
+    // ---- (b) scatter assignments ------------------------------------------
+    t0 = Clock::now();
+    const Assignment assignment =
+        Assignment::from_bytes(comm.scatterv(std::move(assignment_blobs), 0));
+    result.num_leaves = assignment.num_leaves;
+    result.my_leaf = assignment.my_leaf;
+    timings.scatter = seconds_since(t0);
+
+    // ---- (b') transfer particles to aggregators ---------------------------
+    t0 = Clock::now();
+    if (!local.empty()) {
+        BAT_CHECK_MSG(assignment.my_aggregator >= 0,
+                      "rank " << comm.rank() << " owns particles but has no aggregator");
+        comm.isend(assignment.my_aggregator, kTagData, local.to_bytes());
+    }
+    // Aggregators receive the particles for each of their leaves.
+    std::vector<std::pair<int, ParticleSet>> leaf_particles;  // (leaf_id, data)
+    leaf_particles.reserve(assignment.duties.size());
+    for (const LeafDuty& duty : assignment.duties) {
+        ParticleSet merged(local.attr_names());
+        merged.reserve(duty.total_particles);
+        for (const auto& [sender, count] : duty.senders) {
+            const vmpi::Bytes payload = comm.recv(sender, kTagData);
+            const ParticleSet piece = ParticleSet::from_bytes(payload);
+            BAT_CHECK_MSG(piece.count() == count, "sender " << sender << " sent "
+                                                            << piece.count() << " particles, "
+                                                            << count << " expected");
+            merged.append(piece);
+        }
+        leaf_particles.emplace_back(duty.leaf_id, std::move(merged));
+    }
+    timings.transfer = seconds_since(t0);
+
+    // ---- (c) build + write the BAT for each owned leaf --------------------
+    std::vector<LeafReport> my_reports;
+    std::filesystem::create_directories(config.directory);
+    for (auto& [leaf_id, particles] : leaf_particles) {
+        t0 = Clock::now();
+        BatData bat = build_bat(std::move(particles), config.bat, config.pool);
+        timings.bat_build += seconds_since(t0);
+
+        t0 = Clock::now();
+        const std::vector<std::byte> bytes = serialize_bat(bat);
+        write_file(config.directory / leaf_file_name(config.basename, leaf_id), bytes);
+        result.bytes_written += bytes.size();
+        timings.file_write += seconds_since(t0);
+
+        LeafReport report;
+        report.leaf_id = leaf_id;
+        report.num_particles = bat.particles.count();
+        report.ranges = bat.attr_ranges;
+        report.edges = bat.attr_edges;
+        report.root_bitmaps.resize(nattrs);
+        for (std::size_t a = 0; a < nattrs; ++a) {
+            report.root_bitmaps[a] = bat.root_bitmap(a);
+        }
+        my_reports.push_back(std::move(report));
+    }
+
+    // ---- (d) metadata on rank 0 -------------------------------------------
+    t0 = Clock::now();
+    BufferWriter reports_blob;
+    reports_blob.write(static_cast<std::uint32_t>(my_reports.size()));
+    for (const LeafReport& report : my_reports) {
+        const auto bytes = report.to_bytes();
+        reports_blob.write(static_cast<std::uint32_t>(bytes.size()));
+        reports_blob.write_span(std::span<const std::byte>(bytes));
+    }
+    std::vector<vmpi::Bytes> gathered = comm.gatherv(reports_blob.take(), 0);
+    result.metadata_path = config.directory / (config.basename + ".batmeta");
+    if (comm.rank() == 0) {
+        std::vector<LeafReport> reports;
+        for (const vmpi::Bytes& blob : gathered) {
+            BufferReader r(blob);
+            const auto count = r.read<std::uint32_t>();
+            for (std::uint32_t i = 0; i < count; ++i) {
+                const auto len = r.read<std::uint32_t>();
+                std::vector<std::byte> piece(len);
+                r.read_into(std::span<std::byte>(piece));
+                reports.push_back(LeafReport::from_bytes(piece));
+            }
+        }
+        // Order reports by leaf id for build_metadata.
+        std::sort(reports.begin(), reports.end(),
+                  [](const LeafReport& a, const LeafReport& b) { return a.leaf_id < b.leaf_id; });
+        std::vector<std::string> files;
+        files.reserve(agg.leaves.size());
+        for (std::size_t i = 0; i < agg.leaves.size(); ++i) {
+            files.push_back(leaf_file_name(config.basename, static_cast<int>(i)));
+        }
+        const Metadata meta = build_metadata(agg, local.attr_names(), reports, files);
+        meta.save(result.metadata_path);
+    }
+    // Everyone learns the metadata path is ready.
+    comm.barrier();
+    timings.metadata = seconds_since(t0);
+    return result;
+}
+
+std::uint64_t recommend_target_size(std::uint64_t total_particles,
+                                    std::uint64_t bytes_per_particle, int nranks) {
+    BAT_CHECK(nranks > 0);
+    BAT_CHECK(bytes_per_particle > 0);
+    const double per_rank_bytes = static_cast<double>(total_particles) *
+                                  static_cast<double>(bytes_per_particle) /
+                                  static_cast<double>(nranks);
+    // Aggregation factor by scale (paper: 1:1-4:1 at low core or particle
+    // counts; 16:1 or higher at larger scales to avoid too many files).
+    double factor = 2.0;
+    if (nranks > 16384) {
+        factor = 32.0;
+    } else if (nranks > 4096) {
+        factor = 16.0;
+    } else if (nranks > 1024) {
+        factor = 4.0;
+    }
+    const double want = std::max(1.0, per_rank_bytes * factor);
+    // Round up to a power of two, clamped to a sane file-size window.
+    std::uint64_t target = 1 << 20;
+    while (target < want && target < (512ull << 20)) {
+        target <<= 1;
+    }
+    return target;
+}
+
+WriteResult write_particles_serial(std::span<const ParticleSet> per_rank,
+                                   std::span<const Box> rank_bounds,
+                                   const WriterConfig& config) {
+    BAT_CHECK(per_rank.size() == rank_bounds.size());
+    BAT_CHECK(!per_rank.empty());
+    WriteResult result;
+    const int nranks = static_cast<int>(per_rank.size());
+    const std::size_t nattrs = per_rank[0].num_attrs();
+
+    std::vector<RankInfo> infos(per_rank.size());
+    for (std::size_t r = 0; r < per_rank.size(); ++r) {
+        infos[r] = RankInfo{rank_bounds[r], per_rank[r].count()};
+    }
+    AggTreeConfig tree_config = config.tree;
+    tree_config.bytes_per_particle = per_rank[0].bytes_per_particle();
+    Aggregation agg = build_aggregation(infos, config.strategy, tree_config, config.pool);
+    assign_strategy_aggregators(agg, config.strategy, nranks);
+    result.num_leaves = static_cast<int>(agg.leaves.size());
+
+    std::filesystem::create_directories(config.directory);
+    std::vector<LeafReport> reports;
+    std::vector<std::string> files;
+    for (std::size_t leaf_id = 0; leaf_id < agg.leaves.size(); ++leaf_id) {
+        const AggLeaf& leaf = agg.leaves[leaf_id];
+        ParticleSet merged(per_rank[0].attr_names());
+        merged.reserve(leaf.num_particles);
+        for (int r : leaf.ranks) {
+            merged.append(per_rank[static_cast<std::size_t>(r)]);
+        }
+        BatData bat = build_bat(std::move(merged), config.bat, config.pool);
+        const std::vector<std::byte> bytes = serialize_bat(bat);
+        const std::string file = leaf_file_name(config.basename, static_cast<int>(leaf_id));
+        write_file(config.directory / file, bytes);
+        result.bytes_written += bytes.size();
+        files.push_back(file);
+
+        LeafReport report;
+        report.leaf_id = static_cast<int>(leaf_id);
+        report.num_particles = bat.particles.count();
+        report.ranges = bat.attr_ranges;
+        report.edges = bat.attr_edges;
+        report.root_bitmaps.resize(nattrs);
+        for (std::size_t a = 0; a < nattrs; ++a) {
+            report.root_bitmaps[a] = bat.root_bitmap(a);
+        }
+        reports.push_back(std::move(report));
+    }
+    const Metadata meta = build_metadata(agg, per_rank[0].attr_names(), reports, files);
+    result.metadata_path = config.directory / (config.basename + ".batmeta");
+    meta.save(result.metadata_path);
+    return result;
+}
+
+}  // namespace bat

@@ -1,0 +1,31 @@
+#include "simio/calibrate.hpp"
+
+#include <chrono>
+
+#include "core/bat_builder.hpp"
+#include "core/bat_file.hpp"
+#include "workloads/uniform.hpp"
+
+namespace bat::simio {
+
+Calibration calibrate_bat_build(std::size_t n, std::size_t nattrs, std::uint64_t seed) {
+    const Box box({0, 0, 0}, {1, 1, 1});
+    ParticleSet particles = make_uniform_particles(box, n, nattrs, seed);
+    const std::uint64_t raw_bytes = particles.payload_bytes();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const BatData bat = build_bat(std::move(particles), BatConfig{});
+    const double build_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    Calibration cal;
+    if (build_s > 0) {
+        cal.bat_build_bps = static_cast<double>(raw_bytes) / build_s;
+    }
+    const std::vector<std::byte> bytes = serialize_bat(bat);
+    const BatSizeStats stats = bat_size_stats(bat, bytes.size());
+    cal.layout_overhead = stats.overhead_fraction();
+    return cal;
+}
+
+}  // namespace bat::simio

@@ -1,0 +1,139 @@
+#include "simio/filesystem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bat::simio {
+
+double model_metadata_ops(const MachineConfig& machine, int n, bool creating) {
+    if (n <= 0) {
+        return 0.0;
+    }
+    const double rate = creating ? machine.create_rate : machine.open_rate;
+    // Base service time plus a superlinear directory-contention term: with
+    // n concurrent operations in one directory the effective per-op cost
+    // grows by (1 + n/knee). Creates take exclusive directory locks; opens
+    // only do (cacheable) lookups, so their contention knee sits far higher.
+    const double knee = creating ? machine.dir_contention : 4.0 * machine.dir_contention;
+    return (static_cast<double>(n) / rate) * (1.0 + static_cast<double>(n) / knee);
+}
+
+namespace {
+
+double data_time_lustre(const MachineConfig& machine, std::span<const FileWriteLoad> files,
+                        double aggregate_bw) {
+    // Distribute each file's stripes round-robin over the OSTs; the phase is
+    // bound by the heaviest OST.
+    const int nost = std::max(1, machine.num_ost);
+    const int stripes = std::max(1, std::min(machine.stripe_count, nost));
+    std::vector<double> ost_load(static_cast<std::size_t>(nost), 0.0);
+    double max_client = 0.0;
+    int file_id = 0;
+    for (const FileWriteLoad& f : files) {
+        const double per_stripe = static_cast<double>(f.bytes) / stripes;
+        const int start = (file_id * stripes) % nost;
+        for (int s = 0; s < stripes; ++s) {
+            ost_load[static_cast<std::size_t>((start + s) % nost)] += per_stripe;
+        }
+        max_client = std::max(max_client, static_cast<double>(f.bytes) / machine.client_bw);
+        ++file_id;
+    }
+    const double per_ost_bw = aggregate_bw / nost;
+    const double max_ost =
+        *std::max_element(ost_load.begin(), ost_load.end()) / per_ost_bw;
+    return std::max(max_ost, max_client);
+}
+
+double data_time_gpfs(const MachineConfig& machine, std::span<const FileWriteLoad> files,
+                      double aggregate_bw) {
+    double total = 0.0;
+    double max_client = 0.0;
+    for (const FileWriteLoad& f : files) {
+        total += static_cast<double>(f.bytes);
+        max_client = std::max(max_client, static_cast<double>(f.bytes) / machine.client_bw);
+    }
+    return std::max(total / aggregate_bw, max_client);
+}
+
+FsPhase model_files(const MachineConfig& machine, std::span<const FileWriteLoad> files,
+                    bool creating, double aggregate_bw) {
+    FsPhase phase;
+    if (files.empty()) {
+        return phase;
+    }
+    phase.open_seconds = model_metadata_ops(machine, static_cast<int>(files.size()), creating);
+    phase.data_seconds = machine.fs == FsKind::lustre
+                             ? data_time_lustre(machine, files, aggregate_bw)
+                             : data_time_gpfs(machine, files, aggregate_bw);
+    phase.seconds = phase.open_seconds + phase.data_seconds;
+    return phase;
+}
+
+}  // namespace
+
+FsPhase model_file_writes(const MachineConfig& machine,
+                          std::span<const FileWriteLoad> files) {
+    return model_files(machine, files, /*creating=*/true, machine.fs_peak_bw);
+}
+
+FsPhase model_file_reads(const MachineConfig& machine, std::span<const FileWriteLoad> files) {
+    return model_files(machine, files, /*creating=*/false, machine.fs_read_bw);
+}
+
+FsPhase model_shared_write(const MachineConfig& machine, int nwriters,
+                           std::uint64_t total_bytes, std::uint64_t max_writer_bytes,
+                           bool hdf5_flavor) {
+    FsPhase phase;
+    if (nwriters <= 0) {
+        return phase;
+    }
+    const auto total = static_cast<double>(total_bytes);
+    // Phenomenological plateau model: lock/stripe-token conflicts keep one
+    // shared file far below the filesystem's aggregate bandwidth; it ramps
+    // up with writers, plateaus, then slowly degrades from contention.
+    const auto p = static_cast<double>(nwriters);
+    double eff_bw = machine.shared_plateau_bw * (p / (p + machine.shared_rampup_ranks)) /
+                    (1.0 + p / machine.shared_file_p0);
+    if (hdf5_flavor) {
+        eff_bw *= 0.65;  // chunk/layout bookkeeping overhead
+    }
+    const double client = static_cast<double>(max_writer_bytes) / machine.client_bw;
+    phase.data_seconds = std::max(total / eff_bw, client);
+    // Offset negotiation / collective metadata: log-depth sync rounds, more
+    // of them for the HDF5 flavor (dataset + attribute metadata).
+    const double rounds = hdf5_flavor ? 6.0 : 2.0;
+    phase.open_seconds =
+        rounds * machine.message_latency * std::ceil(std::log2(std::max(2, nwriters))) +
+        model_metadata_ops(machine, 1, /*creating=*/true);
+    phase.seconds = phase.open_seconds + phase.data_seconds;
+    return phase;
+}
+
+FsPhase model_shared_read(const MachineConfig& machine, int nreaders,
+                          std::uint64_t total_bytes, std::uint64_t max_reader_bytes,
+                          bool hdf5_flavor) {
+    FsPhase phase;
+    if (nreaders <= 0) {
+        return phase;
+    }
+    const auto total = static_cast<double>(total_bytes);
+    // Reads contend less than writes (no lock conversion), but one shared
+    // file still plateaus well below the aggregate read bandwidth.
+    const auto p = static_cast<double>(nreaders);
+    double eff_bw = 2.0 * machine.shared_plateau_bw *
+                    (p / (p + machine.shared_rampup_ranks)) /
+                    (1.0 + p / (2.0 * machine.shared_file_p0));
+    if (hdf5_flavor) {
+        eff_bw *= 0.75;
+    }
+    const double client = static_cast<double>(max_reader_bytes) / machine.client_bw;
+    phase.data_seconds = std::max(total / eff_bw, client);
+    phase.open_seconds =
+        (hdf5_flavor ? 3.0 : 1.0) * machine.message_latency *
+            std::ceil(std::log2(std::max(2, nreaders))) +
+        model_metadata_ops(machine, 1, /*creating=*/false);
+    phase.seconds = phase.open_seconds + phase.data_seconds;
+    return phase;
+}
+
+}  // namespace bat::simio

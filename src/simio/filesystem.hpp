@@ -1,0 +1,61 @@
+#pragma once
+// Parallel filesystem models.
+//
+// Lustre-like: each file is striped over `stripe_count` OSTs (round-robin
+// starting OST per file); the data term is the heaviest OST's load. File
+// creation serializes through the metadata service, with a contention
+// factor that grows with the number of concurrent creates in one directory
+// — the effect that makes file-per-process collapse at scale.
+//
+// GPFS-like: one shared block pool (aggregate bandwidth) with per-client
+// caps; creates are cheaper per operation but the shared-directory
+// contention knee sits lower (matching the earlier file-per-process
+// degradation the paper observed on Summit).
+//
+// Shared-file writes additionally model block/lock conflicts that grow with
+// the writer count (eff_bw = peak / (1 + P / p0)), which is what keeps
+// single-shared-file approaches flat in Fig 5/7.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simio/machine.hpp"
+
+namespace bat::simio {
+
+struct FileWriteLoad {
+    std::uint64_t bytes = 0;
+    int writer_rank = 0;  // rank performing the write
+};
+
+struct FsPhase {
+    double seconds = 0;
+    double open_seconds = 0;  // metadata portion
+    double data_seconds = 0;  // block I/O portion
+};
+
+/// N independent files written concurrently (two-phase aggregator files or
+/// file-per-process).
+FsPhase model_file_writes(const MachineConfig& machine, std::span<const FileWriteLoad> files);
+
+/// N independent files read concurrently.
+FsPhase model_file_reads(const MachineConfig& machine, std::span<const FileWriteLoad> files);
+
+/// One shared file written by `nwriters` ranks: `total_bytes` overall, the
+/// busiest writer contributing `max_writer_bytes`. `hdf5_flavor` adds
+/// collective metadata synchronization and a layout overhead factor (the
+/// HDF5 shared-file mode of the IOR comparison).
+FsPhase model_shared_write(const MachineConfig& machine, int nwriters,
+                           std::uint64_t total_bytes, std::uint64_t max_writer_bytes,
+                           bool hdf5_flavor);
+
+FsPhase model_shared_read(const MachineConfig& machine, int nreaders,
+                          std::uint64_t total_bytes, std::uint64_t max_reader_bytes,
+                          bool hdf5_flavor);
+
+/// Metadata-service time for `n` concurrent creates (or opens when
+/// `creating` is false) in one directory, including the contention factor.
+double model_metadata_ops(const MachineConfig& machine, int n, bool creating);
+
+}  // namespace bat::simio

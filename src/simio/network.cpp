@@ -1,0 +1,63 @@
+#include "simio/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bat::simio {
+
+NetworkPhase model_transfers(const MachineConfig& machine, int nranks,
+                             std::span<const Transfer> transfers) {
+    NetworkPhase phase;
+    const int nnodes = machine.nodes_for(nranks);
+    std::vector<std::uint64_t> node_in(static_cast<std::size_t>(nnodes), 0);
+    std::vector<std::uint64_t> node_out(static_cast<std::size_t>(nnodes), 0);
+    std::vector<std::uint64_t> intra(static_cast<std::size_t>(nnodes), 0);
+    std::vector<int> msgs_in(static_cast<std::size_t>(nranks), 0);
+
+    for (const Transfer& t : transfers) {
+        if (t.src_rank == t.dst_rank || t.bytes == 0) {
+            continue;  // self-transfers are memcpys; charged to the build
+        }
+        const auto src_node = static_cast<std::size_t>(t.src_rank / machine.ranks_per_node);
+        const auto dst_node = static_cast<std::size_t>(t.dst_rank / machine.ranks_per_node);
+        ++msgs_in[static_cast<std::size_t>(t.dst_rank)];
+        if (src_node == dst_node) {
+            intra[src_node] += t.bytes;
+            phase.intra_node_bytes += t.bytes;
+        } else {
+            node_out[src_node] += t.bytes;
+            node_in[dst_node] += t.bytes;
+            phase.cross_node_bytes += t.bytes;
+        }
+    }
+
+    phase.max_node_in = node_in.empty() ? 0 : *std::max_element(node_in.begin(), node_in.end());
+    phase.max_node_out =
+        node_out.empty() ? 0 : *std::max_element(node_out.begin(), node_out.end());
+    phase.max_messages =
+        msgs_in.empty() ? 0 : *std::max_element(msgs_in.begin(), msgs_in.end());
+    const std::uint64_t max_intra =
+        intra.empty() ? 0 : *std::max_element(intra.begin(), intra.end());
+
+    const double inject = static_cast<double>(phase.max_node_out) / machine.node_bw;
+    const double eject = static_cast<double>(phase.max_node_in) / machine.node_bw;
+    const double bisect = static_cast<double>(phase.cross_node_bytes) /
+                          (machine.bisection_bw_per_node * std::max(1, nnodes));
+    const double shm = static_cast<double>(max_intra) / machine.intra_node_bw;
+    const double latency = machine.message_latency * phase.max_messages;
+    phase.seconds = std::max({inject, eject, bisect, shm}) + latency;
+    return phase;
+}
+
+double model_rooted_collective(const MachineConfig& machine, int nranks,
+                               std::uint64_t bytes_per_rank) {
+    BAT_CHECK(nranks >= 1);
+    const double depth = std::ceil(std::log2(std::max(2, nranks)));
+    // Tree latency plus the root's ejection of the full payload.
+    return machine.message_latency * depth +
+           static_cast<double>(bytes_per_rank) * nranks / machine.node_bw;
+}
+
+}  // namespace bat::simio

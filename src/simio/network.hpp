@@ -1,0 +1,44 @@
+#pragma once
+// Fat-tree network transfer model. Given a set of point-to-point transfers
+// (src rank, dst rank, bytes), the phase duration is the maximum over:
+//   - per-node injection:   outgoing bytes of any node / node NIC bandwidth
+//   - per-node ejection:    incoming bytes of any node / node NIC bandwidth
+//     (this is the aggregator *incast* term that punishes oversubscribed
+//      aggregator placement, the effect §III-A's even leaf spreading
+//      mitigates)
+//   - bisection:            total cross-node bytes / (bisection bw * nodes)
+// plus a per-message latency term for the busiest endpoint. Transfers
+// within one node are charged at shared-memory bandwidth instead.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simio/machine.hpp"
+
+namespace bat::simio {
+
+struct Transfer {
+    int src_rank = 0;
+    int dst_rank = 0;
+    std::uint64_t bytes = 0;
+};
+
+struct NetworkPhase {
+    double seconds = 0;
+    std::uint64_t cross_node_bytes = 0;
+    std::uint64_t intra_node_bytes = 0;
+    std::uint64_t max_node_in = 0;   // heaviest ejection load
+    std::uint64_t max_node_out = 0;  // heaviest injection load
+    int max_messages = 0;            // most messages into one endpoint
+};
+
+NetworkPhase model_transfers(const MachineConfig& machine, int nranks,
+                             std::span<const Transfer> transfers);
+
+/// Cost of a small-message collective rooted at rank 0 over `nranks` ranks
+/// moving `bytes_per_rank` each (tree-structured gather/scatter).
+double model_rooted_collective(const MachineConfig& machine, int nranks,
+                               std::uint64_t bytes_per_rank);
+
+}  // namespace bat::simio

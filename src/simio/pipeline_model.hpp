@@ -1,0 +1,79 @@
+#pragma once
+// Performance model of the complete I/O pipelines at full machine scale.
+//
+// This is the substitution for the paper's Stampede2/Summit runs (see
+// DESIGN.md §1): the *algorithms* — aggregation-tree or AUG construction,
+// aggregator assignment, read-aggregator assignment — run for real over the
+// full-scale per-rank metadata (bounds + particle counts, e.g. 43k ranks);
+// only hardware interactions are charged through the network and
+// filesystem models, with BAT construction charged at a throughput
+// calibrated from the real builder (calibrate.hpp). The model therefore
+// reproduces the paper's load-balance effects exactly (file counts, sizes,
+// per-aggregator bytes) and its hardware effects qualitatively.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/agg_tree.hpp"
+#include "io/writer.hpp"
+#include "simio/machine.hpp"
+
+namespace bat::simio {
+
+struct SimPhase {
+    std::string name;
+    double seconds = 0;
+};
+
+struct FileStats {
+    int num_files = 0;
+    double mean_bytes = 0;
+    double std_bytes = 0;
+    double max_bytes = 0;
+};
+
+struct SimResult {
+    double seconds = 0;
+    std::vector<SimPhase> phases;
+    std::uint64_t total_bytes = 0;  // application payload moved
+    FileStats files;
+
+    double gb_per_s() const {
+        return seconds > 0 ? static_cast<double>(total_bytes) / 1e9 / seconds : 0.0;
+    }
+    double phase_seconds(const std::string& name) const;
+};
+
+struct TwoPhaseParams {
+    MachineConfig machine;
+    AggStrategy strategy = AggStrategy::adaptive;
+    AggTreeConfig tree;  // target size, overfull settings; bytes_per_particle used
+    /// Calibrated BAT build throughput in bytes/s (calibrate.hpp).
+    double bat_build_bps = 600e6;
+    /// Fractional file-size overhead of the BAT layout (paper §VI-B: 0.9%).
+    double layout_overhead = 0.009;
+    ThreadPool* pool = nullptr;
+};
+
+/// Model one two-phase write of the given per-rank workload (this library's
+/// pipeline with the chosen aggregation strategy).
+SimResult simulate_write(std::span<const RankInfo> ranks, const TwoPhaseParams& params);
+
+/// Model the matching two-phase restart read (same rank count and bounds).
+SimResult simulate_read(std::span<const RankInfo> ranks, const TwoPhaseParams& params);
+
+// ---- IOR-style baselines (raw arrays, no spatial layout) -------------------
+SimResult simulate_ior_fpp_write(std::span<const RankInfo> ranks, const MachineConfig& m);
+SimResult simulate_ior_fpp_read(std::span<const RankInfo> ranks, const MachineConfig& m);
+SimResult simulate_ior_shared_write(std::span<const RankInfo> ranks, const MachineConfig& m,
+                                    bool hdf5_flavor);
+SimResult simulate_ior_shared_read(std::span<const RankInfo> ranks, const MachineConfig& m,
+                                   bool hdf5_flavor);
+
+/// Payload bytes of a rank set (sum of counts * bytes_per_particle).
+std::uint64_t workload_bytes(std::span<const RankInfo> ranks,
+                             std::uint64_t bytes_per_particle);
+
+}  // namespace bat::simio

@@ -1,0 +1,119 @@
+#pragma once
+// Byte-buffer serialization. All on-disk and over-the-wire encoding in the
+// library goes through BufferWriter/BufferReader, which use memcpy-based
+// codecs (no type punning, no alignment assumptions) and little-endian
+// layout. The library targets little-endian hosts, as the paper's systems
+// (x86 Stampede2, POWER9 little-endian Summit) both are.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+static_assert(std::endian::native == std::endian::little,
+              "on-disk format assumes a little-endian host");
+
+/// Appends POD values / spans to a growable byte vector.
+class BufferWriter {
+public:
+    BufferWriter() = default;
+    explicit BufferWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+    template <typename T>
+    void write(const T& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto* p = reinterpret_cast<const std::byte*>(&v);
+        buf_.insert(buf_.end(), p, p + sizeof(T));
+    }
+
+    template <typename T>
+    void write_span(std::span<const T> s) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto* p = reinterpret_cast<const std::byte*>(s.data());
+        buf_.insert(buf_.end(), p, p + s.size_bytes());
+    }
+
+    /// Length-prefixed (u32) UTF-8 string.
+    void write_string(const std::string& s) {
+        write(static_cast<std::uint32_t>(s.size()));
+        const auto* p = reinterpret_cast<const std::byte*>(s.data());
+        buf_.insert(buf_.end(), p, p + s.size());
+    }
+
+    /// Pad with zero bytes so size() becomes a multiple of `alignment`.
+    void align_to(std::size_t alignment) {
+        const std::size_t rem = buf_.size() % alignment;
+        if (rem != 0) {
+            buf_.insert(buf_.end(), alignment - rem, std::byte{0});
+        }
+    }
+
+    /// Overwrite a previously-written POD at `offset` (for back-patching).
+    template <typename T>
+    void patch(std::size_t offset, const T& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        BAT_CHECK(offset + sizeof(T) <= buf_.size());
+        std::memcpy(buf_.data() + offset, &v, sizeof(T));
+    }
+
+    std::size_t size() const { return buf_.size(); }
+    const std::vector<std::byte>& bytes() const { return buf_; }
+    std::vector<std::byte> take() { return std::move(buf_); }
+
+private:
+    std::vector<std::byte> buf_;
+};
+
+/// Reads POD values / spans from a byte span with bounds checking.
+class BufferReader {
+public:
+    explicit BufferReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+    template <typename T>
+    T read() {
+        static_assert(std::is_trivially_copyable_v<T>);
+        BAT_CHECK_MSG(pos_ + sizeof(T) <= bytes_.size(), "buffer underrun");
+        T v;
+        std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    template <typename T>
+    void read_into(std::span<T> out) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        BAT_CHECK_MSG(pos_ + out.size_bytes() <= bytes_.size(), "buffer underrun");
+        std::memcpy(out.data(), bytes_.data() + pos_, out.size_bytes());
+        pos_ += out.size_bytes();
+    }
+
+    std::string read_string() {
+        const auto n = read<std::uint32_t>();
+        BAT_CHECK_MSG(pos_ + n <= bytes_.size(), "buffer underrun (string)");
+        std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    void seek(std::size_t pos) {
+        BAT_CHECK(pos <= bytes_.size());
+        pos_ = pos;
+    }
+    void skip(std::size_t n) { seek(pos_ + n); }
+    std::size_t pos() const { return pos_; }
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+
+private:
+    std::span<const std::byte> bytes_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace bat

@@ -1,0 +1,58 @@
+#pragma once
+// Error-handling primitives shared across the library.
+//
+// BAT_CHECK(cond) / BAT_CHECK_MSG(cond, msg): precondition and invariant
+// checks that are always on (I/O libraries must not silently corrupt data).
+// Failures throw bat::Error so callers — including the C API shim — can
+// translate them into error codes instead of aborting the simulation.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bat {
+
+/// Exception type thrown on any precondition, format, or I/O failure.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+    std::ostringstream os;
+    os << "BAT_CHECK failed: (" << expr << ") at " << file << ":" << line;
+    if (!msg.empty()) {
+        os << ": " << msg;
+    }
+    throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace bat
+
+#define BAT_CHECK(cond)                                                      \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::bat::detail::check_failed(#cond, __FILE__, __LINE__, "");      \
+        }                                                                    \
+    } while (false)
+
+#define BAT_CHECK_MSG(cond, msg)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream bat_check_os_;                                \
+            bat_check_os_ << msg;                                            \
+            ::bat::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                        bat_check_os_.str());                \
+        }                                                                    \
+    } while (false)
+
+#define BAT_FAIL(msg)                                                        \
+    do {                                                                     \
+        std::ostringstream bat_check_os_;                                    \
+        bat_check_os_ << msg;                                                \
+        ::bat::detail::check_failed("unreachable", __FILE__, __LINE__,       \
+                                    bat_check_os_.str());                    \
+    } while (false)

@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace bat {
+
+namespace {
+
+std::atomic<int> g_level{[] {
+    if (const char* env = std::getenv("BAT_LOG")) {
+        return std::atoi(env);
+    }
+    return static_cast<int>(LogLevel::warn);
+}()};
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::error: return "ERROR";
+        case LogLevel::warn: return "WARN";
+        case LogLevel::info: return "INFO";
+        case LogLevel::debug: return "DEBUG";
+        default: return "?";
+    }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    std::fprintf(stderr, "[bat %s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace bat

@@ -1,0 +1,35 @@
+#pragma once
+// Tiny leveled logger. Quiet by default (warnings and errors only) so test
+// and benchmark output stays parseable; verbosity is raised via
+// bat::set_log_level or the BAT_LOG environment variable (0=off .. 3=debug).
+
+#include <sstream>
+#include <string>
+
+namespace bat {
+
+enum class LogLevel : int { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace bat
+
+#define BAT_LOG_AT(level, msg)                                       \
+    do {                                                             \
+        if (static_cast<int>(::bat::log_level()) >=                  \
+            static_cast<int>(level)) {                               \
+            std::ostringstream bat_log_os_;                          \
+            bat_log_os_ << msg;                                      \
+            ::bat::detail::log_emit(level, bat_log_os_.str());       \
+        }                                                            \
+    } while (false)
+
+#define BAT_LOG_ERROR(msg) BAT_LOG_AT(::bat::LogLevel::error, msg)
+#define BAT_LOG_WARN(msg) BAT_LOG_AT(::bat::LogLevel::warn, msg)
+#define BAT_LOG_INFO(msg) BAT_LOG_AT(::bat::LogLevel::info, msg)
+#define BAT_LOG_DEBUG(msg) BAT_LOG_AT(::bat::LogLevel::debug, msg)

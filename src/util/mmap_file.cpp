@@ -1,0 +1,89 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+MappedFile::MappedFile(const std::filesystem::path& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    BAT_CHECK_MSG(fd >= 0, "open(" << path << ") failed: " << std::strerror(errno));
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        BAT_FAIL("fstat(" << path << ") failed: " << std::strerror(errno));
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ == 0) {
+        ::close(fd);
+        data_ = nullptr;
+        return;
+    }
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    BAT_CHECK_MSG(p != MAP_FAILED, "mmap(" << path << ") failed: " << std::strerror(errno));
+    data_ = p;
+}
+
+MappedFile::~MappedFile() { close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+        close();
+        data_ = other.data_;
+        size_ = other.size_;
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+void MappedFile::close() {
+    if (data_ != nullptr) {
+        ::munmap(data_, size_);
+        data_ = nullptr;
+        size_ = 0;
+    }
+}
+
+void write_file(const std::filesystem::path& path, std::span<const std::byte> bytes) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    BAT_CHECK_MSG(f != nullptr, "fopen(" << path << ") failed: " << std::strerror(errno));
+    std::size_t written = 0;
+    if (!bytes.empty()) {
+        written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    }
+    const int rc = std::fclose(f);
+    BAT_CHECK_MSG(written == bytes.size() && rc == 0, "short write to " << path);
+}
+
+std::vector<std::byte> read_file(const std::filesystem::path& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    BAT_CHECK_MSG(f != nullptr, "fopen(" << path << ") failed: " << std::strerror(errno));
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::byte> out(static_cast<std::size_t>(size));
+    std::size_t got = 0;
+    if (size > 0) {
+        got = std::fread(out.data(), 1, out.size(), f);
+    }
+    std::fclose(f);
+    BAT_CHECK_MSG(got == out.size(), "short read from " << path);
+    return out;
+}
+
+}  // namespace bat

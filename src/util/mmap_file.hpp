@@ -1,0 +1,46 @@
+#pragma once
+// Memory-mapped read access to BAT files. The on-disk layout (4 KB-aligned
+// treelets, paper Fig 2) is designed so visualization reads can mmap the
+// file and let the OS page cache serve frequently-accessed regions
+// (paper §V). Also provides plain buffered whole-file read/write helpers.
+
+#include <cstddef>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bat {
+
+/// RAII read-only memory mapping of a whole file.
+class MappedFile {
+public:
+    MappedFile() = default;
+    explicit MappedFile(const std::filesystem::path& path);
+    ~MappedFile();
+
+    MappedFile(MappedFile&& other) noexcept;
+    MappedFile& operator=(MappedFile&& other) noexcept;
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+
+    bool valid() const { return data_ != nullptr; }
+    std::size_t size() const { return size_; }
+    std::span<const std::byte> bytes() const {
+        return {static_cast<const std::byte*>(data_), size_};
+    }
+
+private:
+    void close();
+    void* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/// Write `bytes` to `path` atomically enough for our purposes (truncate +
+/// single write). Throws bat::Error on failure.
+void write_file(const std::filesystem::path& path, std::span<const std::byte> bytes);
+
+/// Read an entire file into memory. Throws bat::Error on failure.
+std::vector<std::byte> read_file(const std::filesystem::path& path);
+
+}  // namespace bat

@@ -1,0 +1,65 @@
+#include "util/morton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+std::uint64_t morton_part1by2(std::uint32_t v) {
+    std::uint64_t x = v & 0x1fffff;  // keep 21 bits
+    x = (x | x << 32) & 0x1f00000000ffffULL;
+    x = (x | x << 16) & 0x1f0000ff0000ffULL;
+    x = (x | x << 8) & 0x100f00f00f00f00fULL;
+    x = (x | x << 4) & 0x10c30c30c30c30c3ULL;
+    x = (x | x << 2) & 0x1249249249249249ULL;
+    return x;
+}
+
+std::uint32_t morton_compact1by2(std::uint64_t x) {
+    x &= 0x1249249249249249ULL;
+    x = (x ^ (x >> 2)) & 0x10c30c30c30c30c3ULL;
+    x = (x ^ (x >> 4)) & 0x100f00f00f00f00fULL;
+    x = (x ^ (x >> 8)) & 0x1f0000ff0000ffULL;
+    x = (x ^ (x >> 16)) & 0x1f00000000ffffULL;
+    x = (x ^ (x >> 32)) & 0x1fffffULL;
+    return static_cast<std::uint32_t>(x);
+}
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (morton_part1by2(x) << 2) | (morton_part1by2(y) << 1) | morton_part1by2(z);
+}
+
+void morton_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y, std::uint32_t& z) {
+    x = morton_compact1by2(code >> 2);
+    y = morton_compact1by2(code >> 1);
+    z = morton_compact1by2(code);
+}
+
+std::uint64_t morton_encode_position(Vec3 p, const Box& bounds) {
+    BAT_CHECK(!bounds.empty());
+    const Vec3 ext = bounds.extent();
+    constexpr float kGrid = static_cast<float>(1u << kMortonBitsPerAxis);
+    std::uint32_t q[3];
+    for (int a = 0; a < 3; ++a) {
+        // Degenerate axes (all particles share a coordinate) map to cell 0.
+        float t = ext[a] > 0.f ? (p[a] - bounds.lower[a]) / ext[a] : 0.f;
+        t = std::clamp(t, 0.f, 1.f);
+        const auto cell = static_cast<std::uint32_t>(t * kGrid);
+        q[a] = std::min(cell, (1u << kMortonBitsPerAxis) - 1);
+    }
+    return morton_encode(q[0], q[1], q[2]);
+}
+
+int morton_bit_axis(int bit) {
+    BAT_CHECK(bit >= 0 && bit < kMortonBits);
+    // morton_encode places x bits at positions 3k+2, y at 3k+1, z at 3k.
+    switch (bit % 3) {
+        case 2: return 0;
+        case 1: return 1;
+        default: return 2;
+    }
+}
+
+}  // namespace bat

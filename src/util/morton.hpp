@@ -1,0 +1,41 @@
+#pragma once
+// 3D Morton (Z-order) codes. The BAT builder quantizes particle positions to
+// a 2^21 grid inside the aggregator's bounds and interleaves the bits into a
+// 63-bit code (21 bits per axis), matching the precision commonly used for
+// Karras-style bottom-up tree builds.
+
+#include <cstdint>
+
+#include "util/vec3.hpp"
+
+namespace bat {
+
+/// Bits used per axis in a 63-bit Morton code.
+inline constexpr int kMortonBitsPerAxis = 21;
+/// Total bits in a Morton code.
+inline constexpr int kMortonBits = 3 * kMortonBitsPerAxis;
+
+/// Spread the low 21 bits of `v` so consecutive bits land three apart.
+std::uint64_t morton_part1by2(std::uint32_t v);
+
+/// Inverse of morton_part1by2: compact every third bit back together.
+std::uint32_t morton_compact1by2(std::uint64_t v);
+
+/// Interleave three 21-bit integer coordinates into a 63-bit Morton code.
+/// Bit layout: the most significant interleaved bit comes from x.
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+/// Recover the three 21-bit coordinates from a Morton code.
+void morton_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y, std::uint32_t& z);
+
+/// Quantize a position inside `bounds` to the Morton grid and encode it.
+/// Positions on the upper boundary map to the last cell.
+std::uint64_t morton_encode_position(Vec3 p, const Box& bounds);
+
+/// Axis (0=x, 1=y, 2=z) that the bit at position `bit` (0 = LSB) splits.
+/// With the layout produced by morton_encode, bit index b counts from the
+/// LSB; the axis cycles z, y, x as b increases... concretely:
+/// bit 3k   -> z, bit 3k+1 -> y, bit 3k+2 -> x.
+int morton_bit_axis(int bit);
+
+}  // namespace bat

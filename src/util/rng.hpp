@@ -1,0 +1,88 @@
+#pragma once
+// Deterministic, seedable PRNG (PCG32). Every stochastic component in the
+// library (workload generators, stratified LOD sampling, tests) draws from a
+// seeded Pcg32 so runs are bit-reproducible across machines — a requirement
+// for comparing adaptive vs. baseline aggregation on "the same" data.
+
+#include <cmath>
+#include <cstdint>
+
+namespace bat {
+
+/// Minimal PCG32 generator (O'Neill, pcg-random.org; XSH-RR variant).
+class Pcg32 {
+public:
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+        state_ = 0u;
+        inc_ = (stream << 1u) | 1u;
+        next_u32();
+        state_ += seed;
+        next_u32();
+    }
+
+    std::uint32_t next_u32() {
+        const std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        const auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+    }
+
+    std::uint64_t next_u64() {
+        return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+    }
+
+    /// Uniform in [0, 1).
+    float next_float() {
+        return static_cast<float>(next_u32() >> 8) * (1.f / 16777216.f);
+    }
+
+    /// Uniform in [0, 1).
+    double next_double() {
+        return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /// Uniform in [lo, hi).
+    float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+    /// Unbiased uniform integer in [0, bound). bound must be > 0.
+    std::uint32_t next_bounded(std::uint32_t bound) {
+        const std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            const std::uint32_t r = next_u32();
+            if (r >= threshold) {
+                return r % bound;
+            }
+        }
+    }
+
+    /// Standard normal via Box-Muller (one value per call; simple, adequate).
+    float next_normal();
+
+private:
+    std::uint64_t state_ = 0;
+    std::uint64_t inc_ = 0;
+};
+
+inline float Pcg32::next_normal() {
+    // Box-Muller; discard the second value for simplicity.
+    float u1 = next_float();
+    const float u2 = next_float();
+    if (u1 < 1e-12f) {
+        u1 = 1e-12f;
+    }
+    const float r = std::sqrt(-2.f * std::log(u1));
+    return r * std::cos(6.28318530718f * u2);
+}
+
+/// Derive a child seed deterministically (splitmix64 finalizer) so that
+/// per-rank / per-timestep streams are independent but reproducible.
+inline std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace bat

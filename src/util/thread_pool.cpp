@@ -1,0 +1,159 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+TaskGroup::~TaskGroup() {
+    // A group must be drained before destruction; waiting here keeps the
+    // failure mode (forgot to wait) safe instead of a use-after-free.
+    if (pending_.load(std::memory_order_acquire) != 0) {
+        try {
+            wait();
+        } catch (...) {
+            // Destructors must not throw; the error was already recorded.
+        }
+    }
+}
+
+void TaskGroup::run(std::function<void()> f) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    pool_.enqueue(ThreadPool::Task{std::move(f), this});
+}
+
+void TaskGroup::wait() {
+    while (pending_.load(std::memory_order_acquire) != 0) {
+        if (!pool_.try_run_one()) {
+            std::this_thread::yield();
+        }
+    }
+    std::lock_guard<std::mutex> lock(err_mutex_);
+    if (first_error_) {
+        std::exception_ptr e = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+std::size_t ThreadPool::default_concurrency() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0;
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutting_down_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+    // Drain any tasks that never got picked up (possible with 0 workers).
+    while (try_run_one()) {
+    }
+}
+
+void ThreadPool::enqueue(Task t) {
+    if (workers_.empty()) {
+        // Inline execution keeps zero-thread pools functional.
+        execute(t);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(t));
+    }
+    cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+    Task t;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty()) {
+            return false;
+        }
+        t = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    execute(t);
+    return true;
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        Task t;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (shutting_down_) {
+                    return;
+                }
+                continue;
+            }
+            t = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        execute(t);
+    }
+}
+
+void ThreadPool::execute(Task& t) {
+    TaskGroup* g = t.group;
+    try {
+        t.fn();
+    } catch (...) {
+        if (g != nullptr) {
+            std::lock_guard<std::mutex> lock(g->err_mutex_);
+            if (!g->first_error_) {
+                g->first_error_ = std::current_exception();
+            }
+        }
+    }
+    if (g != nullptr) {
+        g->pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& f, std::size_t grain) {
+    BAT_CHECK(begin <= end);
+    BAT_CHECK(grain > 0);
+    if (begin == end) {
+        return;
+    }
+    if (workers_.empty() || end - begin <= grain) {
+        for (std::size_t i = begin; i < end; ++i) {
+            f(i);
+        }
+        return;
+    }
+    TaskGroup group(*this);
+    for (std::size_t chunk = begin; chunk < end; chunk += grain) {
+        const std::size_t hi = std::min(chunk + grain, end);
+        group.run([&f, chunk, hi] {
+            for (std::size_t i = chunk; i < hi; ++i) {
+                f(i);
+            }
+        });
+    }
+    group.wait();
+}
+
+}  // namespace bat

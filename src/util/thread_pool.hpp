@@ -1,0 +1,95 @@
+#pragma once
+// Task pool replacing Intel TBB in the original system. The aggregation
+// tree, Karras build, and treelet construction use fork/join-style task
+// parallelism: a task is spawned for the right subtree while the current
+// worker descends the left (paper §III-A).
+//
+// The pool supports nested task submission from inside tasks (workers that
+// block in TaskGroup::wait help execute pending tasks, so recursive
+// parallelism cannot deadlock).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bat {
+
+class ThreadPool;
+
+/// A group of tasks forming one fork/join region. wait() participates in
+/// execution (work-helping) rather than blocking, so nested groups are safe.
+class TaskGroup {
+public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+    ~TaskGroup();
+
+    /// Enqueue a task belonging to this group.
+    void run(std::function<void()> f);
+
+    /// Block until every task run() on this group has finished, helping to
+    /// execute queued tasks in the meantime. Rethrows the first exception
+    /// raised by any task in the group.
+    void wait();
+
+private:
+    friend class ThreadPool;
+    ThreadPool& pool_;
+    std::atomic<std::size_t> pending_{0};
+    std::mutex err_mutex_;
+    std::exception_ptr first_error_;
+};
+
+/// Fixed-size pool of worker threads with a shared FIFO queue.
+class ThreadPool {
+public:
+    /// 0 threads is allowed: every task then runs inline at wait()/run()
+    /// time on the calling thread, which keeps single-core machines and
+    /// deterministic unit tests simple.
+    explicit ThreadPool(std::size_t num_threads = default_concurrency());
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t num_threads() const { return workers_.size(); }
+
+    /// Hardware concurrency minus one (the caller participates via wait()),
+    /// at least 0.
+    static std::size_t default_concurrency();
+
+    /// Process-wide shared pool, sized by default_concurrency().
+    static ThreadPool& global();
+
+    /// Parallel for over [begin, end) in contiguous chunks. `f` is called
+    /// as f(index) for each index. Grain controls the chunk size.
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& f, std::size_t grain = 1024);
+
+private:
+    friend class TaskGroup;
+
+    struct Task {
+        std::function<void()> fn;
+        TaskGroup* group = nullptr;
+    };
+
+    void enqueue(Task t);
+    bool try_run_one();  // returns false if the queue was empty
+    void worker_loop();
+    void execute(Task& t);
+
+    std::vector<std::thread> workers_;
+    std::deque<Task> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool shutting_down_ = false;
+};
+
+}  // namespace bat

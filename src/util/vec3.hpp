@@ -1,0 +1,112 @@
+#pragma once
+// Minimal 3D vector and axis-aligned bounding box types used throughout the
+// library. Positions are single-precision (matching the paper's particle
+// format: three float coordinates); box arithmetic is done in float with
+// care to keep containment checks conservative.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace bat {
+
+struct Vec3 {
+    float x = 0.f;
+    float y = 0.f;
+    float z = 0.f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+    explicit constexpr Vec3(float v) : x(v), y(v), z(v) {}
+
+    constexpr float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+    float& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+
+    friend constexpr Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+    friend constexpr Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+    friend constexpr Vec3 operator*(Vec3 a, float s) { return {a.x * s, a.y * s, a.z * s}; }
+    friend constexpr Vec3 operator*(float s, Vec3 a) { return a * s; }
+    friend constexpr Vec3 operator/(Vec3 a, float s) { return {a.x / s, a.y / s, a.z / s}; }
+    friend constexpr bool operator==(Vec3 a, Vec3 b) {
+        return a.x == b.x && a.y == b.y && a.z == b.z;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, Vec3 v) {
+        return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+    }
+};
+
+inline Vec3 min(Vec3 a, Vec3 b) {
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+inline Vec3 max(Vec3 a, Vec3 b) {
+    return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+/// Axis-aligned bounding box. A default-constructed box is empty (inverted).
+struct Box {
+    Vec3 lower{std::numeric_limits<float>::max(), std::numeric_limits<float>::max(),
+               std::numeric_limits<float>::max()};
+    Vec3 upper{std::numeric_limits<float>::lowest(), std::numeric_limits<float>::lowest(),
+               std::numeric_limits<float>::lowest()};
+
+    constexpr Box() = default;
+    constexpr Box(Vec3 lo, Vec3 hi) : lower(lo), upper(hi) {}
+
+    bool empty() const {
+        return lower.x > upper.x || lower.y > upper.y || lower.z > upper.z;
+    }
+
+    void extend(Vec3 p) {
+        lower = min(lower, p);
+        upper = max(upper, p);
+    }
+    void extend(const Box& b) {
+        lower = min(lower, b.lower);
+        upper = max(upper, b.upper);
+    }
+
+    Vec3 extent() const { return upper - lower; }
+    Vec3 center() const { return (lower + upper) * 0.5f; }
+
+    /// Index (0=x,1=y,2=z) of the longest axis.
+    int longest_axis() const {
+        const Vec3 e = extent();
+        if (e.x >= e.y && e.x >= e.z) return 0;
+        if (e.y >= e.z) return 1;
+        return 2;
+    }
+
+    bool contains(Vec3 p) const {
+        return p.x >= lower.x && p.x <= upper.x && p.y >= lower.y && p.y <= upper.y &&
+               p.z >= lower.z && p.z <= upper.z;
+    }
+
+    bool overlaps(const Box& b) const {
+        return lower.x <= b.upper.x && upper.x >= b.lower.x && lower.y <= b.upper.y &&
+               upper.y >= b.lower.y && lower.z <= b.upper.z && upper.z >= b.lower.z;
+    }
+
+    /// True when `b` lies entirely within this box.
+    bool contains_box(const Box& b) const {
+        return contains(b.lower) && contains(b.upper);
+    }
+
+    friend bool operator==(const Box& a, const Box& b) {
+        return a.lower == b.lower && a.upper == b.upper;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+        return os << "[" << b.lower << " - " << b.upper << "]";
+    }
+};
+
+inline Box intersection(const Box& a, const Box& b) {
+    Box r(max(a.lower, b.lower), min(a.upper, b.upper));
+    return r;
+}
+
+}  // namespace bat

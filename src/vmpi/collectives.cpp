@@ -1,0 +1,78 @@
+// Composite collectives built on the point-to-point layer. Separated from
+// comm.cpp to keep the core matching logic readable.
+
+#include "vmpi/comm.hpp"
+
+namespace bat::vmpi {
+
+std::vector<Bytes> Comm::allgatherv(Bytes payload) {
+    // gatherv to rank 0, then rank 0 rebroadcasts the concatenated set.
+    std::vector<Bytes> gathered = gatherv(std::move(payload), 0);
+    const int tag = next_collective_tag();
+    if (rank() == 0) {
+        // Serialize as [count][len, bytes]*.
+        std::size_t total = sizeof(std::uint64_t);
+        for (const auto& b : gathered) {
+            total += sizeof(std::uint64_t) + b.size();
+        }
+        Bytes packed;
+        packed.reserve(total);
+        auto append = [&packed](const void* p, std::size_t n) {
+            const auto* bp = static_cast<const std::byte*>(p);
+            packed.insert(packed.end(), bp, bp + n);
+        };
+        const std::uint64_t count = gathered.size();
+        append(&count, sizeof(count));
+        for (const auto& b : gathered) {
+            const std::uint64_t len = b.size();
+            append(&len, sizeof(len));
+            append(b.data(), b.size());
+        }
+        for (int r = 1; r < size(); ++r) {
+            isend(r, tag, packed);
+        }
+        return gathered;
+    }
+    const Bytes packed = recv(0, tag);
+    std::size_t pos = 0;
+    auto take = [&packed, &pos](void* p, std::size_t n) {
+        BAT_CHECK(pos + n <= packed.size());
+        std::memcpy(p, packed.data() + pos, n);
+        pos += n;
+    };
+    std::uint64_t count = 0;
+    take(&count, sizeof(count));
+    std::vector<Bytes> out(count);
+    for (auto& b : out) {
+        std::uint64_t len = 0;
+        take(&len, sizeof(len));
+        b.resize(len);
+        if (len > 0) {
+            take(b.data(), len);
+        }
+    }
+    return out;
+}
+
+std::vector<Bytes> Comm::alltoallv(std::vector<Bytes> payloads) {
+    BAT_CHECK_MSG(static_cast<int>(payloads.size()) == size(),
+                  "alltoallv requires one payload per rank");
+    const int tag = next_collective_tag();
+    for (int r = 0; r < size(); ++r) {
+        if (r == rank()) {
+            continue;
+        }
+        isend(r, tag, std::move(payloads[static_cast<std::size_t>(r)]));
+    }
+    std::vector<Bytes> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank())] = std::move(payloads[static_cast<std::size_t>(rank())]);
+    for (int r = 0; r < size(); ++r) {
+        if (r == rank()) {
+            continue;
+        }
+        out[static_cast<std::size_t>(r)] = recv(r, tag);
+    }
+    return out;
+}
+
+}  // namespace bat::vmpi

@@ -1,0 +1,150 @@
+#include "vmpi/comm.hpp"
+
+#include <thread>
+
+namespace bat::vmpi {
+
+// ---- Request --------------------------------------------------------------
+
+bool Request::test() {
+    BAT_CHECK_MSG(impl_ != nullptr, "test() on an empty Request");
+    if (impl_->done) {
+        return true;
+    }
+    if (impl_->poll()) {
+        impl_->done = true;
+    }
+    return impl_->done;
+}
+
+void Request::wait() {
+    while (!test()) {
+        std::this_thread::yield();
+    }
+}
+
+void wait_all(std::span<Request> reqs) {
+    for (auto& r : reqs) {
+        r.wait();
+    }
+}
+
+// ---- Comm point-to-point ----------------------------------------------------
+
+int Comm::size() const { return rt_->size(); }
+
+Request Comm::isend(int dst, int tag, Bytes payload) {
+    BAT_CHECK_MSG(dst >= 0 && dst < size(), "isend to invalid rank " << dst);
+    rt_->deliver(dst, Runtime::Message{rank_, tag, std::move(payload)});
+    auto impl = std::make_shared<Request::Impl>();
+    impl->done = true;  // buffered send: complete on return
+    impl->poll = [] { return true; };
+    return Request(std::move(impl));
+}
+
+Request Comm::isend(int dst, int tag, std::span<const std::byte> payload) {
+    return isend(dst, tag, Bytes(payload.begin(), payload.end()));
+}
+
+Request Comm::irecv(int src, int tag, Bytes& out, int* from) {
+    Runtime* rt = rt_;
+    const int me = rank_;
+    auto impl = std::make_shared<Request::Impl>();
+    Bytes* out_ptr = &out;
+    impl->poll = [rt, me, src, tag, out_ptr, from] {
+        return rt->try_match(me, src, tag, out_ptr, from, /*consume=*/true, nullptr);
+    };
+    return Request(std::move(impl));
+}
+
+void Comm::send(int dst, int tag, std::span<const std::byte> payload) {
+    isend(dst, tag, payload);
+}
+
+Bytes Comm::recv(int src, int tag, int* from) {
+    Bytes out;
+    Request r = irecv(src, tag, out, from);
+    r.wait();
+    return out;
+}
+
+bool Comm::iprobe(int src, int tag, int* from, std::size_t* bytes) {
+    return rt_->try_match(rank_, src, tag, nullptr, from, /*consume=*/false, bytes);
+}
+
+int Comm::next_collective_tag() {
+    // Collective tags cycle through a large reserved space; p2p traffic in
+    // flight concurrently with collectives uses tags < kMaxUserTag so the
+    // spaces never collide.
+    const int tag = kMaxUserTag + static_cast<int>(collective_seq_ % (1u << 10));
+    ++collective_seq_;
+    return tag;
+}
+
+// ---- Comm collectives -------------------------------------------------------
+
+void Comm::barrier() { ibarrier().wait(); }
+
+Request Comm::ibarrier() {
+    // All ranks call collectives in the same order, so this rank's sequence
+    // number identifies the same ibarrier instance on every rank.
+    const std::uint64_t seq = ibarrier_seq_++;
+    Runtime::IbarrierState& st = rt_->ibarrier_state(seq);
+    st.arrived.fetch_add(1, std::memory_order_acq_rel);
+    Runtime* rt = rt_;
+    auto impl = std::make_shared<Request::Impl>();
+    impl->poll = [rt, &st] {
+        return st.arrived.load(std::memory_order_acquire) >= rt->size();
+    };
+    return Request(std::move(impl));
+}
+
+std::vector<Bytes> Comm::gatherv(Bytes payload, int root) {
+    const int tag = next_collective_tag();
+    std::vector<Bytes> out;
+    if (rank() == root) {
+        out.resize(static_cast<std::size_t>(size()));
+        out[static_cast<std::size_t>(root)] = std::move(payload);
+        for (int r = 0; r < size(); ++r) {
+            if (r == root) {
+                continue;
+            }
+            out[static_cast<std::size_t>(r)] = recv(r, tag);
+        }
+    } else {
+        isend(root, tag, std::move(payload));
+    }
+    return out;
+}
+
+Bytes Comm::scatterv(std::vector<Bytes> payloads, int root) {
+    const int tag = next_collective_tag();
+    if (rank() == root) {
+        BAT_CHECK_MSG(static_cast<int>(payloads.size()) == size(),
+                      "scatterv requires one payload per rank on root");
+        for (int r = 0; r < size(); ++r) {
+            if (r == root) {
+                continue;
+            }
+            isend(r, tag, std::move(payloads[static_cast<std::size_t>(r)]));
+        }
+        return std::move(payloads[static_cast<std::size_t>(root)]);
+    }
+    return recv(root, tag);
+}
+
+Bytes Comm::bcast(Bytes payload, int root) {
+    const int tag = next_collective_tag();
+    if (rank() == root) {
+        for (int r = 0; r < size(); ++r) {
+            if (r == root) {
+                continue;
+            }
+            isend(r, tag, payload);
+        }
+        return payload;
+    }
+    return recv(root, tag);
+}
+
+}  // namespace bat::vmpi

@@ -1,0 +1,274 @@
+#pragma once
+// Virtual MPI: an in-process message-passing runtime.
+//
+// The paper's I/O library is built on MPI nonblocking point-to-point calls,
+// collectives, and MPI_Ibarrier (used by the client–server read loop,
+// paper §IV-B). This module provides the same semantics with ranks running
+// as threads of one process and messages passed through per-rank mailboxes:
+//
+//   - isend / irecv with (source, tag) matching, MPI-like FIFO ordering per
+//     (source, destination, tag) channel, and ANY_SOURCE receives;
+//   - iprobe, for server loops that poll for incoming queries;
+//   - barrier and a true nonblocking ibarrier;
+//   - gather(v) / scatter(v) / bcast / allreduce built over point-to-point.
+//
+// Sends are buffered (the payload is moved/copied into the destination
+// mailbox immediately), so send requests complete instantly — the same
+// guarantee simulations rely on for small-to-moderate MPI_Isend payloads,
+// and a semantics under which no paper algorithm here can deadlock.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace bat::vmpi {
+
+using Bytes = std::vector<std::byte>;
+
+/// Wildcard source for irecv/iprobe.
+inline constexpr int kAnySource = -1;
+
+/// User point-to-point tags must be below this; tags at or above it are
+/// reserved for collectives.
+inline constexpr int kMaxUserTag = 1 << 20;
+
+class Runtime;
+class Comm;
+
+/// Completion handle for a nonblocking operation. Requests are cheap,
+/// movable handles; test() polls, wait() blocks (yield-spinning).
+class Request {
+public:
+    Request() = default;
+
+    /// True once the operation has completed. Idempotent.
+    bool test();
+    /// Block until complete.
+    void wait();
+    bool valid() const { return impl_ != nullptr; }
+
+private:
+    friend class Comm;
+    struct Impl {
+        // Returns true when the operation is complete; called under no lock.
+        std::function<bool()> poll;
+        bool done = false;
+    };
+    explicit Request(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+    std::shared_ptr<Impl> impl_;
+};
+
+/// Wait for every request in `reqs` to complete.
+void wait_all(std::span<Request> reqs);
+
+/// One rank's endpoint. Obtained from Runtime; all methods are called from
+/// the rank's own thread.
+class Comm {
+public:
+    int rank() const { return rank_; }
+    int size() const;
+
+    // ---- point-to-point -------------------------------------------------
+    /// Buffered nonblocking send; the returned request is already complete.
+    Request isend(int dst, int tag, Bytes payload);
+    Request isend(int dst, int tag, std::span<const std::byte> payload);
+
+    /// Nonblocking receive into `out` (resized to the message length on
+    /// completion). `src` may be kAnySource. If `from` is non-null it
+    /// receives the actual source rank on completion.
+    Request irecv(int src, int tag, Bytes& out, int* from = nullptr);
+
+    /// Blocking convenience wrappers.
+    void send(int dst, int tag, std::span<const std::byte> payload);
+    Bytes recv(int src, int tag, int* from = nullptr);
+
+    /// Nonblocking probe: true if a matching message is waiting; fills
+    /// `from`/`bytes` if provided. Does not consume the message.
+    bool iprobe(int src, int tag, int* from = nullptr, std::size_t* bytes = nullptr);
+
+    // ---- typed helpers --------------------------------------------------
+    template <typename T>
+    Request isend_value(int dst, int tag, const T& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Bytes b(sizeof(T));
+        std::memcpy(b.data(), &v, sizeof(T));
+        return isend(dst, tag, std::move(b));
+    }
+
+    template <typename T>
+    T recv_value(int src, int tag, int* from = nullptr) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const Bytes b = recv(src, tag, from);
+        BAT_CHECK(b.size() == sizeof(T));
+        T v;
+        std::memcpy(&v, b.data(), sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    Request isend_vector(int dst, int tag, std::span<const T> v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Bytes b(v.size_bytes());
+        if (!v.empty()) {
+            std::memcpy(b.data(), v.data(), v.size_bytes());
+        }
+        return isend(dst, tag, std::move(b));
+    }
+
+    template <typename T>
+    std::vector<T> recv_vector(int src, int tag, int* from = nullptr) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const Bytes b = recv(src, tag, from);
+        BAT_CHECK(b.size() % sizeof(T) == 0);
+        std::vector<T> v(b.size() / sizeof(T));
+        if (!v.empty()) {
+            std::memcpy(v.data(), b.data(), b.size());
+        }
+        return v;
+    }
+
+    // ---- collectives (must be called by all ranks, in the same order) ---
+    void barrier();
+    /// Nonblocking barrier: the request completes once every rank has
+    /// entered the same ibarrier invocation.
+    Request ibarrier();
+
+    /// Gather fixed-size values to root; returns size() values on root,
+    /// empty elsewhere.
+    template <typename T>
+    std::vector<T> gather(const T& v, int root);
+
+    /// Gather variable-length byte payloads to root.
+    std::vector<Bytes> gatherv(Bytes payload, int root);
+
+    /// Scatter one payload per rank from root; returns this rank's payload.
+    Bytes scatterv(std::vector<Bytes> payloads, int root);
+
+    /// Broadcast root's payload to all ranks.
+    Bytes bcast(Bytes payload, int root);
+
+    /// All-reduce with a binary op over fixed-size values.
+    template <typename T, typename Op>
+    T allreduce(const T& v, Op op);
+
+    /// All ranks receive every rank's payload (gatherv + bcast semantics).
+    std::vector<Bytes> allgatherv(Bytes payload);
+
+    /// Personalized all-to-all: send payloads[r] to rank r, receive one
+    /// payload from every rank.
+    std::vector<Bytes> alltoallv(std::vector<Bytes> payloads);
+
+private:
+    friend class Runtime;
+    Comm(Runtime* rt, int rank) : rt_(rt), rank_(rank) {}
+
+    int next_collective_tag();
+
+    Runtime* rt_ = nullptr;
+    int rank_ = 0;
+    std::uint32_t collective_seq_ = 0;
+    std::uint64_t ibarrier_seq_ = 0;
+};
+
+/// Owns the mailboxes and launches rank threads.
+class Runtime {
+public:
+    /// Run `fn(comm)` on `nranks` ranks, each on its own thread. Rethrows
+    /// the first exception raised by any rank (after all ranks joined or
+    /// the failure is fatal).
+    static void run(int nranks, const std::function<void(Comm&)>& fn);
+
+    int size() const { return nranks_; }
+
+private:
+    friend class Comm;
+    friend class Request;
+
+    explicit Runtime(int nranks);
+
+    struct Message {
+        int src;
+        int tag;
+        Bytes payload;
+    };
+
+    struct Mailbox {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<Message> messages;
+    };
+
+    struct IbarrierState {
+        std::atomic<int> arrived{0};
+    };
+
+    // Deliver a message to dst's mailbox.
+    void deliver(int dst, Message msg);
+    // Try to remove a matching message from `rank`'s mailbox.
+    bool try_match(int rank, int src, int tag, Bytes* out, int* from, bool consume,
+                   std::size_t* bytes);
+
+    IbarrierState& ibarrier_state(std::uint64_t seq);
+
+    int nranks_;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+    std::mutex ibarrier_mutex_;
+    // Keyed by per-rank ibarrier sequence number; all ranks call ibarrier in
+    // the same order so sequence numbers align across ranks.
+    std::vector<std::unique_ptr<IbarrierState>> ibarrier_states_;
+};
+
+// ---- template implementations -------------------------------------------
+
+template <typename T>
+std::vector<T> Comm::gather(const T& v, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = next_collective_tag();
+    std::vector<T> out;
+    if (rank() == root) {
+        out.resize(static_cast<std::size_t>(size()));
+        out[static_cast<std::size_t>(root)] = v;
+        for (int r = 0; r < size(); ++r) {
+            if (r == root) {
+                continue;
+            }
+            out[static_cast<std::size_t>(r)] = recv_value<T>(r, tag);
+        }
+    } else {
+        isend_value(root, tag, v);
+    }
+    return out;
+}
+
+template <typename T, typename Op>
+T Comm::allreduce(const T& v, Op op) {
+    // Gather-to-0 then broadcast: O(P) but simple and deterministic
+    // (reduction order is rank order, independent of arrival order).
+    std::vector<T> all = gather(v, 0);
+    T result{};
+    if (rank() == 0) {
+        result = all[0];
+        for (int r = 1; r < size(); ++r) {
+            result = op(result, all[static_cast<std::size_t>(r)]);
+        }
+    }
+    Bytes b(sizeof(T));
+    if (rank() == 0) {
+        std::memcpy(b.data(), &result, sizeof(T));
+    }
+    b = bcast(std::move(b), 0);
+    std::memcpy(&result, b.data(), sizeof(T));
+    return result;
+}
+
+}  // namespace bat::vmpi

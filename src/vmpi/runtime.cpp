@@ -1,0 +1,92 @@
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "vmpi/comm.hpp"
+
+namespace bat::vmpi {
+
+Runtime::Runtime(int nranks) : nranks_(nranks) {
+    BAT_CHECK_MSG(nranks > 0, "Runtime requires at least one rank");
+    mailboxes_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        mailboxes_.push_back(std::make_unique<Mailbox>());
+    }
+}
+
+void Runtime::deliver(int dst, Message msg) {
+    Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+    {
+        std::lock_guard<std::mutex> lock(box.mutex);
+        box.messages.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+}
+
+bool Runtime::try_match(int rank, int src, int tag, Bytes* out, int* from, bool consume,
+                        std::size_t* bytes) {
+    Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+        if (it->tag != tag) {
+            continue;
+        }
+        if (src != kAnySource && it->src != src) {
+            continue;
+        }
+        if (from != nullptr) {
+            *from = it->src;
+        }
+        if (bytes != nullptr) {
+            *bytes = it->payload.size();
+        }
+        if (consume) {
+            if (out != nullptr) {
+                *out = std::move(it->payload);
+            }
+            box.messages.erase(it);
+        }
+        return true;
+    }
+    return false;
+}
+
+Runtime::IbarrierState& Runtime::ibarrier_state(std::uint64_t seq) {
+    std::lock_guard<std::mutex> lock(ibarrier_mutex_);
+    while (ibarrier_states_.size() <= seq) {
+        ibarrier_states_.push_back(std::make_unique<IbarrierState>());
+    }
+    return *ibarrier_states_[seq];
+}
+
+void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
+    Runtime rt(nranks);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+    std::atomic<bool> failed{false};
+
+    for (int r = 0; r < nranks; ++r) {
+        threads.emplace_back([&rt, &fn, &errors, &failed, r] {
+            Comm comm(&rt, r);
+            try {
+                fn(comm);
+            } catch (...) {
+                errors[static_cast<std::size_t>(r)] = std::current_exception();
+                failed.store(true, std::memory_order_release);
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    if (failed.load(std::memory_order_acquire)) {
+        for (auto& e : errors) {
+            if (e) {
+                std::rethrow_exception(e);
+            }
+        }
+    }
+}
+
+}  // namespace bat::vmpi

@@ -1,0 +1,166 @@
+#include "workloads/boiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workloads/decomposition.hpp"
+
+namespace bat {
+
+namespace {
+
+/// Deterministic per-particle trajectory. Particle `i` is injected from
+/// nozzle (i mod nozzles) at time tau(i); its position depends only on its
+/// age, so any timestep can be generated independently (no state carried
+/// between timesteps).
+struct BoilerModel {
+    const BoilerConfig& config;
+
+    /// Injection rate in particles per timestep.
+    double rate() const {
+        const double dt = std::max(1, config.t_end - config.t_start);
+        return static_cast<double>(config.particles_at_end - config.particles_at_start) / dt;
+    }
+
+    /// Injection timestep of particle i: the first particles_at_start
+    /// particles predate t_start (spread uniformly before it).
+    double injection_time(std::uint64_t i) const {
+        const double r = std::max(1e-9, rate());
+        const auto m0 = static_cast<double>(config.particles_at_start);
+        return static_cast<double>(config.t_start) + (static_cast<double>(i) - m0) / r;
+    }
+
+    Vec3 nozzle_position(int nozzle) const {
+        // Nozzles ring the lower side walls, injecting inward and upward.
+        const Vec3 c = config.domain.center();
+        const Vec3 ext = config.domain.extent();
+        const double angle =
+            2.0 * M_PI * static_cast<double>(nozzle) / config.num_nozzles;
+        return {c.x + 0.48f * ext.x * static_cast<float>(std::cos(angle)),
+                c.y + 0.48f * ext.y * static_cast<float>(std::sin(angle)),
+                config.domain.lower.z + 0.12f * ext.z};
+    }
+
+    Vec3 position(std::uint64_t i, int timestep) const {
+        const int nozzle = static_cast<int>(i % static_cast<std::uint64_t>(config.num_nozzles));
+        const double age =
+            std::max(0.0, static_cast<double>(timestep) - injection_time(i));
+        // Normalized progress along the trajectory; particles decelerate as
+        // they rise, so mass accumulates in the upper boiler over time.
+        const double s = 1.0 - std::exp(-age / 900.0);
+
+        Pcg32 rng(mix_seed(config.seed, i));
+        const Vec3 start = nozzle_position(nozzle);
+        const Vec3 c = config.domain.center();
+        const Vec3 ext = config.domain.extent();
+
+        // Inward motion with swirl around the vertical axis.
+        const double angle0 = std::atan2(start.y - c.y, start.x - c.x);
+        const double swirl = angle0 + 2.2 * s + 0.4 * rng.next_double();
+        const double radius = (0.48 - 0.40 * s) * 0.5 * (ext.x + ext.y) * 0.5 *
+                              (0.7 + 0.6 * rng.next_double());
+        const double rise = 0.12 + 0.80 * s * (0.8 + 0.4 * rng.next_double());
+
+        Vec3 p{c.x + static_cast<float>(radius * std::cos(swirl)),
+               c.y + static_cast<float>(radius * std::sin(swirl)),
+               config.domain.lower.z + static_cast<float>(rise) * ext.z};
+        // Turbulent jitter grows with age (plumes spread).
+        const float jitter = static_cast<float>(0.04 + 0.10 * s);
+        p.x += jitter * ext.x * (rng.next_float() - 0.5f);
+        p.y += jitter * ext.y * (rng.next_float() - 0.5f);
+        p.z += jitter * ext.z * (rng.next_float() - 0.5f);
+        p.x = std::clamp(p.x, config.domain.lower.x, config.domain.upper.x);
+        p.y = std::clamp(p.y, config.domain.lower.y, config.domain.upper.y);
+        p.z = std::clamp(p.z, config.domain.lower.z, config.domain.upper.z);
+        return p;
+    }
+
+    void attributes(std::uint64_t i, int timestep, std::span<double> out) const {
+        const double age =
+            std::max(0.0, static_cast<double>(timestep) - injection_time(i));
+        Pcg32 rng(mix_seed(config.seed ^ 0xA77B, i));
+        const double s = 1.0 - std::exp(-age / 900.0);
+        out[0] = 300.0 + 1400.0 * s + 30.0 * rng.next_double();        // temperature (K)
+        out[1] = 12.0 * std::exp(-age / 1200.0) + rng.next_double();   // |velocity|
+        out[2] = 1e-6 * (1.0 - 0.6 * s) * (0.8 + 0.4 * rng.next_double());  // mass
+        out[3] = std::clamp(1.0 - s + 0.05 * rng.next_double(), 0.0, 1.0);  // char frac
+        out[4] = 0.21 * (1.0 - s) + 0.01 * rng.next_double();          // O2
+        out[5] = 0.19 * s + 0.01 * rng.next_double();                  // CO2
+        out[6] = age;                                                  // residence time
+    }
+};
+
+}  // namespace
+
+std::uint64_t BoilerConfig::particles_at(int timestep) const {
+    const double t = std::clamp(static_cast<double>(timestep),
+                                static_cast<double>(t_start), static_cast<double>(t_end));
+    const double frac = (t - t_start) / std::max(1, t_end - t_start);
+    const auto n = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(particles_at_start) +
+                     frac * static_cast<double>(particles_at_end - particles_at_start)));
+    return n;
+}
+
+std::vector<std::string> boiler_attr_names() {
+    return {"temperature", "velocity", "mass", "char_fraction", "o2", "co2",
+            "residence_time"};
+}
+
+ParticleSet make_boiler_particles(const BoilerConfig& config, int timestep) {
+    BAT_CHECK(config.num_nozzles >= 1);
+    const std::uint64_t n = config.particles_at(timestep);
+    const BoilerModel model{config};
+    ParticleSet set(boiler_attr_names());
+    set.resize(n);
+    double attrs[7];
+    for (std::uint64_t i = 0; i < n; ++i) {
+        set.set_position(i, model.position(i, timestep));
+        model.attributes(i, timestep, attrs);
+        for (std::size_t a = 0; a < 7; ++a) {
+            set.attr_mut(a)[i] = attrs[a];
+        }
+    }
+    return set;
+}
+
+BoilerCounts boiler_rank_counts(const BoilerConfig& config, int timestep, int nranks,
+                                std::uint64_t max_sample) {
+    const std::uint64_t n = config.particles_at(timestep);
+    const BoilerModel model{config};
+    // Evenly strided sampling keeps every nozzle and injection-age stratum
+    // represented; counts are scaled back to the full population.
+    const std::uint64_t stride =
+        (max_sample > 0 && n > max_sample) ? (n + max_sample - 1) / max_sample : 1;
+    // First pass: data bounds (the Uintah decomposition is resized to fit
+    // the data bounds as they change over time).
+    std::vector<Vec3> positions;
+    positions.reserve(static_cast<std::size_t>(n / stride + 1));
+    Box bounds;
+    for (std::uint64_t i = 0; i < n; i += stride) {
+        positions.push_back(model.position(i, timestep));
+        bounds.extend(positions.back());
+    }
+    BoilerCounts out;
+    out.data_bounds = bounds;
+    const GridDecomp decomp = grid_decomp_3d(nranks, bounds);
+    out.rank_counts.assign(static_cast<std::size_t>(nranks), 0);
+    for (const Vec3& p : positions) {
+        out.rank_counts[static_cast<std::size_t>(decomp.owner(p))] += stride;
+    }
+    // Trim the overshoot from the last partial stride off the densest rank.
+    std::uint64_t total = 0;
+    for (std::uint64_t c : out.rank_counts) {
+        total += c;
+    }
+    if (total > n) {
+        auto& densest =
+            *std::max_element(out.rank_counts.begin(), out.rank_counts.end());
+        densest -= std::min(densest, total - n);
+    }
+    return out;
+}
+
+}  // namespace bat

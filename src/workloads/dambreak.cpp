@@ -1,0 +1,129 @@
+#include "workloads/dambreak.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workloads/decomposition.hpp"
+
+namespace bat {
+
+namespace {
+
+/// Fold x into [lo, hi] with mirror reflection (wave bouncing off walls).
+float reflect(float x, float lo, float hi) {
+    const float span = hi - lo;
+    if (span <= 0.f) {
+        return lo;
+    }
+    float t = std::fmod(x - lo, 2.f * span);
+    if (t < 0.f) {
+        t += 2.f * span;
+    }
+    return t <= span ? lo + t : hi - (t - span);
+}
+
+struct DamModel {
+    const DamBreakConfig& config;
+
+    Vec3 initial_position(std::uint64_t i) const {
+        Pcg32 rng(mix_seed(config.seed, i));
+        const Box& d = config.domain;
+        return {d.lower.x + config.column_width * rng.next_float(),
+                d.lower.y + d.extent().y * rng.next_float(),
+                d.lower.z + config.column_height * rng.next_float()};
+    }
+
+    Vec3 position(std::uint64_t i, int timestep) const {
+        const Vec3 p0 = initial_position(i);
+        Pcg32 rng(mix_seed(config.seed ^ 0x5EED, i));
+        const Box& d = config.domain;
+        const float s = std::clamp(
+            static_cast<float>(timestep) / static_cast<float>(config.t_final), 0.f, 1.f);
+        // Column-relative coordinates.
+        const float u = (p0.x - d.lower.x) / config.column_width;  // 0..1
+        const float h = (p0.z - d.lower.z) / config.column_height; // 0..1
+
+        // Lower water moves faster (hydrostatic head); the front runs the
+        // length of the domain, reflects, and sloshes.
+        const float speed = (1.3f - 0.8f * h) * (0.85f + 0.3f * rng.next_float());
+        const float run = 2.6f * d.extent().x * s * speed * (0.35f + 0.65f * u);
+        float x = p0.x + run;
+        x = reflect(x, d.lower.x, d.upper.x);
+
+        // Column height decays as the water spreads; a small splash bulge
+        // travels with the front.
+        const float collapse = 1.f - 0.80f * std::min(1.f, 1.6f * s);
+        float z = d.lower.z + (p0.z - d.lower.z) * collapse;
+        const float splash = 0.15f * s * (1.f - s) * rng.next_float();
+        z += splash * d.extent().z;
+        z = std::clamp(z, d.lower.z, d.upper.z);
+
+        // Mild lateral spreading.
+        float y = p0.y + 0.05f * s * d.extent().y * (rng.next_float() - 0.5f);
+        y = std::clamp(y, d.lower.y, d.upper.y);
+        return {x, y, z};
+    }
+
+    void attributes(std::uint64_t i, int timestep, std::span<double> out) const {
+        Pcg32 rng(mix_seed(config.seed ^ 0xF10D, i));
+        const Vec3 p0 = initial_position(i);
+        const double s = std::clamp(
+            static_cast<double>(timestep) / static_cast<double>(config.t_final), 0.0, 1.0);
+        const double h = (p0.z - config.domain.lower.z) / config.column_height;
+        out[0] = 3.0 * s * (1.3 - 0.8 * h) + 0.1 * rng.next_double();  // velocity_x
+        out[1] = -1.5 * s * h + 0.1 * rng.next_double();               // velocity_z
+        out[2] = 1000.0 * 9.81 * (1.0 - h) * (1.0 - 0.5 * s) +
+                 5.0 * rng.next_double();                              // pressure
+        out[3] = 1000.0 + 2.0 * rng.next_double();                     // density
+    }
+};
+
+}  // namespace
+
+std::vector<std::string> dambreak_attr_names() {
+    return {"velocity_x", "velocity_z", "pressure", "density"};
+}
+
+ParticleSet make_dambreak_particles(const DamBreakConfig& config, int timestep) {
+    const DamModel model{config};
+    ParticleSet set(dambreak_attr_names());
+    set.resize(config.num_particles);
+    double attrs[4];
+    for (std::uint64_t i = 0; i < config.num_particles; ++i) {
+        set.set_position(i, model.position(i, timestep));
+        model.attributes(i, timestep, attrs);
+        for (std::size_t a = 0; a < 4; ++a) {
+            set.attr_mut(a)[i] = attrs[a];
+        }
+    }
+    return set;
+}
+
+std::vector<std::uint64_t> dambreak_rank_counts(const DamBreakConfig& config, int timestep,
+                                                int nranks, std::uint64_t max_sample) {
+    const DamModel model{config};
+    // The Dam Break decomposition is fixed (2D grid over the full domain);
+    // only the particles move.
+    const GridDecomp decomp = grid_decomp_2d(nranks, config.domain);
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(nranks), 0);
+    const std::uint64_t n = config.num_particles;
+    const std::uint64_t stride =
+        (max_sample > 0 && n > max_sample) ? (n + max_sample - 1) / max_sample : 1;
+    for (std::uint64_t i = 0; i < n; i += stride) {
+        counts[static_cast<std::size_t>(decomp.owner(model.position(i, timestep)))] +=
+            stride;
+    }
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts) {
+        total += c;
+    }
+    if (total > n) {
+        auto& densest = *std::max_element(counts.begin(), counts.end());
+        densest -= std::min(densest, total - n);
+    }
+    return counts;
+}
+
+}  // namespace bat

@@ -1,0 +1,44 @@
+#pragma once
+// Synthetic Dam Break workload (paper §VI-A2, Fig 8b).
+//
+// The paper's Dam Break is an ExaMPM (Cabana) free-surface water column
+// collapse: a *fixed* number of particles move through the domain over the
+// time series, the domain is partitioned among ranks with a 2D grid along
+// x and y (the floor), and the migrating column progressively imbalances
+// the I/O workload. This generator reproduces those properties with a
+// closed-form collapse model: a water column in one corner collapses, the
+// front runs along the floor, reflects off the far wall, and sloshes back.
+// Each particle carries 4 double attributes (velocity_x, velocity_z,
+// pressure, density), matching the paper's schema.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/particles.hpp"
+#include "util/vec3.hpp"
+
+namespace bat {
+
+struct DamBreakConfig {
+    Box domain{{0.f, 0.f, 0.f}, {4.f, 1.f, 2.f}};
+    /// Initial column: x in [0, column_width], full y, z in [0, column_height].
+    float column_width = 0.8f;
+    float column_height = 1.6f;
+    std::uint64_t num_particles = 2'000'000;
+    /// Timestep at which the collapse has fully run out (the paper's series
+    /// spans timesteps 0..4001).
+    int t_final = 4001;
+    std::uint64_t seed = 0x44414d42;
+};
+
+std::vector<std::string> dambreak_attr_names();
+
+/// Generate the full particle population at `timestep`.
+ParticleSet make_dambreak_particles(const DamBreakConfig& config, int timestep);
+
+/// Per-rank counts under the 2D x-y decomposition (full-scale modeling).
+/// `max_sample` > 0 estimates from an evenly strided sample, scaled up.
+std::vector<std::uint64_t> dambreak_rank_counts(const DamBreakConfig& config, int timestep,
+                                                int nranks, std::uint64_t max_sample = 0);
+
+}  // namespace bat

@@ -1,0 +1,65 @@
+#include "workloads/mixtures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workloads/uniform.hpp"
+
+namespace bat {
+
+ParticleSet make_mixture_particles(const Box& domain, std::span<const GaussianBlob> blobs,
+                                   std::size_t n, std::size_t nattrs, std::uint64_t seed) {
+    BAT_CHECK(!blobs.empty());
+    BAT_CHECK(!domain.empty());
+    double total_weight = 0.0;
+    for (const GaussianBlob& b : blobs) {
+        BAT_CHECK(b.weight >= 0.0);
+        total_weight += b.weight;
+    }
+    BAT_CHECK(total_weight > 0.0);
+
+    ParticleSet set(uniform_attr_names(nattrs));
+    set.resize(n);
+    Pcg32 rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Pick a blob by weight.
+        double pick = rng.next_double() * total_weight;
+        std::size_t blob = 0;
+        for (; blob + 1 < blobs.size(); ++blob) {
+            if (pick < blobs[blob].weight) {
+                break;
+            }
+            pick -= blobs[blob].weight;
+        }
+        const GaussianBlob& b = blobs[blob];
+        Vec3 p{b.center.x + b.sigma * rng.next_normal(),
+               b.center.y + b.sigma * rng.next_normal(),
+               b.center.z + b.sigma * rng.next_normal()};
+        p.x = std::clamp(p.x, domain.lower.x, domain.upper.x);
+        p.y = std::clamp(p.y, domain.lower.y, domain.upper.y);
+        p.z = std::clamp(p.z, domain.lower.z, domain.upper.z);
+        set.set_position(i, p);
+    }
+    assign_correlated_attrs(set, domain, seed);
+    return set;
+}
+
+std::vector<GaussianBlob> make_random_blobs(const Box& domain, int k, std::uint64_t seed) {
+    BAT_CHECK(k >= 1);
+    Pcg32 rng(mix_seed(seed, 0xB10B));
+    std::vector<GaussianBlob> blobs(static_cast<std::size_t>(k));
+    const Vec3 ext = domain.extent();
+    const float min_ext = std::min({ext.x, ext.y, ext.z});
+    for (GaussianBlob& b : blobs) {
+        b.center = {domain.lower.x + ext.x * rng.uniform(0.1f, 0.9f),
+                    domain.lower.y + ext.y * rng.uniform(0.1f, 0.9f),
+                    domain.lower.z + ext.z * rng.uniform(0.1f, 0.9f)};
+        b.sigma = min_ext * rng.uniform(0.02f, 0.15f);
+        b.weight = 0.2 + rng.next_double();
+    }
+    return blobs;
+}
+
+}  // namespace bat

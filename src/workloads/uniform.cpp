@@ -1,0 +1,59 @@
+#include "workloads/uniform.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bat {
+
+std::vector<std::string> uniform_attr_names(std::size_t nattrs) {
+    std::vector<std::string> names;
+    names.reserve(nattrs);
+    for (std::size_t a = 0; a < nattrs; ++a) {
+        names.push_back("attr" + std::to_string(a));
+    }
+    return names;
+}
+
+void assign_correlated_attrs(ParticleSet& set, const Box& domain, std::uint64_t seed) {
+    const std::size_t nattrs = set.num_attrs();
+    const Vec3 ext = domain.extent();
+    Pcg32 rng(mix_seed(seed, 0x41545452));
+    for (std::size_t i = 0; i < set.count(); ++i) {
+        const Vec3 p = set.position(i);
+        // Normalized coordinates (degenerate axes map to 0).
+        const double u = ext.x > 0 ? (p.x - domain.lower.x) / ext.x : 0.0;
+        const double v = ext.y > 0 ? (p.y - domain.lower.y) / ext.y : 0.0;
+        const double w = ext.z > 0 ? (p.z - domain.lower.z) / ext.z : 0.0;
+        for (std::size_t a = 0; a < nattrs; ++a) {
+            const double k = static_cast<double>(a + 1);
+            // A smooth spatial field per attribute with 2% noise: attribute
+            // values correlate with position, matching the assumption the
+            // paper's bitmap filtering relies on (§III-C2).
+            const double base = std::sin(k * 2.3 * u + 0.7 * k) +
+                                std::cos(k * 1.7 * v - 0.3 * k) + (w - 0.5) * k;
+            const double noise = 0.02 * (rng.next_double() - 0.5);
+            set.attr_mut(a)[i] = base + noise;
+        }
+    }
+}
+
+ParticleSet make_uniform_particles(const Box& box, std::size_t n, std::size_t nattrs,
+                                   std::uint64_t seed) {
+    BAT_CHECK(!box.empty());
+    ParticleSet set(uniform_attr_names(nattrs));
+    set.resize(n);
+    Pcg32 rng(seed);
+    const Vec3 ext = box.extent();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vec3 p{box.lower.x + ext.x * rng.next_float(),
+                     box.lower.y + ext.y * rng.next_float(),
+                     box.lower.z + ext.z * rng.next_float()};
+        set.set_position(i, p);
+    }
+    assign_correlated_attrs(set, box, seed);
+    return set;
+}
+
+}  // namespace bat

@@ -1,0 +1,28 @@
+#pragma once
+// Uniform particle workload for the weak-scaling study (paper §VI-A1): each
+// rank owns 32k particles uniformly distributed in its cell, with three f32
+// coordinates and 14 f64 attributes (4.06 MB per rank).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/particles.hpp"
+#include "util/vec3.hpp"
+
+namespace bat {
+
+/// The paper's weak-scaling schema: 14 double attributes.
+std::vector<std::string> uniform_attr_names(std::size_t nattrs = 14);
+
+/// `n` particles uniform in `box` with `nattrs` spatially correlated
+/// attributes (smooth functions of position plus small noise, so bitmap
+/// indexing has realistic structure).
+ParticleSet make_uniform_particles(const Box& box, std::size_t n, std::size_t nattrs,
+                                   std::uint64_t seed);
+
+/// Assign spatially correlated attribute values to already-positioned
+/// particles (shared by all workload generators).
+void assign_correlated_attrs(ParticleSet& set, const Box& domain, std::uint64_t seed);
+
+}  // namespace bat

@@ -1,0 +1,329 @@
+// Tests for the adaptive Aggregation Tree (paper §III-A): leaf sizing,
+// balance, overfull-leaf policy, rank integrity, aggregator assignment.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/agg_tree.hpp"
+#include "util/rng.hpp"
+
+namespace bat {
+namespace {
+
+/// A uniform grid of ranks with the given per-rank particle count.
+std::vector<RankInfo> grid_ranks(int nx, int ny, int nz, std::uint64_t particles) {
+    std::vector<RankInfo> ranks;
+    for (int z = 0; z < nz; ++z) {
+        for (int y = 0; y < ny; ++y) {
+            for (int x = 0; x < nx; ++x) {
+                RankInfo r;
+                r.bounds = Box({float(x), float(y), float(z)},
+                               {float(x + 1), float(y + 1), float(z + 1)});
+                r.num_particles = particles;
+                ranks.push_back(r);
+            }
+        }
+    }
+    return ranks;
+}
+
+AggTreeConfig config_for(std::uint64_t target, std::uint64_t bpp = 100) {
+    AggTreeConfig c;
+    c.target_file_size = target;
+    c.bytes_per_particle = bpp;
+    return c;
+}
+
+// Every rank appears in exactly one leaf; per-leaf counts are consistent.
+void check_invariants(const Aggregation& agg, std::span<const RankInfo> ranks) {
+    std::set<int> seen;
+    std::uint64_t total = 0;
+    for (std::size_t l = 0; l < agg.leaves.size(); ++l) {
+        const AggLeaf& leaf = agg.leaves[l];
+        std::uint64_t leaf_count = 0;
+        for (int r : leaf.ranks) {
+            EXPECT_TRUE(seen.insert(r).second) << "rank " << r << " in two leaves";
+            leaf_count += ranks[static_cast<std::size_t>(r)].num_particles;
+            EXPECT_TRUE(leaf.bounds.contains_box(ranks[static_cast<std::size_t>(r)].bounds));
+            if (ranks[static_cast<std::size_t>(r)].num_particles > 0) {
+                EXPECT_EQ(agg.rank_to_leaf[static_cast<std::size_t>(r)],
+                          static_cast<int>(l));
+            }
+        }
+        EXPECT_EQ(leaf.num_particles, leaf_count);
+        EXPECT_GT(leaf.num_particles, 0u) << "empty leaves must be pruned";
+        total += leaf_count;
+    }
+    std::uint64_t expected = 0;
+    for (const RankInfo& r : ranks) {
+        expected += r.num_particles;
+    }
+    EXPECT_EQ(total, expected);
+}
+
+TEST(AggTreeTest, SingleRankSingleLeaf) {
+    const std::vector<RankInfo> ranks = grid_ranks(1, 1, 1, 1000);
+    const Aggregation agg = build_agg_tree(ranks, config_for(1));
+    ASSERT_EQ(agg.leaves.size(), 1u);
+    EXPECT_EQ(agg.leaves[0].num_particles, 1000u);
+    check_invariants(agg, ranks);
+}
+
+TEST(AggTreeTest, EverythingFitsOneLeaf) {
+    const std::vector<RankInfo> ranks = grid_ranks(4, 4, 1, 10);
+    // 16 ranks * 10 particles * 100 B = 16 kB < 1 MB target.
+    const Aggregation agg = build_agg_tree(ranks, config_for(1 << 20));
+    EXPECT_EQ(agg.leaves.size(), 1u);
+    check_invariants(agg, ranks);
+}
+
+TEST(AggTreeTest, UniformGridSplitsEvenly) {
+    const std::vector<RankInfo> ranks = grid_ranks(8, 8, 1, 1000);
+    // 64 ranks * 100 kB = 6.4 MB; 800 kB target -> ~8 leaves of 8 ranks.
+    const Aggregation agg = build_agg_tree(ranks, config_for(800'000));
+    check_invariants(agg, ranks);
+    EXPECT_GE(agg.leaves.size(), 7u);
+    for (const AggLeaf& leaf : agg.leaves) {
+        EXPECT_LE(leaf.num_particles * 100, 800'000u);
+    }
+}
+
+TEST(AggTreeTest, LeavesRespectTargetWhenSplittable) {
+    const std::vector<RankInfo> ranks = grid_ranks(16, 1, 1, 500);
+    const Aggregation agg = build_agg_tree(ranks, config_for(100'000));
+    check_invariants(agg, ranks);
+    for (const AggLeaf& leaf : agg.leaves) {
+        // 100 kB target / 100 B per particle = 1000 particles = 2 ranks.
+        EXPECT_LE(leaf.num_particles, 1000u);
+    }
+}
+
+TEST(AggTreeTest, AdaptsToImbalancedCounts) {
+    // Half the domain holds 100x the particles; leaf rank counts should
+    // differ strongly between the dense and sparse halves.
+    std::vector<RankInfo> ranks = grid_ranks(16, 1, 1, 100);
+    for (int i = 0; i < 8; ++i) {
+        ranks[static_cast<std::size_t>(i)].num_particles = 10'000;
+    }
+    const Aggregation agg = build_agg_tree(ranks, config_for(400'000));
+    check_invariants(agg, ranks);
+    // Dense leaves hold few ranks, sparse leaves hold many.
+    std::size_t min_ranks = 1000, max_ranks = 0;
+    for (const AggLeaf& leaf : agg.leaves) {
+        min_ranks = std::min(min_ranks, leaf.ranks.size());
+        max_ranks = std::max(max_ranks, leaf.ranks.size());
+    }
+    EXPECT_LT(min_ranks, max_ranks);
+    // Balance: no leaf should exceed ~target/bpp particles by more than the
+    // single-rank carve-out.
+    for (const AggLeaf& leaf : agg.leaves) {
+        if (leaf.ranks.size() > 1) {
+            EXPECT_LE(leaf.num_particles * 100, 400'000u * 2);
+        }
+    }
+}
+
+TEST(AggTreeTest, SingleHotRankGetsOwnLeaf) {
+    std::vector<RankInfo> ranks = grid_ranks(8, 1, 1, 10);
+    ranks[3].num_particles = 1'000'000;  // 100 MB >> target
+    const Aggregation agg = build_agg_tree(ranks, config_for(1 << 20));
+    check_invariants(agg, ranks);
+    // The hot rank must sit alone in its leaf (data in a rank is never split).
+    bool found = false;
+    for (const AggLeaf& leaf : agg.leaves) {
+        if (std::find(leaf.ranks.begin(), leaf.ranks.end(), 3) != leaf.ranks.end()) {
+            EXPECT_EQ(leaf.ranks.size(), 1u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(AggTreeTest, ZeroParticleRanksDoNotSend) {
+    std::vector<RankInfo> ranks = grid_ranks(4, 1, 1, 100);
+    ranks[1].num_particles = 0;
+    ranks[2].num_particles = 0;
+    const Aggregation agg = build_agg_tree(ranks, config_for(10'000));
+    check_invariants(agg, ranks);
+    EXPECT_EQ(agg.total_particles(), 200u);
+}
+
+TEST(AggTreeTest, AllEmptyRanksYieldNoLeaves) {
+    const std::vector<RankInfo> ranks = grid_ranks(4, 4, 1, 0);
+    const Aggregation agg = build_agg_tree(ranks, config_for(1000));
+    EXPECT_TRUE(agg.leaves.empty());
+    for (int leaf : agg.rank_to_leaf) {
+        EXPECT_EQ(leaf, -1);
+    }
+}
+
+TEST(AggTreeTest, IdenticalBoundsCannotSplit) {
+    // All ranks stacked on the same box: no valid split; one (overfull) leaf.
+    std::vector<RankInfo> ranks(8);
+    for (auto& r : ranks) {
+        r.bounds = Box({0, 0, 0}, {1, 1, 1});
+        r.num_particles = 1'000'000;
+    }
+    const Aggregation agg = build_agg_tree(ranks, config_for(1 << 20));
+    EXPECT_EQ(agg.leaves.size(), 1u);
+    check_invariants(agg, ranks);
+}
+
+TEST(AggTreeTest, SplitCostPrefersBalanced) {
+    // 4 ranks in a row with counts 1, 1, 1, 3: the minimum-cost root split
+    // is between ranks 2 and 3 (3 vs 3 particles), not the geometric
+    // middle (2 vs 4). Rank 3 must therefore sit alone in its leaf.
+    std::vector<RankInfo> ranks = grid_ranks(4, 1, 1, 1);
+    ranks[3].num_particles = 3;
+    AggTreeConfig config = config_for(300, 100);
+    const Aggregation agg = build_agg_tree(ranks, config);
+    check_invariants(agg, ranks);
+    ASSERT_GE(agg.leaves.size(), 2u);
+    for (const AggLeaf& leaf : agg.leaves) {
+        if (std::find(leaf.ranks.begin(), leaf.ranks.end(), 3) != leaf.ranks.end()) {
+            EXPECT_EQ(leaf.ranks, (std::vector<int>{3}));
+        }
+        // No leaf may exceed the balanced root partition's share.
+        EXPECT_LE(leaf.num_particles, 3u);
+    }
+}
+
+TEST(AggTreeTest, OverfullLeafCreatedOnBadSplit) {
+    // Two ranks: 7 particles vs 1. Any split has imbalance 7 >= 4. With the
+    // node at 800 B (target 600, factor 1.5 -> limit 900) an overfull leaf
+    // is created instead of splitting.
+    std::vector<RankInfo> ranks = grid_ranks(2, 1, 1, 0);
+    ranks[0].num_particles = 7;
+    ranks[1].num_particles = 1;
+    AggTreeConfig config = config_for(600, 100);
+    config.overfull_factor = 1.5;
+    config.overfull_imbalance = 4.0;
+    const Aggregation agg = build_agg_tree(ranks, config);
+    EXPECT_EQ(agg.leaves.size(), 1u);  // overfull leaf
+    check_invariants(agg, ranks);
+}
+
+TEST(AggTreeTest, BadSplitStillTakenWhenTooLarge) {
+    // Same imbalance but the node is far over the overfull limit: split.
+    std::vector<RankInfo> ranks = grid_ranks(2, 1, 1, 0);
+    ranks[0].num_particles = 70;
+    ranks[1].num_particles = 10;
+    AggTreeConfig config = config_for(600, 100);  // node = 8000 B >> 900
+    config.overfull_factor = 1.5;
+    config.overfull_imbalance = 4.0;
+    const Aggregation agg = build_agg_tree(ranks, config);
+    EXPECT_EQ(agg.leaves.size(), 2u);
+    check_invariants(agg, ranks);
+}
+
+TEST(AggTreeTest, SplitAllAxesFindsBetterCut) {
+    // Imbalance along y; the longest axis is x. split_all_axes should give
+    // leaves at least as balanced as longest-axis-only.
+    std::vector<RankInfo> ranks;
+    for (int y = 0; y < 2; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            RankInfo r;
+            r.bounds = Box({float(x), float(y), 0}, {float(x + 1), float(y + 1), 1});
+            r.num_particles = y == 0 ? 100 : 900;
+            ranks.push_back(r);
+        }
+    }
+    AggTreeConfig config = config_for(800 * 100 * 2, 100);
+    const Aggregation base = build_agg_tree(ranks, config);
+    config.split_all_axes = true;
+    const Aggregation all_axes = build_agg_tree(ranks, config);
+    check_invariants(base, ranks);
+    check_invariants(all_axes, ranks);
+    auto worst = [](const Aggregation& agg) {
+        std::uint64_t w = 0;
+        for (const AggLeaf& leaf : agg.leaves) {
+            w = std::max(w, leaf.num_particles);
+        }
+        return w;
+    };
+    EXPECT_LE(worst(all_axes), worst(base));
+}
+
+TEST(AggTreeTest, ParallelBuildMatchesSerial) {
+    Pcg32 rng(3);
+    std::vector<RankInfo> ranks = grid_ranks(8, 8, 4, 0);
+    for (auto& r : ranks) {
+        r.num_particles = rng.next_bounded(5000);
+    }
+    const AggTreeConfig config = config_for(200'000);
+    const Aggregation serial = build_agg_tree(ranks, config, nullptr);
+    ThreadPool pool(4);
+    const Aggregation parallel = build_agg_tree(ranks, config, &pool);
+    ASSERT_EQ(serial.leaves.size(), parallel.leaves.size());
+    for (std::size_t i = 0; i < serial.leaves.size(); ++i) {
+        EXPECT_EQ(serial.leaves[i].ranks, parallel.leaves[i].ranks);
+        EXPECT_EQ(serial.leaves[i].num_particles, parallel.leaves[i].num_particles);
+    }
+    EXPECT_EQ(serial.rank_to_leaf, parallel.rank_to_leaf);
+}
+
+TEST(AggTreeTest, AggregatorAssignmentSpreadsOverRankSpace) {
+    const std::vector<RankInfo> ranks = grid_ranks(16, 16, 1, 1000);
+    Aggregation agg = build_agg_tree(ranks, config_for(1'600'000));
+    ASSERT_GT(agg.leaves.size(), 4u);
+    agg.assign_aggregators(256);
+    std::set<int> aggregators;
+    for (const AggLeaf& leaf : agg.leaves) {
+        EXPECT_GE(leaf.aggregator, 0);
+        EXPECT_LT(leaf.aggregator, 256);
+        aggregators.insert(leaf.aggregator);
+    }
+    // Distinct aggregators, spread: gaps roughly nranks/nleaves.
+    EXPECT_EQ(aggregators.size(), agg.leaves.size());
+    const int expected_gap = 256 / static_cast<int>(agg.leaves.size());
+    std::vector<int> sorted(aggregators.begin(), aggregators.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        EXPECT_GE(sorted[i] - sorted[i - 1], expected_gap / 2);
+    }
+}
+
+TEST(AggTreeTest, OverlappingLeavesFindsCorrectSubset) {
+    const std::vector<RankInfo> ranks = grid_ranks(8, 8, 1, 1000);
+    const Aggregation agg = build_agg_tree(ranks, config_for(800'000));
+    const Box query({0.5f, 0.5f, 0.f}, {1.5f, 1.5f, 1.f});
+    const std::vector<int> hits = agg.overlapping_leaves(query);
+    EXPECT_FALSE(hits.empty());
+    for (std::size_t l = 0; l < agg.leaves.size(); ++l) {
+        const bool overlaps = agg.leaves[l].bounds.overlaps(query);
+        const bool listed =
+            std::find(hits.begin(), hits.end(), static_cast<int>(l)) != hits.end();
+        EXPECT_EQ(overlaps, listed);
+    }
+}
+
+TEST(AggTreeTest, FilePerProcessOneLeafPerNonEmptyRank) {
+    std::vector<RankInfo> ranks = grid_ranks(4, 2, 1, 50);
+    ranks[5].num_particles = 0;
+    const Aggregation agg = build_file_per_process(ranks);
+    EXPECT_EQ(agg.leaves.size(), 7u);
+    check_invariants(agg, ranks);
+    EXPECT_EQ(agg.rank_to_leaf[5], -1);
+    EXPECT_FALSE(agg.nodes.empty());
+}
+
+class AggTreeTargets : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggTreeTargets, RandomCountsKeepInvariants) {
+    Pcg32 rng(GetParam());
+    std::vector<RankInfo> ranks = grid_ranks(8, 8, 2, 0);
+    for (auto& r : ranks) {
+        // Skewed distribution: many small ranks, a few large.
+        const std::uint32_t roll = rng.next_bounded(100);
+        r.num_particles = roll < 80 ? rng.next_bounded(100)
+                                    : 1000 + rng.next_bounded(20'000);
+    }
+    const Aggregation agg = build_agg_tree(ranks, config_for(GetParam() * 100'000 + 50'000));
+    check_invariants(agg, ranks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, AggTreeTargets, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace bat

@@ -1,0 +1,180 @@
+// Tests for the analytics module: histograms, density grids, selection
+// statistics, and time-series curves over written BAT data.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analytics/analytics.hpp"
+#include "test_helpers.hpp"
+#include "workloads/decomposition.hpp"
+#include "workloads/mixtures.hpp"
+#include "workloads/uniform.hpp"
+
+namespace bat {
+namespace {
+
+const Box kDomain({0, 0, 0}, {2, 2, 2});
+
+std::filesystem::path write_dataset(const testing::TempDir& dir, const ParticleSet& global,
+                                    const std::string& name) {
+    const GridDecomp decomp = grid_decomp_3d(8, kDomain);
+    const auto per_rank = partition_particles(global, decomp);
+    std::vector<Box> bounds;
+    for (int r = 0; r < 8; ++r) {
+        bounds.push_back(decomp.rank_box(r));
+    }
+    WriterConfig config;
+    config.tree.target_file_size = 32 << 10;
+    config.directory = dir.path();
+    config.basename = name;
+    return write_particles_serial(per_rank, bounds, config).metadata_path;
+}
+
+TEST(HistogramTest, TotalMatchesSelection) {
+    testing::TempDir dir;
+    const ParticleSet global = make_uniform_particles(kDomain, 10'000, 2, 3);
+    Dataset ds(write_dataset(dir, global, "hist"));
+    const Histogram hist = attribute_histogram(ds, 0, 32);
+    EXPECT_EQ(hist.total(), 10'000u);
+    EXPECT_EQ(hist.bins.size(), 32u);
+}
+
+TEST(HistogramTest, MatchesBruteForceBinning) {
+    testing::TempDir dir;
+    const ParticleSet global = make_uniform_particles(kDomain, 8'000, 1, 5);
+    Dataset ds(write_dataset(dir, global, "hist2"));
+    const std::size_t nbins = 16;
+    const Histogram hist = attribute_histogram(ds, 0, nbins);
+    // Brute-force reference.
+    std::vector<std::uint64_t> expected(nbins, 0);
+    const auto [lo, hi] = global.attr_range(0);
+    const double width = (hi - lo) / static_cast<double>(nbins);
+    for (std::size_t i = 0; i < global.count(); ++i) {
+        const double v = global.attr(0)[i];
+        ++expected[std::min(static_cast<std::size_t>((v - lo) / width), nbins - 1)];
+    }
+    EXPECT_EQ(hist.bins, expected);
+}
+
+TEST(HistogramTest, CustomRangeClipsValues) {
+    testing::TempDir dir;
+    const ParticleSet global = make_uniform_particles(kDomain, 5'000, 1, 7);
+    Dataset ds(write_dataset(dir, global, "hist3"));
+    const auto [lo, hi] = ds.attr_range(0);
+    const double mid = 0.5 * (lo + hi);
+    const Histogram hist =
+        attribute_histogram(ds, 0, 8, BatQuery{}, std::make_pair(lo, mid));
+    EXPECT_LT(hist.total(), 5'000u);
+    EXPECT_GT(hist.total(), 0u);
+    EXPECT_DOUBLE_EQ(hist.hi, mid);
+}
+
+TEST(HistogramTest, BinCenterAndMode) {
+    Histogram h;
+    h.lo = 0;
+    h.hi = 10;
+    h.bins = {1, 5, 2};
+    EXPECT_EQ(h.mode(), 1u);
+    EXPECT_NEAR(h.bin_center(0), 10.0 / 6.0, 1e-12);
+}
+
+TEST(DensityGridTest, ConservesCountAndFindsClusters) {
+    testing::TempDir dir;
+    const std::vector<GaussianBlob> blobs{{{0.4f, 0.4f, 0.4f}, 0.05f, 1.0}};
+    const ParticleSet global = make_mixture_particles(kDomain, blobs, 6'000, 1, 9);
+    Dataset ds(write_dataset(dir, global, "grid"));
+    BatQuery whole;
+    whole.box = kDomain;  // grid over the full domain, not the tight data bounds
+    const DensityGrid grid = density_grid(ds, 8, 8, 8, whole);
+    EXPECT_EQ(std::accumulate(grid.counts.begin(), grid.counts.end(), 0ull), 6'000ull);
+    EXPECT_GT(grid.imbalance(), 1.5);
+    // The fullest cell must be near the blob center.
+    std::uint64_t best = 0;
+    int bx = 0, by = 0, bz = 0;
+    for (int z = 0; z < 8; ++z) {
+        for (int y = 0; y < 8; ++y) {
+            for (int x = 0; x < 8; ++x) {
+                if (grid.at(x, y, z) > best) {
+                    best = grid.at(x, y, z);
+                    bx = x;
+                    by = y;
+                    bz = z;
+                }
+            }
+        }
+    }
+    EXPECT_NEAR(bx, 1, 1);  // 0.4 of [0,2] -> cell ~1.6 of 8
+    EXPECT_NEAR(by, 1, 1);
+    EXPECT_NEAR(bz, 1, 1);
+}
+
+TEST(DensityGridTest, UniformDataIsBalanced) {
+    testing::TempDir dir;
+    const ParticleSet global = make_uniform_particles(kDomain, 40'000, 1, 11);
+    Dataset ds(write_dataset(dir, global, "grid2"));
+    const DensityGrid grid = density_grid(ds, 4, 4, 4);
+    EXPECT_LT(grid.imbalance(), 1.5);
+}
+
+TEST(SelectionStatsTest, MatchesDirectComputation) {
+    testing::TempDir dir;
+    const ParticleSet global = make_uniform_particles(kDomain, 7'000, 2, 13);
+    Dataset ds(write_dataset(dir, global, "stats"));
+    const SelectionStats stats = selection_stats(ds, 1);
+    EXPECT_EQ(stats.count, 7'000u);
+    const auto [lo, hi] = global.attr_range(1);
+    EXPECT_DOUBLE_EQ(stats.min, lo);
+    EXPECT_DOUBLE_EQ(stats.max, hi);
+    double mean = 0;
+    for (std::size_t i = 0; i < global.count(); ++i) {
+        mean += global.attr(1)[i];
+    }
+    mean /= static_cast<double>(global.count());
+    EXPECT_NEAR(stats.mean, mean, 1e-9);
+}
+
+TEST(SelectionStatsTest, SpatialSubset) {
+    testing::TempDir dir;
+    const ParticleSet global = make_uniform_particles(kDomain, 7'000, 1, 17);
+    Dataset ds(write_dataset(dir, global, "stats2"));
+    BatQuery query;
+    query.box = Box({0, 0, 0}, {1, 1, 1});
+    const SelectionStats stats = selection_stats(ds, 0, query);
+    EXPECT_EQ(stats.count, testing::brute_force_query(global, *query.box).size());
+    EXPECT_LT(stats.count, 7'000u);
+}
+
+TEST(SeriesCurveTest, TracksGrowth) {
+    testing::TempDir dir;
+    const GridDecomp decomp = grid_decomp_3d(4, kDomain);
+    std::filesystem::path manifest;
+    vmpi::Runtime::run(4, [&](vmpi::Comm& comm) {
+        WriterConfig base;
+        base.directory = dir.path();
+        base.basename = "curve";
+        SeriesWriter writer(base);
+        for (int t = 0; t < 3; ++t) {
+            const ParticleSet global = make_uniform_particles(
+                kDomain, 1'000 * static_cast<std::size_t>(t + 1), 1,
+                static_cast<std::uint64_t>(t) + 31);
+            const auto per_rank = partition_particles(global, decomp);
+            writer.write_timestep(comm, t,
+                                  per_rank[static_cast<std::size_t>(comm.rank())],
+                                  decomp.rank_box(comm.rank()));
+        }
+        const auto path = writer.finalize(comm);
+        if (comm.rank() == 0) {
+            manifest = path;
+        }
+    });
+    const SeriesReader reader(manifest);
+    const auto curve = series_curve(reader, 0);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_EQ(curve[0].count, 1'000u);
+    EXPECT_EQ(curve[1].count, 2'000u);
+    EXPECT_EQ(curve[2].count, 3'000u);
+}
+
+}  // namespace
+}  // namespace bat

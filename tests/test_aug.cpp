@@ -1,0 +1,167 @@
+// Tests for the AUG baseline (Kumar et al. 2019): grid sizing, assignment,
+// empty-cell discarding, and the characteristic imbalance on nonuniform
+// data that the adaptive tree fixes.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/agg_tree.hpp"
+#include "core/aug.hpp"
+#include "util/rng.hpp"
+#include "workloads/mixtures.hpp"
+
+namespace bat {
+namespace {
+
+std::vector<RankInfo> grid_ranks(int nx, int ny, int nz, std::uint64_t particles) {
+    std::vector<RankInfo> ranks;
+    for (int z = 0; z < nz; ++z) {
+        for (int y = 0; y < ny; ++y) {
+            for (int x = 0; x < nx; ++x) {
+                ranks.push_back(RankInfo{Box({float(x), float(y), float(z)},
+                                             {float(x + 1), float(y + 1), float(z + 1)}),
+                                         particles});
+            }
+        }
+    }
+    return ranks;
+}
+
+TEST(AugGridDimsTest, TargetLargerThanDataGivesOneCell) {
+    const AugGridDims dims = aug_grid_dims(Box({0, 0, 0}, {1, 1, 1}), 100, 1000);
+    EXPECT_EQ(dims.cells(), 1);
+}
+
+TEST(AugGridDimsTest, CellCountCoversData) {
+    const AugGridDims dims = aug_grid_dims(Box({0, 0, 0}, {1, 1, 1}), 100'000, 1000);
+    EXPECT_GE(dims.cells(), 100);
+}
+
+TEST(AugGridDimsTest, ElongatedDomainGetsElongatedGrid) {
+    const AugGridDims dims = aug_grid_dims(Box({0, 0, 0}, {16, 1, 1}), 64'000, 1000);
+    EXPECT_GT(dims.nx, dims.ny);
+    EXPECT_GT(dims.nx, dims.nz);
+}
+
+TEST(AugTest, UniformDataBalancesWell) {
+    const std::vector<RankInfo> ranks = grid_ranks(8, 8, 1, 1000);
+    AugConfig config;
+    config.target_file_size = 800'000;
+    config.bytes_per_particle = 100;
+    const Aggregation agg = build_aug(ranks, config);
+    ASSERT_GT(agg.leaves.size(), 1u);
+    // On uniform data the AUG's uniform-density assumption holds: leaves
+    // should be within ~4x of each other.
+    std::uint64_t lo = UINT64_MAX, hi = 0;
+    for (const AggLeaf& leaf : agg.leaves) {
+        lo = std::min(lo, leaf.num_particles);
+        hi = std::max(hi, leaf.num_particles);
+    }
+    EXPECT_LE(hi, 4 * lo);
+}
+
+TEST(AugTest, EveryNonEmptyRankAssigned) {
+    std::vector<RankInfo> ranks = grid_ranks(4, 4, 2, 500);
+    ranks[7].num_particles = 0;
+    AugConfig config;
+    config.target_file_size = 100'000;
+    config.bytes_per_particle = 100;
+    const Aggregation agg = build_aug(ranks, config);
+    std::set<int> assigned;
+    std::uint64_t total = 0;
+    for (const AggLeaf& leaf : agg.leaves) {
+        EXPECT_GT(leaf.num_particles, 0u);
+        total += leaf.num_particles;
+        for (int r : leaf.ranks) {
+            EXPECT_TRUE(assigned.insert(r).second);
+        }
+    }
+    EXPECT_EQ(total, 31u * 500u);
+    EXPECT_EQ(agg.rank_to_leaf[7], -1);
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+        if (ranks[r].num_particles > 0) {
+            EXPECT_GE(agg.rank_to_leaf[r], 0);
+        }
+    }
+}
+
+TEST(AugTest, EmptyCellsDiscarded) {
+    // Particles only in one corner: the AUG grid spans the data bounds, but
+    // cells without ranks must not become leaves.
+    std::vector<RankInfo> ranks = grid_ranks(8, 8, 1, 0);
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        const Box& b = ranks[i].bounds;
+        if (b.upper.x <= 2.f && b.upper.y <= 2.f) {
+            ranks[i].num_particles = 10'000;
+        }
+    }
+    AugConfig config;
+    config.target_file_size = 200'000;
+    config.bytes_per_particle = 100;
+    const Aggregation agg = build_aug(ranks, config);
+    for (const AggLeaf& leaf : agg.leaves) {
+        EXPECT_GT(leaf.num_particles, 0u);
+    }
+}
+
+TEST(AugTest, AllEmptyGivesNoLeaves) {
+    const std::vector<RankInfo> ranks = grid_ranks(2, 2, 1, 0);
+    const Aggregation agg = build_aug(ranks, AugConfig{});
+    EXPECT_TRUE(agg.leaves.empty());
+}
+
+TEST(AugTest, HasMetadataTree) {
+    const std::vector<RankInfo> ranks = grid_ranks(8, 8, 1, 1000);
+    AugConfig config;
+    config.target_file_size = 400'000;
+    config.bytes_per_particle = 100;
+    const Aggregation agg = build_aug(ranks, config);
+    ASSERT_FALSE(agg.nodes.empty());
+    // Every leaf must be reachable exactly once from the tree.
+    std::set<int> reachable;
+    for (const AggNode& node : agg.nodes) {
+        if (node.is_leaf()) {
+            EXPECT_TRUE(reachable.insert(node.leaf_id).second);
+        }
+    }
+    EXPECT_EQ(reachable.size(), agg.leaves.size());
+}
+
+TEST(AugTest, NonuniformDataImbalancedVsAdaptive) {
+    // The headline effect (paper Fig 9/11): on clustered data the AUG's
+    // equal-volume cells produce a higher file-size spread than the
+    // adaptive tree's equal-count leaves.
+    Pcg32 rng(17);
+    std::vector<RankInfo> ranks = grid_ranks(12, 12, 1, 0);
+    // Dense cluster in one corner, sparse elsewhere.
+    for (auto& r : ranks) {
+        const Vec3 c = r.bounds.center();
+        const bool dense = c.x < 3.f && c.y < 3.f;
+        r.num_particles = dense ? 40'000 + rng.next_bounded(10'000)
+                                : rng.next_bounded(400);
+    }
+    const std::uint64_t target = 2'000'000;
+    AugConfig aug_config;
+    aug_config.target_file_size = target;
+    aug_config.bytes_per_particle = 100;
+    const Aggregation aug = build_aug(ranks, aug_config);
+
+    AggTreeConfig tree_config;
+    tree_config.target_file_size = target;
+    tree_config.bytes_per_particle = 100;
+    const Aggregation adaptive = build_agg_tree(ranks, tree_config);
+
+    auto max_leaf = [](const Aggregation& agg) {
+        std::uint64_t m = 0;
+        for (const AggLeaf& leaf : agg.leaves) {
+            m = std::max(m, leaf.num_particles);
+        }
+        return m;
+    };
+    EXPECT_LT(max_leaf(adaptive), max_leaf(aug))
+        << "adaptive aggregation should bound the largest file below AUG's";
+}
+
+}  // namespace
+}  // namespace bat

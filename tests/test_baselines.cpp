@@ -1,0 +1,128 @@
+// Tests for the baseline I/O strategies (file per process, single shared
+// file): round trips, shifted reads, and offset integrity.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "io/baselines.hpp"
+#include "test_helpers.hpp"
+#include "workloads/decomposition.hpp"
+#include "workloads/uniform.hpp"
+
+namespace bat {
+namespace {
+
+const Box kDomain({0, 0, 0}, {2, 2, 2});
+
+std::vector<ParticleSet> per_rank_data(int nranks, std::size_t n, std::uint64_t seed) {
+    const GridDecomp decomp = grid_decomp_3d(nranks, kDomain);
+    const ParticleSet global = make_uniform_particles(kDomain, n, 2, seed);
+    return partition_particles(global, decomp);
+}
+
+TEST(FppTest, RoundTripOwnFile) {
+    const testing::TempDir dir;
+    auto data = per_rank_data(4, 4'000, 1);
+    vmpi::Runtime::run(4, [&](vmpi::Comm& comm) {
+        const auto& mine = data[static_cast<std::size_t>(comm.rank())];
+        fpp_write(comm, mine, dir.path(), "fpp");
+        const ParticleSet back = fpp_read(comm, dir.path(), "fpp", /*shift=*/0);
+        EXPECT_EQ(testing::particle_keys(back), testing::particle_keys(mine));
+    });
+}
+
+TEST(FppTest, ShiftedReadGetsNeighborData) {
+    const testing::TempDir dir;
+    auto data = per_rank_data(4, 4'000, 2);
+    vmpi::Runtime::run(4, [&](vmpi::Comm& comm) {
+        fpp_write(comm, data[static_cast<std::size_t>(comm.rank())], dir.path(), "fpp");
+        const ParticleSet back = fpp_read(comm, dir.path(), "fpp", /*shift=*/1);
+        const auto& expected = data[static_cast<std::size_t>((comm.rank() + 1) % 4)];
+        EXPECT_EQ(testing::particle_keys(back), testing::particle_keys(expected));
+    });
+}
+
+TEST(FppTest, BytesWrittenReported) {
+    const testing::TempDir dir;
+    auto data = per_rank_data(2, 1'000, 3);
+    vmpi::Runtime::run(2, [&](vmpi::Comm& comm) {
+        const auto& mine = data[static_cast<std::size_t>(comm.rank())];
+        const std::uint64_t bytes = fpp_write(comm, mine, dir.path(), "fpp");
+        EXPECT_GE(bytes, mine.payload_bytes());
+    });
+}
+
+TEST(FppTest, ReadRejectsWrongRankCount) {
+    const testing::TempDir dir;
+    auto data = per_rank_data(4, 1'000, 4);
+    vmpi::Runtime::run(4, [&](vmpi::Comm& comm) {
+        fpp_write(comm, data[static_cast<std::size_t>(comm.rank())], dir.path(), "fpp");
+    });
+    vmpi::Runtime::run(2, [&](vmpi::Comm& comm) {
+        EXPECT_THROW(fpp_read(comm, dir.path(), "fpp"), Error);
+    });
+}
+
+TEST(SharedTest, RoundTripOwnBlock) {
+    const testing::TempDir dir;
+    auto data = per_rank_data(4, 4'000, 5);
+    const auto path = dir.path() / "shared.dat";
+    vmpi::Runtime::run(4, [&](vmpi::Comm& comm) {
+        const auto& mine = data[static_cast<std::size_t>(comm.rank())];
+        shared_write(comm, mine, path);
+        const ParticleSet back = shared_read(comm, path, 0);
+        EXPECT_EQ(testing::particle_keys(back), testing::particle_keys(mine));
+    });
+}
+
+TEST(SharedTest, ShiftedReadDefeatsCache) {
+    const testing::TempDir dir;
+    auto data = per_rank_data(3, 3'000, 6);
+    const auto path = dir.path() / "shared.dat";
+    vmpi::Runtime::run(3, [&](vmpi::Comm& comm) {
+        shared_write(comm, data[static_cast<std::size_t>(comm.rank())], path);
+        const ParticleSet back = shared_read(comm, path, 2);
+        const auto& expected = data[static_cast<std::size_t>((comm.rank() + 2) % 3)];
+        EXPECT_EQ(testing::particle_keys(back), testing::particle_keys(expected));
+    });
+}
+
+TEST(SharedTest, BlocksDoNotOverlap) {
+    // Verify every rank's block round-trips even with very different sizes,
+    // i.e. the exclusive-scan offsets are correct.
+    const testing::TempDir dir;
+    const auto path = dir.path() / "shared.dat";
+    const int nranks = 5;
+    std::vector<ParticleSet> data;
+    for (int r = 0; r < nranks; ++r) {
+        data.push_back(make_uniform_particles(
+            kDomain, static_cast<std::size_t>(100 * (r + 1) * (r + 1)), 2,
+            static_cast<std::uint64_t>(r + 10)));
+    }
+    vmpi::Runtime::run(nranks, [&](vmpi::Comm& comm) {
+        shared_write(comm, data[static_cast<std::size_t>(comm.rank())], path);
+        for (int shift = 0; shift < nranks; ++shift) {
+            const ParticleSet back = shared_read(comm, path, shift);
+            const auto& expected =
+                data[static_cast<std::size_t>((comm.rank() + shift) % nranks)];
+            ASSERT_EQ(back.count(), expected.count());
+        }
+    });
+}
+
+TEST(SharedTest, EmptyRankBlockSupported) {
+    const testing::TempDir dir;
+    const auto path = dir.path() / "shared.dat";
+    std::vector<ParticleSet> data;
+    data.push_back(make_uniform_particles(kDomain, 1'000, 2, 20));
+    data.emplace_back(uniform_attr_names(2));  // rank 1 owns nothing
+    vmpi::Runtime::run(2, [&](vmpi::Comm& comm) {
+        shared_write(comm, data[static_cast<std::size_t>(comm.rank())], path);
+        const ParticleSet back = shared_read(comm, path, 0);
+        EXPECT_EQ(back.count(), data[static_cast<std::size_t>(comm.rank())].count());
+    });
+}
+
+}  // namespace
+}  // namespace bat

@@ -1,0 +1,143 @@
+// Tests for the quantized BAT storage (§VII-A future-work extension):
+// bounded-error round trips, size reduction, structural preservation, and
+// query correctness on the reconstruction.
+
+#include <gtest/gtest.h>
+
+#include "core/bat_compress.hpp"
+#include "core/bat_file.hpp"
+#include "core/bat_query.hpp"
+#include "test_helpers.hpp"
+#include "workloads/mixtures.hpp"
+#include "workloads/uniform.hpp"
+
+namespace bat {
+namespace {
+
+const Box kUnit({0, 0, 0}, {1, 1, 1});
+
+BatData make_bat(std::size_t n, std::size_t nattrs, std::uint64_t seed) {
+    return build_bat(make_uniform_particles(kUnit, n, nattrs, seed), BatConfig{});
+}
+
+TEST(BatCompressTest, RoundTripWithinErrorBounds) {
+    const BatData original = make_bat(20'000, 3, 1);
+    const BatData back = decompress_bat(compress_bat(original));
+    ASSERT_EQ(back.particles.count(), original.particles.count());
+    const QuantizationError bounds = quantization_error_bounds(original);
+    for (std::size_t i = 0; i < original.particles.count(); ++i) {
+        const Vec3 a = original.particles.position(i);
+        const Vec3 b = back.particles.position(i);
+        for (int axis = 0; axis < 3; ++axis) {
+            EXPECT_LE(std::abs(a[axis] - b[axis]),
+                      bounds.max_position_error[axis] * 1.01f)
+                << "particle " << i << " axis " << axis;
+        }
+        for (std::size_t attr = 0; attr < 3; ++attr) {
+            EXPECT_LE(std::abs(original.particles.attr(attr)[i] -
+                               back.particles.attr(attr)[i]),
+                      bounds.max_attr_error[attr] * 1.01)
+                << "particle " << i << " attr " << attr;
+        }
+    }
+}
+
+TEST(BatCompressTest, StructurePreservedExactly) {
+    const BatData original = make_bat(30'000, 2, 2);
+    const BatData back = decompress_bat(compress_bat(original));
+    ASSERT_EQ(back.treelets.size(), original.treelets.size());
+    for (std::size_t t = 0; t < original.treelets.size(); ++t) {
+        const Treelet& a = original.treelets[t];
+        const Treelet& b = back.treelets[t];
+        EXPECT_EQ(b.first_particle, a.first_particle);
+        EXPECT_EQ(b.num_particles, a.num_particles);
+        EXPECT_EQ(b.max_depth, a.max_depth);
+        ASSERT_EQ(b.nodes.size(), a.nodes.size());
+        for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+            EXPECT_EQ(b.nodes[n].start, a.nodes[n].start);
+            EXPECT_EQ(b.nodes[n].count, a.nodes[n].count);
+            EXPECT_EQ(b.nodes[n].own_count, a.nodes[n].own_count);
+            EXPECT_EQ(b.nodes[n].right_child, a.nodes[n].right_child);
+        }
+    }
+    EXPECT_EQ(back.shallow_nodes.size(), original.shallow_nodes.size());
+    EXPECT_EQ(back.attr_ranges, original.attr_ranges);
+    EXPECT_EQ(back.config.lod_per_inner, original.config.lod_per_inner);
+}
+
+TEST(BatCompressTest, SubstantiallySmallerThanUncompressed) {
+    // 14-attribute schema (the paper's weak-scaling payload): quantization
+    // shrinks 12 + 112 bytes/particle to 6 + 28.
+    const BatData bat = make_bat(50'000, 14, 3);
+    const std::size_t plain = serialize_bat(bat).size();
+    const std::size_t compressed = compress_bat(bat).size();
+    EXPECT_LT(compressed, plain / 3);
+}
+
+TEST(BatCompressTest, QueriesOnReconstructionAreConsistent) {
+    const auto blobs = make_random_blobs(kUnit, 4, 4);
+    ParticleSet particles = make_mixture_particles(kUnit, blobs, 25'000, 2, 5);
+    const BatData original = build_bat(std::move(particles), BatConfig{});
+    const BatData back = decompress_bat(compress_bat(original));
+
+    // Progressive windows still partition the reconstruction.
+    std::uint64_t total = 0;
+    for (int step = 0; step < 4; ++step) {
+        BatQuery query;
+        query.quality_lo = static_cast<float>(step) / 4.f;
+        query.quality_hi = static_cast<float>(step + 1) / 4.f;
+        total += query_bat(back, query, [](Vec3, std::span<const double>) {});
+    }
+    EXPECT_EQ(total, original.particles.count());
+
+    // Attribute filtering on the reconstruction is exact w.r.t. decoded
+    // values: brute-force over the reconstruction must match query_bat.
+    const auto [lo, hi] = back.attr_ranges[0];
+    const double qlo = lo + 0.4 * (hi - lo);
+    const double qhi = lo + 0.6 * (hi - lo);
+    BatQuery query;
+    query.attr_filters.push_back({0, qlo, qhi});
+    const std::uint64_t got =
+        query_bat(back, query, [](Vec3, std::span<const double>) {});
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < back.particles.count(); ++i) {
+        const double v = back.particles.attr(0)[i];
+        expected += v >= qlo && v <= qhi;
+    }
+    EXPECT_EQ(got, expected);
+}
+
+TEST(BatCompressTest, FileRoundTrip) {
+    testing::TempDir dir;
+    const BatData original = make_bat(5'000, 2, 6);
+    const auto path = dir.path() / "data.batz";
+    write_compressed_bat(path, original);
+    const BatData back = read_compressed_bat(path);
+    EXPECT_EQ(back.particles.count(), original.particles.count());
+}
+
+TEST(BatCompressTest, RejectsGarbage) {
+    std::vector<std::byte> junk(64, std::byte{0x42});
+    EXPECT_THROW(decompress_bat(junk), Error);
+}
+
+TEST(BatCompressTest, EmptyBat) {
+    ParticleSet empty(uniform_attr_names(2));
+    const BatData original = build_bat(std::move(empty), BatConfig{});
+    const BatData back = decompress_bat(compress_bat(original));
+    EXPECT_EQ(back.particles.count(), 0u);
+    EXPECT_EQ(back.num_attrs(), 2u);
+}
+
+TEST(BatCompressTest, ErrorBoundsShrinkWithTreeletSize) {
+    // Quantization error is relative to treelet bounds, so clustered data
+    // (small treelets) reconstructs positions more accurately than one
+    // giant treelet would.
+    const BatData bat = make_bat(40'000, 1, 7);
+    const QuantizationError err = quantization_error_bounds(bat);
+    // Treelet extents are well below the domain extent.
+    EXPECT_LT(err.max_position_error.x, 1.f / 65535.f * 1.01f);
+}
+
+}  // namespace
+}  // namespace bat

@@ -1,0 +1,167 @@
+// Tests for the C API: write/commit/query through the array-based attribute
+// interface, plus error paths.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "capi/bat_c.h"
+#include "test_helpers.hpp"
+#include "workloads/uniform.hpp"
+
+namespace {
+
+using bat::Box;
+using bat::ParticleSet;
+using bat::Vec3;
+
+struct Collected {
+    std::vector<std::array<float, 3>> positions;
+    std::vector<std::vector<double>> attrs;
+    std::size_t nattrs = 0;
+};
+
+void collect_cb(const float position[3], const double* attributes, void* user) {
+    auto* c = static_cast<Collected*>(user);
+    c->positions.push_back({position[0], position[1], position[2]});
+    c->attrs.emplace_back(attributes, attributes + c->nattrs);
+}
+
+struct WrittenDataset {
+    bat::testing::TempDir dir;
+    std::string meta_path;
+    ParticleSet set;
+
+    explicit WrittenDataset(std::size_t n = 5'000) {
+        set = bat::make_uniform_particles(Box({0, 0, 0}, {1, 1, 1}), n, 2, 77);
+        bat_io* io = bat_io_create();
+        EXPECT_EQ(bat_io_set_output(io, dir.path().c_str(), "capi"), BAT_OK);
+        EXPECT_EQ(bat_io_set_target_size(io, 1 << 20), BAT_OK);
+        EXPECT_EQ(bat_io_set_positions(io, set.positions().data(), set.count()), BAT_OK);
+        EXPECT_EQ(bat_io_add_attribute(io, "a0", set.attr(0).data()), BAT_OK);
+        EXPECT_EQ(bat_io_add_attribute(io, "a1", set.attr(1).data()), BAT_OK);
+        EXPECT_EQ(bat_io_commit(io), BAT_OK) << bat_io_last_error(io);
+        meta_path = bat_io_metadata_path(io);
+        bat_io_destroy(io);
+    }
+};
+
+TEST(CApiTest, WriteAndFullRead) {
+    WrittenDataset ds;
+    ASSERT_FALSE(ds.meta_path.empty());
+    bat_dataset* dataset = bat_dataset_open(ds.meta_path.c_str());
+    ASSERT_NE(dataset, nullptr);
+    EXPECT_EQ(bat_dataset_num_particles(dataset), ds.set.count());
+    EXPECT_EQ(bat_dataset_num_attributes(dataset), 2u);
+    EXPECT_STREQ(bat_dataset_attribute_name(dataset, 0), "a0");
+    EXPECT_STREQ(bat_dataset_attribute_name(dataset, 1), "a1");
+    EXPECT_EQ(bat_dataset_attribute_name(dataset, 5), nullptr);
+
+    Collected c;
+    c.nattrs = 2;
+    const uint64_t n =
+        bat_dataset_query(dataset, nullptr, nullptr, -1, 0, 0, 0.f, 1.f, collect_cb, &c);
+    EXPECT_EQ(n, ds.set.count());
+    EXPECT_EQ(c.positions.size(), ds.set.count());
+    bat_dataset_close(dataset);
+}
+
+TEST(CApiTest, SpatialQuery) {
+    WrittenDataset ds;
+    bat_dataset* dataset = bat_dataset_open(ds.meta_path.c_str());
+    ASSERT_NE(dataset, nullptr);
+    const float lo[3] = {0.2f, 0.2f, 0.2f};
+    const float hi[3] = {0.6f, 0.6f, 0.6f};
+    Collected c;
+    c.nattrs = 2;
+    const uint64_t n =
+        bat_dataset_query(dataset, lo, hi, -1, 0, 0, 0.f, 1.f, collect_cb, &c);
+    const auto expected = bat::testing::brute_force_query(
+        ds.set, Box({0.2f, 0.2f, 0.2f}, {0.6f, 0.6f, 0.6f}));
+    EXPECT_EQ(n, expected.size());
+    for (const auto& p : c.positions) {
+        EXPECT_GE(p[0], 0.2f);
+        EXPECT_LE(p[0], 0.6f);
+    }
+    bat_dataset_close(dataset);
+}
+
+TEST(CApiTest, AttributeFilterAndRange) {
+    WrittenDataset ds;
+    bat_dataset* dataset = bat_dataset_open(ds.meta_path.c_str());
+    ASSERT_NE(dataset, nullptr);
+    double lo = 0, hi = 0;
+    ASSERT_EQ(bat_dataset_attribute_range(dataset, 0, &lo, &hi), BAT_OK);
+    EXPECT_LT(lo, hi);
+    const double qlo = lo + 0.25 * (hi - lo);
+    const double qhi = lo + 0.5 * (hi - lo);
+    Collected c;
+    c.nattrs = 2;
+    const uint64_t n =
+        bat_dataset_query(dataset, nullptr, nullptr, 0, qlo, qhi, 0.f, 1.f, collect_cb, &c);
+    const auto expected = bat::testing::brute_force_query(
+        ds.set, Box({-10, -10, -10}, {10, 10, 10}), true, 0, qlo, qhi);
+    EXPECT_EQ(n, expected.size());
+    for (const auto& attrs : c.attrs) {
+        EXPECT_GE(attrs[0], qlo);
+        EXPECT_LE(attrs[0], qhi);
+    }
+    bat_dataset_close(dataset);
+}
+
+TEST(CApiTest, ProgressiveQualityWindows) {
+    WrittenDataset ds;
+    bat_dataset* dataset = bat_dataset_open(ds.meta_path.c_str());
+    ASSERT_NE(dataset, nullptr);
+    Collected coarse;
+    coarse.nattrs = 2;
+    const uint64_t n_coarse =
+        bat_dataset_query(dataset, nullptr, nullptr, -1, 0, 0, 0.f, 0.1f, collect_cb, &coarse);
+    EXPECT_GT(n_coarse, 0u);
+    EXPECT_LT(n_coarse, ds.set.count());
+    Collected rest;
+    rest.nattrs = 2;
+    const uint64_t n_rest =
+        bat_dataset_query(dataset, nullptr, nullptr, -1, 0, 0, 0.1f, 1.f, collect_cb, &rest);
+    EXPECT_EQ(n_coarse + n_rest, ds.set.count());
+    bat_dataset_close(dataset);
+}
+
+TEST(CApiTest, StrategySelection) {
+    bat_io* io = bat_io_create();
+    EXPECT_EQ(bat_io_set_strategy(io, "adaptive"), BAT_OK);
+    EXPECT_EQ(bat_io_set_strategy(io, "aug"), BAT_OK);
+    EXPECT_EQ(bat_io_set_strategy(io, "file-per-process"), BAT_OK);
+    EXPECT_EQ(bat_io_set_strategy(io, "bogus"), BAT_ERR);
+    EXPECT_NE(std::strstr(bat_io_last_error(io), "bogus"), nullptr);
+    bat_io_destroy(io);
+}
+
+TEST(CApiTest, ErrorPaths) {
+    EXPECT_EQ(bat_dataset_open(nullptr), nullptr);
+    EXPECT_EQ(bat_dataset_open("/nonexistent/nope.batmeta"), nullptr);
+    bat_io* io = bat_io_create();
+    EXPECT_EQ(bat_io_set_target_size(io, 0), BAT_ERR);
+    bat_io_destroy(io);
+}
+
+TEST(CApiTest, HandleReusableAcrossCommits) {
+    bat::testing::TempDir dir;
+    const ParticleSet set =
+        bat::make_uniform_particles(Box({0, 0, 0}, {1, 1, 1}), 1'000, 1, 5);
+    bat_io* io = bat_io_create();
+    ASSERT_EQ(bat_io_set_output(io, dir.path().c_str(), "step0"), BAT_OK);
+    ASSERT_EQ(bat_io_set_positions(io, set.positions().data(), set.count()), BAT_OK);
+    ASSERT_EQ(bat_io_add_attribute(io, "v", set.attr(0).data()), BAT_OK);
+    ASSERT_EQ(bat_io_commit(io), BAT_OK);
+    const std::string first = bat_io_metadata_path(io);
+    ASSERT_EQ(bat_io_set_output(io, dir.path().c_str(), "step1"), BAT_OK);
+    ASSERT_EQ(bat_io_set_positions(io, set.positions().data(), set.count()), BAT_OK);
+    ASSERT_EQ(bat_io_add_attribute(io, "v", set.attr(0).data()), BAT_OK);
+    ASSERT_EQ(bat_io_commit(io), BAT_OK);
+    const std::string second = bat_io_metadata_path(io);
+    EXPECT_NE(first, second);
+    bat_io_destroy(io);
+}
+
+}  // namespace

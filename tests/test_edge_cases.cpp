@@ -1,0 +1,242 @@
+// Cross-cutting edge-case and failure-injection tests: the parallel
+// pipelines with worker pools, zero-particle timesteps, missing/corrupted
+// leaf files, degenerate geometry, and schema handling.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "core/dataset.hpp"
+#include "io/reader.hpp"
+#include "io/writer.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "workloads/decomposition.hpp"
+#include "workloads/uniform.hpp"
+
+namespace bat {
+namespace {
+
+const Box kDomain({0, 0, 0}, {2, 2, 2});
+
+TEST(EdgeCaseTest, PipelineWithWorkerPoolMatchesSerial) {
+    // The writer's tree + BAT builds parallelized by a ThreadPool must
+    // produce the same particle population (and the same leaf count, since
+    // the tree build is deterministic).
+    const testing::TempDir dir;
+    const GridDecomp decomp = grid_decomp_3d(8, kDomain);
+    const ParticleSet global = make_uniform_particles(kDomain, 20'000, 3, 3);
+    const auto per_rank = partition_particles(global, decomp);
+    ThreadPool pool(4);
+
+    int leaves_pooled = -1;
+    int leaves_serial = -1;
+    for (const bool use_pool : {false, true}) {
+        std::filesystem::path meta_path;
+        vmpi::Runtime::run(8, [&](vmpi::Comm& comm) {
+            WriterConfig config;
+            config.tree.target_file_size = 64 << 10;
+            config.directory = dir.path();
+            config.basename = use_pool ? "pooled" : "serial";
+            config.pool = use_pool ? &pool : nullptr;
+            const WriteResult result =
+                write_particles(comm, per_rank[static_cast<std::size_t>(comm.rank())],
+                                decomp.rank_box(comm.rank()), config);
+            if (comm.rank() == 0) {
+                meta_path = result.metadata_path;
+                (use_pool ? leaves_pooled : leaves_serial) = result.num_leaves;
+            }
+        });
+        Dataset ds(meta_path);
+        EXPECT_EQ(testing::particle_keys(ds.collect(BatQuery{})),
+                  testing::particle_keys(global));
+    }
+    EXPECT_EQ(leaves_pooled, leaves_serial);
+}
+
+TEST(EdgeCaseTest, ZeroParticleTimestep) {
+    // A dump where no rank owns particles must produce a loadable, empty
+    // data set and an empty read.
+    const testing::TempDir dir;
+    const GridDecomp decomp = grid_decomp_3d(4, kDomain);
+    std::filesystem::path meta_path;
+    vmpi::Runtime::run(4, [&](vmpi::Comm& comm) {
+        WriterConfig config;
+        config.directory = dir.path();
+        config.basename = "empty";
+        const ParticleSet nothing(uniform_attr_names(2));
+        const WriteResult result =
+            write_particles(comm, nothing, decomp.rank_box(comm.rank()), config);
+        if (comm.rank() == 0) {
+            meta_path = result.metadata_path;
+            EXPECT_EQ(result.num_leaves, 0);
+        }
+    });
+    Dataset ds(meta_path);
+    EXPECT_EQ(ds.num_particles(), 0u);
+    EXPECT_EQ(ds.collect(BatQuery{}).count(), 0u);
+    vmpi::Runtime::run(2, [&](vmpi::Comm& comm) {
+        const ReadResult r = read_particles(comm, meta_path, kDomain);
+        EXPECT_EQ(r.particles.count(), 0u);
+    });
+}
+
+TEST(EdgeCaseTest, MissingLeafFileSurfacesError) {
+    const testing::TempDir dir;
+    const GridDecomp decomp = grid_decomp_3d(4, kDomain);
+    const ParticleSet global = make_uniform_particles(kDomain, 4'000, 1, 5);
+    const auto per_rank = partition_particles(global, decomp);
+    std::vector<Box> bounds;
+    for (int r = 0; r < 4; ++r) {
+        bounds.push_back(decomp.rank_box(r));
+    }
+    WriterConfig config;
+    config.tree.target_file_size = 16 << 10;
+    config.directory = dir.path();
+    config.basename = "victim";
+    const WriteResult written = write_particles_serial(per_rank, bounds, config);
+
+    // Delete one leaf file; whole-data-set reads must fail loudly, not
+    // silently return partial data.
+    const Metadata meta = Metadata::load(written.metadata_path);
+    ASSERT_GT(meta.leaves.size(), 1u);
+    std::filesystem::remove(dir.path() / meta.leaves[0].file);
+    Dataset ds(written.metadata_path);
+    EXPECT_THROW(ds.collect(BatQuery{}), Error);
+}
+
+TEST(EdgeCaseTest, CorruptedLeafFileDetected) {
+    const testing::TempDir dir;
+    const GridDecomp decomp = grid_decomp_3d(2, kDomain);
+    const ParticleSet global = make_uniform_particles(kDomain, 2'000, 1, 7);
+    const auto per_rank = partition_particles(global, decomp);
+    const std::vector<Box> bounds{decomp.rank_box(0), decomp.rank_box(1)};
+    WriterConfig config;
+    config.directory = dir.path();
+    config.basename = "corrupt";
+    const WriteResult written = write_particles_serial(per_rank, bounds, config);
+    const Metadata meta = Metadata::load(written.metadata_path);
+    // Truncate the first leaf file.
+    const auto victim = dir.path() / meta.leaves[0].file;
+    const auto bytes = read_file(victim);
+    write_file(victim, std::span(bytes).subspan(0, bytes.size() / 2));
+    Dataset ds(written.metadata_path);
+    EXPECT_THROW(ds.collect(BatQuery{}), Error);
+}
+
+TEST(EdgeCaseTest, DegeneratePlanarParticles) {
+    // All particles in a z=const plane: Morton z axis is degenerate, treelet
+    // splits never use it, and queries still work.
+    ParticleSet set(uniform_attr_names(1));
+    Pcg32 rng(9);
+    for (int i = 0; i < 5'000; ++i) {
+        const double v = rng.next_double();
+        set.push_back(Vec3{rng.next_float(), rng.next_float(), 0.5f}, std::span(&v, 1));
+    }
+    const ParticleSet original = set;
+    const auto bytes = serialize_bat(build_bat(std::move(set), BatConfig{}));
+    const BatFile file{std::span<const std::byte>(bytes)};
+    BatQuery query;
+    query.box = Box({0.2f, 0.2f, 0.5f}, {0.8f, 0.8f, 0.5f});
+    std::uint64_t n = query_bat(file, query, [](Vec3, std::span<const double>) {});
+    EXPECT_EQ(n, testing::brute_force_query(original, *query.box).size());
+}
+
+TEST(EdgeCaseTest, NoAttributesSchema) {
+    // Pure positions (a simulation without attributes): everything works;
+    // there are simply no bitmaps.
+    ParticleSet set(std::vector<std::string>{});
+    Pcg32 rng(11);
+    for (int i = 0; i < 3'000; ++i) {
+        set.push_back(Vec3{rng.next_float(), rng.next_float(), rng.next_float()}, {});
+    }
+    const ParticleSet original = set;
+    const auto bytes = serialize_bat(build_bat(std::move(set), BatConfig{}));
+    const BatFile file{std::span<const std::byte>(bytes)};
+    EXPECT_EQ(file.num_attrs(), 0u);
+    BatQuery query;
+    query.box = Box({0, 0, 0}, {0.5f, 0.5f, 0.5f});
+    const std::uint64_t n =
+        query_bat(file, query, [](Vec3, std::span<const double>) {});
+    EXPECT_EQ(n, testing::brute_force_query(original, *query.box).size());
+}
+
+TEST(EdgeCaseTest, SingleParticlePerRank) {
+    const testing::TempDir dir;
+    const GridDecomp decomp = grid_decomp_3d(8, kDomain);
+    std::mutex mutex;
+    ParticleSet all(uniform_attr_names(1));
+    std::filesystem::path meta_path;
+    vmpi::Runtime::run(8, [&](vmpi::Comm& comm) {
+        ParticleSet mine(uniform_attr_names(1));
+        const Box box = decomp.rank_box(comm.rank());
+        const double v = comm.rank();
+        mine.push_back(box.center(), std::span(&v, 1));
+        WriterConfig config;
+        config.directory = dir.path();
+        config.basename = "singles";
+        const WriteResult result =
+            write_particles(comm, mine, decomp.rank_box(comm.rank()), config);
+        if (comm.rank() == 0) {
+            meta_path = result.metadata_path;
+        }
+    });
+    vmpi::Runtime::run(8, [&](vmpi::Comm& comm) {
+        const ReadResult r =
+            read_particles(comm, meta_path, decomp.rank_read_box(comm.rank()));
+        std::lock_guard<std::mutex> lock(mutex);
+        all.append(r.particles);
+    });
+    EXPECT_EQ(all.count(), 8u);
+}
+
+TEST(EdgeCaseTest, HugeAttributeValues) {
+    // Extreme magnitudes must survive binning and the file round trip.
+    ParticleSet set(uniform_attr_names(1));
+    Pcg32 rng(13);
+    for (int i = 0; i < 2'000; ++i) {
+        const double v = (rng.next_double() - 0.5) * 1e30;
+        set.push_back(Vec3{rng.next_float(), rng.next_float(), rng.next_float()},
+                      std::span(&v, 1));
+    }
+    const ParticleSet original = set;
+    const auto bytes = serialize_bat(build_bat(std::move(set), BatConfig{}));
+    const BatFile file{std::span<const std::byte>(bytes)};
+    const auto [lo, hi] = file.attr_range(0);
+    BatQuery query;
+    query.attr_filters.push_back({0, lo + 0.25 * (hi - lo), lo + 0.75 * (hi - lo)});
+    const std::uint64_t n =
+        query_bat(file, query, [](Vec3, std::span<const double>) {});
+    EXPECT_EQ(n, testing::brute_force_query(original, Box({-2, -2, -2}, {2, 2, 2}), true,
+                                            0, lo + 0.25 * (hi - lo),
+                                            lo + 0.75 * (hi - lo))
+                     .size());
+}
+
+TEST(EdgeCaseTest, ReaderWithDisjointBoundsGetsNothing) {
+    const testing::TempDir dir;
+    const GridDecomp decomp = grid_decomp_3d(4, kDomain);
+    const ParticleSet global = make_uniform_particles(kDomain, 4'000, 1, 17);
+    const auto per_rank = partition_particles(global, decomp);
+    std::filesystem::path meta_path;
+    vmpi::Runtime::run(4, [&](vmpi::Comm& comm) {
+        WriterConfig config;
+        config.directory = dir.path();
+        config.basename = "disjoint";
+        const WriteResult result =
+            write_particles(comm, per_rank[static_cast<std::size_t>(comm.rank())],
+                            decomp.rank_box(comm.rank()), config);
+        if (comm.rank() == 0) {
+            meta_path = result.metadata_path;
+        }
+    });
+    vmpi::Runtime::run(3, [&](vmpi::Comm& comm) {
+        // All ranks ask for a region far outside the data.
+        const Box far({100, 100, 100}, {101, 101, 101});
+        const ReadResult r = read_particles(comm, meta_path, far);
+        EXPECT_EQ(r.particles.count(), 0u);
+    });
+}
+
+}  // namespace
+}  // namespace bat

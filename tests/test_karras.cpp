@@ -1,0 +1,152 @@
+// Tests for the Karras bottom-up radix tree build (paper §III-C1): the
+// hierarchy must cover the sorted key range exactly, parallel and serial
+// builds must agree, and split prefixes must be consistent.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "core/karras.hpp"
+#include "util/rng.hpp"
+
+namespace bat {
+namespace {
+
+std::vector<std::uint64_t> random_keys(int n, int bits, std::uint64_t seed) {
+    Pcg32 rng(seed);
+    std::set<std::uint64_t> keys;
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    while (static_cast<int>(keys.size()) < n) {
+        keys.insert(rng.next_u64() & mask);
+    }
+    return {keys.begin(), keys.end()};
+}
+
+/// Walk the tree, checking each internal node covers exactly its children's
+/// union and that leaves partition [0, k).
+void validate(const RadixTree& tree, std::span<const std::uint64_t> codes, int bits) {
+    if (codes.size() == 1) {
+        EXPECT_TRUE(tree.internal.empty());
+        return;
+    }
+    ASSERT_EQ(tree.internal.size(), codes.size() - 1);
+    std::vector<bool> leaf_seen(codes.size(), false);
+    std::function<std::pair<int, int>(int)> walk = [&](int node) -> std::pair<int, int> {
+        const RadixNode& rn = tree.internal[static_cast<std::size_t>(node)];
+        EXPECT_LE(rn.first, rn.last);
+        // The node's common prefix must be shared by its whole range and be
+        // longer than the parent's (checked implicitly via children below).
+        const int prefix = common_prefix_bits(codes[static_cast<std::size_t>(rn.first)],
+                                              codes[static_cast<std::size_t>(rn.last)], bits);
+        EXPECT_EQ(prefix, rn.prefix_len);
+        std::pair<int, int> left, right;
+        if (rn.left_is_leaf) {
+            left = {rn.left, rn.left};
+            EXPECT_FALSE(leaf_seen[static_cast<std::size_t>(rn.left)]);
+            leaf_seen[static_cast<std::size_t>(rn.left)] = true;
+        } else {
+            left = walk(rn.left);
+            EXPECT_GT(tree.internal[static_cast<std::size_t>(rn.left)].prefix_len,
+                      rn.prefix_len);
+        }
+        if (rn.right_is_leaf) {
+            right = {rn.right, rn.right};
+            EXPECT_FALSE(leaf_seen[static_cast<std::size_t>(rn.right)]);
+            leaf_seen[static_cast<std::size_t>(rn.right)] = true;
+        } else {
+            right = walk(rn.right);
+            EXPECT_GT(tree.internal[static_cast<std::size_t>(rn.right)].prefix_len,
+                      rn.prefix_len);
+        }
+        // Children are adjacent, ordered, and union to the node's range.
+        EXPECT_EQ(left.second + 1, right.first);
+        EXPECT_EQ(left.first, rn.first);
+        EXPECT_EQ(right.second, rn.last);
+        return {left.first, right.second};
+    };
+    const auto [lo, hi] = walk(tree.root);
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, static_cast<int>(codes.size()) - 1);
+    for (bool seen : leaf_seen) {
+        EXPECT_TRUE(seen);
+    }
+}
+
+TEST(CommonPrefixTest, KnownValues) {
+    EXPECT_EQ(common_prefix_bits(0b0000, 0b1000, 4), 0);
+    EXPECT_EQ(common_prefix_bits(0b1000, 0b1001, 4), 3);
+    EXPECT_EQ(common_prefix_bits(0b1010, 0b1010, 4), 4);
+    EXPECT_EQ(common_prefix_bits(0x0, 0x1, 63), 62);
+}
+
+TEST(KarrasTest, SingleKey) {
+    const std::vector<std::uint64_t> codes{5};
+    const RadixTree tree = build_radix_tree(codes, 12);
+    EXPECT_TRUE(tree.internal.empty());
+}
+
+TEST(KarrasTest, TwoKeys) {
+    const std::vector<std::uint64_t> codes{1, 9};
+    const RadixTree tree = build_radix_tree(codes, 4);
+    ASSERT_EQ(tree.internal.size(), 1u);
+    EXPECT_TRUE(tree.internal[0].left_is_leaf);
+    EXPECT_TRUE(tree.internal[0].right_is_leaf);
+    EXPECT_EQ(tree.internal[0].prefix_len, 0);
+    validate(tree, codes, 4);
+}
+
+TEST(KarrasTest, SequentialKeys) {
+    std::vector<std::uint64_t> codes;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        codes.push_back(i);
+    }
+    const RadixTree tree = build_radix_tree(codes, 6);
+    validate(tree, codes, 6);
+}
+
+TEST(KarrasTest, RejectsUnsortedKeys) {
+    const std::vector<std::uint64_t> codes{3, 1};
+    EXPECT_ANY_THROW(build_radix_tree(codes, 4));
+}
+
+TEST(KarrasTest, RejectsDuplicateKeys) {
+    const std::vector<std::uint64_t> codes{1, 1, 2};
+    EXPECT_ANY_THROW(build_radix_tree(codes, 4));
+}
+
+class KarrasRandom : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KarrasRandom, ValidHierarchy) {
+    const auto [n, bits, seed] = GetParam();
+    const std::vector<std::uint64_t> codes =
+        random_keys(n, bits, static_cast<std::uint64_t>(seed));
+    const RadixTree tree = build_radix_tree(codes, bits);
+    validate(tree, codes, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, KarrasRandom,
+    ::testing::Values(std::tuple{3, 12, 1}, std::tuple{17, 12, 2}, std::tuple{100, 12, 3},
+                      std::tuple{1000, 12, 4}, std::tuple{500, 30, 5},
+                      std::tuple{2000, 63, 6}, std::tuple{4000, 12, 7}));
+
+TEST(KarrasTest, ParallelMatchesSerial) {
+    const std::vector<std::uint64_t> codes = random_keys(5000, 20, 11);
+    const RadixTree serial = build_radix_tree(codes, 20, nullptr);
+    ThreadPool pool(4);
+    const RadixTree parallel = build_radix_tree(codes, 20, &pool);
+    ASSERT_EQ(serial.internal.size(), parallel.internal.size());
+    for (std::size_t i = 0; i < serial.internal.size(); ++i) {
+        EXPECT_EQ(serial.internal[i].left, parallel.internal[i].left);
+        EXPECT_EQ(serial.internal[i].right, parallel.internal[i].right);
+        EXPECT_EQ(serial.internal[i].left_is_leaf, parallel.internal[i].left_is_leaf);
+        EXPECT_EQ(serial.internal[i].right_is_leaf, parallel.internal[i].right_is_leaf);
+        EXPECT_EQ(serial.internal[i].first, parallel.internal[i].first);
+        EXPECT_EQ(serial.internal[i].last, parallel.internal[i].last);
+        EXPECT_EQ(serial.internal[i].prefix_len, parallel.internal[i].prefix_len);
+    }
+}
+
+}  // namespace
+}  // namespace bat

@@ -1,0 +1,93 @@
+// Tests for time-series management: manifest round trips, the collective
+// SeriesWriter over the virtual MPI runtime, and SeriesReader access.
+
+#include <gtest/gtest.h>
+
+#include "io/series.hpp"
+#include "test_helpers.hpp"
+#include "workloads/decomposition.hpp"
+#include "workloads/uniform.hpp"
+
+namespace bat {
+namespace {
+
+const Box kDomain({0, 0, 0}, {2, 2, 2});
+
+TEST(TimeSeriesTest, ManifestRoundTrip) {
+    TimeSeries series;
+    series.timesteps = {{0, "a.batmeta"}, {100, "b.batmeta"}, {250, "c.batmeta"}};
+    const TimeSeries back = TimeSeries::from_bytes(series.to_bytes());
+    EXPECT_EQ(back.timesteps, series.timesteps);
+    EXPECT_EQ(back.index_of(100), 1u);
+    EXPECT_THROW(back.index_of(7), Error);
+}
+
+TEST(TimeSeriesTest, LoadRejectsGarbage) {
+    testing::TempDir dir;
+    const std::vector<std::byte> junk(32, std::byte{1});
+    write_file(dir.path() / "junk.batseries", junk);
+    EXPECT_THROW(TimeSeries::load(dir.path() / "junk.batseries"), Error);
+}
+
+TEST(SeriesTest, WriteAndReadBackThreeTimesteps) {
+    testing::TempDir dir;
+    const int nranks = 4;
+    const GridDecomp decomp = grid_decomp_3d(nranks, kDomain);
+
+    // Three timesteps with different particle populations.
+    std::vector<ParticleSet> globals;
+    for (int t = 0; t < 3; ++t) {
+        globals.push_back(make_uniform_particles(
+            kDomain, 3'000 + 1'000 * static_cast<std::size_t>(t), 2,
+            static_cast<std::uint64_t>(t) + 50));
+    }
+
+    std::filesystem::path manifest;
+    vmpi::Runtime::run(nranks, [&](vmpi::Comm& comm) {
+        WriterConfig base;
+        base.tree.target_file_size = 32 << 10;
+        base.directory = dir.path();
+        base.basename = "series";
+        SeriesWriter writer(base);
+        for (int t = 0; t < 3; ++t) {
+            const auto per_rank = partition_particles(globals[static_cast<std::size_t>(t)],
+                                                      decomp);
+            writer.write_timestep(comm, t * 100,
+                                  per_rank[static_cast<std::size_t>(comm.rank())],
+                                  decomp.rank_box(comm.rank()));
+        }
+        const auto path = writer.finalize(comm);
+        if (comm.rank() == 0) {
+            manifest = path;
+        }
+    });
+
+    SeriesReader reader(manifest);
+    ASSERT_EQ(reader.num_timesteps(), 3u);
+    EXPECT_EQ(reader.timestep_at(0), 0);
+    EXPECT_EQ(reader.timestep_at(2), 200);
+    for (std::size_t i = 0; i < 3; ++i) {
+        Dataset ds = reader.open(i);
+        EXPECT_EQ(ds.num_particles(), globals[i].count());
+        const ParticleSet all = ds.collect(BatQuery{});
+        EXPECT_EQ(testing::particle_keys(all), testing::particle_keys(globals[i]));
+    }
+    Dataset mid = reader.open_timestep(100);
+    EXPECT_EQ(mid.num_particles(), globals[1].count());
+}
+
+TEST(SeriesTest, RejectsOutOfOrderTimesteps) {
+    testing::TempDir dir;
+    vmpi::Runtime::run(1, [&](vmpi::Comm& comm) {
+        WriterConfig base;
+        base.directory = dir.path();
+        base.basename = "bad";
+        SeriesWriter writer(base);
+        const ParticleSet set = make_uniform_particles(kDomain, 100, 1, 1);
+        writer.write_timestep(comm, 10, set, kDomain);
+        EXPECT_THROW(writer.write_timestep(comm, 5, set, kDomain), Error);
+    });
+}
+
+}  // namespace
+}  // namespace bat

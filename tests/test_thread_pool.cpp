@@ -1,0 +1,128 @@
+// Tests for the TBB-replacement task pool: fork/join, nesting, exception
+// propagation, and parallel_for coverage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bat {
+namespace {
+
+class ThreadPoolSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadPoolSizes, RunsEveryTask) {
+    ThreadPool pool(GetParam());
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 100; ++i) {
+        group.run([&count] { count.fetch_add(1); });
+    }
+    group.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST_P(ThreadPoolSizes, NestedTasksComplete) {
+    ThreadPool pool(GetParam());
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i) {
+        group.run([&pool, &count] {
+            TaskGroup inner(pool);
+            for (int j = 0; j < 8; ++j) {
+                inner.run([&count] { count.fetch_add(1); });
+            }
+            inner.wait();
+        });
+    }
+    group.wait();
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST_P(ThreadPoolSizes, RecursiveSpawnFromTask) {
+    ThreadPool pool(GetParam());
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    // A task that spawns into the same group, fork/join style.
+    std::function<void(int)> recurse = [&](int depth) {
+        count.fetch_add(1);
+        if (depth < 5) {
+            group.run([&recurse, depth] { recurse(depth + 1); });
+            group.run([&recurse, depth] { recurse(depth + 1); });
+        }
+    };
+    group.run([&recurse] { recurse(0); });
+    group.wait();
+    EXPECT_EQ(count.load(), 63);  // full binary tree of depth 5
+}
+
+TEST_P(ThreadPoolSizes, ExceptionPropagatesFromWait) {
+    ThreadPool pool(GetParam());
+    TaskGroup group(pool);
+    for (int i = 0; i < 10; ++i) {
+        group.run([i] {
+            if (i == 7) {
+                throw Error("task failed");
+            }
+        });
+    }
+    EXPECT_THROW(group.wait(), Error);
+}
+
+TEST_P(ThreadPoolSizes, ParallelForCoversRangeExactlyOnce) {
+    ThreadPool pool(GetParam());
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(),
+                      [&hits](std::size_t i) { hits[i].fetch_add(1); }, 64);
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST_P(ThreadPoolSizes, ParallelForEmptyRange) {
+    ThreadPool pool(GetParam());
+    int calls = 0;
+    pool.parallel_for(5, 5, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST_P(ThreadPoolSizes, ParallelForPartialRange) {
+    ThreadPool pool(GetParam());
+    std::atomic<long> sum{0};
+    pool.parallel_for(10, 20, [&sum](std::size_t i) { sum.fetch_add(static_cast<long>(i)); },
+                      3);
+    EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ThreadPoolSizes, ::testing::Values(0, 1, 2, 4));
+
+TEST(ThreadPoolTest, DefaultConcurrencyNonNegative) {
+    // On a 1-core machine this is 0 (inline execution); just exercise it.
+    ThreadPool pool;
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    group.run([&count] { count.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+    std::atomic<int> count{0};
+    ThreadPool::global().parallel_for(0, 10, [&count](std::size_t) { count.fetch_add(1); },
+                                      2);
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitCanBeCalledTwice) {
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    group.run([] {});
+    group.wait();
+    EXPECT_NO_THROW(group.wait());
+}
+
+}  // namespace
+}  // namespace bat

@@ -1,0 +1,209 @@
+// Stress and property tests for the virtual MPI runtime: randomized
+// communication patterns, large payloads, many-to-one storms, wait_all,
+// and interleaved collectives with point-to-point traffic — the traffic
+// shapes the two-phase pipelines generate at scale.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "vmpi/comm.hpp"
+
+namespace bat::vmpi {
+namespace {
+
+TEST(VmpiStressTest, ManyToOneStorm) {
+    // Every rank fires a burst of messages at rank 0 (aggregation incast).
+    const int n = 12;
+    const int per_rank = 40;
+    Runtime::run(n, [n, per_rank](Comm& comm) {
+        if (comm.rank() != 0) {
+            for (int i = 0; i < per_rank; ++i) {
+                const int value = comm.rank() * 1000 + i;
+                comm.isend_value(0, 3, value);
+            }
+            return;
+        }
+        std::vector<int> next_expected(static_cast<std::size_t>(n), 0);
+        for (int got = 0; got < (n - 1) * per_rank; ++got) {
+            int from = -1;
+            const Bytes b = comm.recv(kAnySource, 3, &from);
+            int value = 0;
+            std::memcpy(&value, b.data(), sizeof(int));
+            // FIFO per channel: messages from one sender arrive in order.
+            EXPECT_EQ(value, from * 1000 + next_expected[static_cast<std::size_t>(from)]);
+            ++next_expected[static_cast<std::size_t>(from)];
+        }
+    });
+}
+
+TEST(VmpiStressTest, RandomizedAllToAllTraffic) {
+    const int n = 8;
+    Runtime::run(n, [n](Comm& comm) {
+        Pcg32 rng(static_cast<std::uint64_t>(comm.rank()) + 777);
+        // Everyone sends a random-sized payload to every other rank; the
+        // checksum verifies integrity.
+        std::vector<std::uint64_t> sent_sum(static_cast<std::size_t>(n), 0);
+        for (int dst = 0; dst < n; ++dst) {
+            const std::uint32_t len = 1 + rng.next_bounded(4096);
+            Bytes payload(len);
+            std::uint64_t sum = 0;
+            for (auto& byte : payload) {
+                const auto v = static_cast<std::uint8_t>(rng.next_bounded(256));
+                byte = static_cast<std::byte>(v);
+                sum += v;
+            }
+            sent_sum[static_cast<std::size_t>(dst)] = sum;
+            comm.isend(dst, 9, std::move(payload));
+            comm.isend_value(dst, 10, sum);
+        }
+        for (int src = 0; src < n; ++src) {
+            const Bytes payload = comm.recv(src, 9);
+            const auto expected = comm.recv_value<std::uint64_t>(src, 10);
+            std::uint64_t sum = 0;
+            for (std::byte b : payload) {
+                sum += static_cast<std::uint8_t>(b);
+            }
+            EXPECT_EQ(sum, expected);
+        }
+    });
+}
+
+TEST(VmpiStressTest, LargePayloadIntegrity) {
+    Runtime::run(2, [](Comm& comm) {
+        const std::size_t len = 32 << 20;  // 32 MB (a large aggregator leaf)
+        if (comm.rank() == 0) {
+            Bytes payload(len);
+            for (std::size_t i = 0; i < len; i += 4096) {
+                payload[i] = static_cast<std::byte>(i / 4096);
+            }
+            comm.isend(1, 1, std::move(payload));
+        } else {
+            const Bytes payload = comm.recv(0, 1);
+            ASSERT_EQ(payload.size(), len);
+            for (std::size_t i = 0; i < len; i += 4096) {
+                EXPECT_EQ(payload[i], static_cast<std::byte>(i / 4096));
+            }
+        }
+    });
+}
+
+TEST(VmpiStressTest, WaitAllCompletesMixedRequests) {
+    Runtime::run(4, [](Comm& comm) {
+        std::vector<Bytes> inboxes(3);
+        std::vector<Request> reqs;
+        for (int r = 0, slot = 0; r < 4; ++r) {
+            if (r == comm.rank()) {
+                continue;
+            }
+            reqs.push_back(comm.irecv(r, 5, inboxes[static_cast<std::size_t>(slot++)]));
+        }
+        for (int r = 0; r < 4; ++r) {
+            if (r != comm.rank()) {
+                comm.isend_value(r, 5, comm.rank());
+            }
+        }
+        wait_all(reqs);
+        for (const Bytes& b : inboxes) {
+            EXPECT_EQ(b.size(), sizeof(int));
+        }
+    });
+}
+
+TEST(VmpiStressTest, CollectivesInterleavedWithP2p) {
+    const int n = 6;
+    Runtime::run(n, [n](Comm& comm) {
+        // p2p traffic in flight across a sequence of collectives.
+        comm.isend_value((comm.rank() + 1) % n, 7, comm.rank());
+        const int sum = comm.allreduce(1, [](int a, int b) { return a + b; });
+        EXPECT_EQ(sum, n);
+        const std::vector<int> all = comm.gather(comm.rank(), 0);
+        if (comm.rank() == 0) {
+            EXPECT_EQ(static_cast<int>(all.size()), n);
+        }
+        comm.barrier();
+        const int got = comm.recv_value<int>((comm.rank() + n - 1) % n, 7);
+        EXPECT_EQ(got, (comm.rank() + n - 1) % n);
+    });
+}
+
+TEST(VmpiStressTest, RepeatedIbarrierRounds) {
+    // The DataService runs many ibarrier-delimited rounds back to back.
+    Runtime::run(5, [](Comm& comm) {
+        for (int round = 0; round < 50; ++round) {
+            Request barrier = comm.ibarrier();
+            while (!barrier.test()) {
+                std::this_thread::yield();
+            }
+        }
+    });
+}
+
+TEST(VmpiStressTest, ProbeUnderConcurrentTraffic) {
+    Runtime::run(3, [](Comm& comm) {
+        if (comm.rank() == 0) {
+            // Server: answer exactly 20 queries from anyone.
+            for (int served = 0; served < 20; ++served) {
+                int from = -1;
+                while (!comm.iprobe(kAnySource, 11, &from)) {
+                    std::this_thread::yield();
+                }
+                const Bytes q = comm.recv(from, 11);
+                comm.isend(from, 12, q);  // echo
+            }
+        } else {
+            for (int i = 0; i < 10; ++i) {
+                comm.isend_value(0, 11, comm.rank() * 100 + i);
+                const int echoed = comm.recv_value<int>(0, 12);
+                EXPECT_EQ(echoed, comm.rank() * 100 + i);
+            }
+        }
+    });
+}
+
+class VmpiScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(VmpiScale, AggregationShapedTraffic) {
+    // The write pipeline's exact pattern: gather to 0, scatter, incast to a
+    // few aggregators, gatherv of reports.
+    const int n = GetParam();
+    Runtime::run(n, [n](Comm& comm) {
+        const std::vector<int> counts = comm.gather(comm.rank() + 1, 0);
+        std::vector<Bytes> assignments;
+        if (comm.rank() == 0) {
+            EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0),
+                      n * (n + 1) / 2);
+            for (int r = 0; r < n; ++r) {
+                Bytes b(sizeof(int));
+                const int agg = r % std::max(1, n / 4);
+                std::memcpy(b.data(), &agg, sizeof(int));
+                assignments.push_back(std::move(b));
+            }
+        }
+        const Bytes mine = comm.scatterv(std::move(assignments), 0);
+        int my_agg = 0;
+        std::memcpy(&my_agg, mine.data(), sizeof(int));
+        comm.isend_value(my_agg, 21, comm.rank());
+        // Aggregators receive their flock.
+        if (comm.rank() < std::max(1, n / 4)) {
+            int expected = 0;
+            for (int r = 0; r < n; ++r) {
+                expected += (r % std::max(1, n / 4)) == comm.rank();
+            }
+            for (int i = 0; i < expected; ++i) {
+                comm.recv(kAnySource, 21);
+            }
+        }
+        comm.gatherv(Bytes(8), 0);
+        comm.barrier();
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VmpiScale, ::testing::Values(2, 5, 16, 32));
+
+}  // namespace
+}  // namespace bat::vmpi
