@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bitmap.dir/ablation_bitmap.cpp.o"
+  "CMakeFiles/ablation_bitmap.dir/ablation_bitmap.cpp.o.d"
+  "ablation_bitmap"
+  "ablation_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

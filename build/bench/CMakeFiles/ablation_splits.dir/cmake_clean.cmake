@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_splits.dir/ablation_splits.cpp.o"
+  "CMakeFiles/ablation_splits.dir/ablation_splits.cpp.o.d"
+  "ablation_splits"
+  "ablation_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

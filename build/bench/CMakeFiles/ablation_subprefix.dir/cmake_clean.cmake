@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subprefix.dir/ablation_subprefix.cpp.o"
+  "CMakeFiles/ablation_subprefix.dir/ablation_subprefix.cpp.o.d"
+  "ablation_subprefix"
+  "ablation_subprefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subprefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

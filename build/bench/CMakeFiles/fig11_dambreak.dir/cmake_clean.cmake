@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dambreak.dir/fig11_dambreak.cpp.o"
+  "CMakeFiles/fig11_dambreak.dir/fig11_dambreak.cpp.o.d"
+  "fig11_dambreak"
+  "fig11_dambreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dambreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dambreak_breakdown.dir/fig12_dambreak_breakdown.cpp.o"
+  "CMakeFiles/fig12_dambreak_breakdown.dir/fig12_dambreak_breakdown.cpp.o.d"
+  "fig12_dambreak_breakdown"
+  "fig12_dambreak_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dambreak_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

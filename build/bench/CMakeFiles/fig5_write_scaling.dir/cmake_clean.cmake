@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_write_scaling.dir/fig5_write_scaling.cpp.o"
+  "CMakeFiles/fig5_write_scaling.dir/fig5_write_scaling.cpp.o.d"
+  "fig5_write_scaling"
+  "fig5_write_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_write_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

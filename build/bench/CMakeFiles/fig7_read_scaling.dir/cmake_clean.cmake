@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_read_scaling.dir/fig7_read_scaling.cpp.o"
+  "CMakeFiles/fig7_read_scaling.dir/fig7_read_scaling.cpp.o.d"
+  "fig7_read_scaling"
+  "fig7_read_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_read_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_boiler.dir/fig9_boiler.cpp.o"
+  "CMakeFiles/fig9_boiler.dir/fig9_boiler.cpp.o.d"
+  "fig9_boiler"
+  "fig9_boiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_boiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

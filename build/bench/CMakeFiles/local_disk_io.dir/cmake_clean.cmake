@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_disk_io.dir/local_disk_io.cpp.o"
+  "CMakeFiles/local_disk_io.dir/local_disk_io.cpp.o.d"
+  "local_disk_io"
+  "local_disk_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_disk_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

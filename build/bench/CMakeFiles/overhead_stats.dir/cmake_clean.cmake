@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_stats.dir/overhead_stats.cpp.o"
+  "CMakeFiles/overhead_stats.dir/overhead_stats.cpp.o.d"
+  "overhead_stats"
+  "overhead_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_progressive_boiler.dir/table1_progressive_boiler.cpp.o"
+  "CMakeFiles/table1_progressive_boiler.dir/table1_progressive_boiler.cpp.o.d"
+  "table1_progressive_boiler"
+  "table1_progressive_boiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_progressive_boiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_progressive_dambreak.dir/table2_progressive_dambreak.cpp.o"
+  "CMakeFiles/table2_progressive_dambreak.dir/table2_progressive_dambreak.cpp.o.d"
+  "table2_progressive_dambreak"
+  "table2_progressive_dambreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_progressive_dambreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

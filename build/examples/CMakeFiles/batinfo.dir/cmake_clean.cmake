@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batinfo.dir/batinfo.cpp.o"
+  "CMakeFiles/batinfo.dir/batinfo.cpp.o.d"
+  "batinfo"
+  "batinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boiler_insitu.dir/boiler_insitu.cpp.o"
+  "CMakeFiles/boiler_insitu.dir/boiler_insitu.cpp.o.d"
+  "boiler_insitu"
+  "boiler_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boiler_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for boiler_insitu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capi_demo.dir/capi_demo.c.o"
+  "CMakeFiles/capi_demo.dir/capi_demo.c.o.d"
+  "capi_demo"
+  "capi_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C)
+  include(CMakeFiles/capi_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

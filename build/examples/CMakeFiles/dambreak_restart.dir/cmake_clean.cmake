@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dambreak_restart.dir/dambreak_restart.cpp.o"
+  "CMakeFiles/dambreak_restart.dir/dambreak_restart.cpp.o.d"
+  "dambreak_restart"
+  "dambreak_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dambreak_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dambreak_restart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasets_preview.dir/datasets_preview.cpp.o"
+  "CMakeFiles/datasets_preview.dir/datasets_preview.cpp.o.d"
+  "datasets_preview"
+  "datasets_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasets_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_analytics.dir/insitu_analytics.cpp.o"
+  "CMakeFiles/insitu_analytics.dir/insitu_analytics.cpp.o.d"
+  "insitu_analytics"
+  "insitu_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

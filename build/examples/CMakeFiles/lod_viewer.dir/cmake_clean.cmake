@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lod_viewer.dir/lod_viewer.cpp.o"
+  "CMakeFiles/lod_viewer.dir/lod_viewer.cpp.o.d"
+  "lod_viewer"
+  "lod_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lod_viewer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_viewer.dir/streaming_viewer.cpp.o"
+  "CMakeFiles/streaming_viewer.dir/streaming_viewer.cpp.o.d"
+  "streaming_viewer"
+  "streaming_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

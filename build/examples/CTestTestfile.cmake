@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "/root/repo/build/examples/smoke_quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capi_demo "/root/repo/build/examples/capi_demo" "/root/repo/build/examples/smoke_capi")
+set_tests_properties(example_capi_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_boiler_insitu "/root/repo/build/examples/boiler_insitu" "/root/repo/build/examples/smoke_boiler" "16" "30000")
+set_tests_properties(example_boiler_insitu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dambreak_restart "/root/repo/build/examples/dambreak_restart" "/root/repo/build/examples/smoke_dambreak" "16" "30000")
+set_tests_properties(example_dambreak_restart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lod_viewer "/root/repo/build/examples/lod_viewer" "/root/repo/build/examples/smoke_lod" "50000")
+set_tests_properties(example_lod_viewer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_datasets_preview "/root/repo/build/examples/datasets_preview" "/root/repo/build/examples/smoke_preview" "30000")
+set_tests_properties(example_datasets_preview PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_streaming_viewer "/root/repo/build/examples/streaming_viewer" "/root/repo/build/examples/smoke_stream" "50000")
+set_tests_properties(example_streaming_viewer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_insitu_analytics "/root/repo/build/examples/insitu_analytics" "/root/repo/build/examples/smoke_insitu" "8" "30000")
+set_tests_properties(example_insitu_analytics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_batinfo "/root/repo/build/examples/batinfo" "/root/repo/build/examples/smoke_quickstart/quickstart.batmeta")
+set_tests_properties(example_batinfo PROPERTIES  DEPENDS "example_quickstart" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")

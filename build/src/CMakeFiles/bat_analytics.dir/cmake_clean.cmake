@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bat_analytics.dir/analytics/analytics.cpp.o"
+  "CMakeFiles/bat_analytics.dir/analytics/analytics.cpp.o.d"
+  "libbat_analytics.a"
+  "libbat_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bat_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

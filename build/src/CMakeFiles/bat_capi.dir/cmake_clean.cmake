@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bat_capi.dir/capi/bat_c.cpp.o"
+  "CMakeFiles/bat_capi.dir/capi/bat_c.cpp.o.d"
+  "libbat_capi.a"
+  "libbat_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bat_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

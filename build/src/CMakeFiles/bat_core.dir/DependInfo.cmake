@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agg_tree.cpp" "src/CMakeFiles/bat_core.dir/core/agg_tree.cpp.o" "gcc" "src/CMakeFiles/bat_core.dir/core/agg_tree.cpp.o.d"
+  "/root/repo/src/core/aug.cpp" "src/CMakeFiles/bat_core.dir/core/aug.cpp.o" "gcc" "src/CMakeFiles/bat_core.dir/core/aug.cpp.o.d"
+  "/root/repo/src/core/bat_builder.cpp" "src/CMakeFiles/bat_core.dir/core/bat_builder.cpp.o" "gcc" "src/CMakeFiles/bat_core.dir/core/bat_builder.cpp.o.d"
+  "/root/repo/src/core/bat_compress.cpp" "src/CMakeFiles/bat_core.dir/core/bat_compress.cpp.o" "gcc" "src/CMakeFiles/bat_core.dir/core/bat_compress.cpp.o.d"
+  "/root/repo/src/core/bat_file.cpp" "src/CMakeFiles/bat_core.dir/core/bat_file.cpp.o" "gcc" "src/CMakeFiles/bat_core.dir/core/bat_file.cpp.o.d"
+  "/root/repo/src/core/bat_query.cpp" "src/CMakeFiles/bat_core.dir/core/bat_query.cpp.o" "gcc" "src/CMakeFiles/bat_core.dir/core/bat_query.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/CMakeFiles/bat_core.dir/core/dataset.cpp.o" "gcc" "src/CMakeFiles/bat_core.dir/core/dataset.cpp.o.d"
+  "/root/repo/src/core/karras.cpp" "src/CMakeFiles/bat_core.dir/core/karras.cpp.o" "gcc" "src/CMakeFiles/bat_core.dir/core/karras.cpp.o.d"
+  "/root/repo/src/core/metadata.cpp" "src/CMakeFiles/bat_core.dir/core/metadata.cpp.o" "gcc" "src/CMakeFiles/bat_core.dir/core/metadata.cpp.o.d"
+  "/root/repo/src/core/particles.cpp" "src/CMakeFiles/bat_core.dir/core/particles.cpp.o" "gcc" "src/CMakeFiles/bat_core.dir/core/particles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

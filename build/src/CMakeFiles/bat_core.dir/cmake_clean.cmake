@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bat_core.dir/core/agg_tree.cpp.o"
+  "CMakeFiles/bat_core.dir/core/agg_tree.cpp.o.d"
+  "CMakeFiles/bat_core.dir/core/aug.cpp.o"
+  "CMakeFiles/bat_core.dir/core/aug.cpp.o.d"
+  "CMakeFiles/bat_core.dir/core/bat_builder.cpp.o"
+  "CMakeFiles/bat_core.dir/core/bat_builder.cpp.o.d"
+  "CMakeFiles/bat_core.dir/core/bat_compress.cpp.o"
+  "CMakeFiles/bat_core.dir/core/bat_compress.cpp.o.d"
+  "CMakeFiles/bat_core.dir/core/bat_file.cpp.o"
+  "CMakeFiles/bat_core.dir/core/bat_file.cpp.o.d"
+  "CMakeFiles/bat_core.dir/core/bat_query.cpp.o"
+  "CMakeFiles/bat_core.dir/core/bat_query.cpp.o.d"
+  "CMakeFiles/bat_core.dir/core/dataset.cpp.o"
+  "CMakeFiles/bat_core.dir/core/dataset.cpp.o.d"
+  "CMakeFiles/bat_core.dir/core/karras.cpp.o"
+  "CMakeFiles/bat_core.dir/core/karras.cpp.o.d"
+  "CMakeFiles/bat_core.dir/core/metadata.cpp.o"
+  "CMakeFiles/bat_core.dir/core/metadata.cpp.o.d"
+  "CMakeFiles/bat_core.dir/core/particles.cpp.o"
+  "CMakeFiles/bat_core.dir/core/particles.cpp.o.d"
+  "libbat_core.a"
+  "libbat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

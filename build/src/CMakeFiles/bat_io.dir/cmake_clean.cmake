@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bat_io.dir/io/baselines.cpp.o"
+  "CMakeFiles/bat_io.dir/io/baselines.cpp.o.d"
+  "CMakeFiles/bat_io.dir/io/data_service.cpp.o"
+  "CMakeFiles/bat_io.dir/io/data_service.cpp.o.d"
+  "CMakeFiles/bat_io.dir/io/reader.cpp.o"
+  "CMakeFiles/bat_io.dir/io/reader.cpp.o.d"
+  "CMakeFiles/bat_io.dir/io/series.cpp.o"
+  "CMakeFiles/bat_io.dir/io/series.cpp.o.d"
+  "CMakeFiles/bat_io.dir/io/writer.cpp.o"
+  "CMakeFiles/bat_io.dir/io/writer.cpp.o.d"
+  "libbat_io.a"
+  "libbat_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bat_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

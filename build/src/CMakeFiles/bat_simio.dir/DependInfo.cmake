@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simio/calibrate.cpp" "src/CMakeFiles/bat_simio.dir/simio/calibrate.cpp.o" "gcc" "src/CMakeFiles/bat_simio.dir/simio/calibrate.cpp.o.d"
+  "/root/repo/src/simio/filesystem.cpp" "src/CMakeFiles/bat_simio.dir/simio/filesystem.cpp.o" "gcc" "src/CMakeFiles/bat_simio.dir/simio/filesystem.cpp.o.d"
+  "/root/repo/src/simio/machine.cpp" "src/CMakeFiles/bat_simio.dir/simio/machine.cpp.o" "gcc" "src/CMakeFiles/bat_simio.dir/simio/machine.cpp.o.d"
+  "/root/repo/src/simio/network.cpp" "src/CMakeFiles/bat_simio.dir/simio/network.cpp.o" "gcc" "src/CMakeFiles/bat_simio.dir/simio/network.cpp.o.d"
+  "/root/repo/src/simio/pipeline_model.cpp" "src/CMakeFiles/bat_simio.dir/simio/pipeline_model.cpp.o" "gcc" "src/CMakeFiles/bat_simio.dir/simio/pipeline_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bat_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bat_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

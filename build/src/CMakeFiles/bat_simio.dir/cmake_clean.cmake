@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bat_simio.dir/simio/calibrate.cpp.o"
+  "CMakeFiles/bat_simio.dir/simio/calibrate.cpp.o.d"
+  "CMakeFiles/bat_simio.dir/simio/filesystem.cpp.o"
+  "CMakeFiles/bat_simio.dir/simio/filesystem.cpp.o.d"
+  "CMakeFiles/bat_simio.dir/simio/machine.cpp.o"
+  "CMakeFiles/bat_simio.dir/simio/machine.cpp.o.d"
+  "CMakeFiles/bat_simio.dir/simio/network.cpp.o"
+  "CMakeFiles/bat_simio.dir/simio/network.cpp.o.d"
+  "CMakeFiles/bat_simio.dir/simio/pipeline_model.cpp.o"
+  "CMakeFiles/bat_simio.dir/simio/pipeline_model.cpp.o.d"
+  "libbat_simio.a"
+  "libbat_simio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bat_simio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

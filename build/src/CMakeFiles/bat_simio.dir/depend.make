@@ -1,0 +1,2 @@
+# Empty dependencies file for bat_simio.
+# This may be replaced when dependencies are built.

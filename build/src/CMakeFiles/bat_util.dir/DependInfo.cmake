@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/bat_util.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/bat_util.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/mmap_file.cpp" "src/CMakeFiles/bat_util.dir/util/mmap_file.cpp.o" "gcc" "src/CMakeFiles/bat_util.dir/util/mmap_file.cpp.o.d"
+  "/root/repo/src/util/morton.cpp" "src/CMakeFiles/bat_util.dir/util/morton.cpp.o" "gcc" "src/CMakeFiles/bat_util.dir/util/morton.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/bat_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/bat_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/bat_util.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/bat_util.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bat_util.dir/util/log.cpp.o"
+  "CMakeFiles/bat_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/bat_util.dir/util/mmap_file.cpp.o"
+  "CMakeFiles/bat_util.dir/util/mmap_file.cpp.o.d"
+  "CMakeFiles/bat_util.dir/util/morton.cpp.o"
+  "CMakeFiles/bat_util.dir/util/morton.cpp.o.d"
+  "CMakeFiles/bat_util.dir/util/stats.cpp.o"
+  "CMakeFiles/bat_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/bat_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/bat_util.dir/util/thread_pool.cpp.o.d"
+  "libbat_util.a"
+  "libbat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmpi/collectives.cpp" "src/CMakeFiles/bat_vmpi.dir/vmpi/collectives.cpp.o" "gcc" "src/CMakeFiles/bat_vmpi.dir/vmpi/collectives.cpp.o.d"
+  "/root/repo/src/vmpi/comm.cpp" "src/CMakeFiles/bat_vmpi.dir/vmpi/comm.cpp.o" "gcc" "src/CMakeFiles/bat_vmpi.dir/vmpi/comm.cpp.o.d"
+  "/root/repo/src/vmpi/runtime.cpp" "src/CMakeFiles/bat_vmpi.dir/vmpi/runtime.cpp.o" "gcc" "src/CMakeFiles/bat_vmpi.dir/vmpi/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

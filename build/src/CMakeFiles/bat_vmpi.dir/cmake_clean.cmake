@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bat_vmpi.dir/vmpi/collectives.cpp.o"
+  "CMakeFiles/bat_vmpi.dir/vmpi/collectives.cpp.o.d"
+  "CMakeFiles/bat_vmpi.dir/vmpi/comm.cpp.o"
+  "CMakeFiles/bat_vmpi.dir/vmpi/comm.cpp.o.d"
+  "CMakeFiles/bat_vmpi.dir/vmpi/runtime.cpp.o"
+  "CMakeFiles/bat_vmpi.dir/vmpi/runtime.cpp.o.d"
+  "libbat_vmpi.a"
+  "libbat_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bat_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbat_vmpi.a"
+)

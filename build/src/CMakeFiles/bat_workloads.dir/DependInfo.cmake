@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/boiler.cpp" "src/CMakeFiles/bat_workloads.dir/workloads/boiler.cpp.o" "gcc" "src/CMakeFiles/bat_workloads.dir/workloads/boiler.cpp.o.d"
+  "/root/repo/src/workloads/dambreak.cpp" "src/CMakeFiles/bat_workloads.dir/workloads/dambreak.cpp.o" "gcc" "src/CMakeFiles/bat_workloads.dir/workloads/dambreak.cpp.o.d"
+  "/root/repo/src/workloads/decomposition.cpp" "src/CMakeFiles/bat_workloads.dir/workloads/decomposition.cpp.o" "gcc" "src/CMakeFiles/bat_workloads.dir/workloads/decomposition.cpp.o.d"
+  "/root/repo/src/workloads/mixtures.cpp" "src/CMakeFiles/bat_workloads.dir/workloads/mixtures.cpp.o" "gcc" "src/CMakeFiles/bat_workloads.dir/workloads/mixtures.cpp.o.d"
+  "/root/repo/src/workloads/uniform.cpp" "src/CMakeFiles/bat_workloads.dir/workloads/uniform.cpp.o" "gcc" "src/CMakeFiles/bat_workloads.dir/workloads/uniform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bat_workloads.dir/workloads/boiler.cpp.o"
+  "CMakeFiles/bat_workloads.dir/workloads/boiler.cpp.o.d"
+  "CMakeFiles/bat_workloads.dir/workloads/dambreak.cpp.o"
+  "CMakeFiles/bat_workloads.dir/workloads/dambreak.cpp.o.d"
+  "CMakeFiles/bat_workloads.dir/workloads/decomposition.cpp.o"
+  "CMakeFiles/bat_workloads.dir/workloads/decomposition.cpp.o.d"
+  "CMakeFiles/bat_workloads.dir/workloads/mixtures.cpp.o"
+  "CMakeFiles/bat_workloads.dir/workloads/mixtures.cpp.o.d"
+  "CMakeFiles/bat_workloads.dir/workloads/uniform.cpp.o"
+  "CMakeFiles/bat_workloads.dir/workloads/uniform.cpp.o.d"
+  "libbat_workloads.a"
+  "libbat_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bat_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

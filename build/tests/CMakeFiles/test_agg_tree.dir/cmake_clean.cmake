@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agg_tree.dir/test_agg_tree.cpp.o"
+  "CMakeFiles/test_agg_tree.dir/test_agg_tree.cpp.o.d"
+  "test_agg_tree"
+  "test_agg_tree.pdb"
+  "test_agg_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agg_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytics.dir/test_analytics.cpp.o"
+  "CMakeFiles/test_analytics.dir/test_analytics.cpp.o.d"
+  "test_analytics"
+  "test_analytics.pdb"
+  "test_analytics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

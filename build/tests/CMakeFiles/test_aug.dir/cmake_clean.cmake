@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aug.dir/test_aug.cpp.o"
+  "CMakeFiles/test_aug.dir/test_aug.cpp.o.d"
+  "test_aug"
+  "test_aug.pdb"
+  "test_aug[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bat_builder.dir/test_bat_builder.cpp.o"
+  "CMakeFiles/test_bat_builder.dir/test_bat_builder.cpp.o.d"
+  "test_bat_builder"
+  "test_bat_builder.pdb"
+  "test_bat_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bat_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

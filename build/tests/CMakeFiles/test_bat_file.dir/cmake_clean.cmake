@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bat_file.dir/test_bat_file.cpp.o"
+  "CMakeFiles/test_bat_file.dir/test_bat_file.cpp.o.d"
+  "test_bat_file"
+  "test_bat_file.pdb"
+  "test_bat_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bat_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bat_query.dir/test_bat_query.cpp.o"
+  "CMakeFiles/test_bat_query.dir/test_bat_query.cpp.o.d"
+  "test_bat_query"
+  "test_bat_query.pdb"
+  "test_bat_query[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bat_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_service.dir/test_data_service.cpp.o"
+  "CMakeFiles/test_data_service.dir/test_data_service.cpp.o.d"
+  "test_data_service"
+  "test_data_service.pdb"
+  "test_data_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

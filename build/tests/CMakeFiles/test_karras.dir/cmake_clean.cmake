@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_karras.dir/test_karras.cpp.o"
+  "CMakeFiles/test_karras.dir/test_karras.cpp.o.d"
+  "test_karras"
+  "test_karras.pdb"
+  "test_karras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_karras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata.dir/test_metadata.cpp.o"
+  "CMakeFiles/test_metadata.dir/test_metadata.cpp.o.d"
+  "test_metadata"
+  "test_metadata.pdb"
+  "test_metadata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simio.dir/test_simio.cpp.o"
+  "CMakeFiles/test_simio.dir/test_simio.cpp.o.d"
+  "test_simio"
+  "test_simio.pdb"
+  "test_simio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi.dir/test_vmpi.cpp.o"
+  "CMakeFiles/test_vmpi.dir/test_vmpi.cpp.o.d"
+  "test_vmpi"
+  "test_vmpi.pdb"
+  "test_vmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi_stress.dir/test_vmpi_stress.cpp.o"
+  "CMakeFiles/test_vmpi_stress.dir/test_vmpi_stress.cpp.o.d"
+  "test_vmpi_stress"
+  "test_vmpi_stress.pdb"
+  "test_vmpi_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_writer_reader.dir/test_writer_reader.cpp.o"
+  "CMakeFiles/test_writer_reader.dir/test_writer_reader.cpp.o.d"
+  "test_writer_reader"
+  "test_writer_reader.pdb"
+  "test_writer_reader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_writer_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

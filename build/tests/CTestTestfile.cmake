@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_vmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_vmpi_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_agg_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_aug[1]_include.cmake")
+include("/root/repo/build/tests/test_karras[1]_include.cmake")
+include("/root/repo/build/tests/test_bat_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_bat_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_bat_file[1]_include.cmake")
+include("/root/repo/build/tests/test_bat_query[1]_include.cmake")
+include("/root/repo/build/tests/test_metadata[1]_include.cmake")
+include("/root/repo/build/tests/test_writer_reader[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_series[1]_include.cmake")
+include("/root/repo/build/tests/test_data_service[1]_include.cmake")
+include("/root/repo/build/tests/test_analytics[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_simio[1]_include.cmake")
+include("/root/repo/build/tests/test_capi[1]_include.cmake")
