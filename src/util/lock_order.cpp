@@ -1,0 +1,147 @@
+#include "util/lock_order.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace bat::lockdbg {
+namespace {
+
+// Registry state. Guarded by a plain std::mutex: the registry must not use
+// CheckedMutex itself.
+struct Registry {
+    std::mutex mutex;
+    std::vector<std::string> names;                    // class id -> name
+    std::vector<std::unordered_set<int>> edges;        // a -> {b}: b taken while a held
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+// Per-thread stack of held lock classes, in acquisition order.
+thread_local std::vector<int> t_held;
+
+bool default_enabled() {
+#ifdef BAT_LOCK_CHECKS
+    bool on = true;
+#else
+    bool on = false;
+#endif
+    if (const char* env = std::getenv("BAT_LOCK_CHECKS")) {
+        on = !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0);
+    }
+    return on;
+}
+
+std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> flag{default_enabled()};
+    return flag;
+}
+
+// True if `to` is reachable from `from` in the edge graph. Caller holds the
+// registry mutex. The graph has one node per lock class (a handful), so a
+// simple DFS is plenty.
+bool reachable(const Registry& r, int from, int to) {
+    if (from == to) {
+        return true;
+    }
+    std::vector<int> stack{from};
+    std::unordered_set<int> seen{from};
+    while (!stack.empty()) {
+        const int node = stack.back();
+        stack.pop_back();
+        for (const int next : r.edges[static_cast<std::size_t>(node)]) {
+            if (next == to) {
+                return true;
+            }
+            if (seen.insert(next).second) {
+                stack.push_back(next);
+            }
+        }
+    }
+    return false;
+}
+
+std::string held_chain(const Registry& r) {
+    std::string s;
+    for (const int id : t_held) {
+        if (!s.empty()) {
+            s += " -> ";
+        }
+        s += r.names[static_cast<std::size_t>(id)];
+    }
+    return s;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+
+void fatal(const std::string& msg) {
+    std::fprintf(stderr, "bat lockdbg FATAL: %s\n", msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+int register_class(const char* name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (std::size_t i = 0; i < r.names.size(); ++i) {
+        if (r.names[i] == name) {
+            return static_cast<int>(i);
+        }
+    }
+    r.names.emplace_back(name);
+    r.edges.emplace_back();
+    return static_cast<int>(r.names.size() - 1);
+}
+
+void before_lock(int class_id) {
+    if (t_held.empty()) {
+        return;
+    }
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const std::string& name = r.names[static_cast<std::size_t>(class_id)];
+    for (const int held : t_held) {
+        if (held == class_id) {
+            fatal("lock order violation: acquiring a second instance of lock class '" +
+                  name + "' while already holding one (held: " + held_chain(r) +
+                  "); same-class nesting requires an explicit instance order");
+        }
+    }
+    for (const int held : t_held) {
+        // Adding held -> class_id; a pre-existing path class_id -> held
+        // means some thread takes them in the opposite order.
+        if (reachable(r, class_id, held)) {
+            fatal("lock order violation: acquiring '" + name + "' while holding '" +
+                  r.names[static_cast<std::size_t>(held)] +
+                  "', but the opposite order was previously established (held: " +
+                  held_chain(r) + ")");
+        }
+        r.edges[static_cast<std::size_t>(held)].insert(class_id);
+    }
+}
+
+void after_lock(int class_id) { t_held.push_back(class_id); }
+
+void after_unlock(int class_id) {
+    // Usually top-of-stack; tolerate out-of-order unlocks and toggling
+    // enabled() mid-stream (entry may be absent).
+    for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+        if (*it == class_id) {
+            t_held.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+}  // namespace bat::lockdbg

@@ -1,0 +1,86 @@
+#pragma once
+// Lockdep-style lock-order tracking (docs/CORRECTNESS.md).
+//
+// CheckedMutex is a drop-in std::mutex replacement whose instances are
+// grouped into *classes* by name ("threadpool.queue", "vmpi.mailbox", ...).
+// The global registry records every "class A held while acquiring class B"
+// edge the process ever executes and aborts on the first acquisition that
+// would close a cycle in that graph — the ABBA pattern that deadlocks only
+// under unlucky scheduling. Acquiring two instances of the same class at
+// once is also flagged: it is exactly the case where a total instance order
+// must be established, and no code in this repository needs it.
+//
+// Checking defaults on when built with BAT_LOCK_CHECKS (the default CMake
+// configuration) and can be disabled at startup with BAT_LOCK_CHECKS=0 in
+// the environment. Violations print the held-lock chain to stderr and
+// abort(): they can fire while arbitrary locks are held, where throwing
+// would be unsafe.
+
+#include <mutex>
+#include <string>
+
+namespace bat {
+
+namespace lockdbg {
+
+/// True when lock-order tracking is active for this process.
+bool enabled();
+/// Runtime override (tests); wins over the environment and build default.
+void set_enabled(bool on);
+
+/// Print `msg` to stderr and abort. For invariant violations detected while
+/// locks may be held, where throwing is not an option.
+[[noreturn]] void fatal(const std::string& msg);
+
+// Hooks used by CheckedMutex; not for direct use.
+int register_class(const char* name);
+void before_lock(int class_id);   // order check; call before blocking
+void after_lock(int class_id);    // push onto this thread's held stack
+void after_unlock(int class_id);  // pop from this thread's held stack
+
+}  // namespace lockdbg
+
+/// std::mutex with lock-order checking. Satisfies Lockable, so it works
+/// with std::lock_guard, std::unique_lock, and std::condition_variable_any.
+class CheckedMutex {
+public:
+    explicit CheckedMutex(const char* name)
+        : class_id_(lockdbg::register_class(name)) {}
+    CheckedMutex(const CheckedMutex&) = delete;
+    CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+    void lock() {
+        if (lockdbg::enabled()) {
+            lockdbg::before_lock(class_id_);
+        }
+        m_.lock();
+        if (lockdbg::enabled()) {
+            lockdbg::after_lock(class_id_);
+        }
+    }
+
+    bool try_lock() {
+        // try_lock cannot deadlock, so no order check; still record the
+        // hold so locks taken underneath it are ordered against it.
+        if (!m_.try_lock()) {
+            return false;
+        }
+        if (lockdbg::enabled()) {
+            lockdbg::after_lock(class_id_);
+        }
+        return true;
+    }
+
+    void unlock() {
+        m_.unlock();
+        if (lockdbg::enabled()) {
+            lockdbg::after_unlock(class_id_);
+        }
+    }
+
+private:
+    std::mutex m_;
+    int class_id_;
+};
+
+}  // namespace bat

@@ -6,6 +6,18 @@
 
 namespace bat {
 
+namespace {
+
+// Stack of groups whose tasks this thread is currently executing; used to
+// detect a task wait()ing on its own group (which can never finish: the
+// running task's pending count only drops after the task returns).
+thread_local std::vector<TaskGroup*> t_executing_groups;
+
+// Current parallel_for nesting depth on this thread.
+thread_local int t_parallel_for_depth = 0;
+
+}  // namespace
+
 TaskGroup::~TaskGroup() {
     // A group must be drained before destruction; waiting here keeps the
     // failure mode (forgot to wait) safe instead of a use-after-free.
@@ -24,12 +36,19 @@ void TaskGroup::run(std::function<void()> f) {
 }
 
 void TaskGroup::wait() {
+    if (lockdbg::enabled() &&
+        std::find(t_executing_groups.begin(), t_executing_groups.end(), this) !=
+            t_executing_groups.end()) {
+        lockdbg::fatal(
+            "TaskGroup::wait() called from inside one of the group's own tasks — "
+            "the task's pending count cannot reach zero (self-wait deadlock)");
+    }
     while (pending_.load(std::memory_order_acquire) != 0) {
         if (!pool_.try_run_one()) {
             std::this_thread::yield();
         }
     }
-    std::lock_guard<std::mutex> lock(err_mutex_);
+    std::lock_guard<CheckedMutex> lock(err_mutex_);
     if (first_error_) {
         std::exception_ptr e = first_error_;
         first_error_ = nullptr;
@@ -56,7 +75,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<CheckedMutex> lock(mutex_);
         shutting_down_ = true;
     }
     cv_.notify_all();
@@ -75,7 +94,7 @@ void ThreadPool::enqueue(Task t) {
         return;
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<CheckedMutex> lock(mutex_);
         queue_.push_back(std::move(t));
     }
     cv_.notify_one();
@@ -84,7 +103,7 @@ void ThreadPool::enqueue(Task t) {
 bool ThreadPool::try_run_one() {
     Task t;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<CheckedMutex> lock(mutex_);
         if (queue_.empty()) {
             return false;
         }
@@ -99,7 +118,7 @@ void ThreadPool::worker_loop() {
     for (;;) {
         Task t;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            std::unique_lock<CheckedMutex> lock(mutex_);
             cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
             if (queue_.empty()) {
                 if (shutting_down_) {
@@ -116,16 +135,18 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::execute(Task& t) {
     TaskGroup* g = t.group;
+    t_executing_groups.push_back(g);
     try {
         t.fn();
     } catch (...) {
         if (g != nullptr) {
-            std::lock_guard<std::mutex> lock(g->err_mutex_);
+            std::lock_guard<CheckedMutex> lock(g->err_mutex_);
             if (!g->first_error_) {
                 g->first_error_ = std::current_exception();
             }
         }
     }
+    t_executing_groups.pop_back();
     if (g != nullptr) {
         g->pending_.fetch_sub(1, std::memory_order_acq_rel);
     }
@@ -135,6 +156,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& f, std::size_t grain) {
     BAT_CHECK(begin <= end);
     BAT_CHECK(grain > 0);
+    BAT_CHECK_MSG(t_parallel_for_depth < kMaxParallelForDepth,
+                  "parallel_for re-entrancy depth exceeded ("
+                      << kMaxParallelForDepth
+                      << "): the loop body recursively re-enters parallel_for");
+    struct DepthGuard {
+        DepthGuard() { ++t_parallel_for_depth; }
+        ~DepthGuard() { --t_parallel_for_depth; }
+    } depth_guard;
     if (begin == end) {
         return;
     }

@@ -7,6 +7,12 @@
 // The pool supports nested task submission from inside tasks (workers that
 // block in TaskGroup::wait help execute pending tasks, so recursive
 // parallelism cannot deadlock).
+//
+// Concurrency invariants are enforced in instrumented builds (see
+// docs/CORRECTNESS.md): the queue and error mutexes participate in
+// lock-order checking, TaskGroup::wait() aborts if called from inside one
+// of the group's own tasks (a self-wait that would otherwise livelock),
+// and parallel_for flags runaway re-entrant recursion.
 
 #include <atomic>
 #include <condition_variable>
@@ -16,6 +22,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/lock_order.hpp"
 
 namespace bat {
 
@@ -35,14 +43,16 @@ public:
 
     /// Block until every task run() on this group has finished, helping to
     /// execute queued tasks in the meantime. Rethrows the first exception
-    /// raised by any task in the group.
+    /// raised by any task in the group. Must not be called from inside one
+    /// of this group's own tasks (the task's own pending count would never
+    /// reach zero): instrumented builds abort with a diagnostic.
     void wait();
 
 private:
     friend class ThreadPool;
     ThreadPool& pool_;
     std::atomic<std::size_t> pending_{0};
-    std::mutex err_mutex_;
+    CheckedMutex err_mutex_{"taskgroup.error"};
     std::exception_ptr first_error_;
 };
 
@@ -68,9 +78,16 @@ public:
     static ThreadPool& global();
 
     /// Parallel for over [begin, end) in contiguous chunks. `f` is called
-    /// as f(index) for each index. Grain controls the chunk size.
+    /// as f(index) for each index. Grain controls the chunk size. Nested
+    /// calls (f itself calling parallel_for) are supported; recursion
+    /// deeper than kMaxParallelForDepth is rejected as a re-entrancy bug.
     void parallel_for(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t)>& f, std::size_t grain = 1024);
+
+    /// Deepest supported parallel_for nesting per thread. Legitimate use
+    /// is a handful of levels; hitting this means f re-enters parallel_for
+    /// unboundedly.
+    static constexpr int kMaxParallelForDepth = 64;
 
 private:
     friend class TaskGroup;
@@ -87,8 +104,8 @@ private:
 
     std::vector<std::thread> workers_;
     std::deque<Task> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
+    CheckedMutex mutex_{"threadpool.queue"};
+    std::condition_variable_any cv_;
     bool shutting_down_ = false;
 };
 

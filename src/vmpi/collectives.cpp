@@ -6,6 +6,7 @@
 namespace bat::vmpi {
 
 std::vector<Bytes> Comm::allgatherv(Bytes payload) {
+    const detail::CollectiveScope collective_scope;
     // gatherv to rank 0, then rank 0 rebroadcasts the concatenated set.
     std::vector<Bytes> gathered = gatherv(std::move(payload), 0);
     const int tag = next_collective_tag();
@@ -55,6 +56,7 @@ std::vector<Bytes> Comm::allgatherv(Bytes payload) {
 }
 
 std::vector<Bytes> Comm::alltoallv(std::vector<Bytes> payloads) {
+    const detail::CollectiveScope collective_scope;
     BAT_CHECK_MSG(static_cast<int>(payloads.size()) == size(),
                   "alltoallv requires one payload per rank");
     const int tag = next_collective_tag();

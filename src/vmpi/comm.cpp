@@ -1,5 +1,6 @@
 #include "vmpi/comm.hpp"
 
+#include <sstream>
 #include <thread>
 
 namespace bat::vmpi {
@@ -18,7 +19,30 @@ bool Request::test() {
 }
 
 void Request::wait() {
+    BAT_CHECK_MSG(impl_ != nullptr, "wait() on an empty Request");
+    Validator* validator = impl_->validator.get();
+    if (validator == nullptr) {
+        while (!test()) {
+            std::this_thread::yield();
+        }
+        return;
+    }
+    if (test()) {
+        return;
+    }
+    // Mark this rank blocked for the deadlock detector, and unmark on every
+    // exit path (completion or DeadlockError).
+    struct WaitGuard {
+        Validator* validator;
+        int rank;
+        ~WaitGuard() { validator->on_wait_end(rank); }
+    };
+    validator->on_wait_begin(impl_->rank, impl_->desc);
+    WaitGuard guard{validator, impl_->rank};
     while (!test()) {
+        if (validator->poll_deadlock(impl_->rank)) {
+            throw DeadlockError(validator->deadlock_message());
+        }
         std::this_thread::yield();
     }
 }
@@ -33,8 +57,27 @@ void wait_all(std::span<Request> reqs) {
 
 int Comm::size() const { return rt_->size(); }
 
+Validator* Comm::validator() const {
+    Validator* v = rt_->validator_.get();
+    return (v != nullptr && v->enabled()) ? v : nullptr;
+}
+
+void Comm::report_size_mismatch(const char* op, int src, int tag, std::size_t got,
+                                std::size_t expected) {
+    if (Validator* val = validator()) {
+        std::ostringstream os;
+        os << op << "(src=" << src << ", tag=" << tag << ") matched a " << got
+           << "-byte message, expected a multiple of " << expected
+           << " bytes — sender and receiver disagree on the element type";
+        val->report(DiagKind::size_mismatch, rank_, os.str());
+    }
+}
+
 Request Comm::isend(int dst, int tag, Bytes payload) {
     BAT_CHECK_MSG(dst >= 0 && dst < size(), "isend to invalid rank " << dst);
+    if (Validator* val = validator()) {
+        val->on_send(rank_, dst, tag, payload.size(), detail::in_collective());
+    }
     rt_->deliver(dst, Runtime::Message{rank_, tag, std::move(payload)});
     auto impl = std::make_shared<Request::Impl>();
     impl->done = true;  // buffered send: complete on return
@@ -50,6 +93,15 @@ Request Comm::irecv(int src, int tag, Bytes& out, int* from) {
     Runtime* rt = rt_;
     const int me = rank_;
     auto impl = std::make_shared<Request::Impl>();
+    if (Validator* val = validator()) {
+        val->on_recv_posted(me, src, tag, detail::in_collective());
+        impl->validator = rt_->validator_;
+        impl->rank = me;
+        std::ostringstream os;
+        os << "irecv(src=" << (src == kAnySource ? std::string("ANY") : std::to_string(src))
+           << ", tag=" << tag << ")";
+        impl->desc = os.str();
+    }
     Bytes* out_ptr = &out;
     impl->poll = [rt, me, src, tag, out_ptr, from] {
         return rt->try_match(me, src, tag, out_ptr, from, /*consume=*/true, nullptr);
@@ -69,6 +121,9 @@ Bytes Comm::recv(int src, int tag, int* from) {
 }
 
 bool Comm::iprobe(int src, int tag, int* from, std::size_t* bytes) {
+    if (Validator* val = validator()) {
+        val->on_probe(rank_, src, tag, detail::in_collective());
+    }
     return rt_->try_match(rank_, src, tag, nullptr, from, /*consume=*/false, bytes);
 }
 
@@ -76,6 +131,9 @@ int Comm::next_collective_tag() {
     // Collective tags cycle through a large reserved space; p2p traffic in
     // flight concurrently with collectives uses tags < kMaxUserTag so the
     // spaces never collide.
+    if (Validator* val = validator()) {
+        val->on_collective(rank_);
+    }
     const int tag = kMaxUserTag + static_cast<int>(collective_seq_ % (1u << 10));
     ++collective_seq_;
     return tag;
@@ -86,6 +144,7 @@ int Comm::next_collective_tag() {
 void Comm::barrier() { ibarrier().wait(); }
 
 Request Comm::ibarrier() {
+    const detail::CollectiveScope collective_scope;
     // All ranks call collectives in the same order, so this rank's sequence
     // number identifies the same ibarrier instance on every rank.
     const std::uint64_t seq = ibarrier_seq_++;
@@ -93,6 +152,14 @@ Request Comm::ibarrier() {
     st.arrived.fetch_add(1, std::memory_order_acq_rel);
     Runtime* rt = rt_;
     auto impl = std::make_shared<Request::Impl>();
+    if (Validator* val = validator()) {
+        val->on_collective(rank_);
+        val->on_progress();  // our arrival may complete other ranks' barriers
+        impl->validator = rt_->validator_;
+        impl->rank = rank_;
+        impl->desc = "ibarrier(seq=" + std::to_string(seq) + ")";
+        impl->done = false;
+    }
     impl->poll = [rt, &st] {
         return st.arrived.load(std::memory_order_acquire) >= rt->size();
     };
@@ -100,6 +167,7 @@ Request Comm::ibarrier() {
 }
 
 std::vector<Bytes> Comm::gatherv(Bytes payload, int root) {
+    const detail::CollectiveScope collective_scope;
     const int tag = next_collective_tag();
     std::vector<Bytes> out;
     if (rank() == root) {
@@ -118,6 +186,7 @@ std::vector<Bytes> Comm::gatherv(Bytes payload, int root) {
 }
 
 Bytes Comm::scatterv(std::vector<Bytes> payloads, int root) {
+    const detail::CollectiveScope collective_scope;
     const int tag = next_collective_tag();
     if (rank() == root) {
         BAT_CHECK_MSG(static_cast<int>(payloads.size()) == size(),
@@ -134,6 +203,7 @@ Bytes Comm::scatterv(std::vector<Bytes> payloads, int root) {
 }
 
 Bytes Comm::bcast(Bytes payload, int root) {
+    const detail::CollectiveScope collective_scope;
     const int tag = next_collective_tag();
     if (rank() == root) {
         for (int r = 0; r < size(); ++r) {

@@ -16,6 +16,10 @@
 // mailbox immediately), so send requests complete instantly — the same
 // guarantee simulations rely on for small-to-moderate MPI_Isend payloads,
 // and a semantics under which no paper algorithm here can deadlock.
+//
+// Protocol misuse (leaked requests, reserved tags, size-mismatched typed
+// receives, starved mailbox messages, genuine wait deadlocks) is caught by
+// the opt-in validator — see vmpi/validator.hpp and docs/CORRECTNESS.md.
 
 #include <condition_variable>
 #include <cstddef>
@@ -29,6 +33,8 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/lock_order.hpp"
+#include "vmpi/validator.hpp"
 
 namespace bat::vmpi {
 
@@ -52,7 +58,9 @@ public:
 
     /// True once the operation has completed. Idempotent.
     bool test();
-    /// Block until complete.
+    /// Block until complete. Under an enabled validator, throws
+    /// DeadlockError once the deadlock detector declares no event can
+    /// complete this request (instead of spinning forever).
     void wait();
     bool valid() const { return impl_ != nullptr; }
 
@@ -62,6 +70,20 @@ private:
         // Returns true when the operation is complete; called under no lock.
         std::function<bool()> poll;
         bool done = false;
+        // Validator bookkeeping; null when validation is disabled.
+        std::shared_ptr<Validator> validator;
+        int rank = -1;
+        std::string desc;
+
+        Impl() = default;
+        Impl(const Impl&) = delete;
+        Impl& operator=(const Impl&) = delete;
+        ~Impl() {
+            if (validator != nullptr && !done) {
+                validator->report(DiagKind::leaked_request, rank,
+                                  "request destroyed before completing: " + desc);
+            }
+        }
     };
     explicit Request(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
     std::shared_ptr<Impl> impl_;
@@ -108,6 +130,9 @@ public:
     T recv_value(int src, int tag, int* from = nullptr) {
         static_assert(std::is_trivially_copyable_v<T>);
         const Bytes b = recv(src, tag, from);
+        if (b.size() != sizeof(T)) {
+            report_size_mismatch("recv_value", src, tag, b.size(), sizeof(T));
+        }
         BAT_CHECK(b.size() == sizeof(T));
         T v;
         std::memcpy(&v, b.data(), sizeof(T));
@@ -128,6 +153,9 @@ public:
     std::vector<T> recv_vector(int src, int tag, int* from = nullptr) {
         static_assert(std::is_trivially_copyable_v<T>);
         const Bytes b = recv(src, tag, from);
+        if (b.size() % sizeof(T) != 0) {
+            report_size_mismatch("recv_vector", src, tag, b.size(), sizeof(T));
+        }
         BAT_CHECK(b.size() % sizeof(T) == 0);
         std::vector<T> v(b.size() / sizeof(T));
         if (!v.empty()) {
@@ -172,6 +200,10 @@ private:
     Comm(Runtime* rt, int rank) : rt_(rt), rank_(rank) {}
 
     int next_collective_tag();
+    /// The runtime's validator, or null when validation is disabled.
+    Validator* validator() const;
+    void report_size_mismatch(const char* op, int src, int tag, std::size_t got,
+                              std::size_t expected);
 
     Runtime* rt_ = nullptr;
     int rank_ = 0;
@@ -184,26 +216,46 @@ class Runtime {
 public:
     /// Run `fn(comm)` on `nranks` ranks, each on its own thread. Rethrows
     /// the first exception raised by any rank (after all ranks joined or
-    /// the failure is fatal).
+    /// the failure is fatal). Protocol validation is off unless
+    /// BAT_VMPI_VALIDATE is set in the environment, in which case
+    /// diagnostics are logged as warnings at finalize.
     static void run(int nranks, const std::function<void(Comm&)>& fn);
 
+    /// Run with the protocol validator enabled and return its report.
+    /// Unlike run(), rank exceptions are recorded in the report
+    /// (rank_errors / deadlock) rather than rethrown, so deliberately buggy
+    /// programs can be post-mortemed without hanging or aborting the
+    /// caller.
+    static ValidationReport run_validated(int nranks, const std::function<void(Comm&)>& fn,
+                                          ValidatorOptions opts = {});
+
     int size() const { return nranks_; }
+
+    ~Runtime();
 
 private:
     friend class Comm;
     friend class Request;
 
-    explicit Runtime(int nranks);
+    Runtime(int nranks, ValidatorOptions opts);
+
+    static ValidationReport run_impl(int nranks, const std::function<void(Comm&)>& fn,
+                                     ValidatorOptions opts, bool rethrow);
 
     struct Message {
         int src;
         int tag;
         Bytes payload;
+        // Starvation tracking (validator only): number of consuming
+        // receives that matched a younger or unrelated message while this
+        // one sat in the mailbox.
+        int passed_over = 0;
+        bool starvation_reported = false;
     };
 
     struct Mailbox {
-        std::mutex mutex;
-        std::condition_variable cv;
+        CheckedMutex mutex{"vmpi.mailbox"};
+        std::condition_variable_any cv;
         std::deque<Message> messages;
     };
 
@@ -222,10 +274,13 @@ private:
     int nranks_;
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
-    std::mutex ibarrier_mutex_;
+    CheckedMutex ibarrier_mutex_{"vmpi.ibarrier"};
     // Keyed by per-rank ibarrier sequence number; all ranks call ibarrier in
     // the same order so sequence numbers align across ranks.
     std::vector<std::unique_ptr<IbarrierState>> ibarrier_states_;
+
+    // Shared with Request impls, which may outlive the runtime.
+    std::shared_ptr<Validator> validator_;
 };
 
 // ---- template implementations -------------------------------------------
@@ -233,6 +288,7 @@ private:
 template <typename T>
 std::vector<T> Comm::gather(const T& v, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const detail::CollectiveScope collective_scope;
     const int tag = next_collective_tag();
     std::vector<T> out;
     if (rank() == root) {

@@ -1,32 +1,52 @@
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <sstream>
 #include <thread>
 
+#include "util/log.hpp"
 #include "vmpi/comm.hpp"
 
 namespace bat::vmpi {
 
-Runtime::Runtime(int nranks) : nranks_(nranks) {
+namespace {
+
+bool env_validation_enabled() {
+    const char* env = std::getenv("BAT_VMPI_VALIDATE");
+    return env != nullptr && std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0;
+}
+
+}  // namespace
+
+Runtime::Runtime(int nranks, ValidatorOptions opts) : nranks_(nranks) {
     BAT_CHECK_MSG(nranks > 0, "Runtime requires at least one rank");
     mailboxes_.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {
         mailboxes_.push_back(std::make_unique<Mailbox>());
     }
+    validator_ = std::make_shared<Validator>(nranks, opts);
 }
+
+Runtime::~Runtime() = default;
 
 void Runtime::deliver(int dst, Message msg) {
     Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
     {
-        std::lock_guard<std::mutex> lock(box.mutex);
+        std::lock_guard<CheckedMutex> lock(box.mutex);
         box.messages.push_back(std::move(msg));
     }
     box.cv.notify_all();
+    if (validator_->enabled()) {
+        validator_->on_progress();
+    }
 }
 
 bool Runtime::try_match(int rank, int src, int tag, Bytes* out, int* from, bool consume,
                         std::size_t* bytes) {
     Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
-    std::lock_guard<std::mutex> lock(box.mutex);
+    const bool validate = validator_->enabled();
+    std::lock_guard<CheckedMutex> lock(box.mutex);
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
         if (it->tag != tag) {
             continue;
@@ -41,10 +61,32 @@ bool Runtime::try_match(int rank, int src, int tag, Bytes* out, int* from, bool 
             *bytes = it->payload.size();
         }
         if (consume) {
+            if (validate) {
+                // Every message older than the match was passed over by
+                // this consuming receive; long-starved ones indicate the
+                // ANY_SOURCE starvation / stale-tag pattern.
+                for (auto skipped = box.messages.begin(); skipped != it; ++skipped) {
+                    ++skipped->passed_over;
+                    if (skipped->passed_over > validator_->options().starvation_threshold &&
+                        !skipped->starvation_reported) {
+                        skipped->starvation_reported = true;
+                        std::ostringstream os;
+                        os << "message from rank " << skipped->src << " with tag "
+                           << skipped->tag << " (" << skipped->payload.size()
+                           << " bytes) has been passed over " << skipped->passed_over
+                           << " times by consuming receives at rank " << rank
+                           << " — ANY_SOURCE starvation or a receive with a stale tag";
+                        validator_->report(DiagKind::any_source_starvation, rank, os.str());
+                    }
+                }
+            }
             if (out != nullptr) {
                 *out = std::move(it->payload);
             }
             box.messages.erase(it);
+            if (validate) {
+                validator_->on_consumed(rank);
+            }
         }
         return true;
     }
@@ -52,41 +94,101 @@ bool Runtime::try_match(int rank, int src, int tag, Bytes* out, int* from, bool 
 }
 
 Runtime::IbarrierState& Runtime::ibarrier_state(std::uint64_t seq) {
-    std::lock_guard<std::mutex> lock(ibarrier_mutex_);
+    std::lock_guard<CheckedMutex> lock(ibarrier_mutex_);
     while (ibarrier_states_.size() <= seq) {
         ibarrier_states_.push_back(std::make_unique<IbarrierState>());
     }
     return *ibarrier_states_[seq];
 }
 
-void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
-    Runtime rt(nranks);
+ValidationReport Runtime::run_impl(int nranks, const std::function<void(Comm&)>& fn,
+                                   ValidatorOptions opts, bool rethrow) {
+    Runtime rt(nranks, opts);
+    Validator& validator = *rt.validator_;
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nranks));
     std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
     std::atomic<bool> failed{false};
 
     for (int r = 0; r < nranks; ++r) {
-        threads.emplace_back([&rt, &fn, &errors, &failed, r] {
+        threads.emplace_back([&rt, &fn, &errors, &failed, &validator, r] {
             Comm comm(&rt, r);
+            if (validator.enabled()) {
+                validator.on_rank_start(r);
+            }
             try {
                 fn(comm);
             } catch (...) {
                 errors[static_cast<std::size_t>(r)] = std::current_exception();
                 failed.store(true, std::memory_order_release);
             }
+            if (validator.enabled()) {
+                validator.on_rank_finish(r);
+            }
         });
     }
     for (auto& t : threads) {
         t.join();
     }
+
+    ValidationReport report;
+    if (validator.enabled()) {
+        // Finalize checks: any message still sitting in a mailbox was sent
+        // but never received.
+        for (int dst = 0; dst < nranks; ++dst) {
+            Mailbox& box = *rt.mailboxes_[static_cast<std::size_t>(dst)];
+            std::lock_guard<CheckedMutex> lock(box.mutex);
+            for (const Message& msg : box.messages) {
+                std::ostringstream os;
+                os << "send from rank " << msg.src << " to rank " << dst << " with tag "
+                   << msg.tag << " (" << msg.payload.size()
+                   << " bytes) was never received (pending at finalize)";
+                validator.report(DiagKind::unmatched_send, msg.src, os.str());
+            }
+        }
+        report = validator.take_report();
+    }
+
     if (failed.load(std::memory_order_acquire)) {
         for (auto& e : errors) {
-            if (e) {
+            if (!e) {
+                continue;
+            }
+            if (rethrow) {
                 std::rethrow_exception(e);
+            }
+            try {
+                std::rethrow_exception(e);
+            } catch (const DeadlockError&) {
+                // Already captured as a deadlock diagnostic.
+            } catch (const std::exception& ex) {
+                report.rank_errors.emplace_back(ex.what());
+            } catch (...) {
+                report.rank_errors.emplace_back("unknown exception");
             }
         }
     }
+
+    if (validator.enabled() && rethrow && !report.diagnostics.empty()) {
+        // Env-enabled validation on a plain run(): surface findings loudly
+        // but do not change control flow.
+        BAT_LOG_WARN("vmpi validator found " << report.diagnostics.size()
+                                             << " issue(s):\n"
+                                             << report.summary());
+    }
+    return report;
+}
+
+void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
+    ValidatorOptions opts;
+    opts.enabled = env_validation_enabled();
+    run_impl(nranks, fn, opts, /*rethrow=*/true);
+}
+
+ValidationReport Runtime::run_validated(int nranks, const std::function<void(Comm&)>& fn,
+                                        ValidatorOptions opts) {
+    opts.enabled = true;
+    return run_impl(nranks, fn, opts, /*rethrow=*/false);
 }
 
 }  // namespace bat::vmpi

@@ -1,12 +1,15 @@
 // Tests for the TBB-replacement task pool: fork/join, nesting, exception
-// propagation, and parallel_for coverage.
+// propagation, parallel_for coverage, and the concurrency-invariant layer
+// (lock-order checking, self-wait detection, re-entrancy limits).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
 
 #include "util/check.hpp"
+#include "util/lock_order.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bat {
@@ -122,6 +125,108 @@ TEST(ThreadPoolTest, WaitCanBeCalledTwice) {
     group.run([] {});
     group.wait();
     EXPECT_NO_THROW(group.wait());
+}
+
+// ---- concurrency-invariant layer ------------------------------------------
+
+// Death tests fork the process; skip them under sanitizers, where forked
+// children interact badly with the runtime (the invariants themselves are
+// still exercised by the non-death tests and the default-build CI job).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define BAT_SKIP_DEATH_TESTS() GTEST_SKIP() << "death tests disabled under sanitizers"
+#else
+#define BAT_SKIP_DEATH_TESTS() \
+    do {                       \
+    } while (false)
+#endif
+
+TEST(LockOrderTest, ConsistentOrderIsAccepted) {
+    ASSERT_TRUE(lockdbg::enabled());
+    CheckedMutex a("test.order.a");
+    CheckedMutex b("test.order.b");
+    for (int i = 0; i < 3; ++i) {
+        std::lock_guard<CheckedMutex> la(a);
+        std::lock_guard<CheckedMutex> lb(b);
+    }
+    SUCCEED();
+}
+
+TEST(LockOrderDeathTest, AbbaViolationAborts) {
+    BAT_SKIP_DEATH_TESTS();
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ASSERT_TRUE(lockdbg::enabled());
+    EXPECT_DEATH(
+        {
+            CheckedMutex a("test.abba.a");
+            CheckedMutex b("test.abba.b");
+            {
+                std::lock_guard<CheckedMutex> la(a);
+                std::lock_guard<CheckedMutex> lb(b);  // establishes a -> b
+            }
+            std::lock_guard<CheckedMutex> lb(b);
+            std::lock_guard<CheckedMutex> la(a);  // b -> a: cycle
+        },
+        "lock order violation");
+}
+
+TEST(LockOrderDeathTest, SameClassNestingAborts) {
+    BAT_SKIP_DEATH_TESTS();
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            CheckedMutex a("test.same.class");
+            CheckedMutex b("test.same.class");
+            std::lock_guard<CheckedMutex> la(a);
+            std::lock_guard<CheckedMutex> lb(b);
+        },
+        "lock order violation");
+}
+
+TEST(LockOrderDeathTest, SelfWaitFromOwnTaskAborts) {
+    BAT_SKIP_DEATH_TESTS();
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ThreadPool pool(0);  // inline execution: deterministic
+            TaskGroup group(pool);
+            group.run([&group] { group.wait(); });
+            group.wait();
+        },
+        "own tasks");
+}
+
+TEST(LockOrderTest, ViolationCheckCanBeDisabled) {
+    ASSERT_TRUE(lockdbg::enabled());
+    lockdbg::set_enabled(false);
+    {
+        // Same-class nesting, normally fatal; silent while disabled.
+        CheckedMutex a("test.disabled.class");
+        CheckedMutex b("test.disabled.class");
+        std::lock_guard<CheckedMutex> la(a);
+        std::lock_guard<CheckedMutex> lb(b);
+    }
+    lockdbg::set_enabled(true);
+    SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForReentrancyDepthIsBounded) {
+    ThreadPool pool(0);  // inline: recursion stays on this thread
+    std::function<void(int)> recurse = [&](int depth) {
+        pool.parallel_for(0, 1, [&](std::size_t) { recurse(depth + 1); }, 1);
+    };
+    EXPECT_THROW(recurse(0), Error);
+}
+
+TEST(ThreadPoolTest, ModeratelyNestedParallelForIsFine) {
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallel_for(
+        0, 4,
+        [&](std::size_t) {
+            pool.parallel_for(0, 4, [&](std::size_t) { count.fetch_add(1); }, 1);
+        },
+        1);
+    EXPECT_EQ(count.load(), 16);
 }
 
 }  // namespace

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over src/ using the compile database
+# from a CMake build directory.
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir defaults to ./build; it is configured on demand if missing.
+#
+# Exit status: 0 clean, 1 findings, 2 environment problem (no clang-tidy).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy=""
+for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    tidy="$candidate"
+    break
+  fi
+done
+if [[ -z "$tidy" ]]; then
+  echo "lint.sh: clang-tidy not found on PATH; install clang-tidy to lint" >&2
+  exit 2
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "lint.sh: configuring $build_dir to produce compile_commands.json"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+mapfile -t sources < <(find "$repo_root/src" -name '*.cpp' | sort)
+echo "lint.sh: $tidy over ${#sources[@]} files (config: $repo_root/.clang-tidy)"
+
+status=0
+for src in "${sources[@]}"; do
+  if ! "$tidy" -p "$build_dir" --quiet "$src"; then
+    status=1
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "lint.sh: clean"
+else
+  echo "lint.sh: findings reported above" >&2
+fi
+exit $status
