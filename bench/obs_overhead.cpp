@@ -1,0 +1,113 @@
+// Measures the cost of the obs tracing layer (docs/OBSERVABILITY.md):
+//
+//   1. ns per BAT_TRACE_SCOPE span with tracing disabled (the always-paid
+//      branch) and enabled (ring-buffer recording);
+//   2. wall time of a real 8-rank write+read pipeline with tracing off vs
+//      on, i.e. the end-to-end overhead a traced run pays.
+//
+// The acceptance bar is <1% pipeline overhead with tracing disabled; the
+// disabled span path is a relaxed atomic load and a branch, a few ns.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "io/reader.hpp"
+#include "io/writer.hpp"
+#include "obs/trace.hpp"
+#include "vmpi/comm.hpp"
+#include "workloads/decomposition.hpp"
+#include "workloads/uniform.hpp"
+
+using namespace bat;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// ns per iteration of a loop whose body is one BAT_TRACE_SCOPE.
+double span_cost_ns(std::size_t iters) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+        BAT_TRACE_SCOPE("bench.span");
+    }
+    return seconds_since(t0) * 1e9 / static_cast<double>(iters);
+}
+
+/// One full 8-rank write + read cycle; returns wall seconds.
+double pipeline_seconds(const std::filesystem::path& dir,
+                        const std::vector<ParticleSet>& per_rank,
+                        const GridDecomp& decomp) {
+    const int nranks = static_cast<int>(per_rank.size());
+    const auto t0 = Clock::now();
+    vmpi::Runtime::run(nranks, [&](vmpi::Comm& comm) {
+        WriterConfig config;
+        config.directory = dir;
+        config.basename = "obsbench";
+        config.tree.target_file_size = 1 << 20;
+        const int r = comm.rank();
+        const WriteResult wr = write_particles(
+            comm, per_rank[static_cast<std::size_t>(r)], decomp.rank_box(r), config);
+        read_particles(comm, wr.metadata_path, decomp.rank_read_box(r));
+    });
+    return seconds_since(t0);
+}
+
+double min_of_runs(int runs, const std::filesystem::path& dir,
+                   const std::vector<ParticleSet>& per_rank, const GridDecomp& decomp) {
+    double best = 1e30;
+    for (int i = 0; i < runs; ++i) {
+        best = std::min(best, pipeline_seconds(dir, per_rank, decomp));
+    }
+    return best;
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::size_t kSpanIters = 1'000'000;
+
+    obs::set_trace_enabled(false);
+    const double disabled_ns = span_cost_ns(kSpanIters);
+
+    obs::set_trace_enabled(true);
+    const double enabled_ns = span_cost_ns(kSpanIters);
+    obs::set_trace_enabled(false);
+    obs::reset_trace();
+
+    std::printf("=== obs tracing overhead ===\n");
+    std::printf("span cost: %.1f ns disabled, %.1f ns enabled (%zu iters)\n",
+                disabled_ns, enabled_ns, kSpanIters);
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("bat_obs_overhead_" + std::to_string(getpid()));
+    std::filesystem::create_directories(dir);
+
+    const Box domain({0, 0, 0}, {4, 4, 4});
+    const int nranks = 8;
+    const GridDecomp decomp = grid_decomp_3d(nranks, domain);
+    const ParticleSet global = make_uniform_particles(domain, 120'000, 4, 42);
+    const std::vector<ParticleSet> per_rank = partition_particles(global, decomp);
+
+    const int runs = 5;
+    min_of_runs(1, dir, per_rank, decomp);  // warm up page cache + pool
+    const double off_s = min_of_runs(runs, dir, per_rank, decomp);
+
+    obs::set_trace_enabled(true);
+    const double on_s = min_of_runs(runs, dir, per_rank, decomp);
+    obs::set_trace_enabled(false);
+    obs::reset_trace();
+
+    std::printf("8-rank write+read pipeline (best of %d): %.3f s off, %.3f s on, "
+                "overhead %.2f%%\n",
+                runs, off_s, on_s, 100.0 * (on_s - off_s) / off_s);
+
+    std::filesystem::remove_all(dir);
+    return 0;
+}

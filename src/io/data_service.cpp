@@ -3,6 +3,8 @@
 #include <thread>
 
 #include "io/reader.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/buffer.hpp"
 #include "util/check.hpp"
 
@@ -88,6 +90,9 @@ const BatFile& DataService::open_leaf(int leaf_id) {
 }
 
 ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
+    BAT_TRACE_SCOPE_CAT("service.query_round", "service");
+    const std::uint64_t round_start_ns = obs::trace_now_ns();
+    std::uint64_t bytes_shipped = 0;  // response bytes this rank served out
     ParticleSet result(meta_.attr_names);
 
     // Send requests for every matching remote leaf; remember local ones.
@@ -120,6 +125,7 @@ ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
         int src = -1;
         if (comm_.iprobe(vmpi::kAnySource, kTagServiceRequest, &src)) {
             progressed = true;
+            BAT_TRACE_SCOPE_CAT("service.serve_leaf", "service");
             const vmpi::Bytes payload = comm_.recv(src, kTagServiceRequest);
             const auto [leaf_id, leaf_query] = read_query(payload);
             ParticleSet out(meta_.attr_names);
@@ -127,7 +133,9 @@ ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
                       [&out](Vec3 p, std::span<const double> attrs) {
                           out.push_back(p, attrs);
                       });
-            comm_.isend(src, kTagServiceResponse, out.to_bytes());
+            vmpi::Bytes response = out.to_bytes();
+            bytes_shipped += response.size();
+            comm_.isend(src, kTagServiceResponse, std::move(response));
         }
         if (pending > 0 && comm_.iprobe(vmpi::kAnySource, kTagServiceResponse, &src)) {
             progressed = true;
@@ -155,6 +163,13 @@ ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
             result.push_back(p, attrs);
         });
     }
+
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.counter("service.rounds").add(1);
+    metrics.counter("service.particles_served").add(static_cast<std::int64_t>(result.count()));
+    metrics.counter("service.bytes_shipped").add(static_cast<std::int64_t>(bytes_shipped));
+    metrics.histogram("service.round_us")
+        .record(static_cast<double>(obs::trace_now_ns() - round_start_ns) / 1e3);
     return result;
 }
 

@@ -1,12 +1,12 @@
 #include "io/reader.hpp"
 
-#include <chrono>
 #include <map>
 #include <memory>
 #include <thread>
 
 #include "core/bat_file.hpp"
 #include "core/bat_query.hpp"
+#include "obs/trace.hpp"
 #include "util/buffer.hpp"
 #include "util/check.hpp"
 
@@ -16,12 +16,6 @@ namespace {
 
 constexpr int kTagReadRequest = 2;
 constexpr int kTagReadResponse = 3;
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-    return std::chrono::duration<double>(Clock::now() - t0).count();
-}
 
 struct ReadRequest {
     std::int32_t leaf_id = -1;
@@ -120,17 +114,20 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
     ReadResult result;
     ReadPhaseTimings& timings = result.timings;
 
+    // Phase spans populate ReadPhaseTimings and, under BAT_TRACE, the
+    // per-rank trace timeline (same pattern as write_particles).
+
     // ---- (a) metadata + local aggregator assignment ------------------------
-    auto t0 = Clock::now();
+    obs::PhaseSpan metadata_span("read.metadata", &timings.metadata);
     const Metadata meta = Metadata::load(metadata_path);
     const std::vector<int> leaf_aggregator =
         assign_read_aggregators(static_cast<int>(meta.leaves.size()), comm.size());
-    timings.metadata = seconds_since(t0);
+    metadata_span.close();
 
     result.particles = ParticleSet(meta.attr_names);
 
     // ---- (b) find overlapped leaves; send requests -------------------------
-    t0 = Clock::now();
+    obs::PhaseSpan request_span("read.request", &timings.request);
     const std::vector<int> my_leaves = meta.query_leaves(my_bounds);
     std::vector<int> local_leaves;  // leaves this rank serves to itself
     int pending_responses = 0;
@@ -147,10 +144,10 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
         comm.isend(aggregator, kTagReadRequest, req.to_bytes());
         ++pending_responses;
     }
-    timings.request = seconds_since(t0);
+    request_span.close();
 
     // ---- (c) client-server loop --------------------------------------------
-    t0 = Clock::now();
+    obs::PhaseSpan serve_span("read.serve", &timings.serve);
     LeafFileCache cache(metadata_path.parent_path(), meta);
     std::vector<ParticleSet> responses;
     vmpi::Request barrier;
@@ -191,10 +188,10 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
     for (ParticleSet& piece : responses) {
         result.particles.append(piece);
     }
-    timings.serve = seconds_since(t0);
+    serve_span.close();
 
     // ---- self-queries after exiting the server loop (§IV-B) ----------------
-    t0 = Clock::now();
+    obs::PhaseSpan local_span("read.local", &timings.local);
     for (int leaf : local_leaves) {
         const BatFile& file = cache.open(leaf, &result.bytes_read);
         BatQuery query;
@@ -204,7 +201,7 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
             result.particles.push_back(p, attrs);
         });
     }
-    timings.local = seconds_since(t0);
+    local_span.close();
     return result;
 }
 

@@ -1,9 +1,10 @@
 #include "io/writer.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "core/bat_file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/buffer.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -13,12 +14,6 @@ namespace bat {
 namespace {
 
 constexpr int kTagData = 1;
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-    return std::chrono::duration<double>(Clock::now() - t0).count();
-}
 
 std::string leaf_file_name(const std::string& basename, int leaf_id) {
     return basename + "_" + std::to_string(leaf_id) + ".bat";
@@ -185,70 +180,81 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
     const int nranks = comm.size();
     const std::size_t nattrs = local.num_attrs();
 
+    // Phase accounting: each obs::PhaseSpan both emits a trace span (when
+    // BAT_TRACE is on) and accumulates wall seconds into the corresponding
+    // WritePhaseTimings field — the only bookkeeping path for Fig 6/10/12.
+
     // ---- (a) gather counts + bounds; build the aggregation on rank 0 ------
-    auto t0 = Clock::now();
     RankInfo my_info{local_bounds, local.count()};
-    std::vector<RankInfo> infos = comm.gather(my_info, 0);
-    timings.gather = seconds_since(t0);
+    std::vector<RankInfo> infos;
+    {
+        obs::PhaseSpan span("write.gather", &timings.gather);
+        infos = comm.gather(my_info, 0);
+    }
 
     Aggregation agg;  // populated on rank 0 only
     std::vector<vmpi::Bytes> assignment_blobs;
-    t0 = Clock::now();
-    if (comm.rank() == 0) {
-        AggTreeConfig tree_config = config.tree;
-        tree_config.bytes_per_particle = local.bytes_per_particle();
-        agg = build_aggregation(infos, config.strategy, tree_config, config.pool);
-        assign_strategy_aggregators(agg, config.strategy, nranks);
-        assignment_blobs = make_assignments(agg, infos, nranks);
+    {
+        obs::PhaseSpan span("write.tree_build", &timings.tree_build);
+        if (comm.rank() == 0) {
+            AggTreeConfig tree_config = config.tree;
+            tree_config.bytes_per_particle = local.bytes_per_particle();
+            agg = build_aggregation(infos, config.strategy, tree_config, config.pool);
+            assign_strategy_aggregators(agg, config.strategy, nranks);
+            assignment_blobs = make_assignments(agg, infos, nranks);
+        }
     }
-    timings.tree_build = seconds_since(t0);
 
     // ---- (b) scatter assignments ------------------------------------------
-    t0 = Clock::now();
-    const Assignment assignment =
-        Assignment::from_bytes(comm.scatterv(std::move(assignment_blobs), 0));
+    Assignment assignment;
+    {
+        obs::PhaseSpan span("write.scatter", &timings.scatter);
+        assignment = Assignment::from_bytes(comm.scatterv(std::move(assignment_blobs), 0));
+    }
     result.num_leaves = assignment.num_leaves;
     result.my_leaf = assignment.my_leaf;
-    timings.scatter = seconds_since(t0);
 
     // ---- (b') transfer particles to aggregators ---------------------------
-    t0 = Clock::now();
-    if (!local.empty()) {
-        BAT_CHECK_MSG(assignment.my_aggregator >= 0,
-                      "rank " << comm.rank() << " owns particles but has no aggregator");
-        comm.isend(assignment.my_aggregator, kTagData, local.to_bytes());
-    }
-    // Aggregators receive the particles for each of their leaves.
     std::vector<std::pair<int, ParticleSet>> leaf_particles;  // (leaf_id, data)
-    leaf_particles.reserve(assignment.duties.size());
-    for (const LeafDuty& duty : assignment.duties) {
-        ParticleSet merged(local.attr_names());
-        merged.reserve(duty.total_particles);
-        for (const auto& [sender, count] : duty.senders) {
-            const vmpi::Bytes payload = comm.recv(sender, kTagData);
-            const ParticleSet piece = ParticleSet::from_bytes(payload);
-            BAT_CHECK_MSG(piece.count() == count, "sender " << sender << " sent "
-                                                            << piece.count() << " particles, "
-                                                            << count << " expected");
-            merged.append(piece);
+    {
+        obs::PhaseSpan span("write.transfer", &timings.transfer);
+        if (!local.empty()) {
+            BAT_CHECK_MSG(assignment.my_aggregator >= 0,
+                          "rank " << comm.rank() << " owns particles but has no aggregator");
+            comm.isend(assignment.my_aggregator, kTagData, local.to_bytes());
         }
-        leaf_particles.emplace_back(duty.leaf_id, std::move(merged));
+        // Aggregators receive the particles for each of their leaves.
+        leaf_particles.reserve(assignment.duties.size());
+        for (const LeafDuty& duty : assignment.duties) {
+            ParticleSet merged(local.attr_names());
+            merged.reserve(duty.total_particles);
+            for (const auto& [sender, count] : duty.senders) {
+                const vmpi::Bytes payload = comm.recv(sender, kTagData);
+                const ParticleSet piece = ParticleSet::from_bytes(payload);
+                BAT_CHECK_MSG(piece.count() == count,
+                              "sender " << sender << " sent " << piece.count()
+                                        << " particles, " << count << " expected");
+                merged.append(piece);
+            }
+            leaf_particles.emplace_back(duty.leaf_id, std::move(merged));
+        }
     }
-    timings.transfer = seconds_since(t0);
 
     // ---- (c) build + write the BAT for each owned leaf --------------------
     std::vector<LeafReport> my_reports;
     std::filesystem::create_directories(config.directory);
     for (auto& [leaf_id, particles] : leaf_particles) {
-        t0 = Clock::now();
-        BatData bat = build_bat(std::move(particles), config.bat, config.pool);
-        timings.bat_build += seconds_since(t0);
-
-        t0 = Clock::now();
-        const std::vector<std::byte> bytes = serialize_bat(bat);
-        write_file(config.directory / leaf_file_name(config.basename, leaf_id), bytes);
-        result.bytes_written += bytes.size();
-        timings.file_write += seconds_since(t0);
+        BatData bat;
+        {
+            obs::PhaseSpan span("write.bat_build", &timings.bat_build);
+            bat = build_bat(std::move(particles), config.bat, config.pool);
+        }
+        {
+            obs::PhaseSpan span("write.file_write", &timings.file_write);
+            const std::vector<std::byte> bytes = serialize_bat(bat);
+            write_file(config.directory / leaf_file_name(config.basename, leaf_id), bytes);
+            result.bytes_written += bytes.size();
+        }
 
         LeafReport report;
         report.leaf_id = leaf_id;
@@ -263,7 +269,7 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
     }
 
     // ---- (d) metadata on rank 0 -------------------------------------------
-    t0 = Clock::now();
+    obs::PhaseSpan metadata_span("write.metadata", &timings.metadata);
     BufferWriter reports_blob;
     reports_blob.write(static_cast<std::uint32_t>(my_reports.size()));
     for (const LeafReport& report : my_reports) {
@@ -298,7 +304,11 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
     }
     // Everyone learns the metadata path is ready.
     comm.barrier();
-    timings.metadata = seconds_since(t0);
+    metadata_span.close();
+
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.counter("write.bytes_written").add(static_cast<std::int64_t>(result.bytes_written));
+    metrics.counter("write.files").add(static_cast<std::int64_t>(my_reports.size()));
     return result;
 }
 

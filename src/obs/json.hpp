@@ -1,0 +1,45 @@
+#pragma once
+// Minimal recursive-descent JSON parser for the observability tooling
+// (trace validation, metrics inspection, tools/trace_summarize). Parses the
+// full JSON grammar into a simple tree of Values; throws bat::Error with a
+// byte offset on malformed input. Not a streaming parser — traces from the
+// bounded ring buffers are a few MB at most.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bat::obs::json {
+
+struct Value {
+    enum class Kind { null, boolean, number, string, array, object };
+
+    Kind kind = Kind::null;
+    bool bool_v = false;
+    double num_v = 0.0;
+    std::string str_v;
+    std::vector<Value> arr_v;
+    std::vector<std::pair<std::string, Value>> obj_v;  // preserves order
+
+    bool is_null() const { return kind == Kind::null; }
+    bool is_bool() const { return kind == Kind::boolean; }
+    bool is_number() const { return kind == Kind::number; }
+    bool is_string() const { return kind == Kind::string; }
+    bool is_array() const { return kind == Kind::array; }
+    bool is_object() const { return kind == Kind::object; }
+
+    bool boolean() const { return bool_v; }
+    double number() const { return num_v; }
+    const std::string& string() const { return str_v; }
+    const std::vector<Value>& array() const { return arr_v; }
+    const std::vector<std::pair<std::string, Value>>& object() const { return obj_v; }
+
+    /// First member with the given key, or nullptr (objects only).
+    const Value* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+Value parse(std::string_view text);
+
+}  // namespace bat::obs::json

@@ -1,0 +1,319 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace bat::obs {
+
+// ---- Histogram ------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    BAT_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "histogram bucket bounds must be ascending");
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double x) {
+    // lower_bound keeps the edges inclusive: x == bounds_[i] lands in bucket i.
+    const std::size_t bucket =
+        static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), x) -
+                                 bounds_.begin());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_[bucket];
+    stats_.add(x);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counts_;
+}
+
+RunningStats Histogram::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+    // Snapshot the source first so the two locks never overlap.
+    std::vector<std::uint64_t> other_counts = other.bucket_counts();
+    const RunningStats other_stats = other.stats();
+    std::lock_guard<std::mutex> lock(mutex_);
+    BAT_CHECK_MSG(other_counts.size() == counts_.size(),
+                  "histogram merge with mismatched bucket layout");
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other_counts[i];
+    }
+    stats_.merge(other_stats);
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    counters_ = std::move(other.counters_);
+    gauges_ = std::move(other.gauges_);
+    histograms_ = std::move(other.histograms_);
+}
+
+MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
+    if (this != &other) {
+        std::scoped_lock lock(mutex_, other.mutex_);
+        counters_ = std::move(other.counters_);
+        gauges_ = std::move(other.gauges_);
+        histograms_ = std::move(other.histograms_);
+    }
+    return *this;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::vector<double> MetricsRegistry::default_us_bounds() {
+    // Powers of four: 1us, 4us, ..., ~17.9 minutes; 16 buckets + overflow.
+    std::vector<double> bounds;
+    double b = 1.0;
+    for (int i = 0; i < 16; ++i) {
+        bounds.push_back(b);
+        b *= 4.0;
+    }
+    return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (slot == nullptr) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (slot == nullptr) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (slot == nullptr) {
+        slot = std::make_unique<Histogram>(bounds.empty() ? default_us_bounds()
+                                                          : std::move(bounds));
+    }
+    return *slot;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+    // Snapshot the other registry's entry pointers under its lock; entries
+    // are never deleted while the registry is alive, so recording into them
+    // afterwards is safe.
+    std::vector<std::pair<std::string, const Counter*>> counters;
+    std::vector<std::pair<std::string, const Gauge*>> gauges;
+    std::vector<std::pair<std::string, const Histogram*>> histograms;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        for (const auto& [name, c] : other.counters_) {
+            counters.emplace_back(name, c.get());
+        }
+        for (const auto& [name, g] : other.gauges_) {
+            gauges.emplace_back(name, g.get());
+        }
+        for (const auto& [name, h] : other.histograms_) {
+            histograms.emplace_back(name, h.get());
+        }
+    }
+    for (const auto& [name, c] : counters) {
+        counter(name).add(c->value());
+    }
+    for (const auto& [name, g] : gauges) {
+        Gauge& mine = gauge(name);
+        mine.set(std::max(mine.value(), g->value()));
+    }
+    for (const auto& [name, h] : histograms) {
+        histogram(name, h->bounds()).merge_from(*h);
+    }
+}
+
+bool MetricsRegistry::empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+    char num[64];
+    if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+        std::snprintf(num, sizeof(num), "%lld", static_cast<long long>(v));
+    } else {
+        std::snprintf(num, sizeof(num), "%.9g", v);
+    }
+    out += num;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"";
+        json_escape_into(out, name);
+        out += "\": ";
+        out += std::to_string(c->value());
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"";
+        json_escape_into(out, name);
+        out += "\": ";
+        append_number(out, g->value());
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        const RunningStats stats = h->stats();
+        const std::vector<std::uint64_t> counts = h->bucket_counts();
+        out += "    \"";
+        json_escape_into(out, name);
+        out += "\": {\"count\": " + std::to_string(stats.count());
+        out += ", \"mean\": ";
+        append_number(out, stats.mean());
+        out += ", \"stddev\": ";
+        append_number(out, stats.stddev());
+        out += ", \"min\": ";
+        append_number(out, stats.min());
+        out += ", \"max\": ";
+        append_number(out, stats.max());
+        out += ", \"buckets\": [";
+        const std::vector<double>& bounds = h->bounds();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (i > 0) {
+                out += ", ";
+            }
+            out += "{\"le\": ";
+            if (i < bounds.size()) {
+                append_number(out, bounds[i]);
+            } else {
+                out += "\"inf\"";
+            }
+            out += ", \"count\": " + std::to_string(counts[i]) + "}";
+        }
+        out += "]}";
+    }
+    out += first ? "}\n}\n" : "\n  }\n}\n";
+    return out;
+}
+
+void MetricsRegistry::write_json(const std::filesystem::path& path) const {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        BAT_LOG_ERROR("metrics export: cannot open " << path.string());
+        return;
+    }
+    const std::string json = to_json();
+    f.write(json.data(), static_cast<std::streamsize>(json.size()));
+}
+
+std::vector<std::byte> MetricsRegistry::to_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    BufferWriter w;
+    w.write(static_cast<std::uint32_t>(counters_.size()));
+    for (const auto& [name, c] : counters_) {
+        w.write_string(name);
+        w.write(c->value());
+    }
+    w.write(static_cast<std::uint32_t>(gauges_.size()));
+    for (const auto& [name, g] : gauges_) {
+        w.write_string(name);
+        w.write(g->value());
+    }
+    w.write(static_cast<std::uint32_t>(histograms_.size()));
+    for (const auto& [name, h] : histograms_) {
+        w.write_string(name);
+        const RunningStats stats = h->stats();
+        const std::vector<std::uint64_t> counts = h->bucket_counts();
+        w.write(static_cast<std::uint32_t>(h->bounds().size()));
+        w.write_span(std::span<const double>(h->bounds()));
+        w.write_span(std::span<const std::uint64_t>(counts));
+        w.write(static_cast<std::uint64_t>(stats.count()));
+        w.write(stats.mean());
+        w.write(stats.m2());
+        w.write(stats.min());
+        w.write(stats.max());
+    }
+    return w.take();
+}
+
+MetricsRegistry MetricsRegistry::from_bytes(std::span<const std::byte> bytes) {
+    MetricsRegistry reg;
+    BufferReader r(bytes);
+    const auto ncounters = r.read<std::uint32_t>();
+    for (std::uint32_t i = 0; i < ncounters; ++i) {
+        const std::string name = r.read_string();
+        reg.counter(name).add(r.read<std::uint64_t>());
+    }
+    const auto ngauges = r.read<std::uint32_t>();
+    for (std::uint32_t i = 0; i < ngauges; ++i) {
+        const std::string name = r.read_string();
+        reg.gauge(name).set(r.read<double>());
+    }
+    const auto nhistograms = r.read<std::uint32_t>();
+    for (std::uint32_t i = 0; i < nhistograms; ++i) {
+        const std::string name = r.read_string();
+        const auto nbounds = r.read<std::uint32_t>();
+        std::vector<double> bounds(nbounds);
+        r.read_into(std::span<double>(bounds));
+        std::vector<std::uint64_t> counts(nbounds + 1);
+        r.read_into(std::span<std::uint64_t>(counts));
+        const auto count = r.read<std::uint64_t>();
+        const double mean = r.read<double>();
+        const double m2 = r.read<double>();
+        const double min = r.read<double>();
+        const double max = r.read<double>();
+        Histogram& h = reg.histogram(name, std::move(bounds));
+        h.counts_ = std::move(counts);
+        h.stats_ = RunningStats::from_raw(count, mean, m2, min, max);
+    }
+    return reg;
+}
+
+}  // namespace bat::obs

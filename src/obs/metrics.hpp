@@ -1,0 +1,114 @@
+#pragma once
+// Metrics registry (docs/OBSERVABILITY.md): named counters, gauges, and
+// fixed-bucket histograms, recorded process-wide and exported as JSON next
+// to the trace. Registries merge() — counters add, gauges keep the maximum,
+// histograms combine bucket counts and their running moments via
+// RunningStats::merge — which is the cross-rank reduction used by
+// obs::reduce_metrics (obs/reduce.hpp).
+//
+// Entry references returned by counter()/gauge()/histogram() stay valid for
+// the registry's lifetime; recording on them is thread-safe.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace bat::obs {
+
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges,
+/// with an implicit overflow bucket past the last edge. Also tracks
+/// min/max/mean/stddev of the raw samples via RunningStats.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void record(double x);
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    std::vector<std::uint64_t> bucket_counts() const;
+    RunningStats stats() const;
+
+    void merge_from(const Histogram& other);
+
+private:
+    friend class MetricsRegistry;
+    mutable std::mutex mutex_;
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+    RunningStats stats_;
+};
+
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(MetricsRegistry&& other) noexcept;
+    MetricsRegistry& operator=(MetricsRegistry&& other) noexcept;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Process-wide registry used by the built-in instrumentation.
+    static MetricsRegistry& global();
+
+    /// Default exponential latency buckets in microseconds (1us .. ~17min).
+    static std::vector<double> default_us_bounds();
+
+    /// Find-or-create; a histogram's bucket bounds are fixed by the first
+    /// call (later `bounds` arguments are ignored). Empty bounds mean
+    /// default_us_bounds().
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+    /// Merge another registry into this one: counters add, gauges keep the
+    /// max (cross-rank reductions want the slowest/largest rank), histograms
+    /// combine buckets and moments.
+    void merge(const MetricsRegistry& other);
+
+    bool empty() const;
+    /// Drop every entry. Callers must not hold entry references across this.
+    void clear();
+
+    std::string to_json() const;
+    void write_json(const std::filesystem::path& path) const;
+
+    /// Wire format for cross-rank reduction (obs/reduce.hpp).
+    std::vector<std::byte> to_bytes() const;
+    static MetricsRegistry from_bytes(std::span<const std::byte> bytes);
+
+private:
+    mutable std::mutex mutex_;  // guards the maps; entries synchronize themselves
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bat::obs

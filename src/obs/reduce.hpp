@@ -1,0 +1,25 @@
+#pragma once
+// Cross-rank metrics reduction: gather every rank's serialized registry to
+// `root` and merge (counters add, gauges max, histograms combine via
+// RunningStats::merge). Header-only so obs itself stays independent of the
+// vmpi layer; any TU that links bat_vmpi can use it.
+
+#include "obs/metrics.hpp"
+#include "vmpi/comm.hpp"
+
+namespace bat::obs {
+
+/// Collective: returns the merged registry on `root`, an empty one elsewhere.
+inline MetricsRegistry reduce_metrics(vmpi::Comm& comm, const MetricsRegistry& local,
+                                      int root = 0) {
+    std::vector<vmpi::Bytes> blobs = comm.gatherv(local.to_bytes(), root);
+    MetricsRegistry merged;
+    if (comm.rank() == root) {
+        for (const vmpi::Bytes& blob : blobs) {
+            merged.merge(MetricsRegistry::from_bytes(blob));
+        }
+    }
+    return merged;
+}
+
+}  // namespace bat::obs

@@ -1,0 +1,587 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace bat::obs {
+
+namespace {
+
+enum class EventType : std::uint8_t {
+    begin,
+    end,
+    instant,
+    counter,
+    flow_start,
+    flow_end,
+};
+
+/// Fixed-size POD event; name/cat/arg-name pointers reference string
+/// literals owned by the instrumentation sites.
+struct TraceEvent {
+    const char* name = nullptr;
+    const char* cat = nullptr;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t flow_id = 0;
+    const char* arg_names[4] = {nullptr, nullptr, nullptr, nullptr};
+    std::int64_t arg_vals[4] = {0, 0, 0, 0};
+    EventType type = EventType::instant;
+    int rank = -1;
+    std::uint32_t tid = 0;
+};
+
+/// Single-writer ring: the owning thread stores and bumps head; the
+/// exporter snapshots head with acquire ordering. Overflow overwrites the
+/// oldest events and counts them as dropped.
+struct ThreadBuffer {
+    explicit ThreadBuffer(std::size_t capacity, std::uint32_t tid)
+        : capacity(capacity), tid(tid) {
+        // Reserve (not resize): rank threads are short-lived, and eagerly
+        // zero-filling the full ring costs milliseconds per thread. The data
+        // pointer never moves after this, so the exporter can read entries
+        // below `head` (published with release order) without locking.
+        ring.reserve(capacity);
+    }
+    const std::size_t capacity;
+    std::vector<TraceEvent> ring;  // grows to `capacity`, then wraps
+    std::atomic<std::uint64_t> head{0};  // events ever pushed
+    std::uint32_t tid;
+
+    void push(const TraceEvent& ev) {
+        const std::uint64_t h = head.load(std::memory_order_relaxed);
+        if (ring.size() < capacity) {
+            ring.push_back(ev);
+        } else {
+            ring[h % capacity] = ev;
+        }
+        head.store(h + 1, std::memory_order_release);
+    }
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::map<std::uint32_t, std::string> virtual_tracks;
+    // Bumped by reset_trace(); threads holding a buffer from an older
+    // generation re-register on their next event. Atomic so the per-event
+    // staleness check stays lock-free.
+    std::atomic<std::uint64_t> generation{0};
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+std::atomic<bool> g_enabled{[] {
+    const char* env = std::getenv("BAT_TRACE");
+    return env != nullptr && std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0;
+}()};
+
+std::atomic<std::uint64_t> g_flow_counter{0};
+std::atomic<std::uint32_t> g_tid_counter{1};
+std::atomic<std::uint32_t> g_virtual_tid_counter{1 << 16};
+
+std::size_t env_ring_capacity() {
+    if (const char* env = std::getenv("BAT_TRACE_BUFFER")) {
+        const long v = std::atol(env);
+        if (v > 0) {
+            return static_cast<std::size_t>(v);
+        }
+    }
+    return std::size_t{1} << 16;
+}
+
+std::atomic<std::size_t> g_ring_capacity{env_ring_capacity()};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+/// Export-at-exit hook, registered once: dumps the trace (and global
+/// metrics) to the paths named by BAT_TRACE_FILE / BAT_METRICS_FILE.
+void register_atexit_export() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (std::getenv("BAT_TRACE_FILE") != nullptr ||
+            std::getenv("BAT_METRICS_FILE") != nullptr) {
+            // Touch every function-local static the handler uses before
+            // std::atexit, so they are constructed first and therefore
+            // destroyed only after the export handler has run.
+            registry();
+            trace_epoch();
+            MetricsRegistry::global();
+            std::atexit([] {
+                if (const char* path = std::getenv("BAT_TRACE_FILE")) {
+                    write_chrome_trace(path);
+                }
+                if (const char* path = std::getenv("BAT_METRICS_FILE")) {
+                    MetricsRegistry::global().write_json(path);
+                }
+            });
+        }
+    });
+}
+
+ThreadBuffer& thread_buffer() {
+    struct Holder {
+        std::shared_ptr<ThreadBuffer> buffer;
+        std::uint64_t generation = 0;
+    };
+    thread_local Holder holder;
+    Registry& reg = registry();
+    // Fast path: one relaxed load to confirm the cached buffer is still
+    // registered; re-register after reset_trace() bumped the generation.
+    if (holder.buffer != nullptr &&
+        holder.generation == reg.generation.load(std::memory_order_acquire)) {
+        return *holder.buffer;
+    }
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    holder.buffer = std::make_shared<ThreadBuffer>(
+        g_ring_capacity.load(std::memory_order_relaxed),
+        g_tid_counter.fetch_add(1, std::memory_order_relaxed));
+    holder.generation = reg.generation.load(std::memory_order_relaxed);
+    reg.buffers.push_back(holder.buffer);
+    return *holder.buffer;
+}
+
+TraceEvent make_event(EventType type, const char* name, const char* cat) {
+    TraceEvent ev;
+    ev.type = type;
+    ev.name = name;
+    ev.cat = cat;
+    ev.ts_ns = trace_now_ns();
+    ev.rank = bat::thread_log_rank();
+    return ev;
+}
+
+void push_event(TraceEvent ev) {
+    register_atexit_export();
+    ThreadBuffer& buf = thread_buffer();
+    ev.tid = buf.tid;
+    buf.push(ev);
+}
+
+// ---- export helpers -------------------------------------------------------
+
+void json_escape(std::string& out, const char* s) {
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char hex[8];
+                    std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                    out += hex;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+/// Chrome "pid": rank r maps to pid r+1 named "rank r"; rank-less threads
+/// (main, pool workers outside a runtime, virtual tracks) map to pid 0.
+int event_pid(const TraceEvent& ev) { return ev.rank >= 0 ? ev.rank + 1 : 0; }
+
+const char* phase_letter(EventType t) {
+    switch (t) {
+        case EventType::begin: return "B";
+        case EventType::end: return "E";
+        case EventType::instant: return "i";
+        case EventType::counter: return "C";
+        case EventType::flow_start: return "s";
+        case EventType::flow_end: return "f";
+    }
+    return "i";
+}
+
+void append_event_json(std::string& out, const TraceEvent& ev) {
+    char num[64];
+    out += "{\"name\":\"";
+    json_escape(out, ev.name != nullptr ? ev.name : "");
+    out += "\",\"cat\":\"";
+    json_escape(out, ev.cat != nullptr ? ev.cat : "");
+    out += "\",\"ph\":\"";
+    out += phase_letter(ev.type);
+    out += "\",\"ts\":";
+    std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(ev.ts_ns) / 1e3);
+    out += num;
+    std::snprintf(num, sizeof(num), ",\"pid\":%d,\"tid\":%u", event_pid(ev), ev.tid);
+    out += num;
+    if (ev.type == EventType::flow_start || ev.type == EventType::flow_end) {
+        std::snprintf(num, sizeof(num), ",\"id\":%llu",
+                      static_cast<unsigned long long>(ev.flow_id));
+        out += num;
+        if (ev.type == EventType::flow_end) {
+            out += ",\"bp\":\"e\"";
+        }
+    }
+    if (ev.type == EventType::instant) {
+        out += ",\"s\":\"t\"";
+    }
+    bool has_args = false;
+    for (int i = 0; i < 4; ++i) {
+        if (ev.arg_names[i] == nullptr) {
+            continue;
+        }
+        out += has_args ? "," : ",\"args\":{";
+        has_args = true;
+        out += "\"";
+        json_escape(out, ev.arg_names[i]);
+        std::snprintf(num, sizeof(num), "\":%lld",
+                      static_cast<long long>(ev.arg_vals[i]));
+        out += num;
+    }
+    if (has_args) {
+        out += "}";
+    }
+    out += "}";
+}
+
+void append_metadata_json(std::string& out, const char* kind, int pid,
+                          std::uint32_t tid, bool with_tid, const std::string& name) {
+    char num[64];
+    out += "{\"name\":\"";
+    out += kind;
+    out += "\",\"ph\":\"M\",\"ts\":0";
+    std::snprintf(num, sizeof(num), ",\"pid\":%d", pid);
+    out += num;
+    if (with_tid) {
+        std::snprintf(num, sizeof(num), ",\"tid\":%u", tid);
+        out += num;
+    }
+    out += ",\"args\":{\"name\":\"";
+    json_escape(out, name.c_str());
+    out += "\"}}";
+}
+
+}  // namespace
+
+bool trace_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_trace_enabled(bool on) {
+    g_enabled.store(on, std::memory_order_relaxed);
+    if (on) {
+        register_atexit_export();
+    }
+}
+
+std::uint64_t trace_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - trace_epoch())
+            .count());
+}
+
+std::uint64_t next_flow_id() {
+    return g_flow_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void emit_begin(const char* name, const char* cat) {
+    push_event(make_event(EventType::begin, name, cat));
+}
+
+void emit_begin_arg(const char* name, const char* cat, const char* arg,
+                    std::int64_t value) {
+    TraceEvent ev = make_event(EventType::begin, name, cat);
+    ev.arg_names[0] = arg;
+    ev.arg_vals[0] = value;
+    push_event(ev);
+}
+
+void emit_begin_msg(const char* name, const char* cat, int tag, int peer,
+                    std::int64_t bytes, std::int64_t wait_us) {
+    TraceEvent ev = make_event(EventType::begin, name, cat);
+    ev.arg_names[0] = "tag";
+    ev.arg_vals[0] = tag;
+    ev.arg_names[1] = "peer";
+    ev.arg_vals[1] = peer;
+    ev.arg_names[2] = "bytes";
+    ev.arg_vals[2] = bytes;
+    if (wait_us >= 0) {
+        ev.arg_names[3] = "wait_us";
+        ev.arg_vals[3] = wait_us;
+    }
+    push_event(ev);
+}
+
+void emit_end(const char* name, const char* cat) {
+    push_event(make_event(EventType::end, name, cat));
+}
+
+void emit_instant(const char* name, const char* cat) {
+    push_event(make_event(EventType::instant, name, cat));
+}
+
+void emit_counter(const char* name, const char* cat, std::int64_t value) {
+    TraceEvent ev = make_event(EventType::counter, name, cat);
+    ev.arg_names[0] = "value";
+    ev.arg_vals[0] = value;
+    push_event(ev);
+}
+
+void emit_flow_start(const char* cat, std::uint64_t flow_id) {
+    TraceEvent ev = make_event(EventType::flow_start, "msg", cat);
+    ev.flow_id = flow_id;
+    push_event(ev);
+}
+
+void emit_flow_end(const char* cat, std::uint64_t flow_id) {
+    TraceEvent ev = make_event(EventType::flow_end, "msg", cat);
+    ev.flow_id = flow_id;
+    push_event(ev);
+}
+
+std::uint32_t new_virtual_track(const std::string& name) {
+    Registry& reg = registry();
+    const std::uint32_t tid = g_virtual_tid_counter.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.virtual_tracks[tid] = name;
+    return tid;
+}
+
+void emit_span_on_track(std::uint32_t track, const char* name, const char* cat,
+                        std::uint64_t ts_ns, std::uint64_t dur_ns) {
+    TraceEvent begin;
+    begin.type = EventType::begin;
+    begin.name = name;
+    begin.cat = cat;
+    begin.ts_ns = ts_ns;
+    begin.rank = -1;  // virtual tracks live under the rank-less process
+    TraceEvent end = begin;
+    end.type = EventType::end;
+    end.ts_ns = ts_ns + dur_ns;
+    register_atexit_export();
+    ThreadBuffer& buf = thread_buffer();
+    begin.tid = track;
+    end.tid = track;
+    buf.push(begin);
+    buf.push(end);
+}
+
+std::uint64_t dropped_events() {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::uint64_t dropped = 0;
+    for (const auto& buf : reg.buffers) {
+        const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+        if (head > buf->capacity) {
+            dropped += head - buf->capacity;
+        }
+    }
+    return dropped;
+}
+
+void reset_trace() {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    // Old buffers stay reachable through live threads' thread-local holders
+    // but no longer contribute to exports; each live thread re-registers a
+    // fresh buffer on its next event via the generation check.
+    reg.buffers.clear();
+    reg.virtual_tracks.clear();
+    reg.generation.fetch_add(1, std::memory_order_release);
+}
+
+void set_ring_capacity(std::size_t events) {
+    BAT_CHECK(events > 0);
+    g_ring_capacity.store(events, std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json() {
+    // Snapshot the buffers, then pull each ring's surviving events.
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::map<std::uint32_t, std::string> virtual_tracks;
+    {
+        Registry& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        buffers = reg.buffers;
+        virtual_tracks = reg.virtual_tracks;
+    }
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+    for (const auto& buf : buffers) {
+        const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+        const std::uint64_t cap = buf->capacity;
+        const std::uint64_t count = std::min(head, cap);
+        if (head > cap) {
+            dropped += head - cap;
+        }
+        // Oldest surviving event first, preserving per-thread push order.
+        for (std::uint64_t i = head - count; i < head; ++i) {
+            events.push_back(buf->ring[i % cap]);
+        }
+    }
+    // Stable sort keeps per-thread ordering for equal timestamps, so a
+    // begin never trades places with its own end.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.ts_ns < b.ts_ns;
+                     });
+
+    std::string out;
+    out.reserve(events.size() * 96 + 4096);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    std::set<int> pids;
+    for (const TraceEvent& ev : events) {
+        pids.insert(event_pid(ev));
+    }
+    for (const int pid : pids) {
+        if (!first) {
+            out += ",\n";
+        }
+        first = false;
+        append_metadata_json(out, "process_name", pid, 0, false,
+                             pid == 0 ? "process" : "rank " + std::to_string(pid - 1));
+    }
+    for (const auto& [tid, name] : virtual_tracks) {
+        if (!first) {
+            out += ",\n";
+        }
+        first = false;
+        append_metadata_json(out, "thread_name", 0, tid, true, name);
+    }
+    for (const TraceEvent& ev : events) {
+        if (!first) {
+            out += ",\n";
+        }
+        first = false;
+        append_event_json(out, ev);
+    }
+    out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
+    out += std::to_string(dropped);
+    out += "}}";
+    return out;
+}
+
+void write_chrome_trace(const std::filesystem::path& path) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        BAT_LOG_ERROR("trace export: cannot open " << path.string());
+        return;
+    }
+    const std::string json = chrome_trace_json();
+    f.write(json.data(), static_cast<std::streamsize>(json.size()));
+    BAT_LOG_INFO("trace written to " << path.string() << " (" << json.size()
+                                     << " bytes)");
+}
+
+// ---- validation -----------------------------------------------------------
+
+TraceCheck validate_chrome_trace(const json::Value& root) {
+    TraceCheck check;
+    auto fail = [&check](const std::string& why) {
+        check.ok = false;
+        check.error = why;
+        return check;
+    };
+    if (!root.is_object()) {
+        return fail("root is not an object");
+    }
+    const json::Value* events = root.find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+        return fail("missing traceEvents array");
+    }
+    // Per-(pid, tid) span stacks and the set of live flow ids.
+    std::map<std::pair<std::int64_t, std::int64_t>, std::vector<std::string>> stacks;
+    std::set<std::int64_t> open_flows;
+    std::set<std::int64_t> span_ranks;
+    for (const json::Value& ev : events->array()) {
+        if (!ev.is_object()) {
+            return fail("trace event is not an object");
+        }
+        const json::Value* ph = ev.find("ph");
+        const json::Value* name = ev.find("name");
+        if (ph == nullptr || !ph->is_string() || name == nullptr ||
+            !name->is_string()) {
+            return fail("event missing ph or name");
+        }
+        if (ph->string() == "M") {
+            continue;  // metadata carries no timestamped payload
+        }
+        const json::Value* ts = ev.find("ts");
+        const json::Value* pid = ev.find("pid");
+        const json::Value* tid = ev.find("tid");
+        if (ts == nullptr || !ts->is_number() || pid == nullptr ||
+            !pid->is_number() || tid == nullptr || !tid->is_number()) {
+            return fail("event '" + name->string() + "' missing ts/pid/tid");
+        }
+        if (ts->number() < 0) {
+            return fail("event '" + name->string() + "' has negative timestamp");
+        }
+        ++check.num_events;
+        const auto track = std::make_pair(static_cast<std::int64_t>(pid->number()),
+                                          static_cast<std::int64_t>(tid->number()));
+        const std::string& phase = ph->string();
+        if (phase == "B") {
+            stacks[track].push_back(name->string());
+            if (pid->number() >= 1) {
+                span_ranks.insert(static_cast<std::int64_t>(pid->number()));
+            }
+        } else if (phase == "E") {
+            auto& stack = stacks[track];
+            if (stack.empty()) {
+                return fail("end event '" + name->string() +
+                            "' with no open span on its track");
+            }
+            if (stack.back() != name->string()) {
+                return fail("end event '" + name->string() +
+                            "' does not match open span '" + stack.back() + "'");
+            }
+            stack.pop_back();
+            ++check.num_spans;
+        } else if (phase == "s" || phase == "f") {
+            const json::Value* id = ev.find("id");
+            if (id == nullptr || !id->is_number()) {
+                return fail("flow event missing id");
+            }
+            const auto flow = static_cast<std::int64_t>(id->number());
+            if (phase == "s") {
+                if (!open_flows.insert(flow).second) {
+                    return fail("duplicate flow start id " + std::to_string(flow));
+                }
+            } else {
+                if (open_flows.erase(flow) == 0) {
+                    return fail("flow end id " + std::to_string(flow) +
+                                " without a start");
+                }
+                ++check.num_flows;
+            }
+        } else if (phase != "i" && phase != "C" && phase != "X") {
+            return fail("unknown event phase '" + phase + "'");
+        }
+    }
+    for (const auto& [track, stack] : stacks) {
+        if (!stack.empty()) {
+            return fail("unbalanced span '" + stack.back() + "' on pid " +
+                        std::to_string(track.first) + " tid " +
+                        std::to_string(track.second));
+        }
+    }
+    check.num_ranks = static_cast<int>(span_ranks.size());
+    check.ok = true;
+    return check;
+}
+
+}  // namespace bat::obs

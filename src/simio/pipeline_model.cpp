@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "io/reader.hpp"
+#include "obs/trace.hpp"
 #include "simio/filesystem.hpp"
 #include "simio/network.hpp"
 #include "util/check.hpp"
@@ -19,6 +20,39 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+/// Accumulates modeled phases into a SimResult and, under BAT_TRACE, lays
+/// the modeled timeline out on a dedicated virtual track — the same trace
+/// format as the measured pipeline, but on its own tid so modeled spans
+/// never interleave with real ones.
+class PhaseRecorder {
+public:
+    PhaseRecorder(SimResult& result, const char* track_name) : result_(result) {
+        if (obs::trace_enabled()) {
+            traced_ = true;
+            track_ = obs::new_virtual_track(track_name);
+            cursor_ns_ = obs::trace_now_ns();
+        }
+    }
+
+    /// `name` must be a string literal (the trace stores the pointer).
+    void add(const char* name, double seconds) {
+        result_.phases.push_back({name, seconds});
+        result_.seconds += seconds;
+        if (traced_) {
+            const auto dur_ns =
+                static_cast<std::uint64_t>(std::max(0.0, seconds) * 1e9);
+            obs::emit_span_on_track(track_, name, "simio", cursor_ns_, dur_ns);
+            cursor_ns_ += dur_ns;
+        }
+    }
+
+private:
+    SimResult& result_;
+    bool traced_ = false;
+    std::uint32_t track_ = 0;
+    std::uint64_t cursor_ns_ = 0;
+};
 
 FileStats file_stats(const Aggregation& agg, std::uint64_t bpp, double overhead) {
     FileStats stats;
@@ -38,13 +72,6 @@ FileStats file_stats(const Aggregation& agg, std::uint64_t bpp, double overhead)
 constexpr std::uint64_t kAssignmentBytes = 64;
 constexpr std::uint64_t kReportBytesPerAttr = 20;
 constexpr std::uint64_t kMetaBytesPerLeaf = 220;
-
-void finish(SimResult& result) {
-    result.seconds = 0;
-    for (const SimPhase& p : result.phases) {
-        result.seconds += p.seconds;
-    }
-}
 
 }  // namespace
 
@@ -72,14 +99,14 @@ SimResult simulate_write(std::span<const RankInfo> ranks, const TwoPhaseParams& 
     const std::uint64_t bpp = params.tree.bytes_per_particle;
     SimResult result;
     result.total_bytes = workload_bytes(ranks, bpp);
+    PhaseRecorder rec(result, "simio.write");
 
     // (a) gather counts + bounds; the tree build runs FOR REAL and its
     // measured wall time is charged (it runs on rank 0 in the pipeline).
-    result.phases.push_back(
-        {"gather", model_rooted_collective(m, nranks, sizeof(RankInfo))});
+    rec.add("gather", model_rooted_collective(m, nranks, sizeof(RankInfo)));
     const auto t0 = Clock::now();
     Aggregation agg = build_aggregation(ranks, params.strategy, params.tree, params.pool);
-    result.phases.push_back({"tree_build", seconds_since(t0)});
+    rec.add("tree_build", seconds_since(t0));
     if (params.strategy == AggStrategy::file_per_process) {
         for (AggLeaf& leaf : agg.leaves) {
             leaf.aggregator = leaf.ranks.front();
@@ -90,7 +117,7 @@ SimResult simulate_write(std::span<const RankInfo> ranks, const TwoPhaseParams& 
     result.files = file_stats(agg, bpp, params.layout_overhead);
 
     // (b) scatter assignments.
-    result.phases.push_back({"scatter", model_rooted_collective(m, nranks, kAssignmentBytes)});
+    rec.add("scatter", model_rooted_collective(m, nranks, kAssignmentBytes));
 
     // (b') transfer particles to aggregators.
     std::vector<Transfer> transfers;
@@ -103,7 +130,7 @@ SimResult simulate_write(std::span<const RankInfo> ranks, const TwoPhaseParams& 
             }
         }
     }
-    result.phases.push_back({"transfer", model_transfers(m, nranks, transfers).seconds});
+    rec.add("transfer", model_transfers(m, nranks, transfers).seconds);
 
     // (c) BAT build on the busiest aggregator, then the file writes.
     std::vector<std::uint64_t> agg_bytes(static_cast<std::size_t>(nranks), 0);
@@ -117,9 +144,8 @@ SimResult simulate_write(std::span<const RankInfo> ranks, const TwoPhaseParams& 
     }
     const std::uint64_t max_agg_bytes =
         agg_bytes.empty() ? 0 : *std::max_element(agg_bytes.begin(), agg_bytes.end());
-    result.phases.push_back(
-        {"bat_build", static_cast<double>(max_agg_bytes) / params.bat_build_bps});
-    result.phases.push_back({"file_write", model_file_writes(m, files).seconds});
+    rec.add("bat_build", static_cast<double>(max_agg_bytes) / params.bat_build_bps);
+    rec.add("file_write", model_file_writes(m, files).seconds);
 
     // (d) metadata gather + metadata file write on rank 0.
     const std::uint64_t nattrs = std::max<std::uint64_t>(1, (bpp - 12) / 8);
@@ -127,9 +153,7 @@ SimResult simulate_write(std::span<const RankInfo> ranks, const TwoPhaseParams& 
         m, nranks, kReportBytesPerAttr * nattrs);
     const FileWriteLoad meta_file{kMetaBytesPerLeaf * agg.leaves.size(), 0};
     const double meta_write = model_file_writes(m, std::span(&meta_file, 1)).seconds;
-    result.phases.push_back({"metadata", report_gather + meta_write});
-
-    finish(result);
+    rec.add("metadata", report_gather + meta_write);
     return result;
 }
 
@@ -139,6 +163,7 @@ SimResult simulate_read(std::span<const RankInfo> ranks, const TwoPhaseParams& p
     const std::uint64_t bpp = params.tree.bytes_per_particle;
     SimResult result;
     result.total_bytes = workload_bytes(ranks, bpp);
+    PhaseRecorder rec(result, "simio.read");
 
     // Re-derive the aggregation the write produced (deterministic).
     Aggregation agg = build_aggregation(ranks, params.strategy, params.tree, params.pool);
@@ -154,7 +179,7 @@ SimResult simulate_read(std::span<const RankInfo> ranks, const TwoPhaseParams& p
     const double meta_data =
         static_cast<double>(meta_bytes) * nranks / m.fs_read_bw +
         static_cast<double>(meta_bytes) / m.client_bw;
-    result.phases.push_back({"metadata_read", meta_open + meta_data});
+    rec.add("metadata_read", meta_open + meta_data);
 
     // (b) request messages: one per (reader, overlapped leaf). For the
     // restart pattern each rank needs exactly the leaf holding its data.
@@ -170,7 +195,7 @@ SimResult simulate_read(std::span<const RankInfo> ranks, const TwoPhaseParams& p
         requests.push_back({r, aggregator, 32});
         responses.push_back({aggregator, r, bytes});
     }
-    result.phases.push_back({"request", model_transfers(m, nranks, requests).seconds});
+    rec.add("request", model_transfers(m, nranks, requests).seconds);
 
     // (c) read aggregators read their leaf files...
     std::vector<FileWriteLoad> files;
@@ -181,12 +206,10 @@ SimResult simulate_read(std::span<const RankInfo> ranks, const TwoPhaseParams& p
             (1.0 + params.layout_overhead));
         files.push_back({bytes, read_agg[i]});
     }
-    result.phases.push_back({"file_read", model_file_reads(m, files).seconds});
+    rec.add("file_read", model_file_reads(m, files).seconds);
 
     // ...and ship each rank its particles.
-    result.phases.push_back({"transfer", model_transfers(m, nranks, responses).seconds});
-
-    finish(result);
+    rec.add("transfer", model_transfers(m, nranks, responses).seconds);
     return result;
 }
 
@@ -213,8 +236,8 @@ SimResult simulate_ior_fpp_write(std::span<const RankInfo> ranks, const MachineC
         }
     }
     result.files.num_files = static_cast<int>(files.size());
-    result.phases.push_back({"file_write", model_file_writes(m, files).seconds});
-    finish(result);
+    PhaseRecorder rec(result, "simio.ior_fpp_write");
+    rec.add("file_write", model_file_writes(m, files).seconds);
     return result;
 }
 
@@ -228,8 +251,8 @@ SimResult simulate_ior_fpp_read(std::span<const RankInfo> ranks, const MachineCo
         }
     }
     result.files.num_files = static_cast<int>(files.size());
-    result.phases.push_back({"file_read", model_file_reads(m, files).seconds});
-    finish(result);
+    PhaseRecorder rec(result, "simio.ior_fpp_read");
+    rec.add("file_read", model_file_reads(m, files).seconds);
     return result;
 }
 
@@ -241,11 +264,10 @@ SimResult simulate_ior_shared_write(std::span<const RankInfo> ranks, const Machi
         max_writer = std::max(max_writer, r.num_particles * kIorBpp);
     }
     result.files.num_files = 1;
-    result.phases.push_back(
-        {"shared_write", model_shared_write(m, static_cast<int>(ranks.size()),
-                                            result.total_bytes, max_writer, hdf5_flavor)
-                             .seconds});
-    finish(result);
+    PhaseRecorder rec(result, "simio.ior_shared_write");
+    rec.add("shared_write", model_shared_write(m, static_cast<int>(ranks.size()),
+                                               result.total_bytes, max_writer, hdf5_flavor)
+                                .seconds);
     return result;
 }
 
@@ -257,11 +279,10 @@ SimResult simulate_ior_shared_read(std::span<const RankInfo> ranks, const Machin
         max_reader = std::max(max_reader, r.num_particles * kIorBpp);
     }
     result.files.num_files = 1;
-    result.phases.push_back(
-        {"shared_read", model_shared_read(m, static_cast<int>(ranks.size()),
-                                          result.total_bytes, max_reader, hdf5_flavor)
-                            .seconds});
-    finish(result);
+    PhaseRecorder rec(result, "simio.ior_shared_read");
+    rec.add("shared_read", model_shared_read(m, static_cast<int>(ranks.size()),
+                                             result.total_bytes, max_reader, hdf5_flavor)
+                               .seconds);
     return result;
 }
 

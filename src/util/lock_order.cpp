@@ -24,8 +24,18 @@ Registry& registry() {
     return r;
 }
 
-// Per-thread stack of held lock classes, in acquisition order.
-thread_local std::vector<int> t_held;
+// Per-thread stack of held lock classes, in acquisition order. Deliberately
+// trivially destructible (fixed array, no heap): CheckedMutex locks are
+// taken from static destructors at process exit (e.g. the global thread
+// pool draining in its atexit-time destructor), which run after this
+// thread's TLS destructors — a std::vector here would push into a freed
+// heap buffer. Depths beyond the cap are silently not recorded.
+constexpr int kMaxHeldDepth = 64;
+struct HeldStack {
+    int ids[kMaxHeldDepth];
+    int size;
+};
+thread_local HeldStack t_held{};
 
 bool default_enabled() {
 #ifdef BAT_LOCK_CHECKS
@@ -70,11 +80,11 @@ bool reachable(const Registry& r, int from, int to) {
 
 std::string held_chain(const Registry& r) {
     std::string s;
-    for (const int id : t_held) {
+    for (int i = 0; i < t_held.size; ++i) {
         if (!s.empty()) {
             s += " -> ";
         }
-        s += r.names[static_cast<std::size_t>(id)];
+        s += r.names[static_cast<std::size_t>(t_held.ids[i])];
     }
     return s;
 }
@@ -105,20 +115,21 @@ int register_class(const char* name) {
 }
 
 void before_lock(int class_id) {
-    if (t_held.empty()) {
+    if (t_held.size == 0) {
         return;
     }
     Registry& r = registry();
     std::lock_guard<std::mutex> lock(r.mutex);
     const std::string& name = r.names[static_cast<std::size_t>(class_id)];
-    for (const int held : t_held) {
-        if (held == class_id) {
+    for (int i = 0; i < t_held.size; ++i) {
+        if (t_held.ids[i] == class_id) {
             fatal("lock order violation: acquiring a second instance of lock class '" +
                   name + "' while already holding one (held: " + held_chain(r) +
                   "); same-class nesting requires an explicit instance order");
         }
     }
-    for (const int held : t_held) {
+    for (int i = 0; i < t_held.size; ++i) {
+        const int held = t_held.ids[i];
         // Adding held -> class_id; a pre-existing path class_id -> held
         // means some thread takes them in the opposite order.
         if (reachable(r, class_id, held)) {
@@ -131,14 +142,21 @@ void before_lock(int class_id) {
     }
 }
 
-void after_lock(int class_id) { t_held.push_back(class_id); }
+void after_lock(int class_id) {
+    if (t_held.size < kMaxHeldDepth) {
+        t_held.ids[t_held.size++] = class_id;
+    }
+}
 
 void after_unlock(int class_id) {
     // Usually top-of-stack; tolerate out-of-order unlocks and toggling
     // enabled() mid-stream (entry may be absent).
-    for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
-        if (*it == class_id) {
-            t_held.erase(std::next(it).base());
+    for (int i = t_held.size - 1; i >= 0; --i) {
+        if (t_held.ids[i] == class_id) {
+            for (int j = i; j + 1 < t_held.size; ++j) {
+                t_held.ids[j] = t_held.ids[j + 1];
+            }
+            --t_held.size;
             return;
         }
     }

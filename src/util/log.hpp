@@ -13,7 +13,15 @@ enum class LogLevel : int { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Rank tag for the calling thread, prefixed to its log lines (and used by
+/// the tracer to assign events to rank tracks). Set by the vmpi runtime for
+/// rank threads; -1 (the default) means "not a rank thread".
+void set_thread_log_rank(int rank);
+int thread_log_rank();
+
 namespace detail {
+/// Thread-safe: the line is formatted up front and written with a single
+/// stdio call under a mutex, so multi-rank output never interleaves mid-line.
 void log_emit(LogLevel level, const std::string& msg);
 }
 

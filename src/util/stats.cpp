@@ -82,6 +82,36 @@ void RunningStats::add(double x) {
     m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+    if (other.n_ == 0) {
+        return;
+    }
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+RunningStats RunningStats::from_raw(std::size_t count, double mean, double m2,
+                                    double min, double max) {
+    RunningStats rs;
+    rs.n_ = count;
+    rs.mean_ = mean;
+    rs.m2_ = m2;
+    rs.min_ = min;
+    rs.max_ = max;
+    return rs;
+}
+
 double RunningStats::stddev() const {
     if (n_ < 2) {
         return 0.0;

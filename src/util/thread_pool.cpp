@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bat {
@@ -88,6 +90,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(Task t) {
+    if (obs::trace_enabled()) {
+        t.enqueue_ns = obs::trace_now_ns();
+    }
     if (workers_.empty()) {
         // Inline execution keeps zero-thread pools functional.
         execute(t);
@@ -134,6 +139,15 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::execute(Task& t) {
+    // Span + queue-wait/run-time histograms when the task was enqueued (and
+    // is still being executed) under tracing; one relaxed load otherwise.
+    const bool traced = t.enqueue_ns != 0 && obs::trace_enabled();
+    std::uint64_t run_start_ns = 0;
+    if (traced) {
+        run_start_ns = obs::trace_now_ns();
+        obs::emit_begin_arg("pool.task", "pool", "queue_us",
+                            static_cast<std::int64_t>((run_start_ns - t.enqueue_ns) / 1000));
+    }
     TaskGroup* g = t.group;
     t_executing_groups.push_back(g);
     try {
@@ -147,6 +161,14 @@ void ThreadPool::execute(Task& t) {
         }
     }
     t_executing_groups.pop_back();
+    if (traced) {
+        obs::emit_end("pool.task", "pool");
+        auto& metrics = obs::MetricsRegistry::global();
+        metrics.histogram("pool.queue_us")
+            .record(static_cast<double>(run_start_ns - t.enqueue_ns) / 1e3);
+        metrics.histogram("pool.run_us")
+            .record(static_cast<double>(obs::trace_now_ns() - run_start_ns) / 1e3);
+    }
     if (g != nullptr) {
         g->pending_.fetch_sub(1, std::memory_order_acq_rel);
     }

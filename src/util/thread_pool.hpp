@@ -17,6 +17,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -95,6 +96,9 @@ private:
     struct Task {
         std::function<void()> fn;
         TaskGroup* group = nullptr;
+        // Enqueue timestamp (obs::trace_now_ns) when tracing was enabled at
+        // submission; execution spans report queue wait vs. run time.
+        std::uint64_t enqueue_ns = 0;
     };
 
     void enqueue(Task t);

@@ -3,9 +3,12 @@
 
 #include "vmpi/comm.hpp"
 
+#include "obs/trace.hpp"
+
 namespace bat::vmpi {
 
 std::vector<Bytes> Comm::allgatherv(Bytes payload) {
+    BAT_TRACE_SCOPE_CAT("vmpi.allgatherv", "vmpi");
     const detail::CollectiveScope collective_scope;
     // gatherv to rank 0, then rank 0 rebroadcasts the concatenated set.
     std::vector<Bytes> gathered = gatherv(std::move(payload), 0);
@@ -56,6 +59,7 @@ std::vector<Bytes> Comm::allgatherv(Bytes payload) {
 }
 
 std::vector<Bytes> Comm::alltoallv(std::vector<Bytes> payloads) {
+    BAT_TRACE_SCOPE_CAT("vmpi.alltoallv", "vmpi");
     const detail::CollectiveScope collective_scope;
     BAT_CHECK_MSG(static_cast<int>(payloads.size()) == size(),
                   "alltoallv requires one payload per rank");

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace bat::vmpi {
 
 // ---- Request --------------------------------------------------------------
@@ -78,7 +80,20 @@ Request Comm::isend(int dst, int tag, Bytes payload) {
     if (Validator* val = validator()) {
         val->on_send(rank_, dst, tag, payload.size(), detail::in_collective());
     }
-    rt_->deliver(dst, Runtime::Message{rank_, tag, std::move(payload)});
+    std::uint64_t flow = 0;
+    const bool traced = obs::trace_enabled();
+    if (traced) {
+        // The flow id rides inside the message and is closed by the
+        // matching receive, drawing a send→recv arrow in the trace viewer.
+        flow = obs::next_flow_id();
+        obs::emit_begin_msg("vmpi.send", "vmpi", tag, dst,
+                            static_cast<std::int64_t>(payload.size()));
+        obs::emit_flow_start("vmpi", flow);
+    }
+    rt_->deliver(dst, Runtime::Message{rank_, tag, std::move(payload), flow});
+    if (traced) {
+        obs::emit_end("vmpi.send", "vmpi");
+    }
     auto impl = std::make_shared<Request::Impl>();
     impl->done = true;  // buffered send: complete on return
     impl->poll = [] { return true; };
@@ -103,8 +118,32 @@ Request Comm::irecv(int src, int tag, Bytes& out, int* from) {
         impl->desc = os.str();
     }
     Bytes* out_ptr = &out;
-    impl->poll = [rt, me, src, tag, out_ptr, from] {
-        return rt->try_match(me, src, tag, out_ptr, from, /*consume=*/true, nullptr);
+    const bool traced = obs::trace_enabled();
+    const std::uint64_t post_ns = traced ? obs::trace_now_ns() : 0;
+    impl->poll = [rt, me, src, tag, out_ptr, from, traced, post_ns] {
+        int actual = -1;
+        std::uint64_t flow = 0;
+        if (!rt->try_match(me, src, tag, out_ptr, &actual, /*consume=*/true, nullptr,
+                           &flow)) {
+            return false;
+        }
+        if (from != nullptr) {
+            *from = actual;
+        }
+        if (traced && obs::trace_enabled()) {
+            // The whole recv span is emitted at completion (a tiny span with
+            // the post→match wait as an arg) so spans opened between post
+            // and completion cannot cross it.
+            const std::uint64_t wait_us = (obs::trace_now_ns() - post_ns) / 1000;
+            obs::emit_begin_msg("vmpi.recv", "vmpi", tag, actual,
+                                static_cast<std::int64_t>(out_ptr->size()),
+                                static_cast<std::int64_t>(wait_us));
+            if (flow != 0) {
+                obs::emit_flow_end("vmpi", flow);
+            }
+            obs::emit_end("vmpi.recv", "vmpi");
+        }
+        return true;
     };
     return Request(std::move(impl));
 }
@@ -141,7 +180,10 @@ int Comm::next_collective_tag() {
 
 // ---- Comm collectives -------------------------------------------------------
 
-void Comm::barrier() { ibarrier().wait(); }
+void Comm::barrier() {
+    BAT_TRACE_SCOPE_CAT("vmpi.barrier", "vmpi");
+    ibarrier().wait();
+}
 
 Request Comm::ibarrier() {
     const detail::CollectiveScope collective_scope;
@@ -167,6 +209,7 @@ Request Comm::ibarrier() {
 }
 
 std::vector<Bytes> Comm::gatherv(Bytes payload, int root) {
+    BAT_TRACE_SCOPE_CAT("vmpi.gatherv", "vmpi");
     const detail::CollectiveScope collective_scope;
     const int tag = next_collective_tag();
     std::vector<Bytes> out;
@@ -186,6 +229,7 @@ std::vector<Bytes> Comm::gatherv(Bytes payload, int root) {
 }
 
 Bytes Comm::scatterv(std::vector<Bytes> payloads, int root) {
+    BAT_TRACE_SCOPE_CAT("vmpi.scatterv", "vmpi");
     const detail::CollectiveScope collective_scope;
     const int tag = next_collective_tag();
     if (rank() == root) {
@@ -203,6 +247,7 @@ Bytes Comm::scatterv(std::vector<Bytes> payloads, int root) {
 }
 
 Bytes Comm::bcast(Bytes payload, int root) {
+    BAT_TRACE_SCOPE_CAT("vmpi.bcast", "vmpi");
     const detail::CollectiveScope collective_scope;
     const int tag = next_collective_tag();
     if (rank() == root) {

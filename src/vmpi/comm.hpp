@@ -246,6 +246,9 @@ private:
         int src;
         int tag;
         Bytes payload;
+        // Trace flow id tying the send event to the matching receive
+        // (obs/trace.hpp); 0 when tracing was off at send time.
+        std::uint64_t flow = 0;
         // Starvation tracking (validator only): number of consuming
         // receives that matched a younger or unrelated message while this
         // one sat in the mailbox.
@@ -265,9 +268,10 @@ private:
 
     // Deliver a message to dst's mailbox.
     void deliver(int dst, Message msg);
-    // Try to remove a matching message from `rank`'s mailbox.
+    // Try to remove a matching message from `rank`'s mailbox. `flow`
+    // (optional) receives the matched message's trace flow id.
     bool try_match(int rank, int src, int tag, Bytes* out, int* from, bool consume,
-                   std::size_t* bytes);
+                   std::size_t* bytes, std::uint64_t* flow = nullptr);
 
     IbarrierState& ibarrier_state(std::uint64_t seq);
 

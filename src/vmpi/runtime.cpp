@@ -43,7 +43,7 @@ void Runtime::deliver(int dst, Message msg) {
 }
 
 bool Runtime::try_match(int rank, int src, int tag, Bytes* out, int* from, bool consume,
-                        std::size_t* bytes) {
+                        std::size_t* bytes, std::uint64_t* flow) {
     Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
     const bool validate = validator_->enabled();
     std::lock_guard<CheckedMutex> lock(box.mutex);
@@ -59,6 +59,9 @@ bool Runtime::try_match(int rank, int src, int tag, Bytes* out, int* from, bool 
         }
         if (bytes != nullptr) {
             *bytes = it->payload.size();
+        }
+        if (flow != nullptr) {
+            *flow = it->flow;
         }
         if (consume) {
             if (validate) {
@@ -112,6 +115,9 @@ ValidationReport Runtime::run_impl(int nranks, const std::function<void(Comm&)>&
 
     for (int r = 0; r < nranks; ++r) {
         threads.emplace_back([&rt, &fn, &errors, &failed, &validator, r] {
+            // Tag this thread with its rank so log lines carry an "rN"
+            // prefix and trace events land on the rank's timeline track.
+            set_thread_log_rank(r);
             Comm comm(&rt, r);
             if (validator.enabled()) {
                 validator.on_rank_start(r);
@@ -125,6 +131,7 @@ ValidationReport Runtime::run_impl(int nranks, const std::function<void(Comm&)>&
             if (validator.enabled()) {
                 validator.on_rank_finish(r);
             }
+            set_thread_log_rank(-1);
         });
     }
     for (auto& t : threads) {

@@ -1,0 +1,426 @@
+// Tests for the observability layer (docs/OBSERVABILITY.md): span tracer +
+// Chrome-trace export/validation, the JSON parser, the metrics registry and
+// its cross-rank reduction, and the traced 8-rank write+query round trip
+// that CI feeds through tools/trace_summarize --validate.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "io/data_service.hpp"
+#include "io/reader.hpp"
+#include "io/writer.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/reduce.hpp"
+#include "obs/trace.hpp"
+#include "simio/pipeline_model.hpp"
+#include "simio/machine.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/decomposition.hpp"
+#include "workloads/uniform.hpp"
+
+namespace bat {
+namespace {
+
+using obs::json::Value;
+
+const Box kDomain({0, 0, 0}, {2, 2, 2});
+
+/// Fresh tracing state for a test (each gtest test runs in its own process
+/// under ctest, but the full binary can also run every test in sequence).
+void fresh_trace(bool enabled) {
+    obs::set_trace_enabled(false);
+    obs::reset_trace();
+    obs::set_trace_enabled(enabled);
+}
+
+struct Span {
+    std::string cat;
+    int count = 0;
+    double total_us = 0;
+};
+
+/// Matched B/E pairs per name (validation is done separately; this helper
+/// assumes a valid trace).
+std::map<std::string, Span> spans_by_name(const Value& root) {
+    std::map<std::string, Span> out;
+    std::map<std::pair<long, long>, std::vector<std::pair<std::string, double>>> stacks;
+    const Value* events = root.find("traceEvents");
+    if (events == nullptr) {
+        return out;
+    }
+    for (const Value& ev : events->array()) {
+        const Value* ph = ev.find("ph");
+        const Value* name = ev.find("name");
+        const Value* ts = ev.find("ts");
+        const Value* pid = ev.find("pid");
+        const Value* tid = ev.find("tid");
+        if (ph == nullptr || name == nullptr || ts == nullptr || pid == nullptr ||
+            tid == nullptr) {
+            continue;
+        }
+        const std::pair<long, long> track{static_cast<long>(pid->number()),
+                                          static_cast<long>(tid->number())};
+        if (ph->string() == "B") {
+            stacks[track].emplace_back(name->string(), ts->number());
+        } else if (ph->string() == "E") {
+            auto& stack = stacks[track];
+            if (stack.empty()) {
+                ADD_FAILURE() << "unbalanced end event " << name->string();
+                continue;
+            }
+            Span& s = out[name->string()];
+            if (const Value* cat = ev.find("cat"); cat != nullptr) {
+                s.cat = cat->string();
+            }
+            s.count += 1;
+            s.total_us += ts->number() - stack.back().second;
+            stack.pop_back();
+        }
+    }
+    return out;
+}
+
+Value parse_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return obs::json::parse(os.str());
+}
+
+// ---- JSON parser ----------------------------------------------------------
+
+TEST(ObsJsonTest, ParsesScalarsArraysObjects) {
+    const Value v = obs::json::parse(
+        R"({"i": 42, "f": -2.5e2, "t": true, "n": null, "s": "a\"b\\c\nd",)"
+        R"( "arr": [1, [2], {"k": 3}]})");
+    ASSERT_TRUE(v.is_object());
+    EXPECT_EQ(v.find("i")->number(), 42.0);
+    EXPECT_EQ(v.find("f")->number(), -250.0);
+    EXPECT_TRUE(v.find("t")->boolean());
+    EXPECT_TRUE(v.find("n")->is_null());
+    EXPECT_EQ(v.find("s")->string(), "a\"b\\c\nd");
+    const Value& arr = *v.find("arr");
+    ASSERT_EQ(arr.array().size(), 3u);
+    EXPECT_EQ(arr.array()[1].array()[0].number(), 2.0);
+    EXPECT_EQ(arr.array()[2].find("k")->number(), 3.0);
+}
+
+TEST(ObsJsonTest, ParsesEscapeSequences) {
+    EXPECT_EQ(obs::json::parse(R"("Aé\n")").string(), "A\xc3\xa9\n");
+    EXPECT_EQ(obs::json::parse(R"("Aé\t")").string(), "A\xc3\xa9\t");
+}
+
+TEST(ObsJsonTest, RejectsMalformedInput) {
+    EXPECT_THROW(obs::json::parse("{"), Error);
+    EXPECT_THROW(obs::json::parse("[1,]"), Error);
+    EXPECT_THROW(obs::json::parse("{\"a\": 1} trailing"), Error);
+    EXPECT_THROW(obs::json::parse("nulll"), Error);
+    EXPECT_THROW(obs::json::parse(""), Error);
+}
+
+// ---- tracer ---------------------------------------------------------------
+
+TEST(ObsTraceTest, DisabledScopeEmitsNothing) {
+    fresh_trace(false);
+    for (int i = 0; i < 100; ++i) {
+        BAT_TRACE_SCOPE("quiet");
+    }
+    const Value root = obs::json::parse(obs::chrome_trace_json());
+    const obs::TraceCheck check = obs::validate_chrome_trace(root);
+    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(check.num_events, 0);
+    EXPECT_EQ(obs::dropped_events(), 0u);
+}
+
+TEST(ObsTraceTest, NestedSpansExportBalanced) {
+    fresh_trace(true);
+    {
+        BAT_TRACE_SCOPE("outer");
+        {
+            BAT_TRACE_SCOPE_CAT("inner", "test");
+        }
+        obs::emit_instant("tick", "test");
+    }
+    obs::set_trace_enabled(false);
+    const Value root = obs::json::parse(obs::chrome_trace_json());
+    const obs::TraceCheck check = obs::validate_chrome_trace(root);
+    ASSERT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(check.num_spans, 2);
+    EXPECT_EQ(check.num_events, 5);  // 2B + 2E + 1 instant
+    const std::map<std::string, Span> spans = spans_by_name(root);
+    EXPECT_EQ(spans.at("inner").cat, "test");
+    EXPECT_LE(spans.at("inner").total_us, spans.at("outer").total_us);
+}
+
+TEST(ObsTraceTest, FlowEventsPairUp) {
+    fresh_trace(true);
+    const std::uint64_t flow = obs::next_flow_id();
+    obs::emit_begin("send", "t");
+    obs::emit_flow_start("t", flow);
+    obs::emit_end("send", "t");
+    obs::emit_begin("recv", "t");
+    obs::emit_flow_end("t", flow);
+    obs::emit_end("recv", "t");
+    obs::set_trace_enabled(false);
+    const Value root = obs::json::parse(obs::chrome_trace_json());
+    const obs::TraceCheck check = obs::validate_chrome_trace(root);
+    ASSERT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(check.num_flows, 1);
+}
+
+TEST(ObsTraceTest, ValidateRejectsUnbalancedTrace) {
+    const Value missing_end = obs::json::parse(
+        R"({"traceEvents":[{"name":"a","cat":"x","ph":"B","ts":1,"pid":1,"tid":1}]})");
+    EXPECT_FALSE(obs::validate_chrome_trace(missing_end).ok);
+
+    const Value wrong_name = obs::json::parse(
+        R"({"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":1,"tid":1},)"
+        R"({"name":"b","ph":"E","ts":2,"pid":1,"tid":1}]})");
+    EXPECT_FALSE(obs::validate_chrome_trace(wrong_name).ok);
+
+    const Value orphan_flow = obs::json::parse(
+        R"({"traceEvents":[{"name":"m","ph":"f","ts":1,"pid":1,"tid":1,"id":7}]})");
+    EXPECT_FALSE(obs::validate_chrome_trace(orphan_flow).ok);
+}
+
+TEST(ObsTraceTest, RingOverflowCountsDropped) {
+    obs::set_trace_enabled(false);
+    obs::set_ring_capacity(64);
+    obs::reset_trace();
+    obs::set_trace_enabled(true);
+    for (int i = 0; i < 1000; ++i) {
+        obs::emit_instant("spin", "test");
+    }
+    obs::set_trace_enabled(false);
+    EXPECT_EQ(obs::dropped_events(), 1000u - 64u);
+    const Value root = obs::json::parse(obs::chrome_trace_json());
+    EXPECT_EQ(root.find("otherData")->find("dropped_events")->number(), 1000.0 - 64.0);
+    obs::set_ring_capacity(std::size_t{1} << 16);
+    obs::reset_trace();
+}
+
+TEST(ObsTraceTest, PhaseSpanAccumulatesWithTracingOff) {
+    fresh_trace(false);
+    double acc = 0;
+    {
+        obs::PhaseSpan span("work", &acc);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(acc, 0.005);
+    {
+        obs::PhaseSpan span("work", &acc);  // close() is idempotent
+        span.close();
+        span.close();
+    }
+    const Value root = obs::json::parse(obs::chrome_trace_json());
+    EXPECT_EQ(obs::validate_chrome_trace(root).num_events, 0);
+}
+
+// ---- metrics --------------------------------------------------------------
+
+TEST(ObsMetricsTest, HistogramEdgesAreInclusive) {
+    obs::Histogram h({1.0, 2.0, 4.0});
+    h.record(2.0);   // == edge -> bucket 1
+    h.record(2.1);   // -> bucket 2
+    h.record(0.5);   // -> bucket 0
+    h.record(99.0);  // -> overflow
+    const auto counts = h.bucket_counts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(ObsMetricsTest, MergeMatchesConcatenation) {
+    obs::MetricsRegistry a;
+    obs::MetricsRegistry b;
+    a.counter("c").add(3);
+    b.counter("c").add(4);
+    b.counter("only_b").add(9);
+    a.gauge("g").set(1.5);
+    b.gauge("g").set(7.25);
+
+    // Deterministic pseudo-random samples split across the two registries.
+    RunningStats ground;
+    std::vector<double> bounds{1, 10, 100, 1000};
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 500; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const double v = static_cast<double>(x % 2000) / 1.7;
+        ground.add(v);
+        (i % 2 == 0 ? a : b).histogram("h", bounds).record(v);
+    }
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("c").value(), 7u);
+    EXPECT_EQ(a.counter("only_b").value(), 9u);
+    EXPECT_DOUBLE_EQ(a.gauge("g").value(), 7.25);
+
+    const RunningStats merged = a.histogram("h").stats();
+    EXPECT_EQ(merged.count(), ground.count());
+    EXPECT_NEAR(merged.mean(), ground.mean(), 1e-9);
+    EXPECT_NEAR(merged.stddev(), ground.stddev(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), ground.min());
+    EXPECT_DOUBLE_EQ(merged.max(), ground.max());
+}
+
+TEST(ObsMetricsTest, BytesRoundTripPreservesJson) {
+    obs::MetricsRegistry reg;
+    reg.counter("requests").add(17);
+    reg.gauge("load").set(0.625);
+    reg.histogram("lat", {1, 2, 4}).record(1.5);
+    reg.histogram("lat", {1, 2, 4}).record(3.0);
+    const obs::MetricsRegistry back = obs::MetricsRegistry::from_bytes(reg.to_bytes());
+    EXPECT_EQ(back.to_json(), reg.to_json());
+    // And the JSON itself parses.
+    const Value v = obs::json::parse(reg.to_json());
+    EXPECT_EQ(v.find("counters")->find("requests")->number(), 17.0);
+    EXPECT_EQ(v.find("histograms")->find("lat")->find("count")->number(), 2.0);
+}
+
+TEST(ObsMetricsTest, ReduceMetricsGathersToRoot) {
+    std::uint64_t root_counter = 0;
+    double root_gauge = -1;
+    std::int64_t root_hist_count = -1;
+    vmpi::Runtime::run(4, [&](vmpi::Comm& comm) {
+        obs::MetricsRegistry local;
+        local.counter("events").add(static_cast<std::uint64_t>(comm.rank()) + 1);
+        local.gauge("peak").set(static_cast<double>(comm.rank()));
+        local.histogram("lat").record(static_cast<double>(comm.rank()) * 10.0);
+        const obs::MetricsRegistry merged = obs::reduce_metrics(comm, local);
+        if (comm.rank() == 0) {
+            const Value v = obs::json::parse(merged.to_json());
+            root_counter = static_cast<std::uint64_t>(v.find("counters")->find("events")->number());
+            root_gauge = v.find("gauges")->find("peak")->number();
+            root_hist_count =
+                static_cast<std::int64_t>(v.find("histograms")->find("lat")->find("count")->number());
+        } else {
+            EXPECT_TRUE(merged.empty());
+        }
+    });
+    EXPECT_EQ(root_counter, 1u + 2u + 3u + 4u);
+    EXPECT_DOUBLE_EQ(root_gauge, 3.0);
+    EXPECT_EQ(root_hist_count, 4);
+}
+
+// ---- simio virtual tracks -------------------------------------------------
+
+TEST(ObsSimioTest, ModeledPhasesMatchTraceSpans) {
+    fresh_trace(true);
+    const GridDecomp decomp = grid_decomp_3d(16, kDomain);
+    const std::vector<std::uint64_t> counts(16, 2000);
+    const std::vector<RankInfo> infos = make_rank_infos(decomp, counts);
+    simio::TwoPhaseParams params;
+    params.machine = simio::stampede2_like();
+    params.tree.target_file_size = 1 << 20;
+    params.tree.bytes_per_particle = 124;
+    const simio::SimResult result = simio::simulate_write(infos, params);
+    obs::set_trace_enabled(false);
+
+    const Value root = obs::json::parse(obs::chrome_trace_json());
+    const obs::TraceCheck check = obs::validate_chrome_trace(root);
+    ASSERT_TRUE(check.ok) << check.error;
+    const std::map<std::string, Span> spans = spans_by_name(root);
+    for (const char* phase : {"gather", "tree_build", "scatter", "transfer",
+                              "bat_build", "file_write", "metadata"}) {
+        ASSERT_TRUE(spans.count(phase)) << phase;
+        EXPECT_EQ(spans.at(phase).cat, "simio");
+        EXPECT_NEAR(spans.at(phase).total_us / 1e6, result.phase_seconds(phase),
+                    1e-6 + 0.001 * result.phase_seconds(phase))
+            << phase;
+    }
+}
+
+// ---- the traced end-to-end pipeline (CI runs this via trace_summarize) ----
+
+TEST(TraceRoundTrip, EightRankWriteAndQueryProducesValidTrace) {
+    fresh_trace(true);
+    obs::MetricsRegistry::global().clear();
+
+    const testing::TempDir dir;
+    const int nranks = 8;
+    const GridDecomp decomp = grid_decomp_3d(nranks, kDomain);
+    const ParticleSet global = make_uniform_particles(kDomain, 24'000, 3, 7);
+    const std::vector<ParticleSet> per_rank = partition_particles(global, decomp);
+    ThreadPool pool(2);
+
+    std::filesystem::path meta_path;
+    vmpi::Runtime::run(nranks, [&](vmpi::Comm& comm) {
+        const int r = comm.rank();
+        WriterConfig config;
+        config.directory = dir.path();
+        config.basename = "traced";
+        config.tree.target_file_size = 64 << 10;
+        config.pool = &pool;
+        const WriteResult wr = write_particles(
+            comm, per_rank[static_cast<std::size_t>(r)], decomp.rank_box(r), config);
+        if (r == 0) {
+            meta_path = wr.metadata_path;
+        }
+        // A guaranteed pool task, so pool.task spans appear even if the
+        // builder chose not to parallelize at this size.
+        TaskGroup group(pool);
+        group.run([] {});
+        group.wait();
+
+        read_particles(comm, wr.metadata_path, decomp.rank_read_box(r));
+
+        DataService service(comm, wr.metadata_path);
+        BatQuery query;
+        query.box = decomp.rank_read_box(r);
+        query.inclusive_upper = false;
+        service.query_round(query);
+    });
+    obs::set_trace_enabled(false);
+
+    // Export through the file path (what BAT_TRACE_FILE does at exit).
+    const auto trace_path = dir.path() / "trace.json";
+    const auto metrics_path = dir.path() / "metrics.json";
+    obs::write_chrome_trace(trace_path);
+    obs::MetricsRegistry::global().write_json(metrics_path);
+
+    EXPECT_EQ(obs::dropped_events(), 0u);
+    const Value root = parse_file(trace_path);
+    const obs::TraceCheck check = obs::validate_chrome_trace(root);
+    ASSERT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(check.num_ranks, nranks);
+    EXPECT_GT(check.num_flows, 0);
+    EXPECT_GT(check.num_spans, 0);
+
+    const std::map<std::string, Span> spans = spans_by_name(root);
+    for (const char* required :
+         {"write.gather", "write.tree_build", "write.scatter", "write.transfer",
+          "write.bat_build", "write.file_write", "write.metadata", "read.metadata",
+          "read.request", "read.serve", "read.local", "service.query_round",
+          "vmpi.send", "vmpi.recv", "vmpi.gatherv", "vmpi.scatterv", "pool.task"}) {
+        EXPECT_TRUE(spans.count(required)) << "missing span: " << required;
+    }
+    // One write phase set per rank.
+    EXPECT_EQ(spans.at("write.gather").count, nranks);
+    EXPECT_EQ(spans.at("service.query_round").count, nranks);
+
+    // The metrics export parses and carries the pipeline's counters.
+    const Value metrics = parse_file(metrics_path);
+    EXPECT_GT(metrics.find("counters")->find("write.bytes_written")->number(), 0.0);
+    EXPECT_EQ(metrics.find("counters")->find("service.rounds")->number(),
+              static_cast<double>(nranks));
+    EXPECT_EQ(metrics.find("counters")->find("service.particles_served")->number(),
+              static_cast<double>(global.count()));
+    const Value* pool_hist = metrics.find("histograms")->find("pool.run_us");
+    ASSERT_NE(pool_hist, nullptr);
+    EXPECT_GE(pool_hist->find("count")->number(), 8.0);
+}
+
+}  // namespace
+}  // namespace bat

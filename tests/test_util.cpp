@@ -306,6 +306,50 @@ TEST(StatsTest, RunningStatsMatchesBatch) {
     EXPECT_DOUBLE_EQ(rs.max(), 9.0);
 }
 
+TEST(StatsTest, MergeMatchesConcatenation) {
+    // Parallel Welford (Chan et al.): merging two partial accumulators must
+    // agree with accumulating the concatenated sample stream.
+    std::vector<double> xs;
+    std::uint64_t state = 99;
+    for (int i = 0; i < 1000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        xs.push_back(static_cast<double>(state % 100000) / 3.0 - 5000.0);
+    }
+    for (const std::size_t split : {std::size_t{0}, std::size_t{1}, xs.size() / 3,
+                                    xs.size() - 1, xs.size()}) {
+        RunningStats a;
+        RunningStats b;
+        RunningStats whole;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            (i < split ? a : b).add(xs[i]);
+            whole.add(xs[i]);
+        }
+        a.merge(b);
+        EXPECT_EQ(a.count(), whole.count());
+        EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+        EXPECT_NEAR(a.stddev(), whole.stddev(), 1e-9);
+        EXPECT_DOUBLE_EQ(a.min(), whole.min());
+        EXPECT_DOUBLE_EQ(a.max(), whole.max());
+    }
+}
+
+TEST(StatsTest, MergeWithEmptyIsIdentity) {
+    RunningStats a;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(b.min(), 1.0);
+    EXPECT_DOUBLE_EQ(b.max(), 3.0);
+}
+
 TEST(StatsTest, EmptyInputs) {
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
     EXPECT_DOUBLE_EQ(stddev({}), 0.0);

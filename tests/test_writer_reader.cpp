@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <mutex>
 
 #include "io/reader.hpp"
@@ -216,6 +218,40 @@ TEST(WriterReaderTest, TimingsArePopulated) {
         EXPECT_GT(result.timings.total(), 0.0);
         EXPECT_GE(result.timings.transfer, 0.0);
     });
+}
+
+TEST(WriterReaderTest, PhaseTimingsSelfConsistentAcrossStrategies) {
+    // The span-based phase bookkeeping must hold for every aggregation
+    // strategy: each phase non-negative, and the per-rank phase sum bounded
+    // by the wall-clock time of the collective (plus scheduling slack).
+    for (const AggStrategy strategy :
+         {AggStrategy::adaptive, AggStrategy::aug, AggStrategy::file_per_process}) {
+        const testing::TempDir dir;
+        Scenario setup(6, 6'000, 2, 31);
+        std::mutex mutex;
+        double max_rank_total = 0;
+        const auto wall_start = std::chrono::steady_clock::now();
+        vmpi::Runtime::run(6, [&](vmpi::Comm& comm) {
+            const WriterConfig config = writer_config(dir.path(), strategy, 32 << 10);
+            const WriteResult result = write_particles(
+                comm, setup.per_rank[static_cast<std::size_t>(comm.rank())],
+                setup.decomp.rank_box(comm.rank()), config);
+            const WritePhaseTimings& t = result.timings;
+            for (const double phase : {t.gather, t.tree_build, t.scatter, t.transfer,
+                                       t.bat_build, t.file_write, t.metadata}) {
+                EXPECT_GE(phase, 0.0) << to_string(strategy);
+            }
+            EXPECT_GT(t.total(), 0.0) << to_string(strategy);
+            std::lock_guard<std::mutex> lock(mutex);
+            max_rank_total = std::max(max_rank_total, t.total());
+        });
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - wall_start)
+                                .count();
+        // Phases are disjoint spans on the rank's thread, so no rank's sum
+        // can exceed the collective's wall time (plus scheduling slack).
+        EXPECT_LE(max_rank_total, wall + 0.5) << to_string(strategy);
+    }
 }
 
 TEST(WriterReaderTest, SerialWriterMatchesParallelPopulation) {

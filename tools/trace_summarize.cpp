@@ -1,0 +1,225 @@
+// trace_summarize: inspect Chrome trace-event JSON produced by the obs
+// tracer (BAT_TRACE_FILE) and the matching metrics JSON (BAT_METRICS_FILE).
+//
+//   trace_summarize trace.json              per-span summary + write-phase %
+//   trace_summarize --validate trace.json   structural check, nonzero on fail
+//   trace_summarize --metrics m.json        metrics summary (standalone or
+//                                           combined with a trace)
+//
+// The write-phase table reproduces the Fig 6 breakdown (gather / tree_build
+// / scatter / transfer / bat_build / file_write / metadata as percentages of
+// the write total) directly from span durations, so a traced run can be
+// cross-checked against bench/fig6_breakdown and the simio model.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using bat::obs::json::Value;
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    BAT_CHECK_MSG(in.good(), "cannot open " << path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+struct SpanStats {
+    std::string cat;
+    long count = 0;
+    double total_us = 0;
+    double max_us = 0;
+};
+
+/// Aggregate matched B/E pairs per span name across all (pid, tid) tracks.
+std::map<std::string, SpanStats> collect_spans(const Value& root) {
+    const Value* events = root.find("traceEvents");
+    BAT_CHECK_MSG(events != nullptr && events->is_array(),
+                  "trace has no traceEvents array");
+    // Open-span stack per (pid, tid); Chrome trace B/E events nest per track.
+    std::map<std::pair<long, long>, std::vector<std::pair<std::string, double>>> stacks;
+    std::map<std::string, SpanStats> spans;
+    for (const Value& ev : events->array()) {
+        const Value* ph = ev.find("ph");
+        if (ph == nullptr || !ph->is_string()) {
+            continue;
+        }
+        const Value* name = ev.find("name");
+        const Value* ts = ev.find("ts");
+        const Value* pid = ev.find("pid");
+        const Value* tid = ev.find("tid");
+        if (name == nullptr || ts == nullptr || pid == nullptr || tid == nullptr) {
+            continue;
+        }
+        const std::pair<long, long> track{static_cast<long>(pid->number()),
+                                          static_cast<long>(tid->number())};
+        if (ph->string() == "B") {
+            stacks[track].emplace_back(name->string(), ts->number());
+        } else if (ph->string() == "E") {
+            auto& stack = stacks[track];
+            if (stack.empty() || stack.back().first != name->string()) {
+                continue;  // --validate reports these; summaries stay lenient
+            }
+            const double dur_us = ts->number() - stack.back().second;
+            stack.pop_back();
+            SpanStats& s = spans[name->string()];
+            if (const Value* cat = ev.find("cat"); cat != nullptr && cat->is_string()) {
+                s.cat = cat->string();
+            }
+            s.count += 1;
+            s.total_us += dur_us;
+            s.max_us = std::max(s.max_us, dur_us);
+        } else if (ph->string() == "X") {
+            const Value* dur = ev.find("dur");
+            if (dur == nullptr) {
+                continue;
+            }
+            SpanStats& s = spans[name->string()];
+            if (const Value* cat = ev.find("cat"); cat != nullptr && cat->is_string()) {
+                s.cat = cat->string();
+            }
+            s.count += 1;
+            s.total_us += dur->number();
+            s.max_us = std::max(s.max_us, dur->number());
+        }
+    }
+    return spans;
+}
+
+void print_span_table(const std::map<std::string, SpanStats>& spans) {
+    std::printf("%-28s %-8s %10s %14s %12s\n", "span", "cat", "count", "total_ms",
+                "max_ms");
+    for (const auto& [name, s] : spans) {
+        std::printf("%-28s %-8s %10ld %14.3f %12.3f\n", name.c_str(), s.cat.c_str(),
+                    s.count, s.total_us / 1e3, s.max_us / 1e3);
+    }
+}
+
+/// Fig 6-style percentage breakdown over the write.* (or simio write) phases.
+void print_write_breakdown(const std::map<std::string, SpanStats>& spans) {
+    static const char* kPhases[] = {"gather",    "tree_build", "scatter", "transfer",
+                                    "bat_build", "file_write", "metadata"};
+    double total_us = 0;
+    std::map<std::string, double> phase_us;
+    for (const char* phase : kPhases) {
+        for (const std::string key : {std::string("write.") + phase, std::string(phase)}) {
+            auto it = spans.find(key);
+            if (it != spans.end()) {
+                phase_us[phase] += it->second.total_us;
+                total_us += it->second.total_us;
+                break;
+            }
+        }
+    }
+    if (total_us <= 0) {
+        return;
+    }
+    std::printf("\nwrite phase breakdown (%% of %.3f ms):\n", total_us / 1e3);
+    for (const char* phase : kPhases) {
+        std::printf("  %-12s %6.2f%%\n", phase, 100.0 * phase_us[phase] / total_us);
+    }
+}
+
+int summarize_metrics(const std::string& path) {
+    const Value root = bat::obs::json::parse(read_file(path));
+    std::printf("metrics: %s\n", path.c_str());
+    if (const Value* counters = root.find("counters");
+        counters != nullptr && counters->is_object()) {
+        for (const auto& [name, v] : counters->object()) {
+            std::printf("  counter   %-28s %ld\n", name.c_str(),
+                        static_cast<long>(v.number()));
+        }
+    }
+    if (const Value* gauges = root.find("gauges");
+        gauges != nullptr && gauges->is_object()) {
+        for (const auto& [name, v] : gauges->object()) {
+            std::printf("  gauge     %-28s %g\n", name.c_str(), v.number());
+        }
+    }
+    if (const Value* hists = root.find("histograms");
+        hists != nullptr && hists->is_object()) {
+        for (const auto& [name, h] : hists->object()) {
+            const Value* count = h.find("count");
+            const Value* mean = h.find("mean");
+            const Value* max = h.find("max");
+            std::printf("  histogram %-28s count=%ld mean=%.3f max=%.3f\n", name.c_str(),
+                        count != nullptr ? static_cast<long>(count->number()) : 0,
+                        mean != nullptr ? mean->number() : 0.0,
+                        max != nullptr ? max->number() : 0.0);
+        }
+    }
+    return 0;
+}
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: trace_summarize [--validate] [--metrics metrics.json] "
+                 "[trace.json]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool validate = false;
+    std::string metrics_path;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--validate") == 0) {
+            validate = true;
+        } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            usage();
+            return 0;
+        } else if (argv[i][0] == '-') {
+            usage();
+            return 2;
+        } else {
+            trace_path = argv[i];
+        }
+    }
+    if (trace_path.empty() && metrics_path.empty()) {
+        usage();
+        return 2;
+    }
+    try {
+        if (!trace_path.empty()) {
+            const Value root = bat::obs::json::parse(read_file(trace_path));
+            if (validate) {
+                const bat::obs::TraceCheck check = bat::obs::validate_chrome_trace(root);
+                if (!check.ok) {
+                    std::fprintf(stderr, "INVALID: %s\n", check.error.c_str());
+                    return 1;
+                }
+                std::printf("OK: %d events, %d spans, %d flows, %d ranks\n",
+                            check.num_events, check.num_spans, check.num_flows,
+                            check.num_ranks);
+            }
+            const auto spans = collect_spans(root);
+            print_span_table(spans);
+            print_write_breakdown(spans);
+        }
+        if (!metrics_path.empty()) {
+            if (!trace_path.empty()) {
+                std::printf("\n");
+            }
+            return summarize_metrics(metrics_path);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
