@@ -10,8 +10,12 @@
 // algorithms at the paper's full rank/particle counts — only count
 // *estimation* uses strided sampling.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -122,6 +126,86 @@ inline std::string fmt(double v, int precision = 2) {
 
 inline std::string fmt_mb(std::uint64_t bytes) {
     return fmt(static_cast<double>(bytes) / (1 << 20), 1);
+}
+
+// ---- machine-readable results (--json, docs/PERFORMANCE.md) ---------------
+// Perf-regression harness: benches emit one JSON document per run so CI and
+// later PRs can diff before/after numbers mechanically. Schema
+// "bat-bench-v1": {"schema": ..., "benchmarks": [{"name", "n", "ns_op",
+// "bytes_per_sec", "threads"}, ...]} — ns_op is nanoseconds per element
+// (best of the measured repetitions), bytes_per_sec the payload throughput
+// (0 when a kernel has no natural byte volume).
+
+struct JsonBenchResult {
+    std::string name;
+    std::uint64_t n = 0;
+    double ns_op = 0.0;
+    double bytes_per_sec = 0.0;
+    int threads = 1;
+};
+
+class JsonBenchWriter {
+public:
+    void add(JsonBenchResult r) { results_.push_back(std::move(r)); }
+
+    void write(const std::filesystem::path& path) const {
+        std::FILE* f = std::fopen(path.string().c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "[bench] cannot open %s for writing\n",
+                         path.string().c_str());
+            std::exit(1);
+        }
+        std::fprintf(f, "{\n  \"schema\": \"bat-bench-v1\",\n  \"benchmarks\": [\n");
+        for (std::size_t i = 0; i < results_.size(); ++i) {
+            const JsonBenchResult& r = results_[i];
+            std::fprintf(f,
+                         "    {\"name\": \"%s\", \"n\": %llu, \"ns_op\": %.3f, "
+                         "\"bytes_per_sec\": %.0f, \"threads\": %d}%s\n",
+                         r.name.c_str(), static_cast<unsigned long long>(r.n), r.ns_op,
+                         r.bytes_per_sec, r.threads, i + 1 < results_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "[bench] wrote %zu results to %s\n", results_.size(),
+                     path.string().c_str());
+    }
+
+private:
+    std::vector<JsonBenchResult> results_;
+};
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Value of `--flag value`, or `fallback` when absent.
+inline const char* flag_value(int argc, char** argv, const char* flag,
+                              const char* fallback) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            return argv[i + 1];
+        }
+    }
+    return fallback;
+}
+
+/// Best-of-`reps` wall seconds of fn().
+template <typename F>
+double best_seconds(int reps, F&& fn) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const double dt =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        best = std::min(best, dt);
+    }
+    return best;
 }
 
 }  // namespace bat::bench

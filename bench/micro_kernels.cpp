@@ -3,15 +3,26 @@
 // operations, particle (de)serialization, and query traversal. These give
 // per-component throughput numbers to sanity-check the calibrated
 // performance model and track regressions.
+//
+// `micro_kernels --json [--out FILE] [--threads N]` instead runs the
+// perf-regression kernel suite (sort/encode/reorder/transfer, before- and
+// after-optimization variants side by side) and writes bat-bench-v1 JSON to
+// BENCH_micro.json for CI and cross-PR diffing; see docs/PERFORMANCE.md.
 
 #include <benchmark/benchmark.h>
 
+#include <numeric>
+
+#include "bench_common.hpp"
 #include "core/bat_builder.hpp"
 #include "core/bat_file.hpp"
 #include "core/bat_query.hpp"
 #include "core/karras.hpp"
+#include "util/check.hpp"
 #include "util/morton.hpp"
+#include "util/radix_sort.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/uniform.hpp"
 
 namespace bat {
@@ -161,7 +172,131 @@ void BM_ParticleSerialize(benchmark::State& state) {
 }
 BENCHMARK(BM_ParticleSerialize)->Unit(benchmark::kMillisecond);
 
+// ---- perf-regression kernels (--json) -------------------------------------
+
+/// Random Morton-range keys (the builder's sort input distribution).
+std::vector<std::uint64_t> random_codes(std::size_t n, std::uint64_t seed) {
+    Pcg32 rng(seed);
+    std::vector<std::uint64_t> codes(n);
+    for (auto& c : codes) {
+        c = rng.next_u64() & ((std::uint64_t{1} << kMortonBits) - 1);
+    }
+    return codes;
+}
+
+/// The pre-radix builder sort: iota + std::sort with an indirect comparator.
+std::vector<std::uint32_t> std_sort_order(std::span<const std::uint64_t> codes) {
+    std::vector<std::uint32_t> order(codes.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
+    });
+    return order;
+}
+
+int run_json_kernels(int argc, char** argv) {
+    using bench::JsonBenchResult;
+    const char* out = bench::flag_value(argc, argv, "--out", "BENCH_micro.json");
+    const long long threads_arg =
+        std::atoll(bench::flag_value(argc, argv, "--threads", "-1"));
+    const std::size_t nthreads = threads_arg < 0 ? ThreadPool::default_concurrency()
+                                                 : static_cast<std::size_t>(threads_arg);
+    ThreadPool pool(nthreads);
+    const int pool_threads = static_cast<int>(nthreads) + 1;  // workers + caller
+    bench::JsonBenchWriter writer;
+    constexpr int kReps = 3;
+
+    auto add = [&](const char* name, std::uint64_t n, double seconds,
+                   std::uint64_t bytes, int threads) {
+        writer.add(JsonBenchResult{name, n, 1e9 * seconds / static_cast<double>(n),
+                                   static_cast<double>(bytes) / seconds, threads});
+        std::fprintf(stderr, "[bench] %-28s n=%-9llu %8.2f ns/op\n", name,
+                     static_cast<unsigned long long>(n),
+                     1e9 * seconds / static_cast<double>(n));
+    };
+
+    // Sort: the seed's std::sort path vs the radix sort, serial and pooled.
+    for (const std::size_t n : {std::size_t{1} << 20, std::size_t{1} << 22}) {
+        const std::vector<std::uint64_t> codes = random_codes(n, 0x5eed + n);
+        const std::uint64_t bytes = n * sizeof(std::uint64_t);
+        std::vector<std::uint32_t> order;
+        add("sort_std", n,
+            bench::best_seconds(kReps, [&] { order = std_sort_order(codes); }), bytes, 1);
+        std::vector<std::uint32_t> radix_order;
+        add("sort_radix_serial", n,
+            bench::best_seconds(kReps,
+                                [&] { radix_order = radix_sort_order(codes, nullptr); }),
+            bytes, 1);
+        BAT_CHECK_MSG(radix_order == order, "radix order diverged from std::sort");
+        add("sort_radix_pool", n,
+            bench::best_seconds(kReps,
+                                [&] { radix_order = radix_sort_order(codes, &pool); }),
+            bytes, pool_threads);
+        BAT_CHECK_MSG(radix_order == order, "pooled radix order diverged from std::sort");
+    }
+
+    // Encode + reorder + transfer on a 1M-particle set (4 attrs keeps setup fast).
+    const std::size_t n = std::size_t{1} << 20;
+    ParticleSet set = make_uniform_particles(Box({0, 0, 0}, {1, 1, 1}), n, 4, 11);
+    const Box bounds = set.bounds();
+    std::vector<std::uint64_t> codes(n);
+    auto encode_range = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            codes[i] = morton_encode_position(set.position(i), bounds);
+        }
+    };
+    add("encode_serial", n, bench::best_seconds(kReps, [&] { encode_range(0, n); }),
+        n * 12, 1);
+    add("encode_pool", n,
+        bench::best_seconds(
+            kReps, [&] { parallel_ranges(&pool, n, std::size_t{1} << 14, encode_range); }),
+        n * 12, pool_threads);
+
+    const std::vector<std::uint32_t> order = radix_sort_order(codes, &pool);
+    const std::uint64_t payload = set.payload_bytes();
+    add("reorder_serial", n,
+        bench::best_seconds(kReps, [&] { set.reorder(order, nullptr); }), payload, 1);
+    add("reorder_pool", n, bench::best_seconds(kReps, [&] { set.reorder(order, &pool); }),
+        payload, pool_threads);
+
+    // Transfer merge: the seed's intermediate-ParticleSet path vs the
+    // zero-copy deserialize_into path used by the aggregators.
+    const std::vector<std::byte> wire = set.to_bytes();
+    ParticleSet merged(set.attr_names());
+    add("transfer_intermediate", n,
+        bench::best_seconds(kReps,
+                            [&] {
+                                ParticleSet tmp = ParticleSet::from_bytes(wire);
+                                merged = ParticleSet(set.attr_names());
+                                merged.append(tmp);
+                            }),
+        payload, 1);
+    add("transfer_zero_copy", n,
+        bench::best_seconds(kReps,
+                            [&] {
+                                merged = ParticleSet(set.attr_names());
+                                merged.resize(n);
+                                merged.deserialize_into(wire, 0);
+                            }),
+        payload, 1);
+    BAT_CHECK_MSG(merged.count() == n, "transfer kernel dropped particles");
+
+    writer.write(out);
+    return 0;
+}
+
 }  // namespace
 }  // namespace bat
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    if (bat::bench::has_flag(argc, argv, "--json")) {
+        return bat::run_json_kernels(argc, argv);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

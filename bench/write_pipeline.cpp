@@ -1,0 +1,115 @@
+// End-to-end write-pipeline bench: one in-process 8-rank write_particles
+// collective over a partitioned uniform workload, reporting the slowest
+// rank's per-phase seconds (gather / tree_build / scatter / transfer /
+// bat_build / file_write / metadata — the paper's Fig 6 categories) plus
+// aggregate throughput.
+//
+// `write_pipeline --json [--out FILE]` emits bat-bench-v1 JSON to
+// BENCH_write.json so CI and later PRs can diff transfer-phase numbers; a
+// plain run prints a table. See docs/PERFORMANCE.md.
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/writer.hpp"
+#include "test_output_free.hpp"
+#include "util/thread_pool.hpp"
+#include "vmpi/comm.hpp"
+#include "workloads/decomposition.hpp"
+#include "workloads/uniform.hpp"
+
+using namespace bat;
+
+namespace {
+
+struct PipelineRun {
+    WritePhaseTimings slowest;  // component-wise max over ranks
+    std::uint64_t bytes_written = 0;
+    int num_leaves = 0;
+};
+
+PipelineRun run_pipeline(const std::filesystem::path& dir,
+                         const std::vector<ParticleSet>& per_rank,
+                         const GridDecomp& decomp, ThreadPool* pool) {
+    const int nranks = static_cast<int>(per_rank.size());
+    PipelineRun run;
+    std::mutex mutex;
+    vmpi::Runtime::run(nranks, [&](vmpi::Comm& comm) {
+        WriterConfig config;
+        config.directory = dir;
+        config.basename = "pipeline";
+        config.tree.target_file_size = 1 << 20;
+        config.pool = pool;
+        const int r = comm.rank();
+        const WriteResult wr = write_particles(
+            comm, per_rank[static_cast<std::size_t>(r)], decomp.rank_box(r), config);
+        std::lock_guard<std::mutex> lock(mutex);
+        run.slowest = WritePhaseTimings::max(run.slowest, wr.timings);
+        run.bytes_written += wr.bytes_written;
+        run.num_leaves = wr.num_leaves;
+    });
+    return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    constexpr int kRanks = 8;
+    constexpr std::size_t kParticles = 1 << 20;
+    constexpr int kRuns = 5;
+
+    const auto dir = bench::scratch_dir("write_pipeline");
+    const Box domain({0, 0, 0}, {4, 4, 4});
+    const GridDecomp decomp = grid_decomp_3d(kRanks, domain);
+    const ParticleSet global = make_uniform_particles(domain, kParticles, 4, 42);
+    const std::vector<ParticleSet> per_rank = partition_particles(global, decomp);
+    ThreadPool pool(ThreadPool::default_concurrency());
+
+    std::fprintf(stderr, "[bench] %d-rank write of %zu particles, best of %d runs\n",
+                 kRanks, kParticles, kRuns);
+    run_pipeline(dir, per_rank, decomp, &pool);  // warm up page cache + pool
+    PipelineRun best;
+    double best_total = 1e30;
+    for (int i = 0; i < kRuns; ++i) {
+        const PipelineRun run = run_pipeline(dir, per_rank, decomp, &pool);
+        if (run.slowest.total() < best_total) {
+            best_total = run.slowest.total();
+            best = run;
+        }
+    }
+
+    const WritePhaseTimings& t = best.slowest;
+    const std::vector<std::pair<const char*, double>> phases = {
+        {"write.gather", t.gather},         {"write.tree_build", t.tree_build},
+        {"write.scatter", t.scatter},       {"write.transfer", t.transfer},
+        {"write.bat_build", t.bat_build},   {"write.file_write", t.file_write},
+        {"write.metadata", t.metadata},     {"write.total", t.total()},
+    };
+
+    if (bench::has_flag(argc, argv, "--json")) {
+        const char* out = bench::flag_value(argc, argv, "--out", "BENCH_write.json");
+        bench::JsonBenchWriter writer;
+        const int threads = static_cast<int>(pool.num_threads()) + 1;
+        for (const auto& [name, seconds] : phases) {
+            writer.add(bench::JsonBenchResult{
+                name, kParticles, 1e9 * seconds / static_cast<double>(kParticles),
+                seconds > 0 ? static_cast<double>(best.bytes_written) / seconds : 0.0,
+                threads});
+        }
+        writer.write(out);
+    } else {
+        bench::Table table({"phase", "seconds", "ns/particle"});
+        for (const auto& [name, seconds] : phases) {
+            table.add_row({name, bench::fmt(seconds, 4),
+                           bench::fmt(1e9 * seconds / static_cast<double>(kParticles), 1)});
+        }
+        table.print();
+        std::printf("leaves: %d, bytes written: %s MB\n", best.num_leaves,
+                    bench::fmt_mb(best.bytes_written).c_str());
+    }
+
+    std::filesystem::remove_all(dir);
+    return 0;
+}

@@ -7,6 +7,7 @@
 #include "core/karras.hpp"
 #include "util/check.hpp"
 #include "util/morton.hpp"
+#include "util/radix_sort.hpp"
 #include "util/rng.hpp"
 
 namespace bat {
@@ -240,14 +241,22 @@ BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* po
     const std::size_t n = particles.count();
     const std::size_t nattrs = particles.num_attrs();
 
+    // ---- Attribute range/edge scans (independent per attribute) -----------
     bat.attr_ranges.resize(nattrs);
     bat.attr_edges.resize(nattrs);
-    for (std::size_t a = 0; a < nattrs; ++a) {
+    auto attr_scan = [&](std::size_t a) {
         bat.attr_ranges[a] = particles.attr_range(a);
         bat.attr_edges[a] =
             config.binning == BinningScheme::equal_depth
                 ? equal_depth_edges(particles.attr(a))
                 : equal_width_edges(bat.attr_ranges[a].first, bat.attr_ranges[a].second);
+    };
+    if (pool != nullptr && pool->num_threads() > 0) {
+        pool->parallel_for(0, nattrs, attr_scan, 1);
+    } else {
+        for (std::size_t a = 0; a < nattrs; ++a) {
+            attr_scan(a);
+        }
     }
     if (n == 0) {
         bat.particles = std::move(particles);
@@ -256,15 +265,16 @@ BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* po
     bat.bounds = particles.bounds();
 
     // ---- Morton sort ------------------------------------------------------
+    // Parallel encode, then a parallel LSD radix sort (stable, ties broken
+    // by original index) replacing the serial comparison sort — the
+    // dominant cost of the build at large n.
     std::vector<std::uint64_t> codes(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        codes[i] = morton_encode_position(particles.position(i), bat.bounds);
-    }
-    std::vector<std::uint32_t> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&codes](std::uint32_t a, std::uint32_t b) {
-        return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
+    parallel_ranges(pool, n, std::size_t{1} << 14, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            codes[i] = morton_encode_position(particles.position(i), bat.bounds);
+        }
     });
+    std::vector<std::uint32_t> order = radix_sort_order(codes, pool);
 
     // ---- Shallow tree over merged subprefixes (§III-C1) -------------------
     int subprefix_bits = config.subprefix_bits;
@@ -302,8 +312,15 @@ BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* po
         TreeletBuilder builder{ctx, treelet, Pcg32(mix_seed(config.seed, t))};
         builder.build(range_begin[t], range_begin[t + 1], 0);
     };
+    // One task per treelet (grain 1) drowns tiny-treelet workloads in
+    // per-task overhead; ~4 chunks per participant amortizes it while still
+    // load-balancing the skewed treelet sizes.
+    const std::size_t treelet_grain =
+        pool != nullptr && pool->num_threads() > 0
+            ? std::max<std::size_t>(1, num_treelets / (4 * (pool->num_threads() + 1)))
+            : 1;
     if (pool != nullptr && pool->num_threads() > 0) {
-        pool->parallel_for(0, num_treelets, build_treelet, 1);
+        pool->parallel_for(0, num_treelets, build_treelet, treelet_grain);
     } else {
         for (std::size_t t = 0; t < num_treelets; ++t) {
             build_treelet(t);
@@ -311,7 +328,7 @@ BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* po
     }
 
     // ---- Final particle order ---------------------------------------------
-    particles.reorder(order);
+    particles.reorder(order, pool);
     bat.particles = std::move(particles);
 
     // ---- Bitmaps ------------------------------------------------------------
@@ -319,7 +336,7 @@ BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* po
         compute_treelet_bitmaps(bat.particles, bat.treelets[t], bat.attr_edges);
     };
     if (pool != nullptr && pool->num_threads() > 0) {
-        pool->parallel_for(0, num_treelets, bitmap_pass, 1);
+        pool->parallel_for(0, num_treelets, bitmap_pass, treelet_grain);
     } else {
         for (std::size_t t = 0; t < num_treelets; ++t) {
             bitmap_pass(t);

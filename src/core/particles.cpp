@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bat {
 
@@ -67,21 +68,37 @@ Box ParticleSet::bounds() const {
     return b;
 }
 
-void ParticleSet::reorder(std::span<const std::uint32_t> order) {
-    BAT_CHECK(order.size() == count());
-    std::vector<float> pos(positions_.size());
-    for (std::size_t i = 0; i < order.size(); ++i) {
-        const std::size_t src = order[i];
-        pos[3 * i] = positions_[3 * src];
-        pos[3 * i + 1] = positions_[3 * src + 1];
-        pos[3 * i + 2] = positions_[3 * src + 2];
+void ParticleSet::copy_from(const ParticleSet& src, std::size_t at) {
+    BAT_CHECK_MSG(src.attr_names_ == attr_names_, "schema mismatch in copy_from");
+    BAT_CHECK_MSG(at + src.count() <= count(), "copy_from past the end of the set");
+    std::copy(src.positions_.begin(), src.positions_.end(),
+              positions_.begin() + static_cast<std::ptrdiff_t>(3 * at));
+    for (std::size_t a = 0; a < attrs_.size(); ++a) {
+        std::copy(src.attrs_[a].begin(), src.attrs_[a].end(),
+                  attrs_[a].begin() + static_cast<std::ptrdiff_t>(at));
     }
+}
+
+void ParticleSet::reorder(std::span<const std::uint32_t> order, ThreadPool* pool) {
+    BAT_CHECK(order.size() == count());
+    constexpr std::size_t kGrain = std::size_t{1} << 14;
+    std::vector<float> pos(positions_.size());
+    parallel_ranges(pool, order.size(), kGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t src = order[i];
+            pos[3 * i] = positions_[3 * src];
+            pos[3 * i + 1] = positions_[3 * src + 1];
+            pos[3 * i + 2] = positions_[3 * src + 2];
+        }
+    });
     positions_ = std::move(pos);
     for (auto& attr : attrs_) {
         std::vector<double> tmp(attr.size());
-        for (std::size_t i = 0; i < order.size(); ++i) {
-            tmp[i] = attr[order[i]];
-        }
+        parallel_ranges(pool, order.size(), kGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                tmp[i] = attr[order[i]];
+            }
+        });
         attr = std::move(tmp);
     }
 }
@@ -133,6 +150,38 @@ std::vector<std::byte> ParticleSet::to_bytes() const {
 ParticleSet ParticleSet::from_bytes(std::span<const std::byte> bytes) {
     BufferReader r(bytes);
     return deserialize(r);
+}
+
+std::size_t ParticleSet::deserialize_into(std::span<const std::byte> bytes,
+                                          std::size_t at) {
+    BufferReader r(bytes);
+    const auto n = static_cast<std::size_t>(r.read<std::uint64_t>());
+    const auto nattrs = r.read<std::uint32_t>();
+    BAT_CHECK_MSG(nattrs == attrs_.size(),
+                  "deserialize_into schema mismatch: payload has " << nattrs
+                                                                  << " attrs, set has "
+                                                                  << attrs_.size());
+    for (const auto& name : attr_names_) {
+        const std::string got = r.read_string();
+        BAT_CHECK_MSG(got == name, "deserialize_into attr mismatch: payload '"
+                                       << got << "' vs set '" << name << "'");
+    }
+    BAT_CHECK_MSG(at + n <= count(), "deserialize_into past the end of the set");
+    r.read_into(std::span<float>(positions_.data() + 3 * at, 3 * n));
+    for (auto& a : attrs_) {
+        r.read_into(std::span<double>(a.data() + at, n));
+    }
+    return n;
+}
+
+std::size_t ParticleSet::append_from_bytes(std::span<const std::byte> bytes) {
+    // Peek the payload's particle count to grow the arrays, then place the
+    // data directly at the old end.
+    BufferReader header(bytes);
+    const auto n = static_cast<std::size_t>(header.read<std::uint64_t>());
+    const std::size_t at = count();
+    resize(at + n);
+    return deserialize_into(bytes, at);
 }
 
 }  // namespace bat

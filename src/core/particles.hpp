@@ -14,6 +14,8 @@
 
 namespace bat {
 
+class ThreadPool;
+
 class ParticleSet {
 public:
     ParticleSet() = default;
@@ -59,12 +61,19 @@ public:
     /// Append particle `i` of `other` (same schema required).
     void append_from(const ParticleSet& other, std::size_t i);
 
+    /// Copy every particle of `src` (same schema required) into slots
+    /// [at, at + src.count()); this set must already be resized to hold
+    /// them. The zero-copy aggregation path places each sender's particles
+    /// at a precomputed offset so arrival order cannot change the result.
+    void copy_from(const ParticleSet& src, std::size_t at);
+
     /// Tight bounding box of all particle positions (empty box if none).
     Box bounds() const;
 
     /// Reorder so particle i moves to position `perm[i]`... precisely:
     /// new[i] = old[order[i]]. `order` must be a permutation of [0, count).
-    void reorder(std::span<const std::uint32_t> order);
+    /// The gather loops are chunked over `pool` when one is given.
+    void reorder(std::span<const std::uint32_t> order, ThreadPool* pool = nullptr);
 
     /// (min, max) of attribute `a`; (0, 0) for an empty set.
     std::pair<double, double> attr_range(std::size_t a) const;
@@ -74,6 +83,17 @@ public:
     static ParticleSet deserialize(BufferReader& r);
     std::vector<std::byte> to_bytes() const;
     static ParticleSet from_bytes(std::span<const std::byte> bytes);
+
+    /// Deserialize a wire payload (as produced by to_bytes) directly into
+    /// slots [at, at + payload count) of this pre-sized set — no
+    /// intermediate ParticleSet. The payload's schema must match. Returns
+    /// the number of particles placed.
+    std::size_t deserialize_into(std::span<const std::byte> bytes, std::size_t at);
+
+    /// Append a wire payload's particles at the end of this set without
+    /// constructing an intermediate ParticleSet. Returns the number of
+    /// particles appended.
+    std::size_t append_from_bytes(std::span<const std::byte> bytes);
 
 private:
     std::vector<float> positions_;  // xyz interleaved

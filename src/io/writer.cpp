@@ -1,6 +1,7 @@
 #include "io/writer.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "core/bat_file.hpp"
 #include "obs/metrics.hpp"
@@ -17,6 +18,16 @@ constexpr int kTagData = 1;
 
 std::string leaf_file_name(const std::string& basename, int leaf_id) {
     return basename + "_" + std::to_string(leaf_id) + ".bat";
+}
+
+/// Bucket edges for the transfer message-size histogram: powers of four
+/// from 1 KiB to 1 GiB.
+std::vector<double> transfer_size_bounds() {
+    std::vector<double> bounds;
+    for (double b = 1024.0; b <= 1024.0 * 1024.0 * 1024.0; b *= 4.0) {
+        bounds.push_back(b);
+    }
+    return bounds;
 }
 
 /// Per-leaf aggregation duty sent to an aggregator rank.
@@ -215,28 +226,71 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
     result.my_leaf = assignment.my_leaf;
 
     // ---- (b') transfer particles to aggregators ---------------------------
+    // Zero-copy path: each sender serializes once and the payload Bytes are
+    // moved into the destination mailbox; aggregators pre-size one merged
+    // set per leaf and deserialize every payload directly into its sender's
+    // precomputed slot (no intermediate per-sender ParticleSet). Receives
+    // are any-source so one slow sender cannot serialize the aggregator —
+    // the fixed slot offsets keep the merged order (and thus the output
+    // bytes) independent of arrival order. An aggregator's own particles
+    // skip (de)serialization entirely and are copied in place.
     std::vector<std::pair<int, ParticleSet>> leaf_particles;  // (leaf_id, data)
     {
         obs::PhaseSpan span("write.transfer", &timings.transfer);
+        auto& metrics = obs::MetricsRegistry::global();
+        const bool send_self =
+            !local.empty() && assignment.my_aggregator == comm.rank();
         if (!local.empty()) {
             BAT_CHECK_MSG(assignment.my_aggregator >= 0,
                           "rank " << comm.rank() << " owns particles but has no aggregator");
-            comm.isend(assignment.my_aggregator, kTagData, local.to_bytes());
-        }
-        // Aggregators receive the particles for each of their leaves.
-        leaf_particles.reserve(assignment.duties.size());
-        for (const LeafDuty& duty : assignment.duties) {
-            ParticleSet merged(local.attr_names());
-            merged.reserve(duty.total_particles);
-            for (const auto& [sender, count] : duty.senders) {
-                const vmpi::Bytes payload = comm.recv(sender, kTagData);
-                const ParticleSet piece = ParticleSet::from_bytes(payload);
-                BAT_CHECK_MSG(piece.count() == count,
-                              "sender " << sender << " sent " << piece.count()
-                                        << " particles, " << count << " expected");
-                merged.append(piece);
+            if (!send_self) {
+                vmpi::Bytes payload = local.to_bytes();
+                metrics.histogram("write.transfer_msg_bytes", transfer_size_bounds())
+                    .record(static_cast<double>(payload.size()));
+                comm.isend(assignment.my_aggregator, kTagData, std::move(payload));
             }
+        }
+        struct SenderSlot {
+            std::size_t duty;    // index into leaf_particles
+            std::size_t offset;  // particle slot within the merged set
+            std::uint64_t count;
+        };
+        std::map<int, SenderSlot> slots;
+        leaf_particles.reserve(assignment.duties.size());
+        for (std::size_t d = 0; d < assignment.duties.size(); ++d) {
+            const LeafDuty& duty = assignment.duties[d];
+            ParticleSet merged(local.attr_names());
+            merged.resize(duty.total_particles);
+            std::size_t offset = 0;
+            for (const auto& [sender, count] : duty.senders) {
+                if (send_self && sender == comm.rank()) {
+                    merged.copy_from(local, offset);
+                    metrics.counter("write.transfer_bytes").add(local.payload_bytes());
+                } else {
+                    const bool inserted =
+                        slots.emplace(sender, SenderSlot{d, offset, count}).second;
+                    BAT_CHECK_MSG(inserted, "rank " << sender << " feeds two leaves");
+                }
+                offset += count;
+            }
+            BAT_CHECK(offset == duty.total_particles);
             leaf_particles.emplace_back(duty.leaf_id, std::move(merged));
+        }
+        const std::size_t expected = slots.size();
+        for (std::size_t m = 0; m < expected; ++m) {
+            int from = -1;
+            const vmpi::Bytes payload = comm.recv(vmpi::kAnySource, kTagData, &from);
+            const auto it = slots.find(from);
+            BAT_CHECK_MSG(it != slots.end(),
+                          "unexpected transfer payload from rank " << from);
+            const SenderSlot slot = it->second;
+            slots.erase(it);
+            metrics.counter("write.transfer_bytes").add(payload.size());
+            const std::size_t got =
+                leaf_particles[slot.duty].second.deserialize_into(payload, slot.offset);
+            BAT_CHECK_MSG(got == slot.count, "sender " << from << " sent " << got
+                                                       << " particles, " << slot.count
+                                                       << " expected");
         }
     }
 
@@ -301,6 +355,9 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
         }
         const Metadata meta = build_metadata(agg, local.attr_names(), reports, files);
         meta.save(result.metadata_path);
+        // The metadata file is part of the written volume; leaving it out
+        // inflates effective-bandwidth numbers (Fig 5).
+        result.bytes_written += std::filesystem::file_size(result.metadata_path);
     }
     // Everyone learns the metadata path is ready.
     comm.barrier();
@@ -388,6 +445,7 @@ WriteResult write_particles_serial(std::span<const ParticleSet> per_rank,
     const Metadata meta = build_metadata(agg, per_rank[0].attr_names(), reports, files);
     result.metadata_path = config.directory / (config.basename + ".batmeta");
     meta.save(result.metadata_path);
+    result.bytes_written += std::filesystem::file_size(result.metadata_path);
     return result;
 }
 

@@ -65,7 +65,8 @@ struct WritePhaseTimings {
 struct WriteResult {
     WritePhaseTimings timings;           // this rank's timings
     std::filesystem::path metadata_path; // valid on every rank
-    std::uint64_t bytes_written = 0;     // BAT bytes written by this rank
+    std::uint64_t bytes_written = 0;     // bytes written by this rank: leaf
+                                         // files + (on rank 0) the .batmeta
     int num_leaves = 0;                  // total output files
     int my_leaf = -1;                    // leaf this rank's data went to
 };

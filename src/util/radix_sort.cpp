@@ -1,0 +1,209 @@
+#include "util/radix_sort.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace bat {
+
+namespace {
+
+// 11-bit digits: 6 passes cover 64-bit keys (vs 8 with bytes) and the
+// 2048-entry count tables still live comfortably in L1.
+constexpr int kDigitBits = 11;
+constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
+constexpr std::uint64_t kDigitMask = kBuckets - 1;
+constexpr int kMaxPasses = (64 + kDigitBits - 1) / kDigitBits;
+
+/// Below this size a comparison sort wins over pass setup costs.
+constexpr std::size_t kComparisonCutoff = 256;
+/// Minimum elements per parallel block; below ~2 blocks the serial path
+/// avoids task overhead.
+constexpr std::size_t kMinBlock = std::size_t{1} << 15;
+
+inline std::size_t digit_of(std::uint64_t key, int shift) {
+    return static_cast<std::size_t>((key >> shift) & kDigitMask);
+}
+
+/// Digits where at least two keys differ, derived from the bytewise
+/// OR/AND aggregates: a pass is a no-op exactly when every key shares the
+/// same digit value there (or == and in that byte).
+std::vector<int> active_shifts(std::uint64_t key_or, std::uint64_t key_and) {
+    std::vector<int> shifts;
+    const std::uint64_t diff = key_or ^ key_and;
+    for (int shift = 0; shift < 64; shift += kDigitBits) {
+        if ((diff >> shift) & kDigitMask) {
+            shifts.push_back(shift);
+        }
+    }
+    return shifts;
+}
+
+/// Serial path. Digit counts are permutation-invariant, so `counts` (one
+/// table per fixed pass position, filled during the single or/and pre-scan)
+/// serves every pass — no per-pass counting read over the data.
+void serial_radix(std::span<KeyIndex> pairs, std::span<const int> shifts,
+                  std::vector<std::array<std::uint32_t, kBuckets>>& counts) {
+    const std::size_t n = pairs.size();
+    std::vector<KeyIndex> scratch(n);
+    KeyIndex* src = pairs.data();
+    KeyIndex* dst = scratch.data();
+    for (int shift : shifts) {
+        auto& count = counts[static_cast<std::size_t>(shift / kDigitBits)];
+        std::uint32_t run = 0;
+        for (std::size_t d = 0; d < kBuckets; ++d) {
+            const std::uint32_t c = count[d];
+            count[d] = run;
+            run += c;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            dst[count[digit_of(src[i].key, shift)]++] = src[i];
+        }
+        std::swap(src, dst);
+    }
+    if (src != pairs.data()) {
+        std::memcpy(pairs.data(), src, n * sizeof(KeyIndex));
+    }
+}
+
+void parallel_radix(std::span<KeyIndex> pairs, std::span<const int> shifts,
+                    ThreadPool& pool) {
+    const std::size_t n = pairs.size();
+    // Fixed block decomposition: the same input always produces the same
+    // blocks and scatter offsets, so output does not depend on scheduling.
+    const std::size_t max_blocks = 4 * (pool.num_threads() + 1);
+    const std::size_t nblocks = std::clamp<std::size_t>(n / kMinBlock, 1, max_blocks);
+    auto block_lo = [&](std::size_t b) { return b * n / nblocks; };
+
+    std::vector<KeyIndex> scratch(n);
+    std::vector<std::array<std::uint32_t, kBuckets>> hist(nblocks);
+    KeyIndex* src = pairs.data();
+    KeyIndex* dst = scratch.data();
+    for (int shift : shifts) {
+        pool.parallel_for(
+            0, nblocks,
+            [&](std::size_t b) {
+                auto& h = hist[b];
+                h.fill(0);
+                const std::size_t hi = block_lo(b + 1);
+                for (std::size_t i = block_lo(b); i < hi; ++i) {
+                    ++h[digit_of(src[i].key, shift)];
+                }
+            },
+            1);
+        // Exclusive scan in (digit, block) order: stable across blocks.
+        std::uint32_t run = 0;
+        for (std::size_t d = 0; d < kBuckets; ++d) {
+            for (std::size_t b = 0; b < nblocks; ++b) {
+                const std::uint32_t c = hist[b][d];
+                hist[b][d] = run;
+                run += c;
+            }
+        }
+        pool.parallel_for(
+            0, nblocks,
+            [&](std::size_t b) {
+                auto& offset = hist[b];  // this block's scatter cursors
+                const std::size_t hi = block_lo(b + 1);
+                for (std::size_t i = block_lo(b); i < hi; ++i) {
+                    dst[offset[digit_of(src[i].key, shift)]++] = src[i];
+                }
+            },
+            1);
+        std::swap(src, dst);
+    }
+    if (src != pairs.data()) {
+        std::memcpy(pairs.data(), src, n * sizeof(KeyIndex));
+    }
+}
+
+}  // namespace
+
+void radix_sort_pairs(std::span<KeyIndex> pairs, ThreadPool* pool) {
+    const std::size_t n = pairs.size();
+    if (n < 2) {
+        return;
+    }
+    if (n <= kComparisonCutoff) {
+        std::sort(pairs.begin(), pairs.end(), [](const KeyIndex& a, const KeyIndex& b) {
+            return a.key != b.key ? a.key < b.key : a.index < b.index;
+        });
+        return;
+    }
+    const bool parallel = pool != nullptr && pool->num_threads() > 0 && n >= 2 * kMinBlock;
+    std::uint64_t key_or = 0;
+    std::uint64_t key_and = ~std::uint64_t{0};
+    if (parallel) {
+        const std::size_t nchunks =
+            std::clamp<std::size_t>(n / kMinBlock, 1, 4 * (pool->num_threads() + 1));
+        std::vector<std::uint64_t> ors(nchunks, 0);
+        std::vector<std::uint64_t> ands(nchunks, ~std::uint64_t{0});
+        pool->parallel_for(
+            0, nchunks,
+            [&](std::size_t c) {
+                const std::size_t hi = (c + 1) * n / nchunks;
+                std::uint64_t o = 0;
+                std::uint64_t a = ~std::uint64_t{0};
+                for (std::size_t i = c * n / nchunks; i < hi; ++i) {
+                    o |= pairs[i].key;
+                    a &= pairs[i].key;
+                }
+                ors[c] = o;
+                ands[c] = a;
+            },
+            1);
+        for (std::size_t c = 0; c < nchunks; ++c) {
+            key_or |= ors[c];
+            key_and &= ands[c];
+        }
+        const std::vector<int> shifts = active_shifts(key_or, key_and);
+        if (!shifts.empty()) {
+            parallel_radix(pairs, shifts, *pool);
+        }
+        return;
+    }
+    // Serial: one fused pre-scan computes or/and plus the digit counts of
+    // every pass (counts are permutation-invariant, so they stay valid for
+    // later passes over reordered data).
+    std::vector<std::array<std::uint32_t, kBuckets>> counts(kMaxPasses);
+    for (auto& c : counts) {
+        c.fill(0);
+    }
+    for (const KeyIndex& p : pairs) {
+        key_or |= p.key;
+        key_and &= p.key;
+        for (int j = 0; j < kMaxPasses; ++j) {
+            ++counts[static_cast<std::size_t>(j)][digit_of(p.key, j * kDigitBits)];
+        }
+    }
+    const std::vector<int> shifts = active_shifts(key_or, key_and);
+    if (!shifts.empty()) {
+        serial_radix(pairs, shifts, counts);
+    }
+}
+
+std::vector<std::uint32_t> radix_sort_order(std::span<const std::uint64_t> keys,
+                                            ThreadPool* pool) {
+    const std::size_t n = keys.size();
+    BAT_CHECK_MSG(n <= static_cast<std::size_t>(UINT32_MAX),
+                  "radix_sort_order indexes with 32 bits");
+    std::vector<KeyIndex> pairs(n);
+    parallel_ranges(pool, n, kMinBlock, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            pairs[i] = KeyIndex{keys[i], static_cast<std::uint32_t>(i)};
+        }
+    });
+    radix_sort_pairs(pairs, pool);
+    std::vector<std::uint32_t> order(n);
+    parallel_ranges(pool, n, kMinBlock, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            order[i] = pairs[i].index;
+        }
+    });
+    return order;
+}
+
+}  // namespace bat

@@ -1,0 +1,43 @@
+#pragma once
+// Parallel LSD radix sort over (64-bit key, 32-bit index) pairs — the
+// Morton-ordering hot path of the BAT build (paper §III-C; Burstedde's
+// parallel tree algorithms identify the sort/partition steps as the
+// scalable core of such builds). The sort is stable in the keys, processes
+// one 11-bit digit per pass (6 passes cover 64 bits), skips passes whose
+// digit is constant across all keys, and splits histogram/scatter work into
+// per-block tasks on a ThreadPool. Block decomposition and scatter offsets
+// are fixed up front, so the result is byte-identical regardless of thread
+// count or schedule.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace bat {
+
+/// One sort record: the key plus the record's original position. Kept to
+/// 16 bytes so scatter passes move a single aligned struct.
+struct KeyIndex {
+    std::uint64_t key = 0;
+    std::uint32_t index = 0;
+};
+
+/// Sort `pairs` in place by ascending key; entries with equal keys keep
+/// their input order (LSD radix passes are stable). Small inputs fall back
+/// to a comparison sort on (key, index), which is identical to the stable
+/// order whenever indices are distinct and ascending in the input — the
+/// layout radix_sort_order produces.
+void radix_sort_pairs(std::span<KeyIndex> pairs, ThreadPool* pool = nullptr);
+
+/// Sorting permutation of `keys`: returns `order` such that
+/// keys[order[0]] <= keys[order[1]] <= ... with ties broken by the original
+/// index. Equivalent to
+///   std::sort(order, [&](a, b) { return keys[a] != keys[b] ? keys[a] < keys[b]
+///                                                          : a < b; })
+/// but O(n) per digit and parallel over `pool`.
+std::vector<std::uint32_t> radix_sort_order(std::span<const std::uint64_t> keys,
+                                            ThreadPool* pool = nullptr);
+
+}  // namespace bat

@@ -207,4 +207,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     group.wait();
 }
 
+void parallel_ranges(ThreadPool* pool, std::size_t n, std::size_t min_grain,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
+    BAT_CHECK(min_grain > 0);
+    if (n == 0) {
+        return;
+    }
+    if (pool == nullptr || pool->num_threads() == 0 || n <= min_grain) {
+        fn(0, n);
+        return;
+    }
+    // ~4 chunks per participant (workers + the waiting caller) balances load
+    // without flooding the queue; the decomposition is schedule-independent.
+    const std::size_t participants = pool->num_threads() + 1;
+    const std::size_t chunk =
+        std::max(min_grain, (n + 4 * participants - 1) / (4 * participants));
+    const std::size_t nchunks = (n + chunk - 1) / chunk;
+    pool->parallel_for(
+        0, nchunks,
+        [&](std::size_t c) { fn(c * chunk, std::min(n, (c + 1) * chunk)); }, 1);
+}
+
 }  // namespace bat

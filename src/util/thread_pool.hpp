@@ -113,4 +113,12 @@ private:
     bool shutting_down_ = false;
 };
 
+/// Split [0, n) into contiguous chunks of at least `min_grain` elements and
+/// run fn(lo, hi) for each. Chunks run on `pool` when it has workers and the
+/// range is worth splitting, inline on the caller otherwise. The chunk
+/// decomposition depends only on (n, min_grain, pool size), never on
+/// scheduling, so order-insensitive bodies produce deterministic results.
+void parallel_ranges(ThreadPool* pool, std::size_t n, std::size_t min_grain,
+                     const std::function<void(std::size_t, std::size_t)>& fn);
+
 }  // namespace bat

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "core/bat_builder.hpp"
+#include "core/bat_file.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
 #include "workloads/mixtures.hpp"
@@ -214,6 +215,20 @@ TEST(BatBuilderTest, ParallelBuildPreservesPopulation) {
     for (const Treelet& treelet : bat.treelets) {
         check_treelet(treelet, bat.config);
     }
+}
+
+TEST(BatBuilderTest, PoolBuildByteIdenticalToSerial) {
+    // Every parallel decomposition in the build (radix sort blocks, encode
+    // chunks, treelet grains, reorder) must be schedule-independent: a
+    // pooled build serializes to exactly the bytes the serial build makes.
+    ParticleSet a = make_uniform_particles(kUnit, 60'000, 3, 123);
+    ParticleSet b = a;
+    BatConfig config;
+    config.seed = 7;
+    const BatData serial = build_bat(std::move(a), config, nullptr);
+    ThreadPool pool(4);
+    const BatData pooled = build_bat(std::move(b), config, &pool);
+    EXPECT_EQ(serialize_bat(serial), serialize_bat(pooled));
 }
 
 // ---- bitmaps ---------------------------------------------------------------

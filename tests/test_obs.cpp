@@ -413,6 +413,13 @@ TEST(TraceRoundTrip, EightRankWriteAndQueryProducesValidTrace) {
     // The metrics export parses and carries the pipeline's counters.
     const Value metrics = parse_file(metrics_path);
     EXPECT_GT(metrics.find("counters")->find("write.bytes_written")->number(), 0.0);
+    // Transfer-phase accounting: every particle payload reaching an
+    // aggregator (wire or self fast path) is counted, and wire messages
+    // land in the size histogram.
+    EXPECT_GT(metrics.find("counters")->find("write.transfer_bytes")->number(), 0.0);
+    const Value* msg_hist = metrics.find("histograms")->find("write.transfer_msg_bytes");
+    ASSERT_NE(msg_hist, nullptr);
+    EXPECT_GE(msg_hist->find("count")->number(), 1.0);
     EXPECT_EQ(metrics.find("counters")->find("service.rounds")->number(),
               static_cast<double>(nranks));
     EXPECT_EQ(metrics.find("counters")->find("service.particles_served")->number(),

@@ -1,0 +1,129 @@
+// Unit tests for the parallel LSD radix sort that orders Morton codes in
+// build_bat: equivalence with std::sort on adversarial key patterns,
+// stability (index tie-break), and serial-vs-pooled identity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/radix_sort.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bat {
+namespace {
+
+/// The order build_bat relied on before the radix sort: iota + std::sort
+/// with an indirect (key, index) comparator.
+std::vector<std::uint32_t> reference_order(const std::vector<std::uint64_t>& keys) {
+    std::vector<std::uint32_t> order(keys.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+    });
+    return order;
+}
+
+void expect_matches_reference(const std::vector<std::uint64_t>& keys) {
+    const std::vector<std::uint32_t> expected = reference_order(keys);
+    EXPECT_EQ(radix_sort_order(keys, nullptr), expected) << "serial radix diverged";
+    ThreadPool pool(4);
+    EXPECT_EQ(radix_sort_order(keys, &pool), expected) << "pooled radix diverged";
+}
+
+TEST(RadixSortTest, Empty) { expect_matches_reference({}); }
+
+TEST(RadixSortTest, SingleElement) { expect_matches_reference({42}); }
+
+TEST(RadixSortTest, AllEqualKeys) {
+    // Pass skipping must still yield the identity (stable) permutation.
+    expect_matches_reference(std::vector<std::uint64_t>(100'000, 0xABCDEF));
+}
+
+TEST(RadixSortTest, PreSorted) {
+    std::vector<std::uint64_t> keys(100'000);
+    std::iota(keys.begin(), keys.end(), 0u);
+    expect_matches_reference(keys);
+}
+
+TEST(RadixSortTest, ReverseSorted) {
+    std::vector<std::uint64_t> keys(100'000);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        keys[i] = keys.size() - i;
+    }
+    expect_matches_reference(keys);
+}
+
+TEST(RadixSortTest, RandomWithDuplicates) {
+    Pcg32 rng(7);
+    std::vector<std::uint64_t> keys(200'000);
+    for (auto& k : keys) {
+        k = rng.next_u32() & 0xFFF;  // heavy duplication exercises stability
+    }
+    expect_matches_reference(keys);
+}
+
+TEST(RadixSortTest, FullWidthRandomKeys) {
+    Pcg32 rng(9);
+    std::vector<std::uint64_t> keys(150'000);
+    for (auto& k : keys) {
+        k = rng.next_u64();  // all 8 digit passes active, high bit set
+    }
+    expect_matches_reference(keys);
+}
+
+TEST(RadixSortTest, OnlyHighByteDiffers) {
+    // Pass skipping: 7 of 8 passes are no-ops; the active pass must still
+    // produce the right order.
+    Pcg32 rng(11);
+    std::vector<std::uint64_t> keys(100'000);
+    for (auto& k : keys) {
+        k = (std::uint64_t{rng.next_u32() & 0xFF} << 56) | 0x123456;
+    }
+    expect_matches_reference(keys);
+}
+
+TEST(RadixSortTest, BelowComparisonCutoff) {
+    Pcg32 rng(13);
+    std::vector<std::uint64_t> keys(100);  // comparison-sort fallback path
+    for (auto& k : keys) {
+        k = rng.next_u64() & 0xF;
+    }
+    expect_matches_reference(keys);
+}
+
+TEST(RadixSortTest, PairsStableOnEqualKeys) {
+    // radix_sort_pairs with arbitrary (non-iota) indices: equal keys must
+    // keep their input order (LSD stability), which is what makes
+    // radix_sort_order reproduce the (key, index) tie-break.
+    Pcg32 rng(17);
+    std::vector<KeyIndex> pairs(50'000);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        pairs[i] = KeyIndex{rng.next_u32() & 0x3, static_cast<std::uint32_t>(i * 7 % 50'000)};
+    }
+    std::vector<KeyIndex> expected = pairs;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const KeyIndex& a, const KeyIndex& b) { return a.key < b.key; });
+    radix_sort_pairs(pairs, nullptr);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        ASSERT_EQ(pairs[i].key, expected[i].key) << "at " << i;
+        ASSERT_EQ(pairs[i].index, expected[i].index) << "at " << i;
+    }
+}
+
+TEST(RadixSortTest, PooledMatchesSerialOnLargeInput) {
+    // Large enough to take the parallel path (n >= 2 * kMinBlock = 64k).
+    Pcg32 rng(19);
+    std::vector<std::uint64_t> keys(300'000);
+    for (auto& k : keys) {
+        k = rng.next_u64() & ((std::uint64_t{1} << 63) - 1);
+    }
+    const std::vector<std::uint32_t> serial = radix_sort_order(keys, nullptr);
+    ThreadPool pool(4);
+    EXPECT_EQ(radix_sort_order(keys, &pool), serial);
+}
+
+}  // namespace
+}  // namespace bat

@@ -1,0 +1,117 @@
+// Perf-regression gate for CI: validates a BENCH_micro.json produced by
+// `bench/micro_kernels --json` against the bat-bench-v1 schema and fails
+// (exit 1) when the radix sort is slower than the std::sort baseline at any
+// size n >= 1M — the builder's sort must never regress past the path it
+// replaced. Usage: bench_check BENCH_micro.json
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using bat::obs::json::Value;
+
+int fail(const std::string& msg) {
+    std::fprintf(stderr, "bench_check: FAIL: %s\n", msg.c_str());
+    return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: bench_check <BENCH_micro.json>\n");
+        return 2;
+    }
+    std::ifstream in(argv[1]);
+    if (!in) {
+        return fail(std::string("cannot open ") + argv[1]);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    Value doc;
+    try {
+        doc = bat::obs::json::parse(text.str());
+    } catch (const bat::Error& e) {
+        return fail(std::string("malformed JSON: ") + e.what());
+    }
+
+    // Schema: {"schema": "bat-bench-v1", "benchmarks": [{name, n, ns_op,
+    // bytes_per_sec, threads}, ...]}.
+    const Value* schema = doc.find("schema");
+    if (schema == nullptr || !schema->is_string() || schema->string() != "bat-bench-v1") {
+        return fail("missing or unexpected \"schema\" (want \"bat-bench-v1\")");
+    }
+    const Value* benchmarks = doc.find("benchmarks");
+    if (benchmarks == nullptr || !benchmarks->is_array() || benchmarks->array().empty()) {
+        return fail("\"benchmarks\" missing, not an array, or empty");
+    }
+
+    // (kernel name, n) -> ns/op; also validates every entry's fields.
+    std::map<std::pair<std::string, std::uint64_t>, double> ns_op;
+    for (const Value& b : benchmarks->array()) {
+        if (!b.is_object()) {
+            return fail("benchmark entry is not an object");
+        }
+        const Value* name = b.find("name");
+        const Value* n = b.find("n");
+        const Value* ns = b.find("ns_op");
+        const Value* bps = b.find("bytes_per_sec");
+        const Value* threads = b.find("threads");
+        if (name == nullptr || !name->is_string() || name->string().empty()) {
+            return fail("benchmark entry missing string \"name\"");
+        }
+        if (n == nullptr || !n->is_number() || n->number() <= 0) {
+            return fail(name->string() + ": missing positive \"n\"");
+        }
+        if (ns == nullptr || !ns->is_number() || ns->number() <= 0) {
+            return fail(name->string() + ": missing positive \"ns_op\"");
+        }
+        if (bps == nullptr || !bps->is_number() || bps->number() < 0) {
+            return fail(name->string() + ": missing \"bytes_per_sec\"");
+        }
+        if (threads == nullptr || !threads->is_number() || threads->number() < 1) {
+            return fail(name->string() + ": missing \"threads\" >= 1");
+        }
+        ns_op[{name->string(), static_cast<std::uint64_t>(n->number())}] = ns->number();
+    }
+
+    // Gate: radix (serial and pooled) must beat std::sort at every n >= 1M.
+    constexpr std::uint64_t kGateMin = 1u << 20;
+    int gated = 0;
+    for (const auto& [key, std_ns] : ns_op) {
+        const auto& [kernel, n] = key;
+        if (kernel != "sort_std" || n < kGateMin) {
+            continue;
+        }
+        for (const char* radix : {"sort_radix_serial", "sort_radix_pool"}) {
+            const auto it = ns_op.find({radix, n});
+            if (it == ns_op.end()) {
+                return fail(std::string(radix) + " missing at n=" + std::to_string(n));
+            }
+            const double speedup = std_ns / it->second;
+            std::printf("bench_check: n=%-9llu %-18s %8.2f ns/op vs sort_std %8.2f "
+                        "(%.2fx)\n",
+                        static_cast<unsigned long long>(n), radix, it->second, std_ns,
+                        speedup);
+            if (speedup < 1.0) {
+                return fail(std::string(radix) + " slower than sort_std at n=" +
+                            std::to_string(n));
+            }
+            ++gated;
+        }
+    }
+    if (gated == 0) {
+        return fail("no sort_std/sort_radix pair at n >= 1M to gate on");
+    }
+    std::printf("bench_check: OK (%zu entries, %d gated comparisons)\n", ns_op.size(),
+                gated);
+    return 0;
+}
