@@ -38,12 +38,28 @@ template <typename Source>
 struct QueryContext {
     const Source& file;
     const BatQuery& query;
-    const QueryCallback& cb;
+    const QuerySink& sink;
     QueryStats& stats;
     /// Per-attribute query bitmaps (relative to the file's local attribute
     /// ranges); empty when no attribute filters are present.
     std::vector<std::uint32_t> query_bitmaps;  // parallel to query.attr_filters
     std::vector<double> attr_scratch;          // one value per file attribute
+
+    // Explicit traversal stacks (reused across treelets). Recursion depth
+    // scales with tree height, and the serve path now runs queries on pool
+    // worker threads whose stacks we do not control.
+    struct TreeletFrame {
+        std::uint32_t node = 0;
+        std::int32_t depth = 0;
+        Box region;
+        bool contained = false;  // region entirely inside the query box
+    };
+    std::vector<TreeletFrame> treelet_stack;
+    struct ShallowFrame {
+        std::uint32_t node = 0;
+        bool contained = false;
+    };
+    std::vector<ShallowFrame> shallow_stack;
 
     bool box_contains(Vec3 p) const {
         if (!query.box) {
@@ -61,6 +77,26 @@ struct QueryContext {
         return !query.box || query.box->overlaps(region);
     }
 
+    /// True when every point inside `region` passes the box test, so the
+    /// test can be skipped for the whole subtree. Conservative for the
+    /// half-open case: the region's upper face must be strictly inside.
+    bool box_covers(const Box& region) const {
+        if (!query.box) {
+            return true;
+        }
+        const Box& b = *query.box;
+        if (b.lower.x > region.lower.x || b.lower.y > region.lower.y ||
+            b.lower.z > region.lower.z) {
+            return false;
+        }
+        if (query.inclusive_upper) {
+            return region.upper.x <= b.upper.x && region.upper.y <= b.upper.y &&
+                   region.upper.z <= b.upper.z;
+        }
+        return region.upper.x < b.upper.x && region.upper.y < b.upper.y &&
+               region.upper.z < b.upper.z;
+    }
+
     /// Conservative bitmap test: can this node's subtree contain matches?
     template <typename F>
     bool bitmaps_may_match(F&& node_bitmap) const {
@@ -74,11 +110,19 @@ struct QueryContext {
         return true;
     }
 
+    void fill_scratch(const BatTreeletView& view, std::uint32_t i) {
+        for (std::size_t a = 0; a < view.attrs.size(); ++a) {
+            attr_scratch[a] = view.attrs[a][i];
+        }
+    }
+
     /// Exact per-point check (removes bitmap false positives) and emit.
-    void test_and_emit(const BatTreeletView& view, std::uint32_t i) {
+    /// `skip_box` elides the containment test when the node's region is
+    /// already known to be inside the query box.
+    void test_and_emit(const BatTreeletView& view, std::uint32_t i, bool skip_box) {
         ++stats.points_tested;
         const Vec3 p = view.position(i);
-        if (!box_contains(p)) {
+        if (!skip_box && !box_contains(p)) {
             return;
         }
         for (const AttrFilter& f : query.attr_filters) {
@@ -87,14 +131,27 @@ struct QueryContext {
                 return;
             }
         }
-        for (std::size_t a = 0; a < view.attrs.size(); ++a) {
-            attr_scratch[a] = view.attrs[a][i];
-        }
+        fill_scratch(view, i);
         ++stats.points_emitted;
-        cb(p, attr_scratch);
+        sink.point(p, attr_scratch);
     }
 
-    void traverse_treelet(std::size_t treelet_index) {
+    /// Fully-matching contiguous window [begin, end): bulk-emit through the
+    /// range sink when present, else per point with no tests.
+    void emit_range(const BatTreeletView& view, std::uint32_t begin, std::uint32_t end) {
+        stats.points_emitted += end - begin;
+        stats.points_fast_path += end - begin;
+        if (sink.range) {
+            sink.range(view, begin, end);
+            return;
+        }
+        for (std::uint32_t i = begin; i < end; ++i) {
+            fill_scratch(view, i);
+            sink.point(view.position(i), attr_scratch);
+        }
+    }
+
+    void traverse_treelet(std::size_t treelet_index, bool contained_hint) {
         const BatTreeletView view = file.treelet(treelet_index);
         if (view.nodes.empty()) {
             return;
@@ -105,71 +162,96 @@ struct QueryContext {
         if (t_hi <= 0.0) {
             return;
         }
-        traverse_node(view, 0, 0, view.bounds, t_lo, t_hi);
+        const bool filtered = !query.attr_filters.empty();
+        treelet_stack.clear();
+        treelet_stack.push_back(
+            {0, 0, view.bounds, contained_hint || box_covers(view.bounds)});
+        while (!treelet_stack.empty()) {
+            const TreeletFrame frame = treelet_stack.back();
+            treelet_stack.pop_back();
+            const TreeletNode& node = view.nodes[frame.node];
+            ++stats.treelet_nodes_visited;
+            if (!frame.contained && !box_overlaps(frame.region)) {
+                ++stats.pruned_by_box;
+                continue;
+            }
+            if (filtered) {
+                const auto bitmap = [this, &view, &frame](std::size_t a) {
+                    return file.treelet_bitmap(view, frame.node, a);
+                };
+                if (!bitmaps_may_match(bitmap)) {
+                    ++stats.pruned_by_bitmap;
+                    continue;
+                }
+            }
+            // Progressive window over the node's own points.
+            const std::uint32_t n_lo = points_at_depth(t_lo, frame.depth, node.own_count);
+            const std::uint32_t n_hi = points_at_depth(t_hi, frame.depth, node.own_count);
+            if (frame.contained && !filtered) {
+                if (n_hi > n_lo) {
+                    emit_range(view, node.start + n_lo, node.start + n_hi);
+                }
+            } else {
+                for (std::uint32_t i = node.start + n_lo; i < node.start + n_hi; ++i) {
+                    test_and_emit(view, i, frame.contained);
+                }
+            }
+            if (node.is_leaf()) {
+                continue;
+            }
+            // Children hold points only at depth+1 and below; skip the
+            // descent when the quality window cannot include them.
+            if (t_hi <= static_cast<double>(frame.depth) + 1.0) {
+                continue;
+            }
+            Box left = frame.region;
+            Box right = frame.region;
+            left.upper[node.axis] = node.split;
+            right.lower[node.axis] = node.split;
+            // Right pushed first so the left child pops next — emission
+            // order stays exactly the old recursive pre-order.
+            treelet_stack.push_back({static_cast<std::uint32_t>(node.right_child),
+                                     frame.depth + 1, right,
+                                     frame.contained || box_covers(right)});
+            treelet_stack.push_back({frame.node + 1, frame.depth + 1, left,
+                                     frame.contained || box_covers(left)});
+        }
     }
 
-    void traverse_node(const BatTreeletView& view, std::size_t node_index, int depth,
-                       const Box& region, double t_lo, double t_hi) {
-        const TreeletNode& node = view.nodes[node_index];
-        ++stats.treelet_nodes_visited;
-        if (!box_overlaps(region)) {
-            ++stats.pruned_by_box;
-            return;
-        }
-        if (!query.attr_filters.empty()) {
-            const auto bitmap = [this, &view, node_index](std::size_t a) {
-                return file.treelet_bitmap(view, node_index, a);
-            };
-            if (!bitmaps_may_match(bitmap)) {
-                ++stats.pruned_by_bitmap;
-                return;
+    void traverse_shallow() {
+        const bool filtered = !query.attr_filters.empty();
+        shallow_stack.clear();
+        shallow_stack.push_back({0, false});
+        while (!shallow_stack.empty()) {
+            const ShallowFrame frame = shallow_stack.back();
+            shallow_stack.pop_back();
+            const ShallowNode& node = file.shallow_nodes()[frame.node];
+            ++stats.shallow_nodes_visited;
+            bool contained = frame.contained;
+            if (!contained) {
+                if (!box_overlaps(node.bounds)) {
+                    ++stats.pruned_by_box;
+                    continue;
+                }
+                contained = box_covers(node.bounds);
             }
-        }
-        // Progressive window over the node's own points.
-        const std::uint32_t n_lo = points_at_depth(t_lo, depth, node.own_count);
-        const std::uint32_t n_hi = points_at_depth(t_hi, depth, node.own_count);
-        for (std::uint32_t i = node.start + n_lo; i < node.start + n_hi; ++i) {
-            test_and_emit(view, i);
-        }
-        if (node.is_leaf()) {
-            return;
-        }
-        // Children hold points only at depth+1 and below; skip the descent
-        // when the quality window cannot include them.
-        if (t_hi <= static_cast<double>(depth) + 1.0) {
-            return;
-        }
-        Box left = region;
-        Box right = region;
-        left.upper[node.axis] = node.split;
-        right.lower[node.axis] = node.split;
-        traverse_node(view, node_index + 1, depth + 1, left, t_lo, t_hi);
-        traverse_node(view, static_cast<std::size_t>(node.right_child), depth + 1, right,
-                      t_lo, t_hi);
-    }
-
-    void traverse_shallow(std::size_t node_index) {
-        const ShallowNode& node = file.shallow_nodes()[node_index];
-        ++stats.shallow_nodes_visited;
-        if (!box_overlaps(node.bounds)) {
-            ++stats.pruned_by_box;
-            return;
-        }
-        if (!query.attr_filters.empty()) {
-            const auto bitmap = [this, node_index](std::size_t a) {
-                return file.shallow_bitmap(node_index, a);
-            };
-            if (!bitmaps_may_match(bitmap)) {
-                ++stats.pruned_by_bitmap;
-                return;
+            if (filtered) {
+                const auto bitmap = [this, &frame](std::size_t a) {
+                    return file.shallow_bitmap(frame.node, a);
+                };
+                if (!bitmaps_may_match(bitmap)) {
+                    ++stats.pruned_by_bitmap;
+                    continue;
+                }
             }
+            if (node.is_leaf()) {
+                traverse_treelet(static_cast<std::size_t>(node.treelet), contained);
+                continue;
+            }
+            shallow_stack.push_back(
+                {static_cast<std::uint32_t>(node.right_child), contained});
+            shallow_stack.push_back({frame.node + 1, contained});
         }
-        if (node.is_leaf()) {
-            traverse_treelet(static_cast<std::size_t>(node.treelet));
-            return;
-        }
-        traverse_shallow(node_index + 1);
-        traverse_shallow(static_cast<std::size_t>(node.right_child));
     }
 };
 
@@ -177,7 +259,8 @@ struct QueryContext {
 
 template <typename Source>
 std::uint64_t query_bat_impl(const Source& file, const BatQuery& query,
-                             const QueryCallback& cb, QueryStats* stats) {
+                             const QuerySink& sink, QueryStats* stats) {
+    BAT_CHECK_MSG(sink.point != nullptr, "QuerySink requires a point callback");
     BAT_CHECK_MSG(query.quality_lo <= query.quality_hi,
                   "quality_lo must not exceed quality_hi");
     for (const AttrFilter& f : query.attr_filters) {
@@ -186,9 +269,11 @@ std::uint64_t query_bat_impl(const Source& file, const BatQuery& query,
     }
     QueryStats local_stats;
     QueryStats& st = stats != nullptr ? *stats : local_stats;
-    st = QueryStats{};
+    // Stats accumulate (see QueryStats in the header); the return value is
+    // still this call's emission count.
+    const std::uint64_t emitted_before = st.points_emitted;
 
-    QueryContext<Source> ctx{file, query, cb, st, {}, {}};
+    QueryContext<Source> ctx{file, query, sink, st, {}, {}, {}, {}};
     ctx.attr_scratch.resize(file.num_attrs());
     ctx.query_bitmaps.reserve(query.attr_filters.size());
     for (const AttrFilter& f : query.attr_filters) {
@@ -202,19 +287,29 @@ std::uint64_t query_bat_impl(const Source& file, const BatQuery& query,
     }
 
     if (!file.shallow_nodes().empty()) {
-        ctx.traverse_shallow(0);
+        ctx.traverse_shallow();
     }
-    return st.points_emitted;
+    return st.points_emitted - emitted_before;
 }
 
 std::uint64_t query_bat(const BatFile& file, const BatQuery& query, const QueryCallback& cb,
                         QueryStats* stats) {
-    return query_bat_impl(file, query, cb, stats);
+    return query_bat_impl(file, query, QuerySink{cb, nullptr}, stats);
+}
+
+std::uint64_t query_bat(const BatFile& file, const BatQuery& query, const QuerySink& sink,
+                        QueryStats* stats) {
+    return query_bat_impl(file, query, sink, stats);
 }
 
 std::uint64_t query_bat(const BatDataView& bat, const BatQuery& query,
                         const QueryCallback& cb, QueryStats* stats) {
-    return query_bat_impl(bat, query, cb, stats);
+    return query_bat_impl(bat, query, QuerySink{cb, nullptr}, stats);
+}
+
+std::uint64_t query_bat(const BatDataView& bat, const BatQuery& query,
+                        const QuerySink& sink, QueryStats* stats) {
+    return query_bat_impl(bat, query, sink, stats);
 }
 
 BatTreeletView BatDataView::treelet(std::size_t t) const {

@@ -47,6 +47,13 @@ struct BatQuery {
     bool inclusive_upper = true;
 };
 
+/// Query counters. The struct ACCUMULATES: query_bat adds to the caller's
+/// counters rather than resetting them, so one QueryStats can sum a whole
+/// multi-leaf read (Dataset::query, the parallel read path). Callers wanting
+/// per-call numbers pass a zero-initialized struct. `points_fast_path`
+/// counts points emitted through the fully-contained fast path, which skips
+/// the per-point box/filter test — so the testing invariant is
+/// points_tested + points_fast_path >= points_emitted.
 struct QueryStats {
     std::uint64_t shallow_nodes_visited = 0;
     std::uint64_t treelet_nodes_visited = 0;
@@ -54,14 +61,35 @@ struct QueryStats {
     std::uint64_t pruned_by_bitmap = 0;
     std::uint64_t points_tested = 0;
     std::uint64_t points_emitted = 0;
+    std::uint64_t points_fast_path = 0;
 };
 
 /// Callback invoked per matching point: position plus one value per file
 /// attribute (in file attribute order).
 using QueryCallback = std::function<void(Vec3, std::span<const double>)>;
 
-/// Run a query against a BAT file; returns the number of points emitted.
+/// Bulk callback for the fully-contained fast path: every point of the
+/// contiguous treelet range [begin, end) matches the query. Positions are
+/// view.positions.subspan(3 * begin, 3 * (end - begin)); attribute columns
+/// are view.attrs[a].subspan(begin, end - begin).
+using QueryRangeCallback =
+    std::function<void(const BatTreeletView&, std::uint32_t, std::uint32_t)>;
+
+/// Emission sinks for a query. `point` is required; when `range` is set and
+/// a node's region lies entirely inside the query box with no attribute
+/// filters active, its progressive window is emitted as one contiguous
+/// range with no per-point box/filter work (so ParticleSet consumers can
+/// bulk-append).
+struct QuerySink {
+    QueryCallback point;
+    QueryRangeCallback range;
+};
+
+/// Run a query against a BAT file; returns the number of points emitted
+/// by this call (stats, if given, accumulate — see QueryStats).
 std::uint64_t query_bat(const BatFile& file, const BatQuery& query, const QueryCallback& cb,
+                        QueryStats* stats = nullptr);
+std::uint64_t query_bat(const BatFile& file, const BatQuery& query, const QuerySink& sink,
                         QueryStats* stats = nullptr);
 
 /// Zero-copy adapter exposing a just-built, not-yet-serialized BAT through
@@ -95,9 +123,15 @@ private:
 /// Run a query against an in-memory BAT (same semantics as the file path).
 std::uint64_t query_bat(const BatDataView& bat, const BatQuery& query,
                         const QueryCallback& cb, QueryStats* stats = nullptr);
+std::uint64_t query_bat(const BatDataView& bat, const BatQuery& query,
+                        const QuerySink& sink, QueryStats* stats = nullptr);
 inline std::uint64_t query_bat(const BatData& bat, const BatQuery& query,
                                const QueryCallback& cb, QueryStats* stats = nullptr) {
     return query_bat(BatDataView(bat), query, cb, stats);
+}
+inline std::uint64_t query_bat(const BatData& bat, const BatQuery& query,
+                               const QuerySink& sink, QueryStats* stats = nullptr) {
+    return query_bat(BatDataView(bat), query, sink, stats);
 }
 
 /// The log-scale quality remap (§V-B), exposed for tests: maps quality in

@@ -38,17 +38,12 @@ const BatFile& Dataset::leaf_file(int leaf_id) {
 
 std::uint64_t Dataset::query(const BatQuery& query, const QueryCallback& cb,
                              QueryStats* stats) {
+    // QueryStats accumulate across query_bat calls, so one struct sums the
+    // whole multi-leaf sweep.
     QueryStats total;
     std::uint64_t emitted = 0;
     for (int leaf : meta_.query_leaves(query.box, query.attr_filters)) {
-        QueryStats leaf_stats;
-        emitted += query_bat(leaf_file(leaf), query, cb, &leaf_stats);
-        total.shallow_nodes_visited += leaf_stats.shallow_nodes_visited;
-        total.treelet_nodes_visited += leaf_stats.treelet_nodes_visited;
-        total.pruned_by_box += leaf_stats.pruned_by_box;
-        total.pruned_by_bitmap += leaf_stats.pruned_by_bitmap;
-        total.points_tested += leaf_stats.points_tested;
-        total.points_emitted += leaf_stats.points_emitted;
+        emitted += query_bat(leaf_file(leaf), query, cb, &total);
     }
     if (stats != nullptr) {
         *stats = total;

@@ -50,6 +50,20 @@ void ParticleSet::append(const ParticleSet& other) {
     }
 }
 
+void ParticleSet::append_block(std::span<const float> xyz,
+                               std::span<const std::span<const double>> attr_columns) {
+    BAT_CHECK_MSG(xyz.size() % 3 == 0, "append_block positions not a multiple of 3");
+    BAT_CHECK_MSG(attr_columns.size() == attrs_.size(),
+                  "attribute column count mismatch in append_block");
+    const std::size_t n = xyz.size() / 3;
+    positions_.insert(positions_.end(), xyz.begin(), xyz.end());
+    for (std::size_t a = 0; a < attrs_.size(); ++a) {
+        BAT_CHECK_MSG(attr_columns[a].size() == n,
+                      "attribute column length mismatch in append_block");
+        attrs_[a].insert(attrs_[a].end(), attr_columns[a].begin(), attr_columns[a].end());
+    }
+}
+
 void ParticleSet::append_from(const ParticleSet& other, std::size_t i) {
     BAT_CHECK(other.attr_names_.size() == attr_names_.size());
     positions_.push_back(other.positions_[3 * i]);

@@ -61,6 +61,14 @@ public:
     /// Append particle `i` of `other` (same schema required).
     void append_from(const ParticleSet& other, std::size_t i);
 
+    /// Bulk-append a block of particles given as raw columns: `xyz` is
+    /// interleaved positions (3 floats per particle) and `attr_columns` one
+    /// span per attribute, all of length xyz.size() / 3. Used by the query
+    /// fast path to ingest contiguous treelet ranges without per-point
+    /// callbacks.
+    void append_block(std::span<const float> xyz,
+                      std::span<const std::span<const double>> attr_columns);
+
     /// Copy every particle of `src` (same schema required) into slots
     /// [at, at + src.count()); this set must already be resized to hold
     /// them. The zero-copy aggregation path places each sender's particles

@@ -1,12 +1,17 @@
 #include "io/data_service.hpp"
 
+#include <atomic>
+#include <map>
 #include <thread>
+#include <utility>
 
+#include "io/leaf_cache.hpp"
+#include "io/read_protocol.hpp"
 #include "io/reader.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "util/buffer.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bat {
 
@@ -15,59 +20,15 @@ namespace {
 constexpr int kTagServiceRequest = 4;
 constexpr int kTagServiceResponse = 5;
 
-/// Wire format of a leaf-scoped query.
-void write_query(BufferWriter& w, int leaf_id, const BatQuery& query) {
-    w.write(std::int32_t{leaf_id});
-    w.write(static_cast<std::uint8_t>(query.box.has_value()));
-    if (query.box) {
-        w.write(query.box->lower.x);
-        w.write(query.box->lower.y);
-        w.write(query.box->lower.z);
-        w.write(query.box->upper.x);
-        w.write(query.box->upper.y);
-        w.write(query.box->upper.z);
-    }
-    w.write(static_cast<std::uint32_t>(query.attr_filters.size()));
-    for (const AttrFilter& f : query.attr_filters) {
-        w.write(f.attr);
-        w.write(f.lo);
-        w.write(f.hi);
-    }
-    w.write(query.quality_lo);
-    w.write(query.quality_hi);
-    w.write(static_cast<std::uint8_t>(query.inclusive_upper));
-}
-
-std::pair<int, BatQuery> read_query(std::span<const std::byte> bytes) {
-    BufferReader r(bytes);
-    const auto leaf_id = r.read<std::int32_t>();
-    BatQuery query;
-    if (r.read<std::uint8_t>() != 0) {
-        Box box;
-        box.lower.x = r.read<float>();
-        box.lower.y = r.read<float>();
-        box.lower.z = r.read<float>();
-        box.upper.x = r.read<float>();
-        box.upper.y = r.read<float>();
-        box.upper.z = r.read<float>();
-        query.box = box;
-    }
-    query.attr_filters.resize(r.read<std::uint32_t>());
-    for (AttrFilter& f : query.attr_filters) {
-        f.attr = r.read<std::uint32_t>();
-        f.lo = r.read<double>();
-        f.hi = r.read<double>();
-    }
-    query.quality_lo = r.read<float>();
-    query.quality_hi = r.read<float>();
-    query.inclusive_upper = r.read<std::uint8_t>() != 0;
-    return {leaf_id, query};
-}
-
 }  // namespace
 
-DataService::DataService(vmpi::Comm& comm, const std::filesystem::path& metadata_path)
-    : comm_(comm), dir_(metadata_path.parent_path()), meta_(Metadata::load(metadata_path)) {
+DataService::DataService(vmpi::Comm& comm, const std::filesystem::path& metadata_path,
+                         ThreadPool* pool, LeafFileCache* cache)
+    : comm_(comm),
+      dir_(metadata_path.parent_path()),
+      meta_(Metadata::load(metadata_path)),
+      pool_(pool),
+      cache_(cache != nullptr ? cache : &LeafFileCache::global()) {
     leaf_aggregator_ =
         assign_read_aggregators(static_cast<int>(meta_.leaves.size()), comm.size());
     for (std::size_t leaf = 0; leaf < leaf_aggregator_.size(); ++leaf) {
@@ -77,27 +38,16 @@ DataService::DataService(vmpi::Comm& comm, const std::filesystem::path& metadata
     }
 }
 
-const BatFile& DataService::open_leaf(int leaf_id) {
-    auto it = files_.find(leaf_id);
-    if (it == files_.end()) {
-        it = files_
-                 .emplace(leaf_id,
-                          std::make_unique<BatFile>(
-                              dir_ / meta_.leaves[static_cast<std::size_t>(leaf_id)].file))
-                 .first;
-    }
-    return *it->second;
-}
-
 ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
     BAT_TRACE_SCOPE_CAT("service.query_round", "service");
     const std::uint64_t round_start_ns = obs::trace_now_ns();
-    std::uint64_t bytes_shipped = 0;  // response bytes this rank served out
     ParticleSet result(meta_.attr_names);
 
-    // Send requests for every matching remote leaf; remember local ones.
+    // Coalesce: one request per distinct aggregator holding a matching
+    // remote leaf; remember local ones for after the loop.
     std::vector<int> local_leaves;
-    int pending = 0;
+    std::vector<std::pair<int, std::vector<std::int32_t>>> requests;
+    std::map<int, std::size_t> request_of_aggregator;
     if (query) {
         for (int leaf : meta_.query_leaves(query->box, query->attr_filters)) {
             const int aggregator = leaf_aggregator_[static_cast<std::size_t>(leaf)];
@@ -105,61 +55,78 @@ ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
                 local_leaves.push_back(leaf);
                 continue;
             }
-            BufferWriter w;
-            write_query(w, leaf, *query);
-            comm_.isend(aggregator, kTagServiceRequest, w.take());
-            ++pending;
+            const auto [it, fresh] =
+                request_of_aggregator.try_emplace(aggregator, requests.size());
+            if (fresh) {
+                requests.emplace_back(aggregator, std::vector<std::int32_t>{});
+            }
+            requests[it->second].second.push_back(leaf);
+        }
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            io_detail::LeafRequest req;
+            req.seq = static_cast<std::uint32_t>(i);
+            req.leaves = requests[i].second;
+            req.query = *query;
+            comm_.isend(requests[i].first, kTagServiceRequest,
+                        io_detail::encode_request(req));
         }
     }
 
-    // Serve + collect until the round's barrier completes.
+    // Serve + collect until the round's barrier completes. Leaf evaluations
+    // run on pool workers (when configured); the comm loop keeps probing.
+    std::atomic<std::uint64_t> bytes_read{0};
+    const auto serve_leaf = [&](std::int32_t leaf, const BatQuery& leaf_query) {
+        BAT_CHECK_MSG(leaf >= 0 && static_cast<std::size_t>(leaf) < meta_.leaves.size(),
+                      "leaf id out of range in service request");
+        const auto file = cache_->open(
+            dir_ / meta_.leaves[static_cast<std::size_t>(leaf)].file, &bytes_read);
+        ParticleSet out(meta_.attr_names);
+        query_bat(*file, leaf_query,
+                  [&out](Vec3 p, std::span<const double> attrs) { out.push_back(p, attrs); });
+        return out.to_bytes();
+    };
+    io_detail::LeafServer server(comm_, kTagServiceRequest, kTagServiceResponse, pool_,
+                                 serve_leaf);
+    std::vector<vmpi::Bytes> responses(requests.size());
+    std::size_t pending = requests.size();
     vmpi::Request barrier;
     bool in_barrier = false;
     if (pending == 0) {
         barrier = comm_.ibarrier();
         in_barrier = true;
     }
-    std::vector<ParticleSet> responses;
     for (;;) {
-        bool progressed = false;
+        bool progressed = server.progress();
         int src = -1;
-        if (comm_.iprobe(vmpi::kAnySource, kTagServiceRequest, &src)) {
-            progressed = true;
-            BAT_TRACE_SCOPE_CAT("service.serve_leaf", "service");
-            const vmpi::Bytes payload = comm_.recv(src, kTagServiceRequest);
-            const auto [leaf_id, leaf_query] = read_query(payload);
-            ParticleSet out(meta_.attr_names);
-            query_bat(open_leaf(leaf_id), leaf_query,
-                      [&out](Vec3 p, std::span<const double> attrs) {
-                          out.push_back(p, attrs);
-                      });
-            vmpi::Bytes response = out.to_bytes();
-            bytes_shipped += response.size();
-            comm_.isend(src, kTagServiceResponse, std::move(response));
-        }
         if (pending > 0 && comm_.iprobe(vmpi::kAnySource, kTagServiceResponse, &src)) {
             progressed = true;
-            responses.push_back(
-                ParticleSet::from_bytes(comm_.recv(src, kTagServiceResponse)));
+            vmpi::Bytes payload = comm_.recv(src, kTagServiceResponse);
+            const std::uint32_t seq = io_detail::peek_response_seq(payload);
+            BAT_CHECK_MSG(seq < responses.size() && responses[seq].empty(),
+                          "unexpected service response seq " << seq);
+            responses[seq] = std::move(payload);
             if (--pending == 0) {
                 barrier = comm_.ibarrier();
                 in_barrier = true;
             }
         }
-        if (in_barrier && barrier.test()) {
+        if (in_barrier && server.idle() && barrier.test()) {
             break;
         }
-        if (!progressed) {
+        if (!progressed && !server.help()) {
             std::this_thread::yield();
         }
     }
-    for (ParticleSet& piece : responses) {
-        result.append(piece);
-    }
+    server.finish();
 
-    // Local leaves after exiting the server loop (paper §IV-B).
+    // Zero-copy ingestion in request order, then local leaves after exiting
+    // the server loop (paper §IV-B) — arrival order cannot change the
+    // result.
+    io_detail::merge_responses(result, responses);
     for (int leaf : local_leaves) {
-        query_bat(open_leaf(leaf), *query, [&result](Vec3 p, std::span<const double> attrs) {
+        const auto file = cache_->open(
+            dir_ / meta_.leaves[static_cast<std::size_t>(leaf)].file, &bytes_read);
+        query_bat(*file, *query, [&result](Vec3 p, std::span<const double> attrs) {
             result.push_back(p, attrs);
         });
     }
@@ -167,7 +134,9 @@ ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
     auto& metrics = obs::MetricsRegistry::global();
     metrics.counter("service.rounds").add(1);
     metrics.counter("service.particles_served").add(static_cast<std::int64_t>(result.count()));
-    metrics.counter("service.bytes_shipped").add(static_cast<std::int64_t>(bytes_shipped));
+    metrics.counter("service.bytes_shipped")
+        .add(static_cast<std::int64_t>(server.bytes_shipped()));
+    metrics.counter("service.request_msgs").add(static_cast<std::int64_t>(requests.size()));
     metrics.histogram("service.round_us")
         .record(static_cast<double>(obs::trace_now_ns() - round_start_ns) / 1e3);
     return result;

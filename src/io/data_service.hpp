@@ -12,24 +12,33 @@
 // (possibly an empty one) and receives its matching particles; servers keep
 // serving until a nonblocking barrier confirms that every rank got its
 // responses.
+//
+// Requests are coalesced (one message per distinct aggregator per round)
+// and, when a ThreadPool is supplied, leaf evaluations run on workers while
+// the comm loop keeps progressing — results are byte-identical to the
+// serial path because responses are keyed by request id and ingested in
+// request order.
 
 #include <filesystem>
-#include <map>
-#include <memory>
 #include <optional>
 
-#include "core/bat_file.hpp"
 #include "core/bat_query.hpp"
 #include "core/metadata.hpp"
 #include "vmpi/comm.hpp"
 
 namespace bat {
 
+class LeafFileCache;
+class ThreadPool;
+
 class DataService {
 public:
     /// Collective: every rank of `comm` constructs the service against the
-    /// same metadata file.
-    DataService(vmpi::Comm& comm, const std::filesystem::path& metadata_path);
+    /// same metadata file. `pool` (optional) serves leaf queries on worker
+    /// threads; `cache` (optional) overrides the process-global leaf-file
+    /// cache.
+    DataService(vmpi::Comm& comm, const std::filesystem::path& metadata_path,
+                ThreadPool* pool = nullptr, LeafFileCache* cache = nullptr);
 
     const Metadata& metadata() const { return meta_; }
 
@@ -42,14 +51,13 @@ public:
     const std::vector<int>& served_leaves() const { return my_leaves_; }
 
 private:
-    const BatFile& open_leaf(int leaf_id);
-
     vmpi::Comm& comm_;
     std::filesystem::path dir_;
     Metadata meta_;
+    ThreadPool* pool_;
+    LeafFileCache* cache_;
     std::vector<int> leaf_aggregator_;  // per leaf
     std::vector<int> my_leaves_;
-    std::map<int, std::unique_ptr<BatFile>> files_;
 };
 
 }  // namespace bat

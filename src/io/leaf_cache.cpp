@@ -1,0 +1,72 @@
+#include "io/leaf_cache.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace bat {
+
+LeafFileCache::LeafFileCache(std::size_t capacity) : capacity_(capacity) {
+    BAT_CHECK_MSG(capacity >= 1, "LeafFileCache capacity must be at least 1");
+}
+
+std::shared_ptr<const BatFile> LeafFileCache::open(
+    const std::filesystem::path& path, std::atomic<std::uint64_t>* bytes_read) {
+    auto& metrics = obs::MetricsRegistry::global();
+    const std::string key = path.string();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            it->second.last_use = ++tick_;
+            metrics.counter("read.leaf_cache_hit").add(1);
+            return it->second.file;
+        }
+    }
+    // Miss: map the file outside the lock so concurrent misses on different
+    // leaves overlap their I/O.
+    auto file = std::make_shared<const BatFile>(path);
+    metrics.counter("read.leaf_cache_miss").add(1);
+    if (bytes_read != nullptr) {
+        bytes_read->fetch_add(file->header().file_size, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = entries_.try_emplace(key);
+    if (!inserted) {
+        // Another thread won the race; keep its mapping.
+        it->second.last_use = ++tick_;
+        return it->second.file;
+    }
+    it->second.file = file;
+    it->second.last_use = ++tick_;
+    while (entries_.size() > capacity_) {
+        auto victim = entries_.begin();
+        for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+            if (e->second.last_use < victim->second.last_use) {
+                victim = e;
+            }
+        }
+        // Shared ownership keeps an evicted mapping alive for in-flight
+        // queries; only the cache's reference is dropped here.
+        entries_.erase(victim);
+    }
+    return file;
+}
+
+std::size_t LeafFileCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void LeafFileCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+LeafFileCache& LeafFileCache::global() {
+    static LeafFileCache cache;
+    return cache;
+}
+
+}  // namespace bat

@@ -1,0 +1,60 @@
+#pragma once
+// Shared, capped LRU cache of memory-mapped BAT leaf files.
+//
+// Both collective reads (read_particles) and the in situ DataService serve
+// repeated queries against the same leaf files; reopening (and re-mmapping)
+// a file per collective throws the page cache warmth away and re-parses the
+// directory structures. One process-wide cache keeps the hottest mappings
+// alive across collectives and services, bounded by an LRU capacity so a
+// long-running viewer touching thousands of leaves cannot exhaust address
+// space.
+//
+// open() returns shared ownership so an entry evicted while another thread
+// still queries it stays mapped until that query finishes — BatFile itself
+// is immutable after construction, so concurrent queries need no locking.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/bat_file.hpp"
+
+namespace bat {
+
+class LeafFileCache {
+public:
+    static constexpr std::size_t kDefaultCapacity = 128;
+
+    explicit LeafFileCache(std::size_t capacity = kDefaultCapacity);
+
+    /// Open (or reuse) the BAT file at `path`. Thread-safe. On a miss the
+    /// file's on-disk size is added to `*bytes_read` when non-null — cache
+    /// hits touch no file metadata and add nothing. Records the
+    /// `read.leaf_cache_hit` / `read.leaf_cache_miss` obs counters.
+    std::shared_ptr<const BatFile> open(const std::filesystem::path& path,
+                                        std::atomic<std::uint64_t>* bytes_read = nullptr);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    void clear();
+
+    /// Process-wide cache shared by read_particles and DataService.
+    static LeafFileCache& global();
+
+private:
+    struct Entry {
+        std::shared_ptr<const BatFile> file;
+        std::uint64_t last_use = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    std::uint64_t tick_ = 0;
+    std::size_t capacity_;
+};
+
+}  // namespace bat

@@ -1,0 +1,248 @@
+#include "io/read_protocol.hpp"
+
+#include <utility>
+
+#include "core/particles.hpp"
+#include "obs/trace.hpp"
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+
+namespace bat::io_detail {
+
+namespace {
+
+void write_query(BufferWriter& w, const BatQuery& query) {
+    w.write(static_cast<std::uint8_t>(query.box.has_value()));
+    if (query.box) {
+        w.write(query.box->lower.x);
+        w.write(query.box->lower.y);
+        w.write(query.box->lower.z);
+        w.write(query.box->upper.x);
+        w.write(query.box->upper.y);
+        w.write(query.box->upper.z);
+    }
+    w.write(static_cast<std::uint32_t>(query.attr_filters.size()));
+    for (const AttrFilter& f : query.attr_filters) {
+        w.write(f.attr);
+        w.write(f.lo);
+        w.write(f.hi);
+    }
+    w.write(query.quality_lo);
+    w.write(query.quality_hi);
+    w.write(static_cast<std::uint8_t>(query.inclusive_upper));
+}
+
+BatQuery read_query(BufferReader& r) {
+    BatQuery query;
+    if (r.read<std::uint8_t>() != 0) {
+        Box box;
+        box.lower.x = r.read<float>();
+        box.lower.y = r.read<float>();
+        box.lower.z = r.read<float>();
+        box.upper.x = r.read<float>();
+        box.upper.y = r.read<float>();
+        box.upper.z = r.read<float>();
+        query.box = box;
+    }
+    query.attr_filters.resize(r.read<std::uint32_t>());
+    for (AttrFilter& f : query.attr_filters) {
+        f.attr = r.read<std::uint32_t>();
+        f.lo = r.read<double>();
+        f.hi = r.read<double>();
+    }
+    query.quality_lo = r.read<float>();
+    query.quality_hi = r.read<float>();
+    query.inclusive_upper = r.read<std::uint8_t>() != 0;
+    return query;
+}
+
+}  // namespace
+
+vmpi::Bytes encode_request(const LeafRequest& req) {
+    BufferWriter w;
+    w.write(req.seq);
+    w.write(static_cast<std::uint32_t>(req.leaves.size()));
+    w.write_span(std::span<const std::int32_t>(req.leaves));
+    write_query(w, req.query);
+    return w.take();
+}
+
+LeafRequest decode_request(std::span<const std::byte> bytes) {
+    BufferReader r(bytes);
+    LeafRequest req;
+    req.seq = r.read<std::uint32_t>();
+    req.leaves.resize(r.read<std::uint32_t>());
+    r.read_into(std::span<std::int32_t>(req.leaves));
+    req.query = read_query(r);
+    BAT_CHECK_MSG(r.remaining() == 0, "trailing bytes in leaf request");
+    return req;
+}
+
+vmpi::Bytes encode_response(std::uint32_t seq, std::span<const vmpi::Bytes> parts) {
+    std::size_t payload = 0;
+    for (const vmpi::Bytes& part : parts) {
+        payload += part.size();
+    }
+    BufferWriter w(sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * parts.size() +
+                   payload);
+    w.write(seq);
+    w.write(static_cast<std::uint32_t>(parts.size()));
+    for (const vmpi::Bytes& part : parts) {
+        w.write(static_cast<std::uint64_t>(part.size()));
+    }
+    for (const vmpi::Bytes& part : parts) {
+        w.write_span(std::span<const std::byte>(part));
+    }
+    return w.take();
+}
+
+ResponseView decode_response(std::span<const std::byte> bytes) {
+    BufferReader r(bytes);
+    ResponseView view;
+    view.seq = r.read<std::uint32_t>();
+    const auto num_parts = r.read<std::uint32_t>();
+    std::vector<std::uint64_t> lengths(num_parts);
+    r.read_into(std::span<std::uint64_t>(lengths));
+    view.parts.reserve(num_parts);
+    std::size_t at = r.pos();
+    for (const std::uint64_t len : lengths) {
+        BAT_CHECK_MSG(at + len <= bytes.size(), "response part past the payload");
+        view.parts.push_back(bytes.subspan(at, len));
+        at += len;
+    }
+    BAT_CHECK_MSG(at == bytes.size(), "trailing bytes in leaf response");
+    return view;
+}
+
+std::uint32_t peek_response_seq(std::span<const std::byte> bytes) {
+    BufferReader r(bytes);
+    return r.read<std::uint32_t>();
+}
+
+void merge_responses(ParticleSet& out, std::span<const vmpi::Bytes> payloads) {
+    std::vector<ResponseView> views;
+    views.reserve(payloads.size());
+    std::uint64_t total = 0;
+    for (const vmpi::Bytes& payload : payloads) {
+        views.push_back(decode_response(payload));
+        for (const std::span<const std::byte> part : views.back().parts) {
+            if (part.empty()) {
+                continue;
+            }
+            // Each part leads with its u64 particle count (ParticleSet wire
+            // format); summing them lets us size the result once.
+            total += BufferReader(part).read<std::uint64_t>();
+        }
+    }
+    std::size_t at = out.count();
+    out.resize(at + total);
+    for (const ResponseView& view : views) {
+        for (const std::span<const std::byte> part : view.parts) {
+            if (part.empty()) {
+                continue;
+            }
+            at += out.deserialize_into(part, at);
+        }
+    }
+}
+
+LeafServer::LeafServer(vmpi::Comm& comm, int request_tag, int response_tag,
+                       ThreadPool* pool, ServeLeafFn serve_leaf)
+    : comm_(comm),
+      request_tag_(request_tag),
+      response_tag_(response_tag),
+      pool_(pool != nullptr && pool->num_threads() > 0 ? pool : nullptr),
+      serve_leaf_(std::move(serve_leaf)) {
+    if (pool_ != nullptr) {
+        group_.emplace(*pool_);
+    }
+}
+
+void LeafServer::start_job(int src, const vmpi::Bytes& payload) {
+    LeafRequest req = decode_request(payload);
+    auto job = std::make_unique<Job>();
+    job->src = src;
+    job->seq = req.seq;
+    job->leaves = std::move(req.leaves);
+    job->query = std::move(req.query);
+    const std::size_t n = job->leaves.size();
+    job->parts.resize(n);
+    job->remaining.store(n, std::memory_order_relaxed);
+    ++requests_served_;
+    leaves_served_ += n;
+    Job* j = job.get();
+    jobs_.push_back(std::move(job));
+    for (std::size_t i = 0; i < n; ++i) {
+        auto task = [this, j, i] {
+            BAT_TRACE_SCOPE_CAT("read.serve_leaf", "read");
+            try {
+                j->parts[i] = serve_leaf_(j->leaves[i], j->query);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mutex_);
+                if (!first_error_) {
+                    first_error_ = std::current_exception();
+                }
+            }
+            // Release pairs with the acquire load in send_ready(): the comm
+            // thread must see the finished part bytes.
+            j->remaining.fetch_sub(1, std::memory_order_release);
+        };
+        if (group_) {
+            group_->run(std::move(task));
+        } else {
+            task();
+        }
+    }
+}
+
+bool LeafServer::send_ready() {
+    bool sent = false;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+        Job& job = **it;
+        if (job.remaining.load(std::memory_order_acquire) != 0) {
+            ++it;
+            continue;
+        }
+        vmpi::Bytes response = encode_response(job.seq, job.parts);
+        bytes_shipped_ += response.size();
+        comm_.isend(job.src, response_tag_, std::move(response));
+        it = jobs_.erase(it);
+        sent = true;
+    }
+    return sent;
+}
+
+bool LeafServer::progress() {
+    bool progressed = false;
+    int src = -1;
+    while (comm_.iprobe(vmpi::kAnySource, request_tag_, &src)) {
+        progressed = true;
+        start_job(src, comm_.recv(src, request_tag_));
+    }
+    if (send_ready()) {
+        progressed = true;
+    }
+    return progressed;
+}
+
+bool LeafServer::help() {
+    return pool_ != nullptr && pool_->try_run_one();
+}
+
+void LeafServer::finish() {
+    if (group_) {
+        group_->wait();
+    }
+    send_ready();
+    BAT_CHECK_MSG(jobs_.empty(), "LeafServer finished with unsent responses");
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lock(err_mutex_);
+        std::swap(err, first_error_);
+    }
+    if (err) {
+        std::rethrow_exception(err);
+    }
+}
+
+}  // namespace bat::io_detail

@@ -1,14 +1,19 @@
 #include "io/reader.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <map>
-#include <memory>
 #include <thread>
+#include <utility>
 
 #include "core/bat_file.hpp"
 #include "core/bat_query.hpp"
+#include "io/leaf_cache.hpp"
+#include "io/read_protocol.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "util/buffer.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bat {
 
@@ -17,77 +22,36 @@ namespace {
 constexpr int kTagReadRequest = 2;
 constexpr int kTagReadResponse = 3;
 
-struct ReadRequest {
-    std::int32_t leaf_id = -1;
-    Box box;
-    std::uint8_t half_open = 0;
-
-    vmpi::Bytes to_bytes() const {
-        BufferWriter w;
-        w.write(leaf_id);
-        w.write(box.lower.x);
-        w.write(box.lower.y);
-        w.write(box.lower.z);
-        w.write(box.upper.x);
-        w.write(box.upper.y);
-        w.write(box.upper.z);
-        w.write(half_open);
-        return w.take();
-    }
-    static ReadRequest from_bytes(std::span<const std::byte> bytes) {
-        BufferReader r(bytes);
-        ReadRequest req;
-        req.leaf_id = r.read<std::int32_t>();
-        req.box.lower.x = r.read<float>();
-        req.box.lower.y = r.read<float>();
-        req.box.lower.z = r.read<float>();
-        req.box.upper.x = r.read<float>();
-        req.box.upper.y = r.read<float>();
-        req.box.upper.z = r.read<float>();
-        req.half_open = r.read<std::uint8_t>();
-        return req;
-    }
-};
-
-/// Lazily opened leaf files held by a read aggregator for the duration of
-/// one collective read.
-class LeafFileCache {
-public:
-    LeafFileCache(const std::filesystem::path& dir, const Metadata& meta)
-        : dir_(dir), meta_(meta) {}
-
-    const BatFile& open(int leaf_id, std::uint64_t* bytes_read) {
-        auto it = files_.find(leaf_id);
-        if (it == files_.end()) {
-            const auto& leaf = meta_.leaves[static_cast<std::size_t>(leaf_id)];
-            auto file = std::make_unique<BatFile>(dir_ / leaf.file);
-            if (bytes_read != nullptr) {
-                *bytes_read += file->header().file_size;
-            }
-            it = files_.emplace(leaf_id, std::move(file)).first;
+/// Sink appending query results to `out`, with the contiguous-range fast
+/// path bulk-appending whole treelet windows.
+QuerySink particle_sink(ParticleSet& out) {
+    QuerySink sink;
+    sink.point = [&out](Vec3 p, std::span<const double> attrs) { out.push_back(p, attrs); };
+    sink.range = [&out](const BatTreeletView& view, std::uint32_t begin, std::uint32_t end) {
+        const std::uint32_t n = end - begin;
+        std::vector<std::span<const double>> cols;
+        cols.reserve(view.attrs.size());
+        for (const std::span<const double> a : view.attrs) {
+            cols.push_back(a.subspan(begin, n));
         }
-        return *it->second;
-    }
-
-private:
-    std::filesystem::path dir_;
-    const Metadata& meta_;
-    std::map<int, std::unique_ptr<BatFile>> files_;
-};
-
-/// Run a spatial query against one leaf file and pack the results.
-vmpi::Bytes run_leaf_query(const BatFile& file, const ReadRequest& req,
-                           const std::vector<std::string>& attr_names) {
-    ParticleSet out(attr_names);
-    BatQuery query;
-    query.box = req.box;
-    query.inclusive_upper = req.half_open == 0;
-    query_bat(file, query,
-              [&out](Vec3 p, std::span<const double> attrs) { out.push_back(p, attrs); });
-    return out.to_bytes();
+        out.append_block(view.positions.subspan(3 * std::size_t{begin}, 3 * std::size_t{n}),
+                         cols);
+    };
+    return sink;
 }
 
 }  // namespace
+
+ReadPhaseTimings ReadPhaseTimings::max(const ReadPhaseTimings& a,
+                                       const ReadPhaseTimings& b) {
+    ReadPhaseTimings m;
+    m.metadata = std::max(a.metadata, b.metadata);
+    m.request = std::max(a.request, b.request);
+    m.serve = std::max(a.serve, b.serve);
+    m.merge = std::max(a.merge, b.merge);
+    m.local = std::max(a.local, b.local);
+    return m;
+}
 
 std::vector<int> assign_read_aggregators(int num_leaves, int nranks) {
     BAT_CHECK(nranks > 0);
@@ -101,9 +65,19 @@ std::vector<int> assign_read_aggregators(int num_leaves, int nranks) {
                 static_cast<std::uint64_t>(num_leaves));
         }
     } else {
-        // Fewer ranks than files: distribute the files evenly among ranks.
-        for (int i = 0; i < num_leaves; ++i) {
-            agg[static_cast<std::size_t>(i)] = i % nranks;
+        // Fewer ranks than files: contiguous blocks of leaves per rank, so
+        // spatially neighboring leaves (the write phase orders leaves along
+        // the aggregation tree) share an aggregator and a client's requests
+        // concentrate on few servers. The first `extra` ranks take one more
+        // leaf each.
+        const int base = num_leaves / nranks;
+        const int extra = num_leaves % nranks;
+        int leaf = 0;
+        for (int r = 0; r < nranks; ++r) {
+            const int take = base + (r < extra ? 1 : 0);
+            for (int i = 0; i < take; ++i) {
+                agg[static_cast<std::size_t>(leaf++)] = r;
+            }
         }
     }
     return agg;
@@ -113,6 +87,7 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
                           const Box& my_bounds, const ReaderConfig& config) {
     ReadResult result;
     ReadPhaseTimings& timings = result.timings;
+    auto& metrics = obs::MetricsRegistry::global();
 
     // Phase spans populate ReadPhaseTimings and, under BAT_TRACE, the
     // per-rank trace timeline (same pattern as write_particles).
@@ -126,82 +101,114 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
 
     result.particles = ParticleSet(meta.attr_names);
 
-    // ---- (b) find overlapped leaves; send requests -------------------------
+    BatQuery leaf_query;
+    leaf_query.box = my_bounds;
+    leaf_query.inclusive_upper = !config.half_open;
+
+    // ---- (b) find overlapped leaves; send coalesced requests ---------------
     obs::PhaseSpan request_span("read.request", &timings.request);
     const std::vector<int> my_leaves = meta.query_leaves(my_bounds);
     std::vector<int> local_leaves;  // leaves this rank serves to itself
-    int pending_responses = 0;
+    // One request per distinct aggregator (in first-appearance order over
+    // the ascending leaf list), or one per leaf when coalescing is off.
+    std::vector<std::pair<int, std::vector<std::int32_t>>> requests;
+    std::map<int, std::size_t> request_of_aggregator;
     for (int leaf : my_leaves) {
         const int aggregator = leaf_aggregator[static_cast<std::size_t>(leaf)];
         if (aggregator == comm.rank()) {
             local_leaves.push_back(leaf);
             continue;
         }
-        ReadRequest req;
-        req.leaf_id = leaf;
-        req.box = my_bounds;
-        req.half_open = config.half_open ? 1 : 0;
-        comm.isend(aggregator, kTagReadRequest, req.to_bytes());
-        ++pending_responses;
+        if (!config.coalesce) {
+            requests.emplace_back(aggregator, std::vector<std::int32_t>{leaf});
+            continue;
+        }
+        const auto [it, fresh] = request_of_aggregator.try_emplace(aggregator, requests.size());
+        if (fresh) {
+            requests.emplace_back(aggregator, std::vector<std::int32_t>{});
+        }
+        requests[it->second].second.push_back(leaf);
     }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        io_detail::LeafRequest req;
+        req.seq = static_cast<std::uint32_t>(i);
+        req.leaves = requests[i].second;
+        req.query = leaf_query;
+        comm.isend(requests[i].first, kTagReadRequest, io_detail::encode_request(req));
+    }
+    metrics.counter("read.request_msgs").add(static_cast<std::int64_t>(requests.size()));
     request_span.close();
 
     // ---- (c) client-server loop --------------------------------------------
     obs::PhaseSpan serve_span("read.serve", &timings.serve);
-    LeafFileCache cache(metadata_path.parent_path(), meta);
-    std::vector<ParticleSet> responses;
+    LeafFileCache& cache = config.cache != nullptr ? *config.cache : LeafFileCache::global();
+    const std::filesystem::path dir = metadata_path.parent_path();
+    std::atomic<std::uint64_t> bytes_read{0};
+    const auto serve_leaf = [&](std::int32_t leaf, const BatQuery& query) {
+        BAT_CHECK_MSG(leaf >= 0 && static_cast<std::size_t>(leaf) < meta.leaves.size(),
+                      "leaf id out of range in read request");
+        const auto file = cache.open(dir / meta.leaves[static_cast<std::size_t>(leaf)].file,
+                                     &bytes_read);
+        ParticleSet out(meta.attr_names);
+        query_bat(*file, query, particle_sink(out));
+        return out.to_bytes();
+    };
+    io_detail::LeafServer server(comm, kTagReadRequest, kTagReadResponse, config.pool,
+                                 serve_leaf);
+    // Buffered raw responses, slotted by request seq: ingestion order below
+    // is the request-issue order, independent of arrival order.
+    std::vector<vmpi::Bytes> responses(requests.size());
+    std::size_t pending = requests.size();
     vmpi::Request barrier;
     bool in_barrier = false;
-    if (pending_responses == 0) {
+    if (pending == 0) {
         barrier = comm.ibarrier();
         in_barrier = true;
     }
     for (;;) {
-        bool progressed = false;
-        // Serve one incoming query, if any.
+        bool progressed = server.progress();
         int src = -1;
-        if (comm.iprobe(vmpi::kAnySource, kTagReadRequest, &src)) {
+        if (pending > 0 && comm.iprobe(vmpi::kAnySource, kTagReadResponse, &src)) {
             progressed = true;
-            const vmpi::Bytes payload = comm.recv(src, kTagReadRequest);
-            const ReadRequest req = ReadRequest::from_bytes(payload);
-            const BatFile& file = cache.open(req.leaf_id, &result.bytes_read);
-            comm.isend(src, kTagReadResponse, run_leaf_query(file, req, meta.attr_names));
-        }
-        // Collect any response addressed to us.
-        if (pending_responses > 0 &&
-            comm.iprobe(vmpi::kAnySource, kTagReadResponse, &src)) {
-            progressed = true;
-            const vmpi::Bytes payload = comm.recv(src, kTagReadResponse);
-            responses.push_back(ParticleSet::from_bytes(payload));
-            if (--pending_responses == 0) {
+            vmpi::Bytes payload = comm.recv(src, kTagReadResponse);
+            const std::uint32_t seq = io_detail::peek_response_seq(payload);
+            BAT_CHECK_MSG(seq < responses.size() && responses[seq].empty(),
+                          "unexpected response seq " << seq);
+            responses[seq] = std::move(payload);
+            if (--pending == 0) {
                 barrier = comm.ibarrier();
                 in_barrier = true;
             }
         }
-        if (in_barrier && barrier.test()) {
+        if (in_barrier && server.idle() && barrier.test()) {
             break;
         }
-        if (!progressed) {
+        if (!progressed && !server.help()) {
             std::this_thread::yield();
         }
     }
-    for (ParticleSet& piece : responses) {
-        result.particles.append(piece);
-    }
+    server.finish();
+    metrics.counter("read.response_msgs")
+        .add(static_cast<std::int64_t>(server.requests_served()));
+    metrics.counter("read.leaves_served").add(static_cast<std::int64_t>(server.leaves_served()));
     serve_span.close();
+
+    // ---- zero-copy ingestion of the buffered responses ---------------------
+    obs::PhaseSpan merge_span("read.merge", &timings.merge);
+    io_detail::merge_responses(result.particles, responses);
+    merge_span.close();
 
     // ---- self-queries after exiting the server loop (§IV-B) ----------------
     obs::PhaseSpan local_span("read.local", &timings.local);
+    const QuerySink sink = particle_sink(result.particles);
     for (int leaf : local_leaves) {
-        const BatFile& file = cache.open(leaf, &result.bytes_read);
-        BatQuery query;
-        query.box = my_bounds;
-        query.inclusive_upper = !config.half_open;
-        query_bat(file, query, [&result](Vec3 p, std::span<const double> attrs) {
-            result.particles.push_back(p, attrs);
-        });
+        const auto file =
+            cache.open(dir / meta.leaves[static_cast<std::size_t>(leaf)].file, &bytes_read);
+        query_bat(*file, leaf_query, sink);
     }
     local_span.close();
+
+    result.bytes_read = bytes_read.load(std::memory_order_relaxed);
     return result;
 }
 

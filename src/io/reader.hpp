@@ -4,16 +4,25 @@
 //   (a) all ranks read the Aggregation Tree metadata and locally compute
 //       the read-aggregator assignment: with more ranks than leaf files,
 //       aggregators are spread evenly through the rank space (as in the
-//       write phase); with fewer ranks than files, files are distributed
-//       evenly among the ranks — so data can be read at much larger or
-//       smaller core counts than it was written with;
-//   (b) each rank determines which leaves overlap its bounds and sends its
-//       query box to the read aggregator assigned to each leaf;
+//       write phase); with fewer ranks than files, contiguous blocks of
+//       leaves go to each rank (neighboring leaves share an aggregator,
+//       preserving the spatial locality the write phase established) — so
+//       data can be read at much larger or smaller core counts than it was
+//       written with;
+//   (b) each rank determines which leaves overlap its bounds and sends ONE
+//       coalesced request per distinct read aggregator, carrying all the
+//       leaf ids it needs from that rank (O(aggregators) messages instead
+//       of O(leaves));
 //   (c) read aggregators run a client–server loop on nonblocking MPI-style
-//       calls: serve incoming spatial queries from their leaf files, and
-//       once a rank has received all of its own responses it enters a
-//       nonblocking barrier, continuing to serve until the barrier
-//       completes. Self-queries run locally after exiting the loop.
+//       calls: incoming requests are fanned out per leaf to a thread pool
+//       (when one is configured) while the comm loop keeps progressing
+//       probes, responses, and the round barrier; each multi-leaf response
+//       is isent as soon as its last leaf finishes. Once a rank has
+//       received all of its own responses it enters a nonblocking barrier,
+//       continuing to serve until the barrier completes. Responses are
+//       keyed by request id, so results are byte-identical regardless of
+//       thread scheduling or arrival order. Self-queries run locally after
+//       exiting the loop.
 
 #include <filesystem>
 
@@ -23,19 +32,37 @@
 
 namespace bat {
 
+class LeafFileCache;
+class ThreadPool;
+
 struct ReaderConfig {
     /// Half-open containment ([lo, hi) per axis) makes non-overlapping
     /// restart decompositions partition the particles exactly once.
     bool half_open = true;
+    /// Pool that leaf queries are fanned out to while serving (and that the
+    /// local self-queries bulk-append through). nullptr = serve serially on
+    /// the comm thread; results are byte-identical either way.
+    ThreadPool* pool = nullptr;
+    /// Batch all leaves requested from one aggregator into a single
+    /// request/response pair. Per-leaf mode (false) exists for benchmarks
+    /// and A/B comparisons only.
+    bool coalesce = true;
+    /// Leaf-file cache reused across collective reads; nullptr = the
+    /// process-global LeafFileCache.
+    LeafFileCache* cache = nullptr;
 };
 
 struct ReadPhaseTimings {
     double metadata = 0;  // reading + parsing the metadata file
-    double request = 0;   // overlap computation + query sends
+    double request = 0;   // overlap computation + coalesced query sends
     double serve = 0;     // server loop (incl. file reads + transfers)
+    double merge = 0;     // zero-copy ingestion of buffered responses
     double local = 0;     // self-queries after the loop
 
-    double total() const { return metadata + request + serve + local; }
+    double total() const { return metadata + request + serve + merge + local; }
+
+    /// Component-wise max (slowest rank per phase, for benchmark reports).
+    static ReadPhaseTimings max(const ReadPhaseTimings& a, const ReadPhaseTimings& b);
 };
 
 struct ReadResult {

@@ -90,6 +90,13 @@ public:
     /// unboundedly.
     static constexpr int kMaxParallelForDepth = 64;
 
+    /// Dequeue and execute one pending task on the calling thread; returns
+    /// false if the queue was empty. This is the work-helping primitive
+    /// behind TaskGroup::wait, exposed so polling loops (the read path's
+    /// comm thread) can serve tasks instead of yielding their timeslice
+    /// when there is nothing else to do. Safe from any thread.
+    bool try_run_one();
+
 private:
     friend class TaskGroup;
 
@@ -102,7 +109,6 @@ private:
     };
 
     void enqueue(Task t);
-    bool try_run_one();  // returns false if the queue was empty
     void worker_loop();
     void execute(Task& t);
 

@@ -231,7 +231,120 @@ TEST(BatQueryTest, StatsCountEmittedPoints) {
                                       &stats);
     EXPECT_EQ(n, 10'000u);
     EXPECT_EQ(stats.points_emitted, 10'000u);
-    EXPECT_GE(stats.points_tested, stats.points_emitted);
+    // A boxless query is fully contained everywhere: every point should go
+    // through the fast path, none through per-point testing.
+    EXPECT_EQ(stats.points_fast_path, 10'000u);
+    EXPECT_EQ(stats.points_tested, 0u);
+    EXPECT_GE(stats.points_tested + stats.points_fast_path, stats.points_emitted);
+}
+
+TEST(BatQueryTest, StatsAccumulateAcrossCalls) {
+    // QueryStats is documented to accumulate so one struct can sum a
+    // multi-leaf read; a second identical query must double every counter.
+    const Fixture fx(10'000, 1, 19);
+    const BatFile file = fx.file();
+    BatQuery query;
+    query.box = Box({0.f, 0.f, 0.f}, {2.f, 2.f, 2.f});
+    QueryStats stats;
+    const std::uint64_t first =
+        query_bat(file, query, [](Vec3, std::span<const double>) {}, &stats);
+    const QueryStats after_one = stats;
+    const std::uint64_t second =
+        query_bat(file, query, [](Vec3, std::span<const double>) {}, &stats);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(stats.points_emitted, 2 * after_one.points_emitted);
+    EXPECT_EQ(stats.points_tested, 2 * after_one.points_tested);
+    EXPECT_EQ(stats.points_fast_path, 2 * after_one.points_fast_path);
+    EXPECT_EQ(stats.shallow_nodes_visited, 2 * after_one.shallow_nodes_visited);
+    EXPECT_EQ(stats.treelet_nodes_visited, 2 * after_one.treelet_nodes_visited);
+    EXPECT_EQ(stats.pruned_by_box, 2 * after_one.pruned_by_box);
+    EXPECT_EQ(stats.pruned_by_bitmap, 2 * after_one.pruned_by_bitmap);
+}
+
+TEST(BatQueryTest, RangeSinkMatchesPointCallback) {
+    // The contiguous-range fast path must emit exactly the particles the
+    // per-point path does, for covering, partial, and boxless queries.
+    const Fixture fx(20'000, 2, 31);
+    const BatFile file = fx.file();
+    struct Case {
+        std::optional<Box> box;
+        bool covers_all = false;
+    };
+    const std::vector<Case> cases = {
+        {std::nullopt, true},
+        {Box({-1.f, -1.f, -1.f}, {2.f, 2.f, 2.f}), true},     // covers the unit box
+        {Box({0.25f, 0.25f, 0.25f}, {0.75f, 0.75f, 0.75f})},  // partial overlap
+    };
+    for (const Case& c : cases) {
+        BatQuery query;
+        query.box = c.box;
+        const std::vector<testing::ParticleKey> expected = collect(file, query);
+
+        ParticleSet via_sink(fx.original.attr_names());
+        QuerySink sink;
+        sink.point = [&via_sink](Vec3 p, std::span<const double> attrs) {
+            via_sink.push_back(p, attrs);
+        };
+        sink.range = [&via_sink](const BatTreeletView& view, std::uint32_t begin,
+                                 std::uint32_t end) {
+            const std::uint32_t n = end - begin;
+            std::vector<std::span<const double>> cols;
+            for (const std::span<const double> a : view.attrs) {
+                cols.push_back(a.subspan(begin, n));
+            }
+            via_sink.append_block(
+                view.positions.subspan(3 * std::size_t{begin}, 3 * std::size_t{n}), cols);
+        };
+        QueryStats stats;
+        const std::uint64_t n = query_bat(file, query, sink, &stats);
+        EXPECT_EQ(n, via_sink.count());
+        std::vector<testing::ParticleKey> got = testing::particle_keys(via_sink);
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, expected);
+        if (c.covers_all) {
+            // Covering queries should take the fast path for everything.
+            EXPECT_EQ(stats.points_fast_path, n);
+        }
+        EXPECT_GE(stats.points_tested + stats.points_fast_path, stats.points_emitted);
+    }
+}
+
+TEST(BatQueryTest, FastPathRespectsProgressiveWindows) {
+    // Quality-window partitioning must survive range emission: the windows
+    // (0,0.25], (0.25,0.5], ... still cover every particle exactly once.
+    const Fixture fx(15'000, 1, 37);
+    const BatFile file = fx.file();
+    std::vector<testing::ParticleKey> all;
+    std::uint64_t fast_path_total = 0;
+    for (int step = 0; step < 4; ++step) {
+        BatQuery query;
+        query.quality_lo = static_cast<float>(step) / 4.f;
+        query.quality_hi = static_cast<float>(step + 1) / 4.f;
+        ParticleSet part(fx.original.attr_names());
+        QuerySink sink;
+        sink.point = [&part](Vec3 p, std::span<const double> attrs) {
+            part.push_back(p, attrs);
+        };
+        sink.range = [&part](const BatTreeletView& view, std::uint32_t begin,
+                             std::uint32_t end) {
+            const std::uint32_t n = end - begin;
+            std::vector<std::span<const double>> cols;
+            for (const std::span<const double> a : view.attrs) {
+                cols.push_back(a.subspan(begin, n));
+            }
+            part.append_block(
+                view.positions.subspan(3 * std::size_t{begin}, 3 * std::size_t{n}), cols);
+        };
+        QueryStats stats;
+        query_bat(file, query, sink, &stats);
+        fast_path_total += stats.points_fast_path;
+        const auto keys = testing::particle_keys(part);
+        all.insert(all.end(), keys.begin(), keys.end());
+    }
+    // Boxless queries take the fast path exclusively.
+    EXPECT_EQ(fast_path_total, 15'000u);
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(all, testing::particle_keys(fx.original));
 }
 
 // ---- progressive reads -------------------------------------------------------

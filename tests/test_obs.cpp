@@ -402,7 +402,7 @@ TEST(TraceRoundTrip, EightRankWriteAndQueryProducesValidTrace) {
     for (const char* required :
          {"write.gather", "write.tree_build", "write.scatter", "write.transfer",
           "write.bat_build", "write.file_write", "write.metadata", "read.metadata",
-          "read.request", "read.serve", "read.local", "service.query_round",
+          "read.request", "read.serve", "read.merge", "read.local", "service.query_round",
           "vmpi.send", "vmpi.recv", "vmpi.gatherv", "vmpi.scatterv", "pool.task"}) {
         EXPECT_TRUE(spans.count(required)) << "missing span: " << required;
     }

@@ -13,6 +13,7 @@
 #include "io/reader.hpp"
 #include "io/writer.hpp"
 #include "test_helpers.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/decomposition.hpp"
 #include "workloads/mixtures.hpp"
 #include "workloads/uniform.hpp"
@@ -77,15 +78,31 @@ void round_trip(AggStrategy strategy, int nranks, std::uint64_t target, std::siz
     const GridDecomp read_decomp = grid_decomp_3d(read_ranks, kDomain);
     std::mutex mutex;
     ParticleSet all(setup.global.attr_names());
+    std::vector<std::vector<std::byte>> serial_bytes(static_cast<std::size_t>(read_ranks));
     vmpi::Runtime::run(read_ranks, [&](vmpi::Comm& comm) {
         const ReadResult result =
             read_particles(comm, meta_path, read_decomp.rank_read_box(comm.rank()));
         std::lock_guard<std::mutex> lock(mutex);
+        serial_bytes[static_cast<std::size_t>(comm.rank())] = result.particles.to_bytes();
         all.append(result.particles);
     });
     EXPECT_EQ(testing::particle_keys(all), expected)
         << "strategy=" << to_string(strategy) << " nranks=" << nranks
         << " read_ranks=" << read_ranks << " target=" << target;
+
+    // Threaded serving must be byte-identical per rank to the serial path
+    // (responses are keyed by request id, not completion order).
+    ThreadPool pool(2);
+    vmpi::Runtime::run(read_ranks, [&](vmpi::Comm& comm) {
+        ReaderConfig rc;
+        rc.pool = &pool;
+        const ReadResult result =
+            read_particles(comm, meta_path, read_decomp.rank_read_box(comm.rank()), rc);
+        const std::vector<std::byte> bytes = result.particles.to_bytes();
+        std::lock_guard<std::mutex> lock(mutex);
+        EXPECT_EQ(bytes, serial_bytes[static_cast<std::size_t>(comm.rank())])
+            << "threaded read diverged on rank " << comm.rank();
+    });
 }
 
 TEST(WriterReaderTest, AdaptiveSmall) { round_trip(AggStrategy::adaptive, 4, 64 << 10, 5'000, 2, 1); }
@@ -280,12 +297,32 @@ TEST(WriterReaderTest, ReadAggregatorAssignmentRules) {
     // More ranks than files: spread through rank space, distinct.
     const std::vector<int> spread = assign_read_aggregators(4, 16);
     EXPECT_EQ(spread, (std::vector<int>{0, 4, 8, 12}));
-    // Fewer ranks than files: round-robin.
-    const std::vector<int> rr = assign_read_aggregators(7, 3);
-    EXPECT_EQ(rr, (std::vector<int>{0, 1, 2, 0, 1, 2, 0}));
+    // Fewer ranks than files: contiguous blocks so spatially neighboring
+    // leaves share an aggregator (the write phase orders leaves along the
+    // aggregation tree); the remainder goes to the first ranks.
+    const std::vector<int> blocks = assign_read_aggregators(7, 3);
+    EXPECT_EQ(blocks, (std::vector<int>{0, 0, 0, 1, 1, 2, 2}));
     // Equal: identity-ish spread.
     const std::vector<int> eq = assign_read_aggregators(4, 4);
     EXPECT_EQ(eq, (std::vector<int>{0, 1, 2, 3}));
+    // Block-assignment properties at scale: monotone non-decreasing (so
+    // blocks are contiguous), every rank used, and per-rank loads balanced
+    // to within one leaf.
+    const int num_leaves = 103;
+    const int nranks = 8;
+    const std::vector<int> agg = assign_read_aggregators(num_leaves, nranks);
+    std::vector<int> load(nranks, 0);
+    for (std::size_t i = 0; i < agg.size(); ++i) {
+        ASSERT_GE(agg[i], 0);
+        ASSERT_LT(agg[i], nranks);
+        if (i > 0) {
+            EXPECT_GE(agg[i], agg[i - 1]);
+        }
+        ++load[static_cast<std::size_t>(agg[i])];
+    }
+    const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+    EXPECT_GE(*lo, 1);
+    EXPECT_LE(*hi - *lo, 1);
 }
 
 TEST(WriterReaderTest, SpatialSubsetReadReturnsOnlyOverlap) {

@@ -1,8 +1,17 @@
-// Perf-regression gate for CI: validates a BENCH_micro.json produced by
-// `bench/micro_kernels --json` against the bat-bench-v1 schema and fails
-// (exit 1) when the radix sort is slower than the std::sort baseline at any
-// size n >= 1M — the builder's sort must never regress past the path it
-// replaced. Usage: bench_check BENCH_micro.json
+// Perf-regression gate for CI: validates a bat-bench-v1 JSON document
+// (from `bench/micro_kernels --json` or `bench/read_pipeline --json`) and
+// applies every gate family whose rows are present:
+//
+//   radix — the builder's sort must never regress past std::sort: both
+//     sort_radix_serial and sort_radix_pool must beat sort_std at every
+//     n >= 1M;
+//   serve — threaded leaf serving must not lose to the serial comm-thread
+//     path: read.serve_pool <= read.serve_serial ns/op at n >= 1M;
+//   msgs — request coalescing must cut traffic: the read.msgs_coalesced
+//     message count (`n`) must be below read.msgs_per_leaf.
+//
+// A file that matches no family fails (exit 1): a gate silently skipping is
+// indistinguishable from a gate passing. Usage: bench_check <BENCH.json>
 
 #include <cstdio>
 #include <fstream>
@@ -22,11 +31,125 @@ int fail(const std::string& msg) {
     return 1;
 }
 
+using NsByKey = std::map<std::pair<std::string, std::uint64_t>, double>;
+
+/// ns/op of the single entry named `name`, or -1 when absent. Fails the
+/// process via the returned flag when the name appears at several n.
+bool find_unique(const NsByKey& ns_op, const std::string& name, std::uint64_t* n,
+                 double* ns) {
+    bool found = false;
+    for (const auto& [key, value] : ns_op) {
+        if (key.first != name) {
+            continue;
+        }
+        if (found) {
+            return false;  // ambiguous: same row name at two sizes
+        }
+        found = true;
+        *n = key.second;
+        *ns = value;
+    }
+    return found;
+}
+
+// ---- gate families --------------------------------------------------------
+// Each returns the number of comparisons it checked (0 = rows absent, so
+// the family does not apply), or -1 on failure after printing the reason.
+
+int gate_radix(const NsByKey& ns_op) {
+    constexpr std::uint64_t kGateMin = 1u << 20;
+    int gated = 0;
+    for (const auto& [key, std_ns] : ns_op) {
+        const auto& [kernel, n] = key;
+        if (kernel != "sort_std" || n < kGateMin) {
+            continue;
+        }
+        for (const char* radix : {"sort_radix_serial", "sort_radix_pool"}) {
+            const auto it = ns_op.find({radix, n});
+            if (it == ns_op.end()) {
+                fail(std::string(radix) + " missing at n=" + std::to_string(n));
+                return -1;
+            }
+            const double speedup = std_ns / it->second;
+            std::printf("bench_check: n=%-9llu %-18s %8.2f ns/op vs sort_std %8.2f "
+                        "(%.2fx)\n",
+                        static_cast<unsigned long long>(n), radix, it->second, std_ns,
+                        speedup);
+            if (speedup < 1.0) {
+                fail(std::string(radix) + " slower than sort_std at n=" +
+                     std::to_string(n));
+                return -1;
+            }
+            ++gated;
+        }
+    }
+    return gated;
+}
+
+int gate_serve(const NsByKey& ns_op) {
+    constexpr std::uint64_t kGateMin = 1u << 20;
+    std::uint64_t n_serial = 0;
+    std::uint64_t n_pool = 0;
+    double serial_ns = 0;
+    double pool_ns = 0;
+    const bool has_serial = find_unique(ns_op, "read.serve_serial", &n_serial, &serial_ns);
+    const bool has_pool = find_unique(ns_op, "read.serve_pool", &n_pool, &pool_ns);
+    if (!has_serial && !has_pool) {
+        return 0;
+    }
+    if (!has_serial || !has_pool) {
+        fail("read.serve_serial/read.serve_pool must appear together (once each)");
+        return -1;
+    }
+    if (n_serial != n_pool) {
+        fail("read.serve_serial and read.serve_pool ran at different n");
+        return -1;
+    }
+    if (n_serial < kGateMin) {
+        fail("read.serve comparison below the 1M-particle gate size");
+        return -1;
+    }
+    const double speedup = serial_ns / pool_ns;
+    std::printf("bench_check: n=%-9llu read.serve_pool  %8.2f ns/op vs serial %8.2f "
+                "(%.2fx)\n",
+                static_cast<unsigned long long>(n_serial), pool_ns, serial_ns, speedup);
+    if (speedup < 1.0) {
+        fail("threaded leaf serving slower than serial at n=" + std::to_string(n_serial));
+        return -1;
+    }
+    return 1;
+}
+
+int gate_msgs(const NsByKey& ns_op) {
+    std::uint64_t coalesced = 0;
+    std::uint64_t per_leaf = 0;
+    double ignored = 0;
+    const bool has_coalesced = find_unique(ns_op, "read.msgs_coalesced", &coalesced,
+                                           &ignored);
+    const bool has_per_leaf = find_unique(ns_op, "read.msgs_per_leaf", &per_leaf,
+                                          &ignored);
+    if (!has_coalesced && !has_per_leaf) {
+        return 0;
+    }
+    if (!has_coalesced || !has_per_leaf) {
+        fail("read.msgs_coalesced/read.msgs_per_leaf must appear together (once each)");
+        return -1;
+    }
+    std::printf("bench_check: request msgs: coalesced %llu vs per-leaf %llu\n",
+                static_cast<unsigned long long>(coalesced),
+                static_cast<unsigned long long>(per_leaf));
+    if (coalesced >= per_leaf) {
+        fail("coalescing did not reduce the request message count");
+        return -1;
+    }
+    return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc != 2) {
-        std::fprintf(stderr, "usage: bench_check <BENCH_micro.json>\n");
+        std::fprintf(stderr, "usage: bench_check <BENCH.json>\n");
         return 2;
     }
     std::ifstream in(argv[1]);
@@ -54,8 +177,8 @@ int main(int argc, char** argv) {
         return fail("\"benchmarks\" missing, not an array, or empty");
     }
 
-    // (kernel name, n) -> ns/op; also validates every entry's fields.
-    std::map<std::pair<std::string, std::uint64_t>, double> ns_op;
+    // (row name, n) -> ns/op; also validates every entry's fields.
+    NsByKey ns_op;
     for (const Value& b : benchmarks->array()) {
         if (!b.is_object()) {
             return fail("benchmark entry is not an object");
@@ -83,33 +206,16 @@ int main(int argc, char** argv) {
         ns_op[{name->string(), static_cast<std::uint64_t>(n->number())}] = ns->number();
     }
 
-    // Gate: radix (serial and pooled) must beat std::sort at every n >= 1M.
-    constexpr std::uint64_t kGateMin = 1u << 20;
     int gated = 0;
-    for (const auto& [key, std_ns] : ns_op) {
-        const auto& [kernel, n] = key;
-        if (kernel != "sort_std" || n < kGateMin) {
-            continue;
+    for (const auto gate : {gate_radix, gate_serve, gate_msgs}) {
+        const int checked = gate(ns_op);
+        if (checked < 0) {
+            return 1;
         }
-        for (const char* radix : {"sort_radix_serial", "sort_radix_pool"}) {
-            const auto it = ns_op.find({radix, n});
-            if (it == ns_op.end()) {
-                return fail(std::string(radix) + " missing at n=" + std::to_string(n));
-            }
-            const double speedup = std_ns / it->second;
-            std::printf("bench_check: n=%-9llu %-18s %8.2f ns/op vs sort_std %8.2f "
-                        "(%.2fx)\n",
-                        static_cast<unsigned long long>(n), radix, it->second, std_ns,
-                        speedup);
-            if (speedup < 1.0) {
-                return fail(std::string(radix) + " slower than sort_std at n=" +
-                            std::to_string(n));
-            }
-            ++gated;
-        }
+        gated += checked;
     }
     if (gated == 0) {
-        return fail("no sort_std/sort_radix pair at n >= 1M to gate on");
+        return fail("no gateable rows (sort_*, read.serve_*, read.msgs_*) found");
     }
     std::printf("bench_check: OK (%zu entries, %d gated comparisons)\n", ns_op.size(),
                 gated);
