@@ -131,6 +131,8 @@ ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
         });
     }
 
+    obs::record_rank_value("service.particles_served", result.count());
+    obs::record_rank_value("service.bytes_shipped", server.bytes_shipped());
     auto& metrics = obs::MetricsRegistry::global();
     metrics.counter("service.rounds").add(1);
     metrics.counter("service.particles_served").add(static_cast<std::int64_t>(result.count()));

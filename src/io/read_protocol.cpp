@@ -170,6 +170,9 @@ void LeafServer::start_job(int src, const vmpi::Bytes& payload) {
     job->remaining.store(n, std::memory_order_relaxed);
     ++requests_served_;
     leaves_served_ += n;
+    // Accepting a request is progress even while the leaf jobs are still in
+    // flight — a serving rank stuck behind a slow peer stays "live".
+    obs::note_leaves_served(comm_.rank(), n);
     Job* j = job.get();
     jobs_.push_back(std::move(job));
     for (std::size_t i = 0; i < n; ++i) {

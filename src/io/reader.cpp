@@ -209,6 +209,8 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
     local_span.close();
 
     result.bytes_read = bytes_read.load(std::memory_order_relaxed);
+    obs::record_rank_value("read.bytes_read", result.bytes_read);
+    obs::record_rank_value("read.leaves_served", server.leaves_served());
     return result;
 }
 

@@ -366,6 +366,8 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
     auto& metrics = obs::MetricsRegistry::global();
     metrics.counter("write.bytes_written").add(static_cast<std::int64_t>(result.bytes_written));
     metrics.counter("write.files").add(static_cast<std::int64_t>(my_reports.size()));
+    obs::record_rank_value("write.bytes_written", result.bytes_written);
+    obs::record_rank_value("write.files", my_reports.size());
     return result;
 }
 

@@ -1,0 +1,1021 @@
+#include "obs/health.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace bat::obs {
+
+namespace {
+
+// All health state is heap-allocated once and deliberately leaked: progress
+// notes arrive from pool workers and rank threads that may outlive any
+// static destruction order, and the atexit report/flight hooks must never
+// race a destructor.
+
+constexpr int kMaxRanks = 1024;
+
+struct RankSlot {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<int> active{0};  // nesting count; >0 while a rank body runs
+    // What the rank is blocked on, as structured fields (op is a string
+    // literal; null = not blocked). Relaxed stores on the wait path; the
+    // watchdog renders text only at diagnosis time. A torn read across the
+    // three fields can at worst mislabel one diagnosis line.
+    std::atomic<const char*> block_op{nullptr};
+    std::atomic<int> block_peer{-1};
+    std::atomic<int> block_tag{-1};
+};
+
+struct PhaseAcc {
+    double seconds = 0;
+    std::uint64_t calls = 0;
+};
+
+struct DiagProvider {
+    std::uint64_t id = 0;
+    std::string name;
+    std::function<std::string()> fn;
+};
+
+struct SpanStack {
+    static constexpr int kMaxDepth = 48;
+    std::atomic<const char*> names[kMaxDepth] = {};
+    std::atomic<int> depth{0};
+    std::atomic<int> rank{-1};
+};
+
+struct Watchdog {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stop = false;
+    WatchdogOptions opts;
+};
+
+struct HealthState {
+    // Progress table: per-rank slots plus one shared slot for rank-less
+    // threads (pool workers, the main thread). Every per-slot bump also
+    // bumps `total_epoch`, so the watchdog needs one load to detect global
+    // progress.
+    RankSlot ranks[kMaxRanks];
+    RankSlot process;
+    std::atomic<std::uint64_t> total_epoch{0};
+    std::atomic<int> max_rank{-1};
+
+    // Message/pool accounting for the report's traffic section.
+    std::atomic<std::uint64_t> sends{0};
+    std::atomic<std::uint64_t> send_bytes{0};
+    std::atomic<std::uint64_t> recvs{0};
+    std::atomic<std::uint64_t> recv_bytes{0};
+    std::atomic<std::uint64_t> collectives{0};
+    std::atomic<std::uint64_t> leaves_served{0};
+    std::atomic<std::uint64_t> pool_tasks{0};
+
+    // Report accumulators (coarse mutexes: phase closes and rank-value
+    // records happen a handful of times per collective, not per particle).
+    std::mutex phases_mutex;
+    std::map<std::string, std::map<int, PhaseAcc>> phases;
+    std::mutex values_mutex;
+    std::map<std::string, std::map<int, std::uint64_t>> rank_values;
+
+    // Subsystem diag providers.
+    std::mutex providers_mutex;
+    std::vector<DiagProvider> providers;
+    std::uint64_t next_provider_id = 1;
+
+    // Span-stack registry (entries are leaked with their threads).
+    std::mutex stacks_mutex;
+    std::vector<SpanStack*> stacks;
+
+    // Watchdog.
+    std::mutex watchdog_mutex;  // guards start/stop and the pointer below
+    Watchdog* watchdog = nullptr;
+    std::atomic<bool> watchdog_on{false};
+    // Whether the watchdog ran at any point this run: the exit hook stops
+    // the watchdog before writing the report, so the report uses this, not
+    // watchdog_on, for its "armed" field.
+    std::atomic<bool> watchdog_armed_ever{false};
+    std::atomic<std::uint64_t> trips{0};
+
+    std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+};
+
+HealthState& state() {
+    static HealthState* s = new HealthState;
+    return *s;
+}
+
+std::atomic<bool> g_span_tracking{false};
+std::atomic<bool> g_flight_armed{false};
+
+RankSlot& slot_for(int rank) {
+    HealthState& s = state();
+    if (rank < 0 || rank >= kMaxRanks) {
+        return s.process;
+    }
+    int seen = s.max_rank.load(std::memory_order_relaxed);
+    while (rank > seen &&
+           !s.max_rank.compare_exchange_weak(seen, rank, std::memory_order_relaxed)) {
+    }
+    return s.ranks[rank];
+}
+
+void bump(int rank) {
+    HealthState& s = state();
+    slot_for(rank).epoch.fetch_add(1, std::memory_order_relaxed);
+    s.total_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanStack& thread_span_stack() {
+    thread_local SpanStack* stack = [] {
+        auto* st = new SpanStack;
+        HealthState& s = state();
+        std::lock_guard<std::mutex> lock(s.stacks_mutex);
+        s.stacks.push_back(st);
+        return st;
+    }();
+    return *stack;
+}
+
+// ---- JSON building --------------------------------------------------------
+
+void json_escape(std::string& out, const std::string& in) {
+    for (const char c : in) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char hex[8];
+                    std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                    out += hex;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+void append_double(std::string& out, double v) {
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.9g", v);
+    out += num;
+}
+
+void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+// ---- signal handlers ------------------------------------------------------
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+struct sigaction g_old_actions[std::size(kFatalSignals)];
+
+const char* signal_name(int sig) {
+    switch (sig) {
+        case SIGSEGV: return "SIGSEGV";
+        case SIGABRT: return "SIGABRT";
+        case SIGBUS: return "SIGBUS";
+        case SIGFPE: return "SIGFPE";
+        case SIGILL: return "SIGILL";
+    }
+    return "signal";
+}
+
+void fatal_signal_handler(int sig) {
+    // Best-effort: the dump takes locks and allocates, which is not
+    // async-signal-safe, but on a crash path losing the dump is no worse
+    // than never having one. The guard stops recursive faults.
+    static std::atomic<bool> in_handler{false};
+    if (!in_handler.exchange(true)) {
+        dump_flight_record(std::string("signal:") + signal_name(sig));
+    }
+    // Restore the previous disposition (sanitizer handlers included) and
+    // re-raise so the crash reports as it would have without us.
+    for (std::size_t i = 0; i < std::size(kFatalSignals); ++i) {
+        if (kFatalSignals[i] == sig) {
+            sigaction(sig, &g_old_actions[i], nullptr);
+        }
+    }
+    raise(sig);
+}
+
+void install_signal_handlers() {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = fatal_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    for (std::size_t i = 0; i < std::size(kFatalSignals); ++i) {
+        sigaction(kFatalSignals[i], &sa, &g_old_actions[i]);
+    }
+}
+
+// ---- env arming -----------------------------------------------------------
+
+/// start_watchdog minus the ensure_init() prologue, for use *inside* the
+/// ensure_init call_once body: the public entry point re-enters
+/// ensure_init, and std::call_once re-entered on its own flag from the
+/// same thread deadlocks.
+void start_watchdog_impl(WatchdogOptions opts);
+
+/// One-time environment arming: BAT_WATCHDOG_SEC starts the monitor thread,
+/// BAT_FLIGHT_RECORD_FILE installs crash handlers, BAT_REPORT_FILE
+/// registers the exit-time report export. Called from every health entry
+/// point; after the first call this is a single fenced load.
+void ensure_init() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        // Touch the statics the atexit hooks use so they are constructed
+        // (and therefore destroyed) in a safe order relative to the hook.
+        state();
+        MetricsRegistry::global();
+        const char* watchdog_env = std::getenv("BAT_WATCHDOG_SEC");
+        const char* flight_env = std::getenv("BAT_FLIGHT_RECORD_FILE");
+        const char* report_env = std::getenv("BAT_REPORT_FILE");
+        if (flight_env != nullptr) {
+            g_flight_armed.store(true, std::memory_order_relaxed);
+            set_span_tracking(true);
+            install_signal_handlers();
+        }
+        if (watchdog_env != nullptr) {
+            const double sec = std::strtod(watchdog_env, nullptr);
+            if (sec > 0) {
+                WatchdogOptions opts;
+                opts.interval = std::chrono::milliseconds(
+                    static_cast<std::int64_t>(sec * 1000.0));
+                start_watchdog_impl(std::move(opts));
+            }
+        }
+        if (watchdog_env != nullptr || report_env != nullptr) {
+            std::atexit([] {
+                stop_watchdog();
+                if (const char* path = std::getenv("BAT_REPORT_FILE")) {
+                    write_run_report(path);
+                }
+            });
+        }
+    });
+}
+
+std::string flight_path_from_env() {
+    if (const char* path = std::getenv("BAT_FLIGHT_RECORD_FILE")) {
+        return path;
+    }
+    return {};
+}
+
+// ---- snapshots ------------------------------------------------------------
+
+struct RankSnapshot {
+    int rank;
+    bool active;
+    std::uint64_t epoch;
+    std::string blocked_on;
+};
+
+/// Render a structured blocked-on record ("irecv", src, tag) to the text
+/// shown in diagnoses. The op vocabulary is vmpi's; keeping the rendering
+/// here means the wait path never touches strings.
+std::string render_blocked(const char* op, int peer, int tag) {
+    std::string out = op;
+    if (std::strcmp(op, "ibarrier") == 0) {
+        out += "(seq=" + std::to_string(tag) + ")";
+        return out;
+    }
+    out += "(src=";
+    out += peer < 0 ? std::string("ANY") : std::to_string(peer);
+    out += ", tag=" + std::to_string(tag) + ")";
+    return out;
+}
+
+std::vector<RankSnapshot> snapshot_ranks() {
+    HealthState& s = state();
+    std::vector<RankSnapshot> out;
+    const int top = s.max_rank.load(std::memory_order_relaxed);
+    for (int r = 0; r <= std::min(top, kMaxRanks - 1); ++r) {
+        RankSnapshot snap;
+        snap.rank = r;
+        snap.active = s.ranks[r].active.load(std::memory_order_relaxed) > 0;
+        snap.epoch = s.ranks[r].epoch.load(std::memory_order_relaxed);
+        if (const char* op = s.ranks[r].block_op.load(std::memory_order_acquire)) {
+            snap.blocked_on =
+                render_blocked(op, s.ranks[r].block_peer.load(std::memory_order_relaxed),
+                               s.ranks[r].block_tag.load(std::memory_order_relaxed));
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+/// Invoke every registered provider while holding the registry lock. The
+/// lock is what makes unregister_diag_provider a synchronization point:
+/// once it returns, the provider cannot be mid-call, so a subsystem may
+/// unregister in its destructor and then tear down the state its provider
+/// reads. Providers must therefore never block (try_lock only) and never
+/// (un)register providers themselves.
+template <typename Visit>
+void for_each_provider(Visit visit) {
+    HealthState& s = state();
+    std::lock_guard<std::mutex> lock(s.providers_mutex);
+    for (const DiagProvider& p : s.providers) {
+        visit(p);
+    }
+}
+
+// ---- stall diagnosis ------------------------------------------------------
+
+StallReport build_stall_report(std::chrono::milliseconds stalled_for) {
+    StallReport report;
+    std::ostringstream os;
+    const std::vector<RankSnapshot> ranks = snapshot_ranks();
+    int active = 0;
+    for (const RankSnapshot& r : ranks) {
+        if (r.active) {
+            ++active;
+            report.stuck_ranks.push_back(r.rank);
+        }
+    }
+    os << "bat watchdog: no progress for " << stalled_for.count() << " ms across "
+       << active << " active rank(s)\n";
+    for (const RankSnapshot& r : ranks) {
+        if (!r.active) {
+            continue;
+        }
+        os << "  rank " << r.rank << " stuck (epoch " << r.epoch << ")";
+        if (!r.blocked_on.empty()) {
+            os << ", blocked on " << r.blocked_on;
+        }
+        os << "\n";
+    }
+    const std::vector<ThreadSpanStack> stacks = snapshot_span_stacks();
+    for (const ThreadSpanStack& st : stacks) {
+        if (st.spans.empty()) {
+            continue;
+        }
+        os << "  open spans (rank " << st.rank << "):";
+        for (const std::string& span : st.spans) {
+            os << " > " << span;
+        }
+        os << "\n";
+    }
+    for_each_provider([&os](const DiagProvider& p) {
+        try {
+            os << "  " << p.name << ": " << p.fn() << "\n";
+        } catch (const std::exception& e) {
+            os << "  " << p.name << ": <provider failed: " << e.what() << ">\n";
+        }
+    });
+    report.text = os.str();
+    return report;
+}
+
+void watchdog_loop(Watchdog* dog) {
+    HealthState& s = state();
+    std::uint64_t last_total = s.total_epoch.load(std::memory_order_relaxed);
+    int stale = 0;
+    bool tripped = false;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(dog->mutex);
+            dog->cv.wait_for(lock, dog->opts.interval, [dog] { return dog->stop; });
+            if (dog->stop) {
+                return;
+            }
+        }
+        const std::uint64_t total = s.total_epoch.load(std::memory_order_relaxed);
+        int active = 0;
+        const int top = s.max_rank.load(std::memory_order_relaxed);
+        for (int r = 0; r <= std::min(top, kMaxRanks - 1); ++r) {
+            if (s.ranks[r].active.load(std::memory_order_relaxed) > 0) {
+                ++active;
+            }
+        }
+        if (total != last_total || active == 0) {
+            last_total = total;
+            stale = 0;
+            tripped = false;
+            continue;
+        }
+        ++stale;
+        if (stale < dog->opts.stale_intervals || tripped) {
+            continue;
+        }
+        tripped = true;  // one diagnosis per stall; re-arm on progress
+        s.trips.fetch_add(1, std::memory_order_relaxed);
+        const auto stalled_for = dog->opts.interval * stale;
+        const StallReport report = build_stall_report(
+            std::chrono::duration_cast<std::chrono::milliseconds>(stalled_for));
+        BAT_LOG_ERROR(report.text);
+        std::filesystem::path path = dog->opts.flight_record_path;
+        if (path.empty()) {
+            path = flight_path_from_env();
+        }
+        if (!path.empty()) {
+            dump_flight_record("watchdog", path);
+        }
+        if (dog->opts.on_stall) {
+            dog->opts.on_stall(report);
+        }
+    }
+}
+
+void start_watchdog_impl(WatchdogOptions opts) {
+    stop_watchdog();
+    HealthState& s = state();
+    std::lock_guard<std::mutex> lock(s.watchdog_mutex);
+    auto* dog = new Watchdog;
+    dog->opts = std::move(opts);
+    s.trips.store(0, std::memory_order_relaxed);
+    s.watchdog = dog;
+    s.watchdog_on.store(true, std::memory_order_relaxed);
+    s.watchdog_armed_ever.store(true, std::memory_order_relaxed);
+    set_span_tracking(true);
+    dog->thread = std::thread([dog] { watchdog_loop(dog); });
+}
+
+}  // namespace
+
+// ---- progress epochs ------------------------------------------------------
+
+void note_progress() { note_progress(thread_log_rank()); }
+
+void note_progress(int rank) {
+    ensure_init();
+    bump(rank);
+}
+
+void note_send(int rank, std::uint64_t bytes) {
+    ensure_init();
+    HealthState& s = state();
+    s.sends.fetch_add(1, std::memory_order_relaxed);
+    s.send_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    bump(rank);
+}
+
+void note_recv(int rank, std::uint64_t bytes) {
+    ensure_init();
+    HealthState& s = state();
+    s.recvs.fetch_add(1, std::memory_order_relaxed);
+    s.recv_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    bump(rank);
+}
+
+void note_collective(int rank) {
+    ensure_init();
+    state().collectives.fetch_add(1, std::memory_order_relaxed);
+    bump(rank);
+}
+
+void note_pool_task() {
+    ensure_init();
+    state().pool_tasks.fetch_add(1, std::memory_order_relaxed);
+    bump(-1);
+}
+
+void note_leaves_served(int rank, std::uint64_t leaves) {
+    ensure_init();
+    state().leaves_served.fetch_add(leaves, std::memory_order_relaxed);
+    bump(rank);
+}
+
+void rank_begin(int rank) {
+    ensure_init();
+    slot_for(rank).active.fetch_add(1, std::memory_order_relaxed);
+    bump(rank);
+}
+
+void rank_end(int rank) {
+    slot_for(rank).active.fetch_sub(1, std::memory_order_relaxed);
+    clear_blocked_op(rank);
+    bump(rank);
+}
+
+bool health_armed() {
+    return g_flight_armed.load(std::memory_order_relaxed) ||
+           state().watchdog_on.load(std::memory_order_relaxed);
+}
+
+void set_blocked_op(int rank, const char* op, int peer, int tag) {
+    if (rank < 0 || rank >= kMaxRanks) {
+        return;
+    }
+    RankSlot& slot = state().ranks[rank];
+    slot.block_peer.store(peer, std::memory_order_relaxed);
+    slot.block_tag.store(tag, std::memory_order_relaxed);
+    slot.block_op.store(op, std::memory_order_release);
+}
+
+void clear_blocked_op(int rank) {
+    if (rank < 0 || rank >= kMaxRanks) {
+        return;
+    }
+    state().ranks[rank].block_op.store(nullptr, std::memory_order_relaxed);
+}
+
+// ---- run report -----------------------------------------------------------
+
+void record_rank_value(const char* name, std::uint64_t value) {
+    ensure_init();
+    HealthState& s = state();
+    const int rank = thread_log_rank();
+    std::lock_guard<std::mutex> lock(s.values_mutex);
+    s.rank_values[name][rank] += value;
+}
+
+std::string run_report_json() {
+    ensure_init();
+    HealthState& s = state();
+    std::string out;
+    out.reserve(1 << 14);
+    out += "{\"schema\":\"bat-report-v1\",\n\"run\":{\"wall_seconds\":";
+    append_double(out, std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - s.start)
+                           .count());
+    out += ",\"ranks\":";
+    out += std::to_string(s.max_rank.load(std::memory_order_relaxed) + 1);
+    out += ",\"pid\":";
+    out += std::to_string(static_cast<long>(::getpid()));
+    out += ",\"watchdog\":{\"armed\":";
+    out += s.watchdog_armed_ever.load(std::memory_order_relaxed) ? "true" : "false";
+    out += ",\"trips\":";
+    append_u64(out, s.trips.load(std::memory_order_relaxed));
+    out += "}},\n";
+
+    // Per-phase wall times with per-rank min/mean/max — the imbalance view.
+    // Seconds come from the same PhaseSpan accumulation that fills
+    // WritePhaseTimings / ReadPhaseTimings, so the two agree exactly.
+    out += "\"phases\":{";
+    {
+        std::map<std::string, std::map<int, PhaseAcc>> phases;
+        {
+            std::lock_guard<std::mutex> lock(s.phases_mutex);
+            phases = s.phases;
+        }
+        bool first = true;
+        for (const auto& [name, per_rank] : phases) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "  \"";
+            json_escape(out, name);
+            out += "\":{";
+            double sum = 0;
+            double min = 1e300;
+            double max = 0;
+            std::uint64_t calls = 0;
+            for (const auto& [rank, acc] : per_rank) {
+                (void)rank;
+                sum += acc.seconds;
+                min = std::min(min, acc.seconds);
+                max = std::max(max, acc.seconds);
+                calls += acc.calls;
+            }
+            const auto nranks = static_cast<double>(per_rank.size());
+            out += "\"calls\":";
+            append_u64(out, calls);
+            out += ",\"ranks\":";
+            out += std::to_string(per_rank.size());
+            out += ",\"seconds\":";
+            append_double(out, sum);
+            out += ",\"min_s\":";
+            append_double(out, per_rank.empty() ? 0 : min);
+            out += ",\"mean_s\":";
+            append_double(out, per_rank.empty() ? 0 : sum / nranks);
+            out += ",\"max_s\":";
+            append_double(out, max);
+            out += "}";
+        }
+        out += first ? "},\n" : "\n},\n";
+    }
+
+    // Per-rank I/O volumes (record_rank_value), same min/mean/max shape.
+    out += "\"io\":{";
+    {
+        std::map<std::string, std::map<int, std::uint64_t>> values;
+        {
+            std::lock_guard<std::mutex> lock(s.values_mutex);
+            values = s.rank_values;
+        }
+        bool first = true;
+        for (const auto& [name, per_rank] : values) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "  \"";
+            json_escape(out, name);
+            out += "\":{";
+            std::uint64_t sum = 0;
+            std::uint64_t min = ~std::uint64_t{0};
+            std::uint64_t max = 0;
+            for (const auto& [rank, v] : per_rank) {
+                (void)rank;
+                sum += v;
+                min = std::min(min, v);
+                max = std::max(max, v);
+            }
+            out += "\"total\":";
+            append_u64(out, sum);
+            out += ",\"ranks\":";
+            out += std::to_string(per_rank.size());
+            out += ",\"min\":";
+            append_u64(out, per_rank.empty() ? 0 : min);
+            out += ",\"mean\":";
+            append_double(out, per_rank.empty()
+                                   ? 0
+                                   : static_cast<double>(sum) /
+                                         static_cast<double>(per_rank.size()));
+            out += ",\"max\":";
+            append_u64(out, max);
+            out += "}";
+        }
+        out += first ? "},\n" : "\n},\n";
+    }
+
+    out += "\"messages\":{\"sends\":";
+    append_u64(out, s.sends.load(std::memory_order_relaxed));
+    out += ",\"send_bytes\":";
+    append_u64(out, s.send_bytes.load(std::memory_order_relaxed));
+    out += ",\"recvs\":";
+    append_u64(out, s.recvs.load(std::memory_order_relaxed));
+    out += ",\"recv_bytes\":";
+    append_u64(out, s.recv_bytes.load(std::memory_order_relaxed));
+    out += ",\"collectives\":";
+    append_u64(out, s.collectives.load(std::memory_order_relaxed));
+    out += ",\"leaves_served\":";
+    append_u64(out, s.leaves_served.load(std::memory_order_relaxed));
+    out += "},\n";
+
+    out += "\"pool\":{\"tasks\":";
+    append_u64(out, s.pool_tasks.load(std::memory_order_relaxed));
+    out += "},\n";
+
+    // Cache hit rate from the obs counters the leaf cache records.
+    const auto counters = MetricsRegistry::global().counter_values();
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (const auto& [name, v] : counters) {
+        if (name == "read.leaf_cache_hit") {
+            hits = v;
+        } else if (name == "read.leaf_cache_miss") {
+            misses = v;
+        }
+    }
+    out += "\"cache\":{\"hits\":";
+    append_u64(out, hits);
+    out += ",\"misses\":";
+    append_u64(out, misses);
+    out += ",\"hit_rate\":";
+    append_double(out, hits + misses == 0
+                           ? 0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(hits + misses));
+    out += "},\n";
+
+    out += "\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : counters) {
+        out += first ? "" : ",";
+        first = false;
+        out += "\"";
+        json_escape(out, name);
+        out += "\":";
+        append_u64(out, v);
+    }
+    out += "},\n\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : MetricsRegistry::global().gauge_values()) {
+        out += first ? "" : ",";
+        first = false;
+        out += "\"";
+        json_escape(out, name);
+        out += "\":";
+        append_double(out, v);
+    }
+    out += "},\n\"histograms\":{";
+    first = true;
+    for (const auto& h : MetricsRegistry::global().histogram_snapshots()) {
+        out += first ? "" : ",";
+        first = false;
+        out += "\"";
+        json_escape(out, h.name);
+        out += "\":{\"count\":";
+        append_u64(out, h.count);
+        out += ",\"mean\":";
+        append_double(out, h.mean);
+        out += ",\"min\":";
+        append_double(out, h.min);
+        out += ",\"max\":";
+        append_double(out, h.max);
+        out += "}";
+    }
+    out += "}\n}\n";
+    return out;
+}
+
+bool write_run_report(const std::filesystem::path& path) {
+    const std::string expanded = expand_path_template(path.string());
+    std::ofstream f(expanded, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        BAT_LOG_ERROR("run report: cannot open " << expanded);
+        return false;
+    }
+    const std::string json = run_report_json();
+    f.write(json.data(), static_cast<std::streamsize>(json.size()));
+    BAT_LOG_INFO("run report written to " << expanded << " (" << json.size()
+                                          << " bytes)");
+    return true;
+}
+
+void reset_run_report() {
+    HealthState& s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.phases_mutex);
+        s.phases.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lock(s.values_mutex);
+        s.rank_values.clear();
+    }
+    s.sends.store(0, std::memory_order_relaxed);
+    s.send_bytes.store(0, std::memory_order_relaxed);
+    s.recvs.store(0, std::memory_order_relaxed);
+    s.recv_bytes.store(0, std::memory_order_relaxed);
+    s.collectives.store(0, std::memory_order_relaxed);
+    s.leaves_served.store(0, std::memory_order_relaxed);
+    s.pool_tasks.store(0, std::memory_order_relaxed);
+    s.trips.store(0, std::memory_order_relaxed);
+    s.watchdog_armed_ever.store(s.watchdog_on.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+    s.start = std::chrono::steady_clock::now();
+}
+
+// ---- watchdog -------------------------------------------------------------
+
+void start_watchdog(WatchdogOptions opts) {
+    ensure_init();
+    start_watchdog_impl(std::move(opts));
+}
+
+void stop_watchdog() {
+    HealthState& s = state();
+    Watchdog* dog = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(s.watchdog_mutex);
+        dog = s.watchdog;
+        s.watchdog = nullptr;
+        s.watchdog_on.store(false, std::memory_order_relaxed);
+        if (!g_flight_armed.load(std::memory_order_relaxed)) {
+            set_span_tracking(false);
+        }
+    }
+    if (dog == nullptr) {
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(dog->mutex);
+        dog->stop = true;
+    }
+    dog->cv.notify_all();
+    dog->thread.join();
+    delete dog;
+}
+
+bool watchdog_running() {
+    return state().watchdog_on.load(std::memory_order_relaxed);
+}
+
+std::uint64_t watchdog_trips() {
+    return state().trips.load(std::memory_order_relaxed);
+}
+
+// ---- flight recorder ------------------------------------------------------
+
+std::string flight_record_json(const std::string& reason) {
+    ensure_init();
+    HealthState& s = state();
+    std::string out;
+    out.reserve(1 << 14);
+    out += "{\"schema\":\"bat-flight-v1\",\"reason\":\"";
+    json_escape(out, reason);
+    out += "\",\"pid\":";
+    out += std::to_string(static_cast<long>(::getpid()));
+    out += ",\"wall_seconds\":";
+    append_double(out, std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - s.start)
+                           .count());
+    out += ",\"watchdog_trips\":";
+    append_u64(out, s.trips.load(std::memory_order_relaxed));
+    out += ",\n\"stuck_ranks\":[";
+    const std::vector<RankSnapshot> ranks = snapshot_ranks();
+    bool first = true;
+    for (const RankSnapshot& r : ranks) {
+        if (!r.active) {
+            continue;
+        }
+        out += first ? "" : ",";
+        first = false;
+        out += std::to_string(r.rank);
+    }
+    out += "],\n\"ranks\":[";
+    first = true;
+    for (const RankSnapshot& r : ranks) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "  {\"rank\":";
+        out += std::to_string(r.rank);
+        out += ",\"active\":";
+        out += r.active ? "true" : "false";
+        out += ",\"epoch\":";
+        append_u64(out, r.epoch);
+        out += ",\"blocked_on\":\"";
+        json_escape(out, r.blocked_on);
+        out += "\"}";
+    }
+    out += first ? "],\n" : "\n],\n";
+
+    out += "\"threads\":[";
+    first = true;
+    for (const ThreadSpanStack& st : snapshot_span_stacks()) {
+        if (st.spans.empty()) {
+            continue;
+        }
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "  {\"rank\":";
+        out += std::to_string(st.rank);
+        out += ",\"spans\":[";
+        for (std::size_t i = 0; i < st.spans.size(); ++i) {
+            out += i == 0 ? "\"" : ",\"";
+            json_escape(out, st.spans[i]);
+            out += "\"";
+        }
+        out += "]}";
+    }
+    out += first ? "],\n" : "\n],\n";
+
+    out += "\"subsystems\":[";
+    first = true;
+    for_each_provider([&out, &first](const DiagProvider& p) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "  {\"name\":\"";
+        json_escape(out, p.name);
+        out += "\",\"state\":";
+        try {
+            out += p.fn();
+        } catch (const std::exception& e) {
+            out += "{\"error\":\"";
+            json_escape(out, e.what());
+            out += "\"}";
+        }
+        out += "}";
+    });
+    out += first ? "],\n" : "\n],\n";
+
+    // Tail of each thread's trace ring (empty array when tracing never ran).
+    out += "\"trace_tail\":";
+    out += trace_tail_json(256);
+    out += ",\n\"metrics\":";
+    out += MetricsRegistry::global().to_json();
+    out += "}\n";
+    return out;
+}
+
+bool dump_flight_record(const std::string& reason, const std::filesystem::path& path) {
+    std::string target = path.string();
+    if (target.empty()) {
+        target = flight_path_from_env();
+    }
+    if (target.empty()) {
+        return false;
+    }
+    const std::string expanded = expand_path_template(target);
+    std::ofstream f(expanded, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        BAT_LOG_ERROR("flight record: cannot open " << expanded);
+        return false;
+    }
+    const std::string json = flight_record_json(reason);
+    f.write(json.data(), static_cast<std::streamsize>(json.size()));
+    f.flush();
+    BAT_LOG_WARN("flight record (" << reason << ") written to " << expanded);
+    return true;
+}
+
+// ---- diag providers -------------------------------------------------------
+
+std::uint64_t register_diag_provider(std::string name, std::function<std::string()> fn) {
+    HealthState& s = state();
+    std::lock_guard<std::mutex> lock(s.providers_mutex);
+    const std::uint64_t id = s.next_provider_id++;
+    s.providers.push_back(DiagProvider{id, std::move(name), std::move(fn)});
+    return id;
+}
+
+void unregister_diag_provider(std::uint64_t id) {
+    HealthState& s = state();
+    std::lock_guard<std::mutex> lock(s.providers_mutex);
+    s.providers.erase(std::remove_if(s.providers.begin(), s.providers.end(),
+                                     [id](const DiagProvider& p) { return p.id == id; }),
+                      s.providers.end());
+}
+
+// ---- span stacks ----------------------------------------------------------
+
+bool span_tracking_enabled() {
+    return g_span_tracking.load(std::memory_order_relaxed);
+}
+
+void set_span_tracking(bool on) {
+    g_span_tracking.store(on, std::memory_order_relaxed);
+}
+
+std::vector<ThreadSpanStack> snapshot_span_stacks() {
+    HealthState& s = state();
+    std::vector<SpanStack*> stacks;
+    {
+        std::lock_guard<std::mutex> lock(s.stacks_mutex);
+        stacks = s.stacks;
+    }
+    std::vector<ThreadSpanStack> out;
+    for (const SpanStack* st : stacks) {
+        const int depth =
+            std::min(st->depth.load(std::memory_order_acquire), SpanStack::kMaxDepth);
+        if (depth <= 0) {
+            continue;
+        }
+        ThreadSpanStack snap;
+        snap.rank = st->rank.load(std::memory_order_relaxed);
+        for (int i = 0; i < depth; ++i) {
+            if (const char* name = st->names[i].load(std::memory_order_relaxed)) {
+                snap.spans.emplace_back(name);
+            }
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+std::string expand_path_template(const std::string& path) {
+    std::string out = path;
+    const std::string pid = std::to_string(static_cast<long>(::getpid()));
+    std::size_t at = 0;
+    while ((at = out.find("%p", at)) != std::string::npos) {
+        out.replace(at, 2, pid);
+        at += pid.size();
+    }
+    return out;
+}
+
+namespace health_detail {
+
+void push_span(const char* name) {
+    SpanStack& st = thread_span_stack();
+    const int d = st.depth.load(std::memory_order_relaxed);
+    if (d < SpanStack::kMaxDepth) {
+        st.names[d].store(name, std::memory_order_relaxed);
+    }
+    st.rank.store(thread_log_rank(), std::memory_order_relaxed);
+    st.depth.store(d + 1, std::memory_order_release);
+}
+
+void pop_span() {
+    SpanStack& st = thread_span_stack();
+    const int d = st.depth.load(std::memory_order_relaxed);
+    if (d > 0) {
+        st.depth.store(d - 1, std::memory_order_release);
+    }
+}
+
+void record_phase(const char* name, double seconds) {
+    ensure_init();
+    HealthState& s = state();
+    const int rank = thread_log_rank();
+    {
+        std::lock_guard<std::mutex> lock(s.phases_mutex);
+        PhaseAcc& acc = s.phases[name][rank];
+        acc.seconds += seconds;
+        acc.calls += 1;
+    }
+    // A phase completing is progress (covers compute-only phases that send
+    // no messages, e.g. a long local tree build).
+    bump(rank);
+}
+
+}  // namespace health_detail
+
+}  // namespace bat::obs

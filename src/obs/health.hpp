@@ -1,0 +1,168 @@
+#pragma once
+// Run-health layer (docs/OBSERVABILITY.md): Darshan-style always-on run
+// reports, a stall watchdog, and crash/stall flight-recorder dumps.
+//
+// Three facilities share one progress-epoch table:
+//
+//   - RunReport: near-zero-cost per-run I/O characterization. Phase wall
+//     times arrive through obs::PhaseSpan (the same accumulation that fills
+//     WritePhaseTimings / ReadPhaseTimings, so the report and the structs
+//     agree by construction), message counts/bytes through the vmpi hooks,
+//     per-rank volumes through record_rank_value. Emitted at exit as
+//     bat-report-v1 JSON when BAT_REPORT_FILE is set; pretty-printed by
+//     tools/bat_report.
+//
+//   - Stall watchdog: every vmpi send/recv/collective completion, leaf
+//     serving job, pool task, and phase completion bumps a per-rank progress
+//     epoch (a relaxed atomic increment). A monitor thread — armed by
+//     BAT_WATCHDOG_SEC=N or start_watchdog() — declares a stall when no
+//     active rank makes progress for `stale_intervals` consecutive
+//     intervals, then logs which ranks are stuck, what they are blocked on,
+//     their open span stacks, in-flight messages, and pool queue depths.
+//
+//   - Flight recorder: the same diagnostic snapshot plus the tail of the
+//     thread-local trace rings, written as JSON on watchdog trip, fatal
+//     signal (handlers installed when BAT_FLIGHT_RECORD_FILE is set), or an
+//     explicit dump_flight_record() call.
+//
+// obs stays independent of vmpi and io: those layers call *into* this one
+// (progress notes) and register diag providers for subsystem introspection.
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bat::obs {
+
+// ---- progress epochs ------------------------------------------------------
+
+/// Bump the calling thread's rank epoch (rank-less threads share a process
+/// slot). One relaxed atomic increment; safe to call from any thread.
+void note_progress();
+void note_progress(int rank);
+
+/// Progress + message accounting for the report's traffic section.
+void note_send(int rank, std::uint64_t bytes);
+void note_recv(int rank, std::uint64_t bytes);
+void note_collective(int rank);
+void note_pool_task();
+void note_leaves_served(int rank, std::uint64_t leaves);
+
+/// Rank lifecycle, called by the vmpi runtime around each rank body. A rank
+/// only participates in stall detection while active.
+void rank_begin(int rank);
+void rank_end(int rank);
+
+/// True while the watchdog or flight recorder is armed; callers use this to
+/// gate building the (string) descriptions behind set_blocked_on.
+bool health_armed();
+
+/// Record/clear what `rank` is currently blocked on, shown in stall
+/// diagnoses and flight records ("irecv(src=0, tag=7)", "ibarrier(seq=3)").
+/// Three relaxed stores — cheap enough for every wait; `op` must be a
+/// string literal. Rendering to text happens only at diagnosis time.
+void set_blocked_op(int rank, const char* op, int peer, int tag);
+void clear_blocked_op(int rank);
+
+// ---- run report -----------------------------------------------------------
+
+/// Per-rank accumulators for the report's io section ("write.bytes_written",
+/// "read.bytes_read", ...). Values add; rank is thread_log_rank().
+void record_rank_value(const char* name, std::uint64_t value);
+
+/// Build the bat-report-v1 JSON document from the current process state.
+std::string run_report_json();
+
+/// Write run_report_json() to `path` ("%p" expands to the pid).
+bool write_run_report(const std::filesystem::path& path);
+
+/// Drop all report accumulators (phases, messages, rank values) and reset
+/// watchdog trip counts — tests and repeated benchmark runs.
+void reset_run_report();
+
+// ---- stall watchdog -------------------------------------------------------
+
+struct StallReport {
+    std::vector<int> stuck_ranks;  // active ranks whose epoch never moved
+    std::string text;              // full human-readable diagnosis
+};
+
+struct WatchdogOptions {
+    std::chrono::milliseconds interval{10'000};
+    /// Consecutive no-progress intervals before declaring a stall; 2 avoids
+    /// tripping on a single long compute phase straddling one check.
+    int stale_intervals = 2;
+    /// Called on every trip, after logging and the flight-record dump.
+    std::function<void(const StallReport&)> on_stall;
+    /// Flight-record destination on trip; empty falls back to
+    /// BAT_FLIGHT_RECORD_FILE (no dump when neither is set).
+    std::filesystem::path flight_record_path;
+};
+
+/// Start the monitor thread (idempotent: a running watchdog is stopped
+/// first). Also enables span-stack tracking and blocked-on recording.
+void start_watchdog(WatchdogOptions opts = {});
+/// Stop and join the monitor thread; no-op when not running.
+void stop_watchdog();
+bool watchdog_running();
+/// Stalls declared since start_watchdog()/reset_run_report().
+std::uint64_t watchdog_trips();
+
+// ---- flight recorder ------------------------------------------------------
+
+/// Build the diagnostic snapshot JSON: rank health, blocked ops, open span
+/// stacks, subsystem diag providers, trace-ring tails, and metrics.
+std::string flight_record_json(const std::string& reason);
+
+/// Write flight_record_json() to `path`, or to BAT_FLIGHT_RECORD_FILE when
+/// `path` is empty ("%p" expands to the pid). Returns false when no
+/// destination is configured.
+bool dump_flight_record(const std::string& reason = "explicit",
+                        const std::filesystem::path& path = {});
+
+// ---- subsystem diag providers ---------------------------------------------
+
+/// Register a provider returning a JSON value describing live subsystem
+/// state (pending mailbox messages, pool queue depth, ...). Included in
+/// stall diagnoses and flight records. Providers run on the watchdog (or
+/// dumping) thread and must never block — try_lock and report "busy".
+/// unregister_diag_provider synchronizes with in-flight calls: once it
+/// returns, the provider is not running and will never run again, so a
+/// subsystem may unregister in its destructor before tearing down the
+/// state its provider reads.
+std::uint64_t register_diag_provider(std::string name, std::function<std::string()> fn);
+void unregister_diag_provider(std::uint64_t id);
+
+// ---- span-stack tracking (SpanScope / PhaseSpan hooks) ---------------------
+
+/// True while open-span stacks are being tracked (armed with the watchdog /
+/// flight recorder); the disabled path in SpanScope is one relaxed load.
+bool span_tracking_enabled();
+void set_span_tracking(bool on);
+
+struct ThreadSpanStack {
+    int rank = -1;
+    std::vector<std::string> spans;  // outermost first
+};
+/// Snapshot every tracked thread's open spans (lock-free reads; a stack
+/// mutating mid-snapshot yields a truncated, never torn, view).
+std::vector<ThreadSpanStack> snapshot_span_stacks();
+
+/// Expand "%p" in export path templates (BAT_TRACE_FILE, BAT_REPORT_FILE,
+/// ...) to the process id, so concurrent test processes do not collide.
+std::string expand_path_template(const std::string& path);
+
+namespace health_detail {
+/// Called by SpanScope/PhaseSpan when span_tracking_enabled(); `name` must
+/// be a string literal (the pointer is stored, not the contents).
+void push_span(const char* name);
+void pop_span();
+/// Called by every PhaseSpan::close(), tracing on or off: accumulates the
+/// phase's wall seconds into the report under the calling thread's rank.
+void record_phase(const char* name, double seconds);
+}  // namespace health_detail
+
+}  // namespace bat::obs

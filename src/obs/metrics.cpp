@@ -158,6 +158,54 @@ void MetricsRegistry::clear() {
     histograms_.clear();
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counter_values()
+    const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+        out.emplace_back(name, c->value());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_values() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+        out.emplace_back(name, g->value());
+    }
+    return out;
+}
+
+std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::histogram_snapshots()
+    const {
+    std::vector<std::pair<std::string, const Histogram*>> entries;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries.reserve(histograms_.size());
+        for (const auto& [name, h] : histograms_) {
+            entries.emplace_back(name, h.get());
+        }
+    }
+    // Entries outlive the registry lock; each stats() takes the histogram's
+    // own mutex (registry lock released first, same order as merge()).
+    std::vector<HistogramSnapshot> out;
+    out.reserve(entries.size());
+    for (const auto& [name, h] : entries) {
+        const RunningStats stats = h->stats();
+        HistogramSnapshot snap;
+        snap.name = name;
+        snap.count = static_cast<std::uint64_t>(stats.count());
+        snap.mean = stats.mean();
+        snap.min = stats.min();
+        snap.max = stats.max();
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
 namespace {
 
 void append_number(std::string& out, double v) {

@@ -97,6 +97,19 @@ public:
     /// Drop every entry. Callers must not hold entry references across this.
     void clear();
 
+    /// Point-in-time snapshots, name-sorted — the run report and
+    /// reduce_metrics_spread read these instead of holding entry references.
+    std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+    std::vector<std::pair<std::string, double>> gauge_values() const;
+    struct HistogramSnapshot {
+        std::string name;
+        std::uint64_t count = 0;
+        double mean = 0;
+        double min = 0;
+        double max = 0;
+    };
+    std::vector<HistogramSnapshot> histogram_snapshots() const;
+
     std::string to_json() const;
     void write_json(const std::filesystem::path& path) const;
 

@@ -22,4 +22,66 @@ inline MetricsRegistry reduce_metrics(vmpi::Comm& comm, const MetricsRegistry& l
     return merged;
 }
 
+/// Per-counter spread across ranks, for the run report's imbalance view. A
+/// counter absent on a rank contributes 0 to that rank (and can be the min).
+struct CounterSpread {
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t sum = 0;
+    int min_rank = -1;
+    int max_rank = -1;
+};
+
+struct ReducedMetrics {
+    MetricsRegistry merged;  // counters add, gauges max, histograms combine
+    std::map<std::string, CounterSpread> counter_spread;
+};
+
+/// Collective like reduce_metrics, but the root also gets per-rank min/max
+/// for every counter name any rank recorded.
+inline ReducedMetrics reduce_metrics_spread(vmpi::Comm& comm,
+                                            const MetricsRegistry& local,
+                                            int root = 0) {
+    std::vector<vmpi::Bytes> blobs = comm.gatherv(local.to_bytes(), root);
+    ReducedMetrics out;
+    if (comm.rank() != root) {
+        return out;
+    }
+    std::vector<MetricsRegistry> registries;
+    registries.reserve(blobs.size());
+    for (const vmpi::Bytes& blob : blobs) {
+        registries.push_back(MetricsRegistry::from_bytes(blob));
+        out.merged.merge(registries.back());
+    }
+    // Union of counter names, then one pass per rank including implicit 0s.
+    std::map<std::string, CounterSpread> spread;
+    for (const auto& [name, value] : out.merged.counter_values()) {
+        (void)value;
+        spread.emplace(name, CounterSpread{});
+    }
+    for (auto& [name, sp] : spread) {
+        for (int rank = 0; rank < static_cast<int>(registries.size()); ++rank) {
+            std::uint64_t v = 0;
+            for (const auto& [rname, rvalue] :
+                 registries[static_cast<std::size_t>(rank)].counter_values()) {
+                if (rname == name) {
+                    v = rvalue;
+                    break;
+                }
+            }
+            sp.sum += v;
+            if (sp.min_rank < 0 || v < sp.min) {
+                sp.min = v;
+                sp.min_rank = rank;
+            }
+            if (sp.max_rank < 0 || v > sp.max) {
+                sp.max = v;
+                sp.max_rank = rank;
+            }
+        }
+    }
+    out.counter_spread = std::move(spread);
+    return out;
+}
+
 }  // namespace bat::obs

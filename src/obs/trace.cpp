@@ -127,11 +127,13 @@ void register_atexit_export() {
             trace_epoch();
             MetricsRegistry::global();
             std::atexit([] {
+                // "%p" in either path expands to the pid so concurrent test
+                // processes sharing one env do not clobber each other.
                 if (const char* path = std::getenv("BAT_TRACE_FILE")) {
-                    write_chrome_trace(path);
+                    write_chrome_trace(expand_path_template(path));
                 }
                 if (const char* path = std::getenv("BAT_METRICS_FILE")) {
-                    MetricsRegistry::global().write_json(path);
+                    MetricsRegistry::global().write_json(expand_path_template(path));
                 }
             });
         }
@@ -472,6 +474,35 @@ std::string chrome_trace_json() {
     out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
     out += std::to_string(dropped);
     out += "}}";
+    return out;
+}
+
+std::string trace_tail_json(std::size_t max_per_thread) {
+    // Flight-recorder view: newest events only, no cross-thread sort, no
+    // metadata. Reading below each ring's release-stored head is safe for
+    // events already published; entries being overwritten concurrently can
+    // at worst surface a stale (whole, never torn) event.
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        Registry& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        buffers = reg.buffers;
+    }
+    std::string out = "[";
+    bool first = true;
+    for (const auto& buf : buffers) {
+        const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+        const std::uint64_t cap = buf->capacity;
+        const std::uint64_t count = std::min({head, cap, std::uint64_t{max_per_thread}});
+        for (std::uint64_t i = head - count; i < head; ++i) {
+            if (!first) {
+                out += ",\n";
+            }
+            first = false;
+            append_event_json(out, buf->ring[i % cap]);
+        }
+    }
+    out += "]";
     return out;
 }
 

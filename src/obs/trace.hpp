@@ -19,6 +19,8 @@
 #include <filesystem>
 #include <string>
 
+#include "obs/health.hpp"
+
 namespace bat::obs {
 
 namespace json {
@@ -70,6 +72,11 @@ void emit_span_on_track(std::uint32_t track, const char* name, const char* cat,
 std::string chrome_trace_json();
 void write_chrome_trace(const std::filesystem::path& path);
 
+/// JSON array holding the newest `max_per_thread` events of each thread's
+/// ring, for flight-recorder dumps. Same event objects as
+/// chrome_trace_json(), unsorted across threads.
+std::string trace_tail_json(std::size_t max_per_thread);
+
 /// Events lost to ring-buffer overflow since the last reset.
 std::uint64_t dropped_events();
 
@@ -105,6 +112,10 @@ public:
             active_ = true;
             emit_begin(name_, cat_);
         }
+        if (span_tracking_enabled()) {
+            tracked_ = true;
+            health_detail::push_span(name_);
+        }
     }
     SpanScope(const SpanScope&) = delete;
     SpanScope& operator=(const SpanScope&) = delete;
@@ -112,12 +123,16 @@ public:
         if (active_) {
             emit_end(name_, cat_);
         }
+        if (tracked_) {
+            health_detail::pop_span();
+        }
     }
 
 private:
     const char* name_;
     const char* cat_;
     bool active_ = false;
+    bool tracked_ = false;
 };
 
 /// Span that also accumulates its duration (seconds) into `*accum` — the
@@ -132,6 +147,10 @@ public:
         if (traced_) {
             emit_begin(name_, cat_);
         }
+        if (span_tracking_enabled()) {
+            tracked_ = true;
+            health_detail::push_span(name_);
+        }
     }
     PhaseSpan(const PhaseSpan&) = delete;
     PhaseSpan& operator=(const PhaseSpan&) = delete;
@@ -143,13 +162,21 @@ public:
             return;
         }
         open_ = false;
+        const double seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0_)
+                                   .count();
         if (accum_ != nullptr) {
-            *accum_ += std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - t0_)
-                           .count();
+            *accum_ += seconds;
         }
+        // The run report accumulates the identical duration, so its phase
+        // seconds match the timings structs exactly.
+        health_detail::record_phase(name_, seconds);
         if (traced_) {
             emit_end(name_, cat_);
+        }
+        if (tracked_) {
+            tracked_ = false;
+            health_detail::pop_span();
         }
     }
 
@@ -160,6 +187,7 @@ private:
     std::chrono::steady_clock::time_point t0_;
     bool open_;
     bool traced_;
+    bool tracked_ = false;
 };
 
 }  // namespace bat::obs

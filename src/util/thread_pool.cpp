@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -73,9 +74,15 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     for (std::size_t i = 0; i < num_threads; ++i) {
         workers_.emplace_back([this] { worker_loop(); });
     }
+    diag_provider_ = obs::register_diag_provider("pool", [this] {
+        return "{\"workers\":" + std::to_string(workers_.size()) +
+               ",\"queue_depth\":" + std::to_string(queue_depth()) +
+               ",\"active_tasks\":" + std::to_string(active_tasks()) + "}";
+    });
 }
 
 ThreadPool::~ThreadPool() {
+    obs::unregister_diag_provider(diag_provider_);
     {
         std::lock_guard<CheckedMutex> lock(mutex_);
         shutting_down_ = true;
@@ -119,6 +126,11 @@ bool ThreadPool::try_run_one() {
     return true;
 }
 
+std::size_t ThreadPool::queue_depth() const {
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    return queue_.size();
+}
+
 void ThreadPool::worker_loop() {
     for (;;) {
         Task t;
@@ -150,6 +162,7 @@ void ThreadPool::execute(Task& t) {
     }
     TaskGroup* g = t.group;
     t_executing_groups.push_back(g);
+    active_.fetch_add(1, std::memory_order_relaxed);
     try {
         t.fn();
     } catch (...) {
@@ -160,7 +173,9 @@ void ThreadPool::execute(Task& t) {
             }
         }
     }
+    active_.fetch_sub(1, std::memory_order_relaxed);
     t_executing_groups.pop_back();
+    obs::note_pool_task();
     if (traced) {
         obs::emit_end("pool.task", "pool");
         auto& metrics = obs::MetricsRegistry::global();

@@ -97,6 +97,11 @@ public:
     /// when there is nothing else to do. Safe from any thread.
     bool try_run_one();
 
+    /// Live introspection for stall diagnoses (obs/health.hpp): tasks
+    /// currently queued, and tasks currently executing on any thread.
+    std::size_t queue_depth() const;
+    std::size_t active_tasks() const { return active_.load(std::memory_order_relaxed); }
+
 private:
     friend class TaskGroup;
 
@@ -114,9 +119,13 @@ private:
 
     std::vector<std::thread> workers_;
     std::deque<Task> queue_;
-    CheckedMutex mutex_{"threadpool.queue"};
+    mutable CheckedMutex mutex_{"threadpool.queue"};
     std::condition_variable_any cv_;
     bool shutting_down_ = false;
+    std::atomic<std::size_t> active_{0};
+    // Health diag provider id; 0 until registered, unregistered first thing
+    // in the destructor so the watchdog never probes a dying pool.
+    std::uint64_t diag_provider_ = 0;
 };
 
 /// Split [0, n) into contiguous chunks of at least `min_grain` elements and

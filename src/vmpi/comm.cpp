@@ -3,6 +3,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 
 namespace bat::vmpi {
@@ -20,10 +21,36 @@ bool Request::test() {
     return impl_->done;
 }
 
+namespace {
+
+/// Publishes what a rank is blocked on for the stall watchdog while a
+/// wait() spins; cleared on every exit path (completion or DeadlockError).
+struct BlockedScope {
+    int rank = -1;
+    BlockedScope(int r, const char* op, int peer, int tag) {
+        if (r >= 0 && op != nullptr && obs::health_armed()) {
+            rank = r;
+            obs::set_blocked_op(rank, op, peer, tag);
+        }
+    }
+    ~BlockedScope() {
+        if (rank >= 0) {
+            obs::clear_blocked_op(rank);
+        }
+    }
+};
+
+}  // namespace
+
 void Request::wait() {
     BAT_CHECK_MSG(impl_ != nullptr, "wait() on an empty Request");
     Validator* validator = impl_->validator.get();
     if (validator == nullptr) {
+        if (test()) {
+            return;
+        }
+        const BlockedScope blocked(impl_->rank, impl_->block_op, impl_->block_peer,
+                                   impl_->block_tag);
         while (!test()) {
             std::this_thread::yield();
         }
@@ -32,6 +59,8 @@ void Request::wait() {
     if (test()) {
         return;
     }
+    const BlockedScope blocked(impl_->rank, impl_->block_op, impl_->block_peer,
+                               impl_->block_tag);
     // Mark this rank blocked for the deadlock detector, and unmark on every
     // exit path (completion or DeadlockError).
     struct WaitGuard {
@@ -81,19 +110,21 @@ Request Comm::isend(int dst, int tag, Bytes payload) {
         val->on_send(rank_, dst, tag, payload.size(), detail::in_collective());
     }
     std::uint64_t flow = 0;
+    const std::uint64_t bytes = payload.size();
     const bool traced = obs::trace_enabled();
     if (traced) {
         // The flow id rides inside the message and is closed by the
         // matching receive, drawing a send→recv arrow in the trace viewer.
         flow = obs::next_flow_id();
         obs::emit_begin_msg("vmpi.send", "vmpi", tag, dst,
-                            static_cast<std::int64_t>(payload.size()));
+                            static_cast<std::int64_t>(bytes));
         obs::emit_flow_start("vmpi", flow);
     }
     rt_->deliver(dst, Runtime::Message{rank_, tag, std::move(payload), flow});
     if (traced) {
         obs::emit_end("vmpi.send", "vmpi");
     }
+    obs::note_send(rank_, bytes);
     auto impl = std::make_shared<Request::Impl>();
     impl->done = true;  // buffered send: complete on return
     impl->poll = [] { return true; };
@@ -108,10 +139,18 @@ Request Comm::irecv(int src, int tag, Bytes& out, int* from) {
     Runtime* rt = rt_;
     const int me = rank_;
     auto impl = std::make_shared<Request::Impl>();
+    impl->rank = me;
     if (Validator* val = validator()) {
         val->on_recv_posted(me, src, tag, detail::in_collective());
         impl->validator = rt_->validator_;
-        impl->rank = me;
+    }
+    // Structured fields for the stall watchdog's "blocked on" line: three
+    // plain stores, cheap enough to record unconditionally. The validator's
+    // deadlock detector additionally needs the rendered string.
+    impl->block_op = "irecv";
+    impl->block_peer = src == kAnySource ? -1 : src;
+    impl->block_tag = tag;
+    if (impl->validator != nullptr) {
         std::ostringstream os;
         os << "irecv(src=" << (src == kAnySource ? std::string("ANY") : std::to_string(src))
            << ", tag=" << tag << ")";
@@ -130,6 +169,7 @@ Request Comm::irecv(int src, int tag, Bytes& out, int* from) {
         if (from != nullptr) {
             *from = actual;
         }
+        obs::note_recv(me, out_ptr->size());
         if (traced && obs::trace_enabled()) {
             // The whole recv span is emitted at completion (a tiny span with
             // the post→match wait as an arg) so spans opened between post
@@ -192,15 +232,20 @@ Request Comm::ibarrier() {
     const std::uint64_t seq = ibarrier_seq_++;
     Runtime::IbarrierState& st = rt_->ibarrier_state(seq);
     st.arrived.fetch_add(1, std::memory_order_acq_rel);
+    obs::note_collective(rank_);
     Runtime* rt = rt_;
     auto impl = std::make_shared<Request::Impl>();
+    impl->rank = rank_;
     if (Validator* val = validator()) {
         val->on_collective(rank_);
         val->on_progress();  // our arrival may complete other ranks' barriers
         impl->validator = rt_->validator_;
-        impl->rank = rank_;
-        impl->desc = "ibarrier(seq=" + std::to_string(seq) + ")";
         impl->done = false;
+    }
+    impl->block_op = "ibarrier";
+    impl->block_tag = static_cast<int>(seq);
+    if (impl->validator != nullptr) {
+        impl->desc = "ibarrier(seq=" + std::to_string(seq) + ")";
     }
     impl->poll = [rt, &st] {
         return st.arrived.load(std::memory_order_acquire) >= rt->size();

@@ -74,6 +74,12 @@ private:
         std::shared_ptr<Validator> validator;
         int rank = -1;
         std::string desc;
+        // Structured blocked-on fields for the stall watchdog: set on every
+        // request (three plain stores, unlike `desc` which allocates and is
+        // only built for the validator). op is a string literal or null.
+        const char* block_op = nullptr;
+        int block_peer = -1;
+        int block_tag = -1;
 
         Impl() = default;
         Impl(const Impl&) = delete;
@@ -285,6 +291,10 @@ private:
 
     // Shared with Request impls, which may outlive the runtime.
     std::shared_ptr<Validator> validator_;
+
+    // Health diag provider (obs/health.hpp) exposing pending mailbox
+    // messages to stall diagnoses; unregistered in the destructor.
+    std::uint64_t diag_provider_ = 0;
 };
 
 // ---- template implementations -------------------------------------------

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/health.hpp"
 #include "util/log.hpp"
 #include "vmpi/comm.hpp"
 
@@ -26,9 +27,48 @@ Runtime::Runtime(int nranks, ValidatorOptions opts) : nranks_(nranks) {
         mailboxes_.push_back(std::make_unique<Mailbox>());
     }
     validator_ = std::make_shared<Validator>(nranks, opts);
+    // In-flight message introspection for stall diagnoses: per-mailbox
+    // pending counts with the src/tag/bytes of the oldest few. try_lock so
+    // the watchdog never blocks behind (or deadlocks with) a rank thread.
+    diag_provider_ = obs::register_diag_provider("vmpi", [this] {
+        std::string out = "{\"pending\":[";
+        bool first = true;
+        for (std::size_t dst = 0; dst < mailboxes_.size(); ++dst) {
+            Mailbox& box = *mailboxes_[dst];
+            if (!box.mutex.try_lock()) {
+                out += first ? "" : ",";
+                first = false;
+                out += "{\"rank\":" + std::to_string(dst) + ",\"state\":\"busy\"}";
+                continue;
+            }
+            if (!box.messages.empty()) {
+                out += first ? "" : ",";
+                first = false;
+                out += "{\"rank\":" + std::to_string(dst) + ",\"count\":" +
+                       std::to_string(box.messages.size()) + ",\"messages\":[";
+                std::size_t shown = 0;
+                for (const Message& msg : box.messages) {
+                    if (shown == 8) {
+                        break;
+                    }
+                    out += shown == 0 ? "" : ",";
+                    ++shown;
+                    out += "{\"src\":" + std::to_string(msg.src) +
+                           ",\"tag\":" + std::to_string(msg.tag) +
+                           ",\"bytes\":" + std::to_string(msg.payload.size()) + "}";
+                }
+                out += "]}";
+            }
+            box.mutex.unlock();
+        }
+        out += "]}";
+        return out;
+    });
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+    obs::unregister_diag_provider(diag_provider_);
+}
 
 void Runtime::deliver(int dst, Message msg) {
     Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
@@ -122,12 +162,14 @@ ValidationReport Runtime::run_impl(int nranks, const std::function<void(Comm&)>&
             if (validator.enabled()) {
                 validator.on_rank_start(r);
             }
+            obs::rank_begin(r);
             try {
                 fn(comm);
             } catch (...) {
                 errors[static_cast<std::size_t>(r)] = std::current_exception();
                 failed.store(true, std::memory_order_release);
             }
+            obs::rank_end(r);
             if (validator.enabled()) {
                 validator.on_rank_finish(r);
             }

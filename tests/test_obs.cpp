@@ -314,6 +314,47 @@ TEST(ObsMetricsTest, ReduceMetricsGathersToRoot) {
     EXPECT_EQ(root_hist_count, 4);
 }
 
+TEST(ObsMetricsTest, ReduceMetricsSpreadReportsPerRankMinMax) {
+    obs::ReducedMetrics reduced;
+    bool nonroot_empty = true;
+    vmpi::Runtime::run(4, [&](vmpi::Comm& comm) {
+        obs::MetricsRegistry local;
+        // Counter present on every rank with value rank+1: min 1 at rank 0,
+        // max 4 at rank 3, sum 10.
+        local.counter("events").add(static_cast<std::uint64_t>(comm.rank()) + 1);
+        // Counter present on a single rank: absent ranks count as 0.
+        if (comm.rank() == 2) {
+            local.counter("rare").add(7);
+        }
+        obs::ReducedMetrics r = obs::reduce_metrics_spread(comm, local);
+        if (comm.rank() == 0) {
+            reduced = std::move(r);
+        } else if (!r.merged.empty() || !r.counter_spread.empty()) {
+            nonroot_empty = false;
+        }
+    });
+    EXPECT_TRUE(nonroot_empty);
+
+    ASSERT_EQ(reduced.counter_spread.count("events"), 1u);
+    const obs::CounterSpread& events = reduced.counter_spread.at("events");
+    EXPECT_EQ(events.min, 1u);
+    EXPECT_EQ(events.min_rank, 0);
+    EXPECT_EQ(events.max, 4u);
+    EXPECT_EQ(events.max_rank, 3);
+    EXPECT_EQ(events.sum, 10u);
+
+    ASSERT_EQ(reduced.counter_spread.count("rare"), 1u);
+    const obs::CounterSpread& rare = reduced.counter_spread.at("rare");
+    EXPECT_EQ(rare.min, 0u);
+    EXPECT_EQ(rare.max, 7u);
+    EXPECT_EQ(rare.max_rank, 2);
+    EXPECT_EQ(rare.sum, 7u);
+
+    // The merged registry still matches plain reduce_metrics semantics.
+    const Value v = obs::json::parse(reduced.merged.to_json());
+    EXPECT_EQ(v.find("counters")->find("events")->number(), 10.0);
+}
+
 // ---- simio virtual tracks -------------------------------------------------
 
 TEST(ObsSimioTest, ModeledPhasesMatchTraceSpans) {

@@ -1,0 +1,182 @@
+// bat_report: pretty-print a bat-report-v1 run report (obs/health.hpp,
+// written by BAT_REPORT_FILE or obs::write_run_report).
+//
+//   bat_report REPORT.json            full report: run, phases, io, traffic
+//   bat_report --phases REPORT.json   phase table only
+//
+// The phase table shows per-rank min/mean/max wall seconds and the
+// max/mean imbalance factor — the per-rank skew view Darshan-style I/O
+// characterization exists for. Exits non-zero on a missing file, malformed
+// JSON, or a schema other than bat-report-v1.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using bat::obs::json::Value;
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        throw std::runtime_error("cannot open " + path);
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+double num_or(const Value* obj, const char* key, double fallback) {
+    if (obj == nullptr) {
+        return fallback;
+    }
+    const Value* v = obj->find(key);
+    return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+std::string human_bytes(double b) {
+    const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int u = 0;
+    while (b >= 1024.0 && u < 4) {
+        b /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), u == 0 ? "%.0f %s" : "%.2f %s", b, units[u]);
+    return buf;
+}
+
+void print_run(const Value& root) {
+    const Value* run = root.find("run");
+    std::printf("run: %.3f s wall, %d rank(s)\n", num_or(run, "wall_seconds", 0),
+                static_cast<int>(num_or(run, "ranks", 0)));
+    if (run != nullptr) {
+        if (const Value* dog = run->find("watchdog"); dog != nullptr) {
+            const Value* armed = dog->find("armed");
+            const double trips = num_or(dog, "trips", 0);
+            std::printf("watchdog: %s, %d trip(s)\n",
+                        armed != nullptr && armed->is_bool() && armed->boolean()
+                            ? "armed"
+                            : "off",
+                        static_cast<int>(trips));
+        }
+    }
+}
+
+void print_phases(const Value& root) {
+    const Value* phases = root.find("phases");
+    if (phases == nullptr || !phases->is_object() || phases->object().empty()) {
+        std::printf("\nphases: (none recorded)\n");
+        return;
+    }
+    std::printf("\n%-24s %8s %6s %10s %10s %10s %9s\n", "phase", "calls", "ranks",
+                "min_s", "mean_s", "max_s", "imbalance");
+    // Sort by mean seconds, largest first: the expensive phases lead.
+    std::vector<std::pair<std::string, const Value*>> rows;
+    for (const auto& [name, v] : phases->object()) {
+        rows.emplace_back(name, &v);
+    }
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return num_or(a.second, "mean_s", 0) > num_or(b.second, "mean_s", 0);
+    });
+    for (const auto& [name, v] : rows) {
+        const double mean = num_or(v, "mean_s", 0);
+        const double max = num_or(v, "max_s", 0);
+        std::printf("%-24s %8ld %6d %10.6f %10.6f %10.6f %8.2fx\n", name.c_str(),
+                    static_cast<long>(num_or(v, "calls", 0)),
+                    static_cast<int>(num_or(v, "ranks", 0)), num_or(v, "min_s", 0),
+                    mean, max, mean > 0 ? max / mean : 0.0);
+    }
+}
+
+void print_io(const Value& root) {
+    const Value* io = root.find("io");
+    if (io == nullptr || !io->is_object() || io->object().empty()) {
+        return;
+    }
+    std::printf("\n%-26s %12s %6s %12s %12s\n", "io", "total", "ranks", "min", "max");
+    for (const auto& [name, v] : io->object()) {
+        std::printf("%-26s %12.0f %6d %12.0f %12.0f\n", name.c_str(),
+                    num_or(&v, "total", 0), static_cast<int>(num_or(&v, "ranks", 0)),
+                    num_or(&v, "min", 0), num_or(&v, "max", 0));
+    }
+}
+
+void print_traffic(const Value& root) {
+    if (const Value* msgs = root.find("messages"); msgs != nullptr) {
+        std::printf("\nmessages: %ld sends (%s), %ld recvs (%s), %ld collectives, "
+                    "%ld leaves served\n",
+                    static_cast<long>(num_or(msgs, "sends", 0)),
+                    human_bytes(num_or(msgs, "send_bytes", 0)).c_str(),
+                    static_cast<long>(num_or(msgs, "recvs", 0)),
+                    human_bytes(num_or(msgs, "recv_bytes", 0)).c_str(),
+                    static_cast<long>(num_or(msgs, "collectives", 0)),
+                    static_cast<long>(num_or(msgs, "leaves_served", 0)));
+    }
+    if (const Value* pool = root.find("pool"); pool != nullptr) {
+        std::printf("pool: %ld task(s)\n", static_cast<long>(num_or(pool, "tasks", 0)));
+    }
+    if (const Value* cache = root.find("cache"); cache != nullptr) {
+        const double hits = num_or(cache, "hits", 0);
+        const double misses = num_or(cache, "misses", 0);
+        if (hits + misses > 0) {
+            std::printf("leaf cache: %.0f hits / %.0f misses (%.1f%% hit rate)\n",
+                        hits, misses, 100.0 * num_or(cache, "hit_rate", 0));
+        }
+    }
+}
+
+void usage() { std::fprintf(stderr, "usage: bat_report [--phases] REPORT.json\n"); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool phases_only = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--phases") == 0) {
+            phases_only = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            usage();
+            return 0;
+        } else if (argv[i][0] == '-') {
+            usage();
+            return 2;
+        } else {
+            path = argv[i];
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+    try {
+        const Value root = bat::obs::json::parse(read_file(path));
+        const Value* schema = root.find("schema");
+        if (schema == nullptr || !schema->is_string() ||
+            schema->string() != "bat-report-v1") {
+            std::fprintf(stderr, "error: %s is not a bat-report-v1 document\n",
+                         path.c_str());
+            return 1;
+        }
+        if (!phases_only) {
+            print_run(root);
+        }
+        print_phases(root);
+        if (!phases_only) {
+            print_io(root);
+            print_traffic(root);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -10,6 +10,11 @@
 //   msgs — request coalescing must cut traffic: the read.msgs_coalesced
 //     message count (`n`) must be below read.msgs_per_leaf.
 //
+// A bat-report-v1 document (obs/health.hpp run report, BAT_REPORT_FILE)
+// instead goes through the `report` gate family: schema-validates the run /
+// phases / messages sections, requires at least one write.* or read.* phase
+// with calls >= 1, and checks min <= mean <= max for every phase.
+//
 // A file that matches no family fails (exit 1): a gate silently skipping is
 // indistinguishable from a gate passing. Usage: bench_check <BENCH.json>
 
@@ -145,6 +150,70 @@ int gate_msgs(const NsByKey& ns_op) {
     return 1;
 }
 
+// ---- report gate family ---------------------------------------------------
+// Validates a bat-report-v1 document end to end; returns 0 on success after
+// printing a summary line, 1 on failure.
+
+int gate_report(const Value& doc, const char* path) {
+    const Value* run = doc.find("run");
+    if (run == nullptr || !run->is_object()) {
+        return fail("report missing \"run\" object");
+    }
+    const Value* wall = run->find("wall_seconds");
+    if (wall == nullptr || !wall->is_number() || wall->number() <= 0) {
+        return fail("report \"run.wall_seconds\" missing or not positive");
+    }
+    const Value* ranks = run->find("ranks");
+    if (ranks == nullptr || !ranks->is_number() || ranks->number() < 1) {
+        return fail("report \"run.ranks\" missing or < 1");
+    }
+    const Value* phases = doc.find("phases");
+    if (phases == nullptr || !phases->is_object()) {
+        return fail("report missing \"phases\" object");
+    }
+    int io_phases = 0;
+    for (const auto& [name, phase] : phases->object()) {
+        if (!phase.is_object()) {
+            return fail("phase \"" + name + "\" is not an object");
+        }
+        const Value* calls = phase.find("calls");
+        const Value* min_s = phase.find("min_s");
+        const Value* mean_s = phase.find("mean_s");
+        const Value* max_s = phase.find("max_s");
+        if (calls == nullptr || !calls->is_number() || calls->number() < 1) {
+            return fail("phase \"" + name + "\" missing \"calls\" >= 1");
+        }
+        if (min_s == nullptr || !min_s->is_number() || mean_s == nullptr ||
+            !mean_s->is_number() || max_s == nullptr || !max_s->is_number()) {
+            return fail("phase \"" + name + "\" missing min_s/mean_s/max_s");
+        }
+        if (!(min_s->number() <= mean_s->number() &&
+              mean_s->number() <= max_s->number())) {
+            return fail("phase \"" + name + "\" violates min <= mean <= max");
+        }
+        if (name.rfind("write.", 0) == 0 || name.rfind("read.", 0) == 0) {
+            ++io_phases;
+        }
+    }
+    if (io_phases == 0) {
+        return fail("report has no write.* or read.* phase — the traced pipeline "
+                    "did not run");
+    }
+    const Value* messages = doc.find("messages");
+    if (messages == nullptr || !messages->is_object()) {
+        return fail("report missing \"messages\" object");
+    }
+    for (const char* key : {"sends", "recvs", "send_bytes", "recv_bytes"}) {
+        const Value* v = messages->find(key);
+        if (v == nullptr || !v->is_number() || v->number() < 0) {
+            return fail(std::string("report \"messages.") + key + "\" missing");
+        }
+    }
+    std::printf("bench_check: %s: bat-report-v1 OK (%zu phases, %d io, %.3f s wall)\n",
+                path, phases->object().size(), io_phases, wall->number());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -166,11 +235,18 @@ int main(int argc, char** argv) {
         return fail(std::string("malformed JSON: ") + e.what());
     }
 
-    // Schema: {"schema": "bat-bench-v1", "benchmarks": [{name, n, ns_op,
-    // bytes_per_sec, threads}, ...]}.
+    // Dispatch on the document schema: bat-bench-v1 benchmark rows go
+    // through the perf gate families below, bat-report-v1 run reports
+    // through the report validator.
     const Value* schema = doc.find("schema");
-    if (schema == nullptr || !schema->is_string() || schema->string() != "bat-bench-v1") {
-        return fail("missing or unexpected \"schema\" (want \"bat-bench-v1\")");
+    if (schema == nullptr || !schema->is_string()) {
+        return fail("missing \"schema\"");
+    }
+    if (schema->string() == "bat-report-v1") {
+        return gate_report(doc, argv[1]);
+    }
+    if (schema->string() != "bat-bench-v1") {
+        return fail("unexpected \"schema\" (want \"bat-bench-v1\" or \"bat-report-v1\")");
     }
     const Value* benchmarks = doc.find("benchmarks");
     if (benchmarks == nullptr || !benchmarks->is_array() || benchmarks->array().empty()) {

@@ -203,6 +203,21 @@ int main(int argc, char** argv) {
                     std::fprintf(stderr, "INVALID: %s\n", check.error.c_str());
                     return 1;
                 }
+                // A structurally valid trace can still be truncated: ring
+                // overflow drops the oldest events. CI must treat that as a
+                // failure, not quietly summarize the surviving suffix.
+                if (const Value* other = root.find("otherData")) {
+                    const Value* dropped = other->find("dropped_events");
+                    if (dropped != nullptr && dropped->is_number() &&
+                        dropped->number() > 0) {
+                        std::fprintf(stderr,
+                                     "INVALID: trace dropped %.0f events to ring-buffer "
+                                     "overflow; raise BAT_TRACE_BUFFER or shorten the "
+                                     "traced region\n",
+                                     dropped->number());
+                        return 1;
+                    }
+                }
                 std::printf("OK: %d events, %d spans, %d flows, %d ranks\n",
                             check.num_events, check.num_spans, check.num_flows,
                             check.num_ranks);
