@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "sched/sched.hpp"
 #include "util/check.hpp"
 
 namespace bat {
@@ -16,7 +17,11 @@ std::shared_ptr<const BatFile> LeafFileCache::open(
     auto& metrics = obs::MetricsRegistry::global();
     const std::string key = path.string();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<CheckedMutex> lock(mutex_);
+        if (sched::maybe_active()) {
+            // A hit still mutates the LRU tick, so every open is a write.
+            sched::note_access(this, "io.leafcache", /*is_write=*/true);
+        }
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
             it->second.last_use = ++tick_;
@@ -31,7 +36,10 @@ std::shared_ptr<const BatFile> LeafFileCache::open(
     if (bytes_read != nullptr) {
         bytes_read->fetch_add(file->header().file_size, std::memory_order_relaxed);
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    if (sched::maybe_active()) {
+        sched::note_access(this, "io.leafcache", /*is_write=*/true);
+    }
     const auto [it, inserted] = entries_.try_emplace(key);
     if (!inserted) {
         // Another thread won the race; keep its mapping.
@@ -55,12 +63,18 @@ std::shared_ptr<const BatFile> LeafFileCache::open(
 }
 
 std::size_t LeafFileCache::size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    if (sched::maybe_active()) {
+        sched::note_access(this, "io.leafcache", /*is_write=*/false);
+    }
     return entries_.size();
 }
 
 void LeafFileCache::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    if (sched::maybe_active()) {
+        sched::note_access(this, "io.leafcache", /*is_write=*/true);
+    }
     entries_.clear();
 }
 

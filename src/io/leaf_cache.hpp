@@ -22,6 +22,7 @@
 #include <string>
 
 #include "core/bat_file.hpp"
+#include "util/lock_order.hpp"
 
 namespace bat {
 
@@ -51,7 +52,10 @@ private:
         std::uint64_t last_use = 0;
     };
 
-    mutable std::mutex mutex_;
+    // CheckedMutex: participates in lock-order checking and, under schedule
+    // exploration, gives the race checker the release→acquire edges that
+    // order the note_access annotations on the entry map.
+    mutable CheckedMutex mutex_{"io.leafcache"};
     std::map<std::string, Entry> entries_;
     std::uint64_t tick_ = 0;
     std::size_t capacity_;

@@ -4,6 +4,7 @@
 
 #include "core/particles.hpp"
 #include "obs/trace.hpp"
+#include "sched/sched.hpp"
 #include "util/buffer.hpp"
 #include "util/check.hpp"
 
@@ -120,6 +121,11 @@ std::uint32_t peek_response_seq(std::span<const std::byte> bytes) {
 }
 
 void merge_responses(ParticleSet& out, std::span<const vmpi::Bytes> payloads) {
+    if (sched::maybe_active()) {
+        // The merged result buffer is rank-local by design; the annotation
+        // catches any future schedule where two threads merge into one set.
+        sched::note_access(&out, "read.merged_particles", /*is_write=*/true);
+    }
     std::vector<ResponseView> views;
     views.reserve(payloads.size());
     std::uint64_t total = 0;

@@ -4,11 +4,24 @@
 #include <cstdio>
 #include <fstream>
 
+#include "sched/sched.hpp"
 #include "util/buffer.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace bat::obs {
+
+namespace {
+
+// Schedule-exploration annotation for the registry maps (one relaxed load
+// when disarmed). Find-or-create accessors count as writes: they may insert.
+void note_registry_access(const void* reg, bool is_write) {
+    if (sched::maybe_active()) {
+        sched::note_access(reg, "obs.metrics", is_write);
+    }
+}
+
+}  // namespace
 
 // ---- Histogram ------------------------------------------------------------
 
@@ -54,7 +67,7 @@ void Histogram::merge_from(const Histogram& other) {
 // ---- MetricsRegistry ------------------------------------------------------
 
 MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept {
-    std::lock_guard<std::mutex> lock(other.mutex_);
+    std::lock_guard<CheckedMutex> lock(other.mutex_);
     counters_ = std::move(other.counters_);
     gauges_ = std::move(other.gauges_);
     histograms_ = std::move(other.histograms_);
@@ -62,10 +75,23 @@ MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept {
 
 MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
     if (this != &other) {
-        std::scoped_lock lock(mutex_, other.mutex_);
-        counters_ = std::move(other.counters_);
-        gauges_ = std::move(other.gauges_);
-        histograms_ = std::move(other.histograms_);
+        // Two sequential critical sections instead of one scoped_lock:
+        // holding two instances of the same CheckedMutex class at once is a
+        // lock-order violation, and a registry being moved from has no
+        // concurrent users anyway.
+        std::map<std::string, std::unique_ptr<Counter>> counters;
+        std::map<std::string, std::unique_ptr<Gauge>> gauges;
+        std::map<std::string, std::unique_ptr<Histogram>> histograms;
+        {
+            std::lock_guard<CheckedMutex> lock(other.mutex_);
+            counters = std::move(other.counters_);
+            gauges = std::move(other.gauges_);
+            histograms = std::move(other.histograms_);
+        }
+        std::lock_guard<CheckedMutex> lock(mutex_);
+        counters_ = std::move(counters);
+        gauges_ = std::move(gauges);
+        histograms_ = std::move(histograms);
     }
     return *this;
 }
@@ -87,7 +113,8 @@ std::vector<double> MetricsRegistry::default_us_bounds() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    note_registry_access(this, /*is_write=*/true);
     auto& slot = counters_[name];
     if (slot == nullptr) {
         slot = std::make_unique<Counter>();
@@ -96,7 +123,8 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    note_registry_access(this, /*is_write=*/true);
     auto& slot = gauges_[name];
     if (slot == nullptr) {
         slot = std::make_unique<Gauge>();
@@ -106,7 +134,8 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    note_registry_access(this, /*is_write=*/true);
     auto& slot = histograms_[name];
     if (slot == nullptr) {
         slot = std::make_unique<Histogram>(bounds.empty() ? default_us_bounds()
@@ -123,7 +152,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
     std::vector<std::pair<std::string, const Gauge*>> gauges;
     std::vector<std::pair<std::string, const Histogram*>> histograms;
     {
-        std::lock_guard<std::mutex> lock(other.mutex_);
+        std::lock_guard<CheckedMutex> lock(other.mutex_);
         for (const auto& [name, c] : other.counters_) {
             counters.emplace_back(name, c.get());
         }
@@ -147,12 +176,14 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
 }
 
 bool MetricsRegistry::empty() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    note_registry_access(this, /*is_write=*/false);
     return counters_.empty() && gauges_.empty() && histograms_.empty();
 }
 
 void MetricsRegistry::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    note_registry_access(this, /*is_write=*/true);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
@@ -160,7 +191,8 @@ void MetricsRegistry::clear() {
 
 std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counter_values()
     const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    note_registry_access(this, /*is_write=*/false);
     std::vector<std::pair<std::string, std::uint64_t>> out;
     out.reserve(counters_.size());
     for (const auto& [name, c] : counters_) {
@@ -170,7 +202,8 @@ std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counter_valu
 }
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_values() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
+    note_registry_access(this, /*is_write=*/false);
     std::vector<std::pair<std::string, double>> out;
     out.reserve(gauges_.size());
     for (const auto& [name, g] : gauges_) {
@@ -183,7 +216,8 @@ std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::histogram_snaps
     const {
     std::vector<std::pair<std::string, const Histogram*>> entries;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<CheckedMutex> lock(mutex_);
+        note_registry_access(this, /*is_write=*/false);
         entries.reserve(histograms_.size());
         for (const auto& [name, h] : histograms_) {
             entries.emplace_back(name, h.get());
@@ -230,7 +264,7 @@ void json_escape_into(std::string& out, const std::string& s) {
 }  // namespace
 
 std::string MetricsRegistry::to_json() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
     std::string out = "{\n  \"counters\": {";
     bool first = true;
     for (const auto& [name, c] : counters_) {
@@ -302,7 +336,7 @@ void MetricsRegistry::write_json(const std::filesystem::path& path) const {
 }
 
 std::vector<std::byte> MetricsRegistry::to_bytes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<CheckedMutex> lock(mutex_);
     BufferWriter w;
     w.write(static_cast<std::uint32_t>(counters_.size()));
     for (const auto& [name, c] : counters_) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "util/lock_order.hpp"
 #include "util/stats.hpp"
 
 namespace bat::obs {
@@ -118,7 +119,10 @@ public:
     static MetricsRegistry from_bytes(std::span<const std::byte> bytes);
 
 private:
-    mutable std::mutex mutex_;  // guards the maps; entries synchronize themselves
+    // Guards the maps; entries synchronize themselves. CheckedMutex: the
+    // registry participates in lock-order checking and in schedule
+    // exploration (find-or-create and snapshots are annotated accesses).
+    mutable CheckedMutex mutex_{"obs.metrics"};
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;

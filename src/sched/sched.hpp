@@ -1,0 +1,245 @@
+#pragma once
+// Deterministic schedule exploration + vector-clock race checking
+// (docs/CORRECTNESS.md §5).
+//
+// When a run is armed (BAT_SCHED_SEED=<n>, or run_scheduled() from code),
+// every participating thread — vmpi rank threads, ThreadPool workers, and
+// the arming caller — is serialized through instrumented *yield points*:
+// vmpi send/receive/collective matching, pool task dequeue, and every
+// CheckedMutex acquisition. At each yield point a seeded PRNG chooses the
+// next thread to run, under a preemption bound in the CHESS tradition, so
+// the whole interleaving is a pure function of the seed: any failure found
+// by a seed sweep replays bit-exactly from its seed.
+//
+// On the same serialized event stream the module maintains one vector clock
+// per participating thread. Happens-before edges come from message
+// send→match, ibarrier arrival→completion, task enqueue→dequeue and
+// completion→TaskGroup::wait, and CheckedMutex release→acquire. Shared
+// state annotated with note_access() (vmpi mailboxes, LeafFileCache,
+// MetricsRegistry, merged read buffers) is checked FastTrack-style: a
+// conflicting access pair with no happens-before path is reported as a race
+// — including on schedules where the accesses never physically overlapped,
+// which is exactly the class TSan cannot see.
+//
+// The scheduler never runs two participating threads at once, so detected
+// races cannot corrupt state before being reported; unregistered threads
+// (pre-existing pools, the watchdog) pass through the hooks untouched.
+// Cost when disarmed: one relaxed atomic load per hook.
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace bat::sched {
+
+/// Thrown from blocking yield points (vmpi waits, mutex acquisition) once
+/// the scheduler has declared the run deadlocked: every participating
+/// thread is blocked and no decision can create progress.
+class DeadlockError : public Error {
+public:
+    explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown at the accessing site when note_access() finds a conflicting
+/// access pair with no happens-before edge (Options::throw_on_race).
+class RaceError : public Error {
+public:
+    explicit RaceError(const std::string& what) : Error(what) {}
+};
+
+struct Options {
+    std::uint64_t seed = 0;
+    /// Preemptive context switches (switching away from a thread that could
+    /// have continued) allowed per run; forced switches at blocked yield
+    /// points are free. Small bounds find most bugs (CHESS).
+    int preemption_bound = 8;
+    /// Consecutive scheduling decisions without a progress event (message
+    /// delivered/matched, task executed, barrier completed, thread finished)
+    /// before the run is declared deadlocked.
+    std::uint64_t deadlock_decisions = 20'000;
+    /// Keep the full decision trace in RunResult::trace (the FNV hash and
+    /// count are always maintained). Memory-capped at kMaxTraceEntries.
+    bool record_trace = false;
+    /// Throw RaceError at the access site of a detected race (the report is
+    /// recorded in RunResult::races either way).
+    bool throw_on_race = true;
+};
+
+/// One scheduling decision: at step `step`, thread `from` yielded at `op`
+/// and thread `to` was chosen to run next.
+struct TraceEntry {
+    std::uint64_t step;
+    int from;
+    int to;
+    const char* op;
+};
+
+inline constexpr std::size_t kMaxTraceEntries = 1u << 20;
+
+struct RunResult {
+    std::uint64_t seed = 0;
+    bool deadlock = false;
+    std::string deadlock_report;
+    std::vector<std::string> races;
+    std::uint64_t decisions = 0;
+    std::uint64_t preemptions = 0;
+    /// FNV-1a over (from, to, op) of every decision; two runs of the same
+    /// seed over the same binary produce the same hash.
+    std::uint64_t trace_hash = 0;
+    std::vector<TraceEntry> trace;  // populated when Options::record_trace
+    bool trace_truncated = false;
+    /// First exception that escaped fn (rank errors resurface here).
+    std::exception_ptr error;
+
+    bool failed() const { return deadlock || !races.empty() || error != nullptr; }
+    /// One-line human summary ("seed 7: deadlock after 812 decisions ...").
+    std::string summary() const;
+};
+
+/// Run `fn` with the scheduler armed. All threads announced during fn
+/// (vmpi ranks, pools constructed inside fn) participate; the calling
+/// thread is registered as slot 0 ("main"). Exceptions escaping fn are
+/// captured in RunResult::error, not rethrown. Not reentrant.
+RunResult run_scheduled(const Options& opts, const std::function<void()>& fn);
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}
+
+/// Fast gate for instrumentation sites: one relaxed load when disarmed.
+inline bool maybe_active() { return detail::g_armed.load(std::memory_order_relaxed); }
+
+/// A scheduled run is currently in progress.
+bool active();
+
+/// The calling thread participates in the active run.
+bool this_thread_scheduled();
+
+/// Options from the environment: BAT_SCHED_SEED (arms), BAT_SCHED_PREEMPTIONS,
+/// BAT_SCHED_DEADLOCK_DECISIONS, BAT_SCHED_TRACE=full (record full trace).
+/// nullopt when BAT_SCHED_SEED is unset.
+std::optional<Options> env_options();
+
+/// Append a bat-sched-v1 JSON line for `r` to BAT_SCHED_TRACE_FILE ("%p"
+/// expands to the pid); no-op when the variable is unset. Used by the
+/// env-armed vmpi runtime so tools/vmpi_explore can compare replays.
+void write_env_report(const RunResult& r);
+
+// ---- thread lifecycle ------------------------------------------------------
+//
+// The creating thread announces BEFORE spawning (the announcement order
+// fixes the new thread's slot and inherits the creator's clock — thread
+// creation is a happens-before edge); the new thread adopts the handle as
+// its first action and releases on exit. All no-ops when disarmed
+// (announce returns 0, adopt/release ignore it).
+
+std::uint64_t announce_thread(const std::string& name);
+void adopt_thread(std::uint64_t handle);
+void release_thread();
+
+/// True once the announced thread has released itself (or the handle is
+/// from a finished run / the scheduler is disarmed). Joiners spin on this
+/// with yield_blocked and only then call thread::join natively: the join
+/// target has already left the schedule, so no decisions happen while the
+/// OS reaps it and the decision stream stays deterministic. (A native join
+/// under BlockingScope re-enters the schedule at a real-time-dependent
+/// point — nondeterministic whenever other threads, e.g. idle pool
+/// workers, are still taking decisions.)
+bool thread_finished(std::uint64_t handle);
+
+struct AdoptScope {
+    explicit AdoptScope(std::uint64_t handle);
+    ~AdoptScope();
+    AdoptScope(const AdoptScope&) = delete;
+    AdoptScope& operator=(const AdoptScope&) = delete;
+
+private:
+    bool adopted_ = false;
+};
+
+/// Marks the calling thread natively blocked for the scope: the scheduler
+/// excludes it from decisions instead of waiting for it to yield. Re-enters
+/// the schedule on destruction. No-op when the thread is not scheduled.
+/// CAUTION: re-entry lands in the decision stream at a real-time-dependent
+/// point, which breaks replay determinism whenever other threads are still
+/// taking decisions — for joining a scheduled thread, spin on
+/// thread_finished() with yield_blocked instead (see Runtime's join loop).
+struct BlockingScope {
+    explicit BlockingScope(const char* why);
+    ~BlockingScope();
+    BlockingScope(const BlockingScope&) = delete;
+    BlockingScope& operator=(const BlockingScope&) = delete;
+
+private:
+    bool engaged_ = false;
+};
+
+// ---- yield points ----------------------------------------------------------
+
+/// Preemptible yield: the thread could continue; switching away costs one
+/// unit of the preemption bound. Throws DeadlockError if the run has been
+/// declared deadlocked.
+void yield_point(const char* op);
+
+/// The thread cannot progress right now (failed poll, contended mutex):
+/// the scheduler switches to another runnable thread for free. Throws
+/// DeadlockError when the run deadlocks.
+void yield_blocked(const char* op);
+
+/// Like yield_blocked but never throws: on a declared deadlock the calling
+/// thread silently leaves the schedule (pool workers, which have no task
+/// context to unwind).
+void yield_idle(const char* op);
+
+// ---- mutex integration (CheckedMutex) --------------------------------------
+
+/// Deterministic acquisition: yield, then try_lock+yield_blocked until the
+/// lock is held, then record the release→acquire clock edge. `id` keys the
+/// per-instance lock clock; `name` labels trace entries.
+void scheduled_lock(std::mutex& m, const void* id, const char* name);
+/// Clock bookkeeping for a lock acquired outside scheduled_lock (try_lock).
+void lock_acquired(const void* id);
+/// Record the release edge; call before unlocking.
+void lock_released(const void* id);
+
+// ---- happens-before tokens -------------------------------------------------
+//
+// Generic clock-carrying channel for message- and task-shaped edges. A
+// token is empty when created outside a scheduled run; joins of empty
+// tokens are no-ops, so carriers can store them unconditionally.
+
+using ClockToken = std::vector<std::uint64_t>;
+
+/// Capture the calling thread's clock (send / enqueue side); advances the
+/// local epoch so later work is not ordered into the token.
+ClockToken fork_token();
+/// Join a token into the calling thread's clock (receive / dequeue side).
+void join_token(const ClockToken& token);
+/// Accumulate the calling thread's clock into `dst` (barrier arrivals,
+/// task-completion clocks); caller must serialize access to `dst`.
+void merge_token(ClockToken& dst);
+/// Join an accumulated clock (barrier completion, TaskGroup::wait return).
+void acquire_token(const ClockToken& token);
+
+// ---- progress + race checking ----------------------------------------------
+
+/// Report a forward-progress event to the deadlock detector (message
+/// delivered or matched, task executed, barrier completed).
+void note_progress();
+
+/// Record an access to annotated shared state and check it FastTrack-style
+/// against the previous conflicting accesses. Call at the access site,
+/// under whatever synchronization the site believes protects it; `what`
+/// names the state in reports ("vmpi.mailbox", "io.leafcache", ...). The
+/// protecting synchronization must itself be tracked (CheckedMutex, vmpi
+/// messages, pool tasks) or the checker will report false races.
+void note_access(const void* obj, const char* what, bool is_write);
+
+}  // namespace bat::sched

@@ -19,6 +19,8 @@
 #include <mutex>
 #include <string>
 
+#include "sched/sched.hpp"
+
 namespace bat {
 
 namespace lockdbg {
@@ -42,10 +44,13 @@ void after_unlock(int class_id);  // pop from this thread's held stack
 
 /// std::mutex with lock-order checking. Satisfies Lockable, so it works
 /// with std::lock_guard, std::unique_lock, and std::condition_variable_any.
+/// Under an armed schedule-exploration run (sched::run_scheduled) every
+/// acquisition by a participating thread is also a scheduler yield point
+/// and a release→acquire happens-before edge for the race checker.
 class CheckedMutex {
 public:
     explicit CheckedMutex(const char* name)
-        : class_id_(lockdbg::register_class(name)) {}
+        : class_id_(lockdbg::register_class(name)), name_(name) {}
     CheckedMutex(const CheckedMutex&) = delete;
     CheckedMutex& operator=(const CheckedMutex&) = delete;
 
@@ -53,7 +58,13 @@ public:
         if (lockdbg::enabled()) {
             lockdbg::before_lock(class_id_);
         }
-        m_.lock();
+        if (sched::maybe_active() && sched::this_thread_scheduled()) {
+            // Deterministic acquisition: try_lock + scheduler yields, never
+            // a native block while holding the scheduling token.
+            sched::scheduled_lock(m_, this, name_);
+        } else {
+            m_.lock();
+        }
         if (lockdbg::enabled()) {
             lockdbg::after_lock(class_id_);
         }
@@ -68,10 +79,17 @@ public:
         if (lockdbg::enabled()) {
             lockdbg::after_lock(class_id_);
         }
+        if (sched::maybe_active()) {
+            sched::lock_acquired(this);
+        }
         return true;
     }
 
     void unlock() {
+        if (sched::maybe_active()) {
+            // Record the release clock edge while still holding the mutex.
+            sched::lock_released(this);
+        }
         m_.unlock();
         if (lockdbg::enabled()) {
             lockdbg::after_unlock(class_id_);
@@ -81,6 +99,7 @@ public:
 private:
     std::mutex m_;
     int class_id_;
+    const char* name_;
 };
 
 }  // namespace bat

@@ -31,6 +31,15 @@ TaskGroup::~TaskGroup() {
             // Destructors must not throw; the error was already recorded.
         }
     }
+    if (pending_.load(std::memory_order_acquire) != 0) {
+        // wait() aborted early (DeadlockError during schedule exploration):
+        // pull our queued tasks back out so none outlives the group, then
+        // ride out the in-flight ones.
+        pool_.purge_group(this);
+        while (pending_.load(std::memory_order_acquire) != 0) {
+            std::this_thread::yield();
+        }
+    }
 }
 
 void TaskGroup::run(std::function<void()> f) {
@@ -48,8 +57,15 @@ void TaskGroup::wait() {
     }
     while (pending_.load(std::memory_order_acquire) != 0) {
         if (!pool_.try_run_one()) {
-            std::this_thread::yield();
+            // Under schedule exploration this is a free switch to another
+            // runnable thread (and throws once the run is declared
+            // deadlocked); otherwise a plain OS yield.
+            sched::yield_blocked("taskgroup.wait");
         }
+    }
+    if (sched::maybe_active() && sched::this_thread_scheduled()) {
+        std::lock_guard<std::mutex> vc_lock(vc_mutex_);
+        sched::acquire_token(done_vc_);
     }
     std::lock_guard<CheckedMutex> lock(err_mutex_);
     if (first_error_) {
@@ -72,7 +88,14 @@ ThreadPool& ThreadPool::global() {
 ThreadPool::ThreadPool(std::size_t num_threads) {
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
+        // Announce before spawning: the creating thread fixes the worker's
+        // scheduler slot (and donates its clock) deterministically; handle
+        // is 0 when no scheduled run is active.
+        const std::uint64_t handle =
+            sched::maybe_active() ? sched::announce_thread("pool.worker" + std::to_string(i))
+                                  : 0;
+        worker_handles_.push_back(handle);
+        workers_.emplace_back([this, handle] { worker_loop(handle); });
     }
     diag_provider_ = obs::register_diag_provider("pool", [this] {
         return "{\"workers\":" + std::to_string(workers_.size()) +
@@ -88,8 +111,22 @@ ThreadPool::~ThreadPool() {
         shutting_down_ = true;
     }
     cv_.notify_all();
-    for (auto& w : workers_) {
-        w.join();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        // Scheduled join (see Runtime::run_impl_inner): wait for the worker
+        // to leave the schedule, then reap it natively with the token held
+        // so the decision stream stays deterministic.
+        if (sched::maybe_active() && sched::this_thread_scheduled()) {
+            try {
+                while (!sched::thread_finished(worker_handles_[i])) {
+                    sched::yield_blocked("pool.join");
+                }
+            } catch (const sched::DeadlockError&) {
+                // Workers leave the schedule on a declared deadlock and fall
+                // back to the native cv wait; shutting_down_ is already set,
+                // so the native join below still completes.
+            }
+        }
+        workers_[i].join();
     }
     // Drain any tasks that never got picked up (possible with 0 workers).
     while (try_run_one()) {
@@ -99,6 +136,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::enqueue(Task t) {
     if (obs::trace_enabled()) {
         t.enqueue_ns = obs::trace_now_ns();
+    }
+    if (sched::maybe_active()) {
+        t.vc = sched::fork_token();  // enqueue→dequeue happens-before edge
     }
     if (workers_.empty()) {
         // Inline execution keeps zero-thread pools functional.
@@ -131,9 +171,35 @@ std::size_t ThreadPool::queue_depth() const {
     return queue_.size();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::uint64_t sched_handle) {
+    sched::AdoptScope adopt(sched_handle);
     for (;;) {
         Task t;
+        if (sched::maybe_active() && sched::this_thread_scheduled()) {
+            // Scheduled dequeue: the scheduler owns all blocking, so the
+            // native cv wait is replaced by polling at a free yield point.
+            bool got = false;
+            try {
+                sched::yield_idle("pool.dequeue");
+                std::lock_guard<CheckedMutex> lock(mutex_);
+                if (!queue_.empty()) {
+                    t = std::move(queue_.front());
+                    queue_.pop_front();
+                    got = true;
+                } else if (shutting_down_) {
+                    return;
+                }
+            } catch (const sched::DeadlockError&) {
+                // Run declared deadlocked while we held the token: leave the
+                // schedule and fall back to the native path.
+                sched::release_thread();
+                continue;
+            }
+            if (got) {
+                execute(t);
+            }
+            continue;
+        }
         {
             std::unique_lock<CheckedMutex> lock(mutex_);
             cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
@@ -150,6 +216,24 @@ void ThreadPool::worker_loop() {
     }
 }
 
+void ThreadPool::purge_group(TaskGroup* g) {
+    std::size_t removed = 0;
+    {
+        std::lock_guard<CheckedMutex> lock(mutex_);
+        for (auto it = queue_.begin(); it != queue_.end();) {
+            if (it->group == g) {
+                it = queue_.erase(it);
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (removed != 0) {
+        g->pending_.fetch_sub(removed, std::memory_order_acq_rel);
+    }
+}
+
 void ThreadPool::execute(Task& t) {
     // Span + queue-wait/run-time histograms when the task was enqueued (and
     // is still being executed) under tracing; one relaxed load otherwise.
@@ -161,21 +245,36 @@ void ThreadPool::execute(Task& t) {
                             static_cast<std::int64_t>((run_start_ns - t.enqueue_ns) / 1000));
     }
     TaskGroup* g = t.group;
+    sched::join_token(t.vc);  // dequeue side of the enqueue→dequeue edge
     t_executing_groups.push_back(g);
     active_.fetch_add(1, std::memory_order_relaxed);
     try {
         t.fn();
+        if (g != nullptr && sched::maybe_active() && sched::this_thread_scheduled()) {
+            std::lock_guard<std::mutex> vc_lock(g->vc_mutex_);
+            sched::merge_token(g->done_vc_);  // completion→wait edge
+        }
     } catch (...) {
         if (g != nullptr) {
-            std::lock_guard<CheckedMutex> lock(g->err_mutex_);
-            if (!g->first_error_) {
-                g->first_error_ = std::current_exception();
+            try {
+                std::lock_guard<CheckedMutex> lock(g->err_mutex_);
+                if (!g->first_error_) {
+                    g->first_error_ = std::current_exception();
+                }
+            } catch (...) {
+                // Acquiring err_mutex_ can itself throw DeadlockError during
+                // schedule-exploration teardown; the scheduler has already
+                // recorded the failure, and execute() must not throw (the
+                // pending_ decrement below keeps waiters sound).
             }
         }
     }
     active_.fetch_sub(1, std::memory_order_relaxed);
     t_executing_groups.pop_back();
     obs::note_pool_task();
+    if (sched::maybe_active()) {
+        sched::note_progress();  // a task ran: forward progress for the deadlock detector
+    }
     if (traced) {
         obs::emit_end("pool.task", "pool");
         auto& metrics = obs::MetricsRegistry::global();

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "sched/sched.hpp"
 #include "util/lock_order.hpp"
 
 namespace bat {
@@ -55,6 +56,12 @@ private:
     std::atomic<std::size_t> pending_{0};
     CheckedMutex err_mutex_{"taskgroup.error"};
     std::exception_ptr first_error_;
+    // Schedule exploration (sched): clock accumulated at each task's
+    // completion and acquired by wait(), giving task-completion→wait
+    // happens-before edges. Guarded by a plain mutex — the critical section
+    // never yields, so scheduled threads cannot block each other here.
+    std::mutex vc_mutex_;
+    sched::ClockToken done_vc_;
 };
 
 /// Fixed-size pool of worker threads with a shared FIFO queue.
@@ -111,13 +118,20 @@ private:
         // Enqueue timestamp (obs::trace_now_ns) when tracing was enabled at
         // submission; execution spans report queue wait vs. run time.
         std::uint64_t enqueue_ns = 0;
+        // Submitter's vector clock under schedule exploration (empty
+        // otherwise): the enqueue→dequeue happens-before edge.
+        sched::ClockToken vc;
     };
 
     void enqueue(Task t);
-    void worker_loop();
+    void worker_loop(std::uint64_t sched_handle);
     void execute(Task& t);
+    /// Remove this group's queued-but-unstarted tasks (deadlock teardown in
+    /// schedule exploration: ~TaskGroup must not leave tasks referencing it).
+    void purge_group(TaskGroup* g);
 
     std::vector<std::thread> workers_;
+    std::vector<std::uint64_t> worker_handles_;  // sched handles, 0 when disarmed
     std::deque<Task> queue_;
     mutable CheckedMutex mutex_{"threadpool.queue"};
     std::condition_variable_any cv_;

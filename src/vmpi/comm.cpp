@@ -52,7 +52,10 @@ void Request::wait() {
         const BlockedScope blocked(impl_->rank, impl_->block_op, impl_->block_peer,
                                    impl_->block_tag);
         while (!test()) {
-            std::this_thread::yield();
+            // Under schedule exploration: a free switch to another runnable
+            // thread (throws sched::DeadlockError once the run is declared
+            // stuck); a plain OS yield otherwise.
+            sched::yield_blocked("vmpi.wait");
         }
         return;
     }
@@ -74,7 +77,7 @@ void Request::wait() {
         if (validator->poll_deadlock(impl_->rank)) {
             throw DeadlockError(validator->deadlock_message());
         }
-        std::this_thread::yield();
+        sched::yield_blocked("vmpi.wait");
     }
 }
 
@@ -106,6 +109,7 @@ void Comm::report_size_mismatch(const char* op, int src, int tag, std::size_t go
 
 Request Comm::isend(int dst, int tag, Bytes payload) {
     BAT_CHECK_MSG(dst >= 0 && dst < size(), "isend to invalid rank " << dst);
+    sched::yield_point("vmpi.isend");
     if (Validator* val = validator()) {
         val->on_send(rank_, dst, tag, payload.size(), detail::in_collective());
     }
@@ -120,7 +124,11 @@ Request Comm::isend(int dst, int tag, Bytes payload) {
                             static_cast<std::int64_t>(bytes));
         obs::emit_flow_start("vmpi", flow);
     }
-    rt_->deliver(dst, Runtime::Message{rank_, tag, std::move(payload), flow});
+    Runtime::Message msg{rank_, tag, std::move(payload), flow};
+    if (sched::maybe_active()) {
+        msg.vc = sched::fork_token();  // send side of the send→match edge
+    }
+    rt_->deliver(dst, std::move(msg));
     if (traced) {
         obs::emit_end("vmpi.send", "vmpi");
     }
@@ -200,10 +208,17 @@ Bytes Comm::recv(int src, int tag, int* from) {
 }
 
 bool Comm::iprobe(int src, int tag, int* from, std::size_t* bytes) {
+    sched::yield_point("vmpi.iprobe");
     if (Validator* val = validator()) {
         val->on_probe(rank_, src, tag, detail::in_collective());
     }
-    return rt_->try_match(rank_, src, tag, nullptr, from, /*consume=*/false, bytes);
+    const bool hit = rt_->try_match(rank_, src, tag, nullptr, from, /*consume=*/false, bytes);
+    if (!hit && sched::maybe_active() && sched::this_thread_scheduled()) {
+        // Probe miss in a server poll loop: let someone else run (free
+        // switch), else the prober would spin its preemption budget away.
+        sched::yield_blocked("vmpi.iprobe.miss");
+    }
+    return hit;
 }
 
 int Comm::next_collective_tag() {
@@ -230,7 +245,13 @@ Request Comm::ibarrier() {
     // All ranks call collectives in the same order, so this rank's sequence
     // number identifies the same ibarrier instance on every rank.
     const std::uint64_t seq = ibarrier_seq_++;
+    sched::yield_point("vmpi.ibarrier");
     Runtime::IbarrierState& st = rt_->ibarrier_state(seq);
+    if (sched::maybe_active() && sched::this_thread_scheduled()) {
+        // Arrival side of the arrival→completion happens-before edges.
+        std::lock_guard<std::mutex> clock_lock(st.clock_mutex);
+        sched::merge_token(st.clock);
+    }
     st.arrived.fetch_add(1, std::memory_order_acq_rel);
     obs::note_collective(rank_);
     Runtime* rt = rt_;
@@ -248,7 +269,19 @@ Request Comm::ibarrier() {
         impl->desc = "ibarrier(seq=" + std::to_string(seq) + ")";
     }
     impl->poll = [rt, &st] {
-        return st.arrived.load(std::memory_order_acquire) >= rt->size();
+        if (st.arrived.load(std::memory_order_acquire) < rt->size()) {
+            return false;
+        }
+        if (sched::maybe_active() && sched::this_thread_scheduled()) {
+            // Completion: acquire every arrival's clock, and report the
+            // barrier resolving as forward progress.
+            {
+                std::lock_guard<std::mutex> clock_lock(st.clock_mutex);
+                sched::acquire_token(st.clock);
+            }
+            sched::note_progress();
+        }
+        return true;
     };
     return Request(std::move(impl));
 }

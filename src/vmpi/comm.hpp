@@ -32,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "sched/sched.hpp"
 #include "util/check.hpp"
 #include "util/lock_order.hpp"
 #include "vmpi/validator.hpp"
@@ -247,6 +248,9 @@ private:
 
     static ValidationReport run_impl(int nranks, const std::function<void(Comm&)>& fn,
                                      ValidatorOptions opts, bool rethrow);
+    /// run_impl minus the env-armed schedule-exploration wrapper.
+    static ValidationReport run_impl_inner(int nranks, const std::function<void(Comm&)>& fn,
+                                           ValidatorOptions opts, bool rethrow);
 
     struct Message {
         int src;
@@ -260,6 +264,11 @@ private:
         // one sat in the mailbox.
         int passed_over = 0;
         bool starvation_reported = false;
+        // Sender's vector clock under schedule exploration (empty
+        // otherwise): the send→match happens-before edge for the race
+        // checker. Because collectives are built over point-to-point, this
+        // one edge also orders gather/scatter/bcast traffic.
+        sched::ClockToken vc;
     };
 
     struct Mailbox {
@@ -270,6 +279,11 @@ private:
 
     struct IbarrierState {
         std::atomic<int> arrived{0};
+        // Schedule exploration: every arrival merges its clock here, every
+        // completion acquires the merged clock (arrival→completion edges).
+        // Plain mutex: the critical section never yields.
+        std::mutex clock_mutex;
+        sched::ClockToken clock;
     };
 
     // Deliver a message to dst's mailbox.

@@ -74,9 +74,15 @@ void Runtime::deliver(int dst, Message msg) {
     Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
     {
         std::lock_guard<CheckedMutex> lock(box.mutex);
+        if (sched::maybe_active()) {
+            sched::note_access(&box, "vmpi.mailbox", /*is_write=*/true);
+        }
         box.messages.push_back(std::move(msg));
     }
     box.cv.notify_all();
+    if (sched::maybe_active()) {
+        sched::note_progress();  // a delivery can complete someone's receive
+    }
     if (validator_->enabled()) {
         validator_->on_progress();
     }
@@ -87,6 +93,9 @@ bool Runtime::try_match(int rank, int src, int tag, Bytes* out, int* from, bool 
     Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
     const bool validate = validator_->enabled();
     std::lock_guard<CheckedMutex> lock(box.mutex);
+    if (sched::maybe_active()) {
+        sched::note_access(&box, "vmpi.mailbox", /*is_write=*/consume);
+    }
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
         if (it->tag != tag) {
             continue;
@@ -126,6 +135,10 @@ bool Runtime::try_match(int rank, int src, int tag, Bytes* out, int* from, bool 
             if (out != nullptr) {
                 *out = std::move(it->payload);
             }
+            if (sched::maybe_active()) {
+                sched::join_token(it->vc);  // match side of the send→match edge
+                sched::note_progress();
+            }
             box.messages.erase(it);
             if (validate) {
                 validator_->on_consumed(rank);
@@ -146,6 +159,34 @@ Runtime::IbarrierState& Runtime::ibarrier_state(std::uint64_t seq) {
 
 ValidationReport Runtime::run_impl(int nranks, const std::function<void(Comm&)>& fn,
                                    ValidatorOptions opts, bool rethrow) {
+    if (!sched::active()) {
+        if (const auto sched_opts = sched::env_options()) {
+            // BAT_SCHED_SEED armed in the environment: serialize this run
+            // under the deterministic scheduler, append the bat-sched-v1
+            // report line (BAT_SCHED_TRACE_FILE) for tools/vmpi_explore,
+            // and surface any schedule-level failure to the caller.
+            ValidationReport report;
+            const sched::RunResult rr = sched::run_scheduled(
+                *sched_opts, [&] { report = run_impl_inner(nranks, fn, opts, rethrow); });
+            sched::write_env_report(rr);
+            BAT_LOG_INFO("sched: " << rr.summary());
+            if (rr.error != nullptr) {
+                std::rethrow_exception(rr.error);
+            }
+            if (rr.deadlock) {
+                throw sched::DeadlockError(rr.deadlock_report);
+            }
+            if (rethrow && !rr.races.empty()) {
+                throw sched::RaceError(rr.races.front());
+            }
+            return report;
+        }
+    }
+    return run_impl_inner(nranks, fn, opts, rethrow);
+}
+
+ValidationReport Runtime::run_impl_inner(int nranks, const std::function<void(Comm&)>& fn,
+                                         ValidatorOptions opts, bool rethrow) {
     Runtime rt(nranks, opts);
     Validator& validator = *rt.validator_;
     std::vector<std::thread> threads;
@@ -153,8 +194,19 @@ ValidationReport Runtime::run_impl(int nranks, const std::function<void(Comm&)>&
     std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
     std::atomic<bool> failed{false};
 
+    // Under schedule exploration, announce every rank thread before any is
+    // spawned: the creating thread fixes slot assignment deterministically.
+    std::vector<std::uint64_t> sched_handles(static_cast<std::size_t>(nranks), 0);
+    if (sched::maybe_active()) {
+        for (int r = 0; r < nranks; ++r) {
+            sched_handles[static_cast<std::size_t>(r)] =
+                sched::announce_thread("rank" + std::to_string(r));
+        }
+    }
     for (int r = 0; r < nranks; ++r) {
-        threads.emplace_back([&rt, &fn, &errors, &failed, &validator, r] {
+        const std::uint64_t sched_handle = sched_handles[static_cast<std::size_t>(r)];
+        threads.emplace_back([&rt, &fn, &errors, &failed, &validator, r, sched_handle] {
+            const sched::AdoptScope sched_adopt(sched_handle);
             // Tag this thread with its rank so log lines carry an "rN"
             // prefix and trace events land on the rank's timeline track.
             set_thread_log_rank(r);
@@ -176,8 +228,22 @@ ValidationReport Runtime::run_impl(int nranks, const std::function<void(Comm&)>&
             set_thread_log_rank(-1);
         });
     }
-    for (auto& t : threads) {
-        t.join();
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        // Scheduled join: spin until the rank has left the schedule, then
+        // reap it natively with the token held — no decisions happen during
+        // the OS join, so the decision stream stays deterministic even with
+        // idle pool workers still spinning.
+        if (sched::maybe_active() && sched::this_thread_scheduled()) {
+            try {
+                while (!sched::thread_finished(sched_handles[i])) {
+                    sched::yield_blocked("vmpi.join");
+                }
+            } catch (const sched::DeadlockError&) {
+                // Every rank unwinds with its own DeadlockError and exits;
+                // fall through to the native join.
+            }
+        }
+        threads[i].join();
     }
 
     ValidationReport report;

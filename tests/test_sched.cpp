@@ -1,0 +1,283 @@
+// Tests for the deterministic schedule explorer and vector-clock race
+// checker (src/sched, docs/CORRECTNESS.md §5): bit-exact replay from a
+// seed, detection of the PR 5 bug classes (diag-provider race, stale
+// watchdog-arming deadlock) reduced to fixtures, and suppression of false
+// races across every synchronization edge the checker models (message
+// match, lock release→acquire, task completion→wait).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sched/sched.hpp"
+#include "util/lock_order.hpp"
+#include "util/thread_pool.hpp"
+#include "vmpi/comm.hpp"
+
+namespace bat {
+namespace {
+
+sched::Options quick_options(std::uint64_t seed) {
+    sched::Options opts;
+    opts.seed = seed;
+    // Fixtures finish in tens of decisions; a tight no-progress budget keeps
+    // the deadlock tests fast without tripping on healthy runs.
+    opts.deadlock_decisions = 2'000;
+    return opts;
+}
+
+/// Two ranks ping-pong a few messages while a pool runs small tasks:
+/// enough concurrency that different seeds genuinely produce different
+/// schedules.
+void pingpong_scenario() {
+    ThreadPool pool(2);
+    vmpi::Runtime::run(2, [&pool](vmpi::Comm& comm) {
+        TaskGroup group(pool);
+        for (int i = 0; i < 3; ++i) {
+            group.run([] {});
+        }
+        const int peer = 1 - comm.rank();
+        for (int i = 0; i < 3; ++i) {
+            comm.isend(peer, i, vmpi::Bytes{});
+            (void)comm.recv(peer, i);
+        }
+        group.wait();
+        comm.barrier();
+    });
+}
+
+TEST(Sched, ReplayIsBitExact) {
+    sched::Options opts = quick_options(11);
+    opts.record_trace = true;
+    const sched::RunResult a = sched::run_scheduled(opts, pingpong_scenario);
+    const sched::RunResult b = sched::run_scheduled(opts, pingpong_scenario);
+
+    ASSERT_FALSE(a.failed()) << a.summary();
+    ASSERT_FALSE(b.failed()) << b.summary();
+    EXPECT_EQ(a.decisions, b.decisions);
+    EXPECT_EQ(a.trace_hash, b.trace_hash);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].step, b.trace[i].step);
+        EXPECT_EQ(a.trace[i].from, b.trace[i].from);
+        EXPECT_EQ(a.trace[i].to, b.trace[i].to);
+        EXPECT_EQ(a.trace[i].op, b.trace[i].op);
+    }
+}
+
+TEST(Sched, SeedsExploreDistinctSchedules) {
+    std::set<std::uint64_t> hashes;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        const sched::RunResult r =
+            sched::run_scheduled(quick_options(seed), pingpong_scenario);
+        ASSERT_FALSE(r.failed()) << r.summary();
+        hashes.insert(r.trace_hash);
+    }
+    // Eight seeds of a pipeline with two ranks and two workers must not all
+    // collapse onto one interleaving.
+    EXPECT_GT(hashes.size(), 1u);
+}
+
+// ---- PR 5 bug class 1: diag-provider race ----------------------------------
+
+/// The diag-provider race reduced to a fixture: one rank publishes state,
+/// the other samples it, with no synchronization between them.
+void diag_race_fixture() {
+    static int state = 0;
+    vmpi::Runtime::run(2, [](vmpi::Comm& comm) {
+        if (comm.rank() == 0) {
+            sched::note_access(&state, "fixture.diag_state", /*is_write=*/true);
+            state = 1;
+        } else {
+            sched::note_access(&state, "fixture.diag_state", /*is_write=*/false);
+            static_cast<void>(state);
+        }
+    });
+}
+
+TEST(Sched, SweepCatchesDiagProviderRace) {
+    // The conflicting pair exists on every schedule, so every seed of the
+    // sweep must report it (acceptance: "caught within the sweep").
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        sched::Options opts = quick_options(seed);
+        opts.throw_on_race = false;  // complete the run, inspect the report
+        const sched::RunResult r = sched::run_scheduled(opts, diag_race_fixture);
+        EXPECT_FALSE(r.races.empty()) << "seed " << seed << " missed the race";
+        if (!r.races.empty()) {
+            EXPECT_NE(r.races.front().find("fixture.diag_state"), std::string::npos)
+                << r.races.front();
+        }
+    }
+}
+
+TEST(Sched, MessageEdgeOrdersTheFixedProvider) {
+    // The fix: sample only after a message from the publisher. The
+    // send→match edge supplies the happens-before; no seed may report a
+    // race (false-positive regression guard).
+    const auto fixed = [] {
+        static int state = 0;
+        state = 0;
+        vmpi::Runtime::run(2, [](vmpi::Comm& comm) {
+            if (comm.rank() == 0) {
+                sched::note_access(&state, "fixture.diag_state", /*is_write=*/true);
+                state = 1;
+                comm.isend(1, 3, vmpi::Bytes{});
+            } else {
+                (void)comm.recv(0, 3);
+                sched::note_access(&state, "fixture.diag_state", /*is_write=*/false);
+                static_cast<void>(state);
+            }
+        });
+    };
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        const sched::RunResult r = sched::run_scheduled(quick_options(seed), fixed);
+        EXPECT_TRUE(r.races.empty()) << "seed " << seed << ": " << r.races.front();
+        ASSERT_FALSE(r.failed()) << r.summary();
+    }
+}
+
+// ---- PR 5 bug class 2: stale watchdog arming -------------------------------
+
+/// The watchdog-arming deadlock reduced to a fixture: rank 0 checks for the
+/// "arm" message with one stale iprobe instead of a blocking receive; on
+/// schedules where the probe runs first, rank 1's ack wait hangs forever.
+void stale_arm_fixture() {
+    vmpi::Runtime::run(2, [](vmpi::Comm& comm) {
+        constexpr int kArmTag = 7;
+        constexpr int kAckTag = 8;
+        if (comm.rank() == 0) {
+            if (comm.iprobe(1, kArmTag)) {
+                (void)comm.recv(1, kArmTag);
+                comm.isend(1, kAckTag, vmpi::Bytes{});
+            }
+        } else {
+            comm.isend(0, kArmTag, vmpi::Bytes{});
+            (void)comm.recv(0, kAckTag);
+        }
+    });
+}
+
+TEST(Sched, SweepFindsStaleArmDeadlockAndReplaysIt) {
+    std::vector<sched::RunResult> failing;
+    std::size_t clean = 0;
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        const sched::RunResult r = sched::run_scheduled(quick_options(seed), stale_arm_fixture);
+        EXPECT_TRUE(r.races.empty()) << r.races.front();
+        if (r.deadlock) {
+            failing.push_back(r);
+        } else {
+            ++clean;
+        }
+    }
+    // The bug is schedule-dependent: the sweep must find it without every
+    // seed tripping (some schedules deliver the arm message in time).
+    EXPECT_FALSE(failing.empty()) << "16 seeds never reached the deadlock";
+    EXPECT_GT(clean, 0u) << "every seed deadlocked — fixture is not schedule-dependent";
+
+    // Acceptance: every failing seed replays deterministically with an
+    // identical decision trace.
+    for (const sched::RunResult& f : failing) {
+        const sched::RunResult again =
+            sched::run_scheduled(quick_options(f.seed), stale_arm_fixture);
+        EXPECT_TRUE(again.deadlock) << "seed " << f.seed << " did not replay the deadlock";
+        EXPECT_EQ(again.trace_hash, f.trace_hash) << "seed " << f.seed;
+        EXPECT_EQ(again.decisions, f.decisions) << "seed " << f.seed;
+    }
+}
+
+// ---- synchronization edges suppress false positives ------------------------
+
+TEST(Sched, LockEdgeSuppressesFalseRace) {
+    // Both ranks mutate shared state under one CheckedMutex: the lock
+    // release→acquire clock edge must order the accesses on every schedule.
+    const auto guarded = [] {
+        static CheckedMutex mutex{"test.sched_counter"};
+        static int counter = 0;
+        counter = 0;
+        vmpi::Runtime::run(2, [](vmpi::Comm&) {
+            for (int i = 0; i < 3; ++i) {
+                std::lock_guard<CheckedMutex> lock(mutex);
+                sched::note_access(&counter, "test.sched_counter", /*is_write=*/true);
+                ++counter;
+            }
+        });
+    };
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        const sched::RunResult r = sched::run_scheduled(quick_options(seed), guarded);
+        EXPECT_TRUE(r.races.empty()) << "seed " << seed << ": " << r.races.front();
+        ASSERT_FALSE(r.failed()) << r.summary();
+    }
+}
+
+TEST(Sched, TaskEdgesOrderPoolWorkAgainstWait) {
+    // enqueue→dequeue orders the worker's write after main's setup;
+    // completion→wait orders main's read after the worker's write.
+    const auto pool_flow = [] {
+        static int value = 0;
+        value = 0;
+        ThreadPool pool(2);
+        TaskGroup group(pool);
+        sched::note_access(&value, "test.pool_value", /*is_write=*/true);
+        value = 1;
+        group.run([] {
+            sched::note_access(&value, "test.pool_value", /*is_write=*/true);
+            value = 2;
+        });
+        group.wait();
+        sched::note_access(&value, "test.pool_value", /*is_write=*/false);
+        static_cast<void>(value);
+    };
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        const sched::RunResult r = sched::run_scheduled(quick_options(seed), pool_flow);
+        EXPECT_TRUE(r.races.empty()) << "seed " << seed << ": " << r.races.front();
+        ASSERT_FALSE(r.failed()) << r.summary();
+    }
+}
+
+// ---- env arming ------------------------------------------------------------
+
+TEST(Sched, EnvArmedRunWritesReportLine) {
+    const std::filesystem::path report =
+        std::filesystem::temp_directory_path() /
+        ("sched_report_" + std::to_string(::getpid()) + ".jsonl");
+    std::filesystem::remove(report);
+    ::setenv("BAT_SCHED_SEED", "5", 1);
+    ::setenv("BAT_SCHED_TRACE_FILE", report.c_str(), 1);
+
+    vmpi::Runtime::run(2, [](vmpi::Comm& comm) { comm.barrier(); });
+
+    ::unsetenv("BAT_SCHED_SEED");
+    ::unsetenv("BAT_SCHED_TRACE_FILE");
+
+    std::ifstream f(report);
+    ASSERT_TRUE(f.good()) << "no report written to " << report;
+    std::string line;
+    ASSERT_TRUE(std::getline(f, line));
+    EXPECT_NE(line.find("\"bat_sched\":\"v1\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"seed\":5"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"trace_hash\":"), std::string::npos) << line;
+    std::filesystem::remove(report);
+}
+
+TEST(Sched, DisarmedRunsStayUnscheduled) {
+    EXPECT_FALSE(sched::active());
+    EXPECT_FALSE(sched::maybe_active());
+    // note_access and the yield points must be safe no-ops when disarmed.
+    int x = 0;
+    sched::note_access(&x, "test.disarmed", true);
+    sched::yield_point("test.disarmed");
+    sched::yield_blocked("test.disarmed");
+    EXPECT_EQ(sched::announce_thread("test"), 0u);
+    EXPECT_TRUE(sched::thread_finished(0));
+}
+
+}  // namespace
+}  // namespace bat

@@ -216,7 +216,7 @@ int gate_report(const Value& doc, const char* path) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
     if (argc != 2) {
         std::fprintf(stderr, "usage: bench_check <BENCH.json>\n");
         return 2;
@@ -296,4 +296,12 @@ int main(int argc, char** argv) {
     std::printf("bench_check: OK (%zu entries, %d gated comparisons)\n", ns_op.size(),
                 gated);
     return 0;
+}
+
+int main(int argc, char** argv) {
+    try {
+        return run(argc, argv);
+    } catch (const std::exception& e) {
+        return fail(e.what());
+    }
 }

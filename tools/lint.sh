@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Run clang-tidy (config: .clang-tidy) over src/ using the compile database
-# from a CMake build directory.
+# Run clang-tidy (config: .clang-tidy) over src/, tools/, and bench/ using
+# the compile database from a CMake build directory.
+#
+# Prefers run-clang-tidy (ships with clang-tools, parallelizes internally);
+# falls back to xargs -P with one clang-tidy per file. Both paths use every
+# core by default — override with LINT_JOBS=N.
 #
 # Usage: tools/lint.sh [build-dir]
 #   build-dir defaults to ./build; it is configured on demand if missing.
@@ -10,6 +14,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
+jobs="${LINT_JOBS:-$(nproc 2> /dev/null || echo 4)}"
 
 tidy=""
 for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 \
@@ -29,15 +34,29 @@ if [[ ! -f "$build_dir/compile_commands.json" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 fi
 
-mapfile -t sources < <(find "$repo_root/src" -name '*.cpp' | sort)
-echo "lint.sh: $tidy over ${#sources[@]} files (config: $repo_root/.clang-tidy)"
+# run-clang-tidy matches sources against the compile database by regex;
+# the fallback lints the same list file by file.
+mapfile -t sources < <(find "$repo_root/src" "$repo_root/tools" "$repo_root/bench" \
+  -name '*.cpp' | sort)
 
-status=0
-for src in "${sources[@]}"; do
-  if ! "$tidy" -p "$build_dir" --quiet "$src"; then
-    status=1
+runner=""
+for candidate in run-clang-tidy "run-clang-tidy-${tidy##*-}"; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    runner="$candidate"
+    break
   fi
 done
+
+status=0
+if [[ -n "$runner" ]]; then
+  echo "lint.sh: $runner -j$jobs over ${#sources[@]} files (config: $repo_root/.clang-tidy)"
+  "$runner" -clang-tidy-binary "$(command -v "$tidy")" -p "$build_dir" -quiet \
+    -j "$jobs" "$repo_root/(src|tools|bench)/.*\.cpp$" || status=1
+else
+  echo "lint.sh: $tidy -P$jobs over ${#sources[@]} files (config: $repo_root/.clang-tidy)"
+  printf '%s\0' "${sources[@]}" |
+    xargs -0 -n 1 -P "$jobs" "$tidy" -p "$build_dir" --quiet || status=1
+fi
 
 if [[ $status -eq 0 ]]; then
   echo "lint.sh: clean"
