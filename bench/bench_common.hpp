@@ -132,14 +132,18 @@ inline std::string fmt_mb(std::uint64_t bytes) {
 // Perf-regression harness: benches emit one JSON document per run so CI and
 // later PRs can diff before/after numbers mechanically. Schema
 // "bat-bench-v1": {"schema": ..., "benchmarks": [{"name", "n", "ns_op",
-// "bytes_per_sec", "threads"}, ...]} — ns_op is nanoseconds per element
-// (best of the measured repetitions), bytes_per_sec the payload throughput
-// (0 when a kernel has no natural byte volume).
+// "unit", "bytes_per_sec", "threads"}, ...]} — ns_op is nanoseconds per
+// element (best of the measured repetitions), bytes_per_sec the payload
+// throughput (0 when a kernel has no natural byte volume). `unit` names
+// what ns_op measures; rows reporting a count rather than a rate (e.g.
+// message tallies) say so ("msgs") and carry ns_op = 0, and tools/bench_check
+// only requires a positive ns_op on "ns/op" rows.
 
 struct JsonBenchResult {
     std::string name;
     std::uint64_t n = 0;
     double ns_op = 0.0;
+    std::string unit = "ns/op";
     double bytes_per_sec = 0.0;
     int threads = 1;
 };
@@ -160,9 +164,10 @@ public:
             const JsonBenchResult& r = results_[i];
             std::fprintf(f,
                          "    {\"name\": \"%s\", \"n\": %llu, \"ns_op\": %.3f, "
-                         "\"bytes_per_sec\": %.0f, \"threads\": %d}%s\n",
+                         "\"unit\": \"%s\", \"bytes_per_sec\": %.0f, \"threads\": %d}%s\n",
                          r.name.c_str(), static_cast<unsigned long long>(r.n), r.ns_op,
-                         r.bytes_per_sec, r.threads, i + 1 < results_.size() ? "," : "");
+                         r.unit.c_str(), r.bytes_per_sec, r.threads,
+                         i + 1 < results_.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);

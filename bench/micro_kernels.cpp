@@ -209,7 +209,8 @@ int run_json_kernels(int argc, char** argv) {
     auto add = [&](const char* name, std::uint64_t n, double seconds,
                    std::uint64_t bytes, int threads) {
         writer.add(JsonBenchResult{name, n, 1e9 * seconds / static_cast<double>(n),
-                                   static_cast<double>(bytes) / seconds, threads});
+                                   "ns/op", static_cast<double>(bytes) / seconds,
+                                   threads});
         std::fprintf(stderr, "[bench] %-28s n=%-9llu %8.2f ns/op\n", name,
                      static_cast<unsigned long long>(n),
                      1e9 * seconds / static_cast<double>(n));

@@ -6,11 +6,18 @@
 //      on, i.e. the end-to-end overhead a traced run pays;
 //   3. the same pipeline with the always-on run-health layer armed (stall
 //      watchdog + run-report accounting, tracing off), the configuration
-//      production runs keep enabled permanently.
+//      production runs keep enabled permanently;
+//   4. the same pipeline with per-query tracing armed (obs/query_trace.hpp:
+//      ring records, serve spans, cost slots — trace rings off), gated at
+//      <= 5% over the all-off baseline.
 //
 // The acceptance bars are <1% pipeline overhead with tracing disabled and
 // <1% with the watchdog + report armed; the disabled span path is a relaxed
 // atomic load and a branch, the health hooks one relaxed increment each.
+//
+// `obs_overhead --json [--out FILE]` additionally emits bat-bench-v1 rows
+// read.total_off / read.total_querytrace so tools/bench_check gates the
+// query-tracing overhead mechanically in CI.
 
 #include <algorithm>
 #include <chrono>
@@ -19,9 +26,11 @@
 #include <filesystem>
 #include <unistd.h>
 
+#include "bench_common.hpp"
 #include "io/reader.hpp"
 #include "io/writer.hpp"
 #include "obs/health.hpp"
+#include "obs/query_trace.hpp"
 #include "obs/trace.hpp"
 #include "vmpi/comm.hpp"
 #include "workloads/decomposition.hpp"
@@ -76,7 +85,7 @@ double min_of_runs(int runs, const std::filesystem::path& dir,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     constexpr std::size_t kSpanIters = 1'000'000;
 
     obs::set_trace_enabled(false);
@@ -138,6 +147,35 @@ int main() {
         std::fprintf(stderr, "FAIL: run-health layer overhead %.2f%% > 5%%\n",
                      health_pct);
         return 1;
+    }
+
+    // Per-query tracing armed: every read_particles mints a context, ships
+    // it in each request, records serve spans and a QueryRecord. No log file
+    // — arming the rings alone is the recording cost a production run pays.
+    obs::set_query_trace_enabled(true);
+    const double qtrace_s = min_of_runs(runs, dir, per_rank, decomp);
+    obs::set_query_trace_enabled(false);
+    obs::reset_query_trace();
+
+    const double qtrace_pct = 100.0 * (qtrace_s - off_s) / off_s;
+    std::printf("8-rank write+read pipeline with query tracing armed: %.3f s, "
+                "overhead %.2f%%\n",
+                qtrace_s, qtrace_pct);
+    if (qtrace_pct > 5.0) {
+        std::fprintf(stderr, "FAIL: query tracing overhead %.2f%% > 5%%\n", qtrace_pct);
+        return 1;
+    }
+
+    if (bench::has_flag(argc, argv, "--json")) {
+        const char* out = bench::flag_value(argc, argv, "--out", "BENCH_obs.json");
+        bench::JsonBenchWriter writer;
+        const std::uint64_t n = 120'000;
+        writer.add(bench::JsonBenchResult{
+            "read.total_off", n, 1e9 * off_s / static_cast<double>(n), "ns/op", 0.0, 1});
+        writer.add(bench::JsonBenchResult{"read.total_querytrace", n,
+                                          1e9 * qtrace_s / static_cast<double>(n),
+                                          "ns/op", 0.0, 1});
+        writer.write(out);
     }
 
     std::filesystem::remove_all(dir);

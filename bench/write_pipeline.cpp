@@ -95,6 +95,7 @@ int main(int argc, char** argv) {
         for (const auto& [name, seconds] : phases) {
             writer.add(bench::JsonBenchResult{
                 name, kParticles, 1e9 * seconds / static_cast<double>(kParticles),
+                "ns/op",
                 seconds > 0 ? static_cast<double>(best.bytes_written) / seconds : 0.0,
                 threads});
         }

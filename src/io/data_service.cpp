@@ -9,6 +9,7 @@
 #include "io/read_protocol.hpp"
 #include "io/reader.hpp"
 #include "obs/metrics.hpp"
+#include "obs/query_trace.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -40,6 +41,11 @@ DataService::DataService(vmpi::Comm& comm, const std::filesystem::path& metadata
 
 ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
     BAT_TRACE_SCOPE_CAT("service.query_round", "service");
+    // This round is one query: mint its identity, install it for the whole
+    // round (local cache opens and request sends attribute to it), and ship
+    // it inside every leaf request so remote serves attribute to it too.
+    const obs::QueryContext qctx = obs::query_begin(comm_.rank());
+    obs::QueryScope qscope(qctx);
     const std::uint64_t round_start_ns = obs::trace_now_ns();
     ParticleSet result(meta_.attr_names);
 
@@ -67,10 +73,12 @@ ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
             req.seq = static_cast<std::uint32_t>(i);
             req.leaves = requests[i].second;
             req.query = *query;
+            req.ctx = qctx;
             comm_.isend(requests[i].first, kTagServiceRequest,
                         io_detail::encode_request(req));
         }
     }
+    const std::uint64_t request_done_ns = obs::trace_now_ns();
 
     // Serve + collect until the round's barrier completes. Leaf evaluations
     // run on pool workers (when configured); the comm loop keeps probing.
@@ -118,11 +126,13 @@ ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
         }
     }
     server.finish();
+    const std::uint64_t serve_done_ns = obs::trace_now_ns();
 
     // Zero-copy ingestion in request order, then local leaves after exiting
     // the server loop (paper §IV-B) — arrival order cannot change the
     // result.
     io_detail::merge_responses(result, responses);
+    const std::uint64_t merge_done_ns = obs::trace_now_ns();
     for (int leaf : local_leaves) {
         const auto file = cache_->open(
             dir_ / meta_.leaves[static_cast<std::size_t>(leaf)].file, &bytes_read);
@@ -130,6 +140,7 @@ ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
             result.push_back(p, attrs);
         });
     }
+    const std::uint64_t round_end_ns = obs::trace_now_ns();
 
     obs::record_rank_value("service.particles_served", result.count());
     obs::record_rank_value("service.bytes_shipped", server.bytes_shipped());
@@ -140,7 +151,29 @@ ParticleSet DataService::query_round(const std::optional<BatQuery>& query) {
         .add(static_cast<std::int64_t>(server.bytes_shipped()));
     metrics.counter("service.request_msgs").add(static_cast<std::int64_t>(requests.size()));
     metrics.histogram("service.round_us")
-        .record(static_cast<double>(obs::trace_now_ns() - round_start_ns) / 1e3);
+        .record(static_cast<double>(round_end_ns - round_start_ns) / 1e3);
+
+    obs::QueryRecord qrec;
+    qrec.trace_id = qctx.trace_id;
+    qrec.origin_rank = qctx.origin_rank;
+    qrec.seq = qctx.seq;
+    qrec.op = "service.query_round";
+    qrec.start_ns = round_start_ns;
+    qrec.wall_ns = round_end_ns - round_start_ns;
+    qrec.request_ns = request_done_ns - round_start_ns;
+    qrec.serve_ns = serve_done_ns - request_done_ns;
+    qrec.merge_ns = merge_done_ns - serve_done_ns;
+    qrec.local_ns = round_end_ns - merge_done_ns;
+    qrec.leaves_local = static_cast<std::uint32_t>(local_leaves.size());
+    for (const auto& [aggregator, leaves] : requests) {
+        qrec.leaves_remote += static_cast<std::uint32_t>(leaves.size());
+    }
+    qrec.request_msgs = static_cast<std::uint32_t>(requests.size());
+    for (const vmpi::Bytes& payload : responses) {
+        qrec.bytes_moved += payload.size();
+    }
+    qrec.particles = result.count();
+    obs::query_finalize(qrec);
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/query_trace.hpp"
 #include "sched/sched.hpp"
 #include "util/check.hpp"
 
@@ -26,6 +27,7 @@ std::shared_ptr<const BatFile> LeafFileCache::open(
         if (it != entries_.end()) {
             it->second.last_use = ++tick_;
             metrics.counter("read.leaf_cache_hit").add(1);
+            obs::query_note_cache(/*hit=*/true);
             return it->second.file;
         }
     }
@@ -33,6 +35,7 @@ std::shared_ptr<const BatFile> LeafFileCache::open(
     // leaves overlap their I/O.
     auto file = std::make_shared<const BatFile>(path);
     metrics.counter("read.leaf_cache_miss").add(1);
+    obs::query_note_cache(/*hit=*/false);
     if (bytes_read != nullptr) {
         bytes_read->fetch_add(file->header().file_size, std::memory_order_relaxed);
     }

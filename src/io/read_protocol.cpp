@@ -62,6 +62,9 @@ BatQuery read_query(BufferReader& r) {
 vmpi::Bytes encode_request(const LeafRequest& req) {
     BufferWriter w;
     w.write(req.seq);
+    w.write(req.ctx.trace_id);
+    w.write(req.ctx.origin_rank);
+    w.write(req.ctx.seq);
     w.write(static_cast<std::uint32_t>(req.leaves.size()));
     w.write_span(std::span<const std::int32_t>(req.leaves));
     write_query(w, req.query);
@@ -72,6 +75,9 @@ LeafRequest decode_request(std::span<const std::byte> bytes) {
     BufferReader r(bytes);
     LeafRequest req;
     req.seq = r.read<std::uint32_t>();
+    req.ctx.trace_id = r.read<std::uint64_t>();
+    req.ctx.origin_rank = r.read<std::int32_t>();
+    req.ctx.seq = r.read<std::uint32_t>();
     req.leaves.resize(r.read<std::uint32_t>());
     r.read_into(std::span<std::int32_t>(req.leaves));
     req.query = read_query(r);
@@ -171,6 +177,7 @@ void LeafServer::start_job(int src, const vmpi::Bytes& payload) {
     job->seq = req.seq;
     job->leaves = std::move(req.leaves);
     job->query = std::move(req.query);
+    job->ctx = req.ctx;
     const std::size_t n = job->leaves.size();
     job->parts.resize(n);
     job->remaining.store(n, std::memory_order_relaxed);
@@ -179,11 +186,33 @@ void LeafServer::start_job(int src, const vmpi::Bytes& payload) {
     // Accepting a request is progress even while the leaf jobs are still in
     // flight — a serving rank stuck behind a slow peer stays "live".
     obs::note_leaves_served(comm_.rank(), n);
+    const int serve_rank = comm_.rank();
     Job* j = job.get();
     jobs_.push_back(std::move(job));
+    // The serving rank adopts the originating query's identity for each leaf
+    // evaluation: the scope here makes ThreadPool capture it at enqueue, and
+    // the scope inside the task covers inline and work-helping execution.
+    obs::QueryScope enqueue_scope(j->ctx);
     for (std::size_t i = 0; i < n; ++i) {
-        auto task = [this, j, i] {
-            BAT_TRACE_SCOPE_CAT("read.serve_leaf", "read");
+        auto task = [this, j, i, serve_rank] {
+            obs::QueryScope qscope(j->ctx);
+            const bool traced = obs::trace_enabled();
+            if (traced) {
+                if (j->ctx.valid()) {
+                    obs::emit_begin_arg("read.serve_leaf", "read", "qtrace",
+                                        static_cast<std::int64_t>(j->ctx.trace_id));
+                } else {
+                    obs::emit_begin("read.serve_leaf", "read");
+                }
+            }
+            const bool tracked = obs::span_tracking_enabled();
+            if (tracked) {
+                obs::health_detail::push_span("read.serve_leaf");
+            }
+            std::uint64_t hits0 = 0;
+            std::uint64_t misses0 = 0;
+            obs::query_thread_cache_counts(&hits0, &misses0);
+            const std::uint64_t t0 = obs::trace_now_ns();
             try {
                 j->parts[i] = serve_leaf_(j->leaves[i], j->query);
             } catch (...) {
@@ -191,6 +220,32 @@ void LeafServer::start_job(int src, const vmpi::Bytes& payload) {
                 if (!first_error_) {
                     first_error_ = std::current_exception();
                 }
+            }
+            const std::uint64_t t1 = obs::trace_now_ns();
+            if (tracked) {
+                obs::health_detail::pop_span();
+            }
+            if (traced) {
+                obs::emit_end("read.serve_leaf", "read");
+            }
+            if (j->ctx.valid()) {
+                std::uint64_t hits1 = 0;
+                std::uint64_t misses1 = 0;
+                obs::query_thread_cache_counts(&hits1, &misses1);
+                obs::QueryServeSpan span;
+                span.trace_id = j->ctx.trace_id;
+                span.origin_rank = j->ctx.origin_rank;
+                span.query_seq = j->ctx.seq;
+                span.serve_rank = serve_rank;
+                span.leaf = j->leaves[i];
+                span.start_ns = t0;
+                span.dur_ns = t1 - t0;
+                span.bytes = j->parts[i].size();
+                span.cache_hit = hits1 > hits0 && misses1 == misses0;
+                // Recorded before the release decrement below: once the
+                // origin has this job's response, the span is visible in the
+                // process-wide ring — query_finalize never races it.
+                obs::query_record_serve_span(span);
             }
             // Release pairs with the acquire load in send_ready(): the comm
             // thread must see the finished part bytes.

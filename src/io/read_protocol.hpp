@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/bat_query.hpp"
+#include "obs/query_trace.hpp"
 #include "util/thread_pool.hpp"
 #include "vmpi/comm.hpp"
 
@@ -35,6 +36,10 @@ struct LeafRequest {
     std::uint32_t seq = 0;
     std::vector<std::int32_t> leaves;
     BatQuery query;
+    /// Originating query identity, carried on the wire so the serving rank
+    /// attributes its leaf evaluations (spans, cache notes, pool time) to
+    /// the query that asked, not to the rank doing the work.
+    obs::QueryContext ctx;
 };
 
 vmpi::Bytes encode_request(const LeafRequest& req);
@@ -103,6 +108,7 @@ private:
         std::uint32_t seq = 0;
         std::vector<std::int32_t> leaves;
         BatQuery query;
+        obs::QueryContext ctx;
         std::vector<vmpi::Bytes> parts;
         std::atomic<std::size_t> remaining{0};
     };

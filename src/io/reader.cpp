@@ -11,6 +11,7 @@
 #include "io/leaf_cache.hpp"
 #include "io/read_protocol.hpp"
 #include "obs/metrics.hpp"
+#include "obs/query_trace.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -28,6 +29,7 @@ QuerySink particle_sink(ParticleSet& out) {
     QuerySink sink;
     sink.point = [&out](Vec3 p, std::span<const double> attrs) { out.push_back(p, attrs); };
     sink.range = [&out](const BatTreeletView& view, std::uint32_t begin, std::uint32_t end) {
+        obs::query_note_fastpath_window();
         const std::uint32_t n = end - begin;
         std::vector<std::span<const double>> cols;
         cols.reserve(view.attrs.size());
@@ -88,6 +90,12 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
     ReadResult result;
     ReadPhaseTimings& timings = result.timings;
     auto& metrics = obs::MetricsRegistry::global();
+    // One read_particles call is one query (see obs/query_trace.hpp): its
+    // identity rides in every leaf request so remote serve work, cache
+    // traffic, and pool time are attributed back to this call.
+    const obs::QueryContext qctx = obs::query_begin(comm.rank());
+    obs::QueryScope qscope(qctx);
+    const std::uint64_t q_start_ns = obs::trace_now_ns();
 
     // Phase spans populate ReadPhaseTimings and, under BAT_TRACE, the
     // per-rank trace timeline (same pattern as write_particles).
@@ -134,10 +142,12 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
         req.seq = static_cast<std::uint32_t>(i);
         req.leaves = requests[i].second;
         req.query = leaf_query;
+        req.ctx = qctx;
         comm.isend(requests[i].first, kTagReadRequest, io_detail::encode_request(req));
     }
     metrics.counter("read.request_msgs").add(static_cast<std::int64_t>(requests.size()));
     request_span.close();
+    const std::uint64_t request_done_ns = obs::trace_now_ns();
 
     // ---- (c) client-server loop --------------------------------------------
     obs::PhaseSpan serve_span("read.serve", &timings.serve);
@@ -192,11 +202,13 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
         .add(static_cast<std::int64_t>(server.requests_served()));
     metrics.counter("read.leaves_served").add(static_cast<std::int64_t>(server.leaves_served()));
     serve_span.close();
+    const std::uint64_t serve_done_ns = obs::trace_now_ns();
 
     // ---- zero-copy ingestion of the buffered responses ---------------------
     obs::PhaseSpan merge_span("read.merge", &timings.merge);
     io_detail::merge_responses(result.particles, responses);
     merge_span.close();
+    const std::uint64_t merge_done_ns = obs::trace_now_ns();
 
     // ---- self-queries after exiting the server loop (§IV-B) ----------------
     obs::PhaseSpan local_span("read.local", &timings.local);
@@ -207,10 +219,35 @@ ReadResult read_particles(vmpi::Comm& comm, const std::filesystem::path& metadat
         query_bat(*file, leaf_query, sink);
     }
     local_span.close();
+    const std::uint64_t q_end_ns = obs::trace_now_ns();
 
     result.bytes_read = bytes_read.load(std::memory_order_relaxed);
     obs::record_rank_value("read.bytes_read", result.bytes_read);
     obs::record_rank_value("read.leaves_served", server.leaves_served());
+
+    obs::QueryRecord qrec;
+    qrec.trace_id = qctx.trace_id;
+    qrec.origin_rank = qctx.origin_rank;
+    qrec.seq = qctx.seq;
+    qrec.op = "read.read_particles";
+    qrec.start_ns = q_start_ns;
+    qrec.wall_ns = q_end_ns - q_start_ns;
+    // Metadata load is folded into the request stage; the four stages tile
+    // the wall time exactly.
+    qrec.request_ns = request_done_ns - q_start_ns;
+    qrec.serve_ns = serve_done_ns - request_done_ns;
+    qrec.merge_ns = merge_done_ns - serve_done_ns;
+    qrec.local_ns = q_end_ns - merge_done_ns;
+    qrec.leaves_local = static_cast<std::uint32_t>(local_leaves.size());
+    for (const auto& [aggregator, leaves] : requests) {
+        qrec.leaves_remote += static_cast<std::uint32_t>(leaves.size());
+    }
+    qrec.request_msgs = static_cast<std::uint32_t>(requests.size());
+    for (const vmpi::Bytes& payload : responses) {
+        qrec.bytes_moved += payload.size();
+    }
+    qrec.particles = result.particles.count();
+    obs::query_finalize(qrec);
     return result;
 }
 

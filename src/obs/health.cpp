@@ -720,6 +720,12 @@ std::string run_report_json() {
         append_double(out, h.min);
         out += ",\"max\":";
         append_double(out, h.max);
+        out += ",\"p50\":";
+        append_double(out, h.p50);
+        out += ",\"p90\":";
+        append_double(out, h.p90);
+        out += ",\"p99\":";
+        append_double(out, h.p99);
         out += "}";
     }
     out += "}\n}\n";

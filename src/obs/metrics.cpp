@@ -51,6 +51,57 @@ RunningStats Histogram::stats() const {
     return stats_;
 }
 
+namespace {
+
+/// Shared quantile estimator over a bucket-count snapshot: find the bucket
+/// holding rank q*total, interpolate linearly inside it, clamp to the
+/// observed extremes.
+double percentile_impl(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts,
+                       const RunningStats& stats, double q) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) {
+        total += c;
+    }
+    if (total == 0) {
+        return 0.0;
+    }
+    q = std::min(1.0, std::max(0.0, q));
+    const double target = q * static_cast<double>(total);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) {
+            continue;
+        }
+        const double next = static_cast<double>(cum + counts[i]);
+        if (next >= target) {
+            // Bucket i covers (lo, hi]; the first and overflow buckets use
+            // the observed extremes as their missing edge.
+            const double lo = i == 0 ? stats.min() : bounds[i - 1];
+            const double hi = i < bounds.size() ? bounds[i] : stats.max();
+            const double frac =
+                (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+            const double v = lo + frac * (hi - lo);
+            return std::min(stats.max(), std::max(stats.min(), v));
+        }
+        cum += counts[i];
+    }
+    return stats.max();
+}
+
+}  // namespace
+
+double Histogram::percentile(double q) const {
+    std::vector<std::uint64_t> counts;
+    RunningStats stats;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counts = counts_;
+        stats = stats_;
+    }
+    return percentile_impl(bounds_, counts, stats, q);
+}
+
 void Histogram::merge_from(const Histogram& other) {
     // Snapshot the source first so the two locks never overlap.
     std::vector<std::uint64_t> other_counts = other.bucket_counts();
@@ -108,6 +159,20 @@ std::vector<double> MetricsRegistry::default_us_bounds() {
     for (int i = 0; i < 16; ++i) {
         bounds.push_back(b);
         b *= 4.0;
+    }
+    return bounds;
+}
+
+std::vector<double> MetricsRegistry::hdr_us_bounds() {
+    // 4 sub-buckets per octave, 1us .. 2^19us (~8.7 min): 1, 1.25, 1.5,
+    // 1.75, 2, 2.5, ... — 76 buckets + overflow.
+    std::vector<double> bounds;
+    bounds.reserve(76);
+    for (int octave = 0; octave < 19; ++octave) {
+        const double base = static_cast<double>(1u << octave);
+        for (int sub = 0; sub < 4; ++sub) {
+            bounds.push_back(base * (1.0 + 0.25 * sub));
+        }
     }
     return bounds;
 }
@@ -235,6 +300,9 @@ std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::histogram_snaps
         snap.mean = stats.mean();
         snap.min = stats.min();
         snap.max = stats.max();
+        snap.p50 = h->percentile(0.50);
+        snap.p90 = h->percentile(0.90);
+        snap.p99 = h->percentile(0.99);
         out.push_back(std::move(snap));
     }
     return out;
@@ -305,6 +373,12 @@ std::string MetricsRegistry::to_json() const {
         append_number(out, stats.min());
         out += ", \"max\": ";
         append_number(out, stats.max());
+        out += ", \"p50\": ";
+        append_number(out, percentile_impl(h->bounds(), counts, stats, 0.50));
+        out += ", \"p90\": ";
+        append_number(out, percentile_impl(h->bounds(), counts, stats, 0.90));
+        out += ", \"p99\": ";
+        append_number(out, percentile_impl(h->bounds(), counts, stats, 0.99));
         out += ", \"buckets\": [";
         const std::vector<double>& bounds = h->bounds();
         for (std::size_t i = 0; i < counts.size(); ++i) {

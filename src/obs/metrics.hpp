@@ -58,6 +58,12 @@ public:
     std::vector<std::uint64_t> bucket_counts() const;
     RunningStats stats() const;
 
+    /// Estimate the q-quantile (q in [0, 1]) by linear interpolation inside
+    /// the bucket holding the target rank, clamped to the observed
+    /// [min, max]. With HDR-style log-spaced buckets (hdr_us_bounds) the
+    /// relative error is bounded by the sub-octave resolution. 0 when empty.
+    double percentile(double q) const;
+
     void merge_from(const Histogram& other);
 
 private:
@@ -81,6 +87,11 @@ public:
 
     /// Default exponential latency buckets in microseconds (1us .. ~17min).
     static std::vector<double> default_us_bounds();
+
+    /// HDR-style log-bucketed latency bounds in microseconds: every octave
+    /// from 1us to ~8.7min split into 4 sub-buckets, so percentile
+    /// interpolation stays within ~12% of the true quantile at any scale.
+    static std::vector<double> hdr_us_bounds();
 
     /// Find-or-create; a histogram's bucket bounds are fixed by the first
     /// call (later `bounds` arguments are ignored). Empty bounds mean
@@ -108,6 +119,9 @@ public:
         double mean = 0;
         double min = 0;
         double max = 0;
+        double p50 = 0;
+        double p90 = 0;
+        double p99 = 0;
     };
     std::vector<HistogramSnapshot> histogram_snapshots() const;
 

@@ -1,0 +1,474 @@
+#include "obs/query_trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace bat::obs {
+
+namespace {
+
+// All state is heap-allocated once and leaked, like obs/health.cpp: pool
+// workers and rank threads attribute costs past any static destruction
+// order, and the atexit log export must never race a destructor.
+
+constexpr std::size_t kMaxRecords = 8192;
+constexpr std::size_t kMaxServeSpans = 65536;
+constexpr std::size_t kCostSlots = 4096;
+constexpr std::size_t kCostProbeLimit = 128;
+
+/// Lock-free per-query cost accumulator, claimed by CAS on the trace id.
+struct CostSlot {
+    std::atomic<std::uint64_t> id{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> pool_ns{0};
+    std::atomic<std::uint64_t> windows{0};
+};
+
+struct QueryState {
+    std::atomic<std::uint64_t> next_id{0};
+
+    // Rings: slots are claimed with one fetch_add, filled, then committed
+    // with a release store so exporters never read a half-written entry.
+    QueryRecord records[kMaxRecords];
+    std::atomic<bool> record_committed[kMaxRecords] = {};
+    std::atomic<std::size_t> record_next{0};
+
+    QueryServeSpan spans[kMaxServeSpans];
+    std::atomic<bool> span_committed[kMaxServeSpans] = {};
+    std::atomic<std::size_t> span_next{0};
+
+    CostSlot costs[kCostSlots];
+    std::atomic<std::uint64_t> dropped{0};
+
+    std::atomic<bool> enabled{false};
+    std::atomic<std::uint32_t> sample_every{1};
+    std::atomic<bool> log_armed{false};
+    std::mutex log_path_mutex;
+    std::string log_path;  // set by arm_query_log; BAT_QUERY_LOG otherwise
+};
+
+QueryState& state() {
+    static QueryState* s = new QueryState;
+    return *s;
+}
+
+thread_local QueryContext t_current;
+thread_local std::uint64_t t_cache_hits = 0;
+thread_local std::uint64_t t_cache_misses = 0;
+
+/// One-time environment arming: BAT_QUERY_LOG enables ring recording and
+/// registers the exit-time JSONL export; BAT_QUERY_SAMPLE sets sampling.
+void ensure_init() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        QueryState& s = state();
+        if (const char* sample = std::getenv("BAT_QUERY_SAMPLE")) {
+            const long n = std::strtol(sample, nullptr, 10);
+            if (n > 0) {
+                s.sample_every.store(static_cast<std::uint32_t>(n),
+                                     std::memory_order_relaxed);
+            }
+        }
+        if (const char* path = std::getenv("BAT_QUERY_LOG")) {
+            s.enabled.store(true, std::memory_order_relaxed);
+            {
+                std::lock_guard<std::mutex> lock(s.log_path_mutex);
+                s.log_path = path;
+            }
+            s.log_armed.store(true, std::memory_order_relaxed);
+            std::atexit([] {
+                std::string path;
+                {
+                    std::lock_guard<std::mutex> lock(state().log_path_mutex);
+                    path = state().log_path;
+                }
+                if (!path.empty()) {
+                    write_query_log(path);
+                }
+            });
+        }
+    });
+}
+
+/// Sampling is a pure function of the trace id (its low bits are the global
+/// mint counter), so the origin and every serving rank agree on whether a
+/// query is recorded without shipping an extra flag.
+bool sampled(std::uint64_t trace_id) {
+    const std::uint32_t every = state().sample_every.load(std::memory_order_relaxed);
+    return every <= 1 || (trace_id & 0xFFFFFFFFFFull) % every == 0;
+}
+
+bool recording(const QueryContext& ctx) {
+    return ctx.valid() && state().enabled.load(std::memory_order_relaxed) &&
+           sampled(ctx.trace_id);
+}
+
+CostSlot* find_cost_slot(std::uint64_t id, bool create) {
+    QueryState& s = state();
+    std::size_t at = (id * 0x9E3779B97F4A7C15ull) % kCostSlots;
+    for (std::size_t probe = 0; probe < kCostProbeLimit; ++probe) {
+        CostSlot& slot = s.costs[at];
+        std::uint64_t cur = slot.id.load(std::memory_order_acquire);
+        if (cur == id) {
+            return &slot;
+        }
+        if (cur == 0 && create) {
+            if (slot.id.compare_exchange_strong(cur, id, std::memory_order_acq_rel)) {
+                return &slot;
+            }
+            if (cur == id) {
+                return &slot;  // lost the race to ourselves on another thread
+            }
+        }
+        at = (at + 1) % kCostSlots;
+    }
+    if (create) {
+        s.dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    return nullptr;
+}
+
+// ---- JSONL rendering -------------------------------------------------------
+
+void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+void append_us(std::string& out, std::uint64_t ns) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+    out += buf;
+}
+
+void append_span_json(std::string& out, const QueryServeSpan& sp) {
+    out += "{\"rank\":";
+    out += std::to_string(sp.serve_rank);
+    out += ",\"leaf\":";
+    out += std::to_string(sp.leaf);
+    out += ",\"start_us\":";
+    append_us(out, sp.start_ns);
+    out += ",\"dur_us\":";
+    append_us(out, sp.dur_ns);
+    out += ",\"bytes\":";
+    append_u64(out, sp.bytes);
+    out += ",\"cache_hit\":";
+    out += sp.cache_hit ? "true" : "false";
+    out += "}";
+}
+
+}  // namespace
+
+QueryContext current_query() { return t_current; }
+
+QueryScope::QueryScope(const QueryContext& ctx) : prev_(t_current) { t_current = ctx; }
+
+QueryScope::~QueryScope() { t_current = prev_; }
+
+QueryContext query_begin(int origin_rank) {
+    ensure_init();
+    QueryContext ctx;
+    const std::uint64_t n =
+        state().next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Origin rank in the high bits keeps ids readable in logs; the low 40
+    // bits are the process-wide mint counter sampling keys off.
+    ctx.trace_id =
+        (static_cast<std::uint64_t>(origin_rank + 1) << 40) | (n & 0xFFFFFFFFFFull);
+    ctx.origin_rank = origin_rank;
+    ctx.seq = static_cast<std::uint32_t>(n - 1);
+    return ctx;
+}
+
+bool query_trace_enabled() {
+    ensure_init();
+    return state().enabled.load(std::memory_order_relaxed);
+}
+
+void set_query_trace_enabled(bool on) {
+    ensure_init();
+    state().enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t query_sample_every() {
+    ensure_init();
+    return state().sample_every.load(std::memory_order_relaxed);
+}
+
+void set_query_sample_every(std::uint32_t n) {
+    ensure_init();
+    state().sample_every.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+void query_note_cache(bool hit) {
+    const QueryContext ctx = t_current;
+    if (!recording(ctx)) {
+        return;
+    }
+    (hit ? t_cache_hits : t_cache_misses) += 1;
+    if (CostSlot* slot = find_cost_slot(ctx.trace_id, /*create=*/true)) {
+        (hit ? slot->cache_hits : slot->cache_misses)
+            .fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void query_thread_cache_counts(std::uint64_t* hits, std::uint64_t* misses) {
+    if (hits != nullptr) {
+        *hits = t_cache_hits;
+    }
+    if (misses != nullptr) {
+        *misses = t_cache_misses;
+    }
+}
+
+void query_note_pool_ns(std::uint64_t ns) {
+    const QueryContext ctx = t_current;
+    if (!recording(ctx)) {
+        return;
+    }
+    if (CostSlot* slot = find_cost_slot(ctx.trace_id, /*create=*/true)) {
+        slot->pool_ns.fetch_add(ns, std::memory_order_relaxed);
+    }
+}
+
+void query_note_fastpath_window() {
+    const QueryContext ctx = t_current;
+    if (!recording(ctx)) {
+        return;
+    }
+    if (CostSlot* slot = find_cost_slot(ctx.trace_id, /*create=*/true)) {
+        slot->windows.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void query_record_serve_span(const QueryServeSpan& span) {
+    QueryState& s = state();
+    if (!s.enabled.load(std::memory_order_relaxed) || !sampled(span.trace_id)) {
+        return;
+    }
+    const std::size_t at = s.span_next.fetch_add(1, std::memory_order_relaxed);
+    if (at >= kMaxServeSpans) {
+        s.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    s.spans[at] = span;
+    s.span_committed[at].store(true, std::memory_order_release);
+}
+
+void query_finalize(QueryRecord record) {
+    ensure_init();
+    // Percentile accounting is always on: the run report's p50/p99 must not
+    // depend on the query log being armed.
+    MetricsRegistry::global()
+        .histogram(std::string("query.") + record.op + ".us",
+                   MetricsRegistry::hdr_us_bounds())
+        .record(static_cast<double>(record.wall_ns) / 1e3);
+    QueryState& s = state();
+    if (!s.enabled.load(std::memory_order_relaxed) || !sampled(record.trace_id)) {
+        return;
+    }
+    if (CostSlot* slot = find_cost_slot(record.trace_id, /*create=*/false)) {
+        record.cache_hits += slot->cache_hits.load(std::memory_order_relaxed);
+        record.cache_misses += slot->cache_misses.load(std::memory_order_relaxed);
+        record.pool_task_ns += slot->pool_ns.load(std::memory_order_relaxed);
+        record.fastpath_windows += slot->windows.load(std::memory_order_relaxed);
+        // Release the slot; a straggling pool-task attribution after this
+        // point re-claims a fresh slot under the same id (its delta is lost
+        // with the already-emitted record, never charged to another query).
+        slot->cache_hits.store(0, std::memory_order_relaxed);
+        slot->cache_misses.store(0, std::memory_order_relaxed);
+        slot->pool_ns.store(0, std::memory_order_relaxed);
+        slot->windows.store(0, std::memory_order_relaxed);
+        slot->id.store(0, std::memory_order_release);
+    }
+    const std::size_t at = s.record_next.fetch_add(1, std::memory_order_relaxed);
+    if (at >= kMaxRecords) {
+        s.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    s.records[at] = record;
+    s.record_committed[at].store(true, std::memory_order_release);
+}
+
+bool query_log_armed() {
+    ensure_init();
+    return state().log_armed.load(std::memory_order_relaxed);
+}
+
+void arm_query_log(const std::filesystem::path& path, std::uint32_t sample_every) {
+    ensure_init();
+    QueryState& s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.log_path_mutex);
+        s.log_path = path.string();
+    }
+    if (sample_every > 0) {
+        s.sample_every.store(sample_every, std::memory_order_relaxed);
+    }
+    s.enabled.store(true, std::memory_order_relaxed);
+    if (!s.log_armed.exchange(true, std::memory_order_relaxed)) {
+        std::atexit([] {
+            std::string p;
+            {
+                std::lock_guard<std::mutex> lock(state().log_path_mutex);
+                p = state().log_path;
+            }
+            if (!p.empty()) {
+                write_query_log(p);
+            }
+        });
+    }
+}
+
+std::vector<QueryRecord> query_records() {
+    QueryState& s = state();
+    std::vector<QueryRecord> out;
+    const std::size_t n = std::min(s.record_next.load(std::memory_order_relaxed),
+                                   kMaxRecords);
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (s.record_committed[i].load(std::memory_order_acquire)) {
+            out.push_back(s.records[i]);
+        }
+    }
+    return out;
+}
+
+std::vector<QueryServeSpan> query_serve_spans() {
+    QueryState& s = state();
+    std::vector<QueryServeSpan> out;
+    const std::size_t n =
+        std::min(s.span_next.load(std::memory_order_relaxed), kMaxServeSpans);
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (s.span_committed[i].load(std::memory_order_acquire)) {
+            out.push_back(s.spans[i]);
+        }
+    }
+    return out;
+}
+
+std::uint64_t query_dropped() {
+    return state().dropped.load(std::memory_order_relaxed);
+}
+
+void reset_query_trace() {
+    ensure_init();
+    QueryState& s = state();
+    // Uncommit first so concurrent readers drop out, then rewind the claim
+    // counters. Resets are quiescent-time operations (tests, bench reruns).
+    for (std::size_t i = 0; i < kMaxRecords; ++i) {
+        s.record_committed[i].store(false, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kMaxServeSpans; ++i) {
+        s.span_committed[i].store(false, std::memory_order_relaxed);
+    }
+    s.record_next.store(0, std::memory_order_relaxed);
+    s.span_next.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kCostSlots; ++i) {
+        s.costs[i].cache_hits.store(0, std::memory_order_relaxed);
+        s.costs[i].cache_misses.store(0, std::memory_order_relaxed);
+        s.costs[i].pool_ns.store(0, std::memory_order_relaxed);
+        s.costs[i].windows.store(0, std::memory_order_relaxed);
+        s.costs[i].id.store(0, std::memory_order_relaxed);
+    }
+    s.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string query_log_jsonl() {
+    const std::vector<QueryRecord> records = query_records();
+    std::multimap<std::uint64_t, const QueryServeSpan*> by_id;
+    const std::vector<QueryServeSpan> spans = query_serve_spans();
+    for (const QueryServeSpan& sp : spans) {
+        by_id.emplace(sp.trace_id, &sp);
+    }
+    std::string out;
+    out.reserve(records.size() * 256 + spans.size() * 96);
+    for (const QueryRecord& r : records) {
+        out += "{\"schema\":\"bat-query-v1\",\"trace_id\":";
+        append_u64(out, r.trace_id);
+        out += ",\"origin_rank\":";
+        out += std::to_string(r.origin_rank);
+        out += ",\"seq\":";
+        out += std::to_string(r.seq);
+        out += ",\"op\":\"";
+        out += r.op;
+        out += "\",\"start_us\":";
+        append_us(out, r.start_ns);
+        out += ",\"wall_us\":";
+        append_us(out, r.wall_ns);
+        out += ",\"stages\":{\"request_us\":";
+        append_us(out, r.request_ns);
+        out += ",\"serve_us\":";
+        append_us(out, r.serve_ns);
+        out += ",\"merge_us\":";
+        append_us(out, r.merge_ns);
+        out += ",\"local_us\":";
+        append_us(out, r.local_ns);
+        out += "},\"leaves_local\":";
+        out += std::to_string(r.leaves_local);
+        out += ",\"leaves_remote\":";
+        out += std::to_string(r.leaves_remote);
+        out += ",\"request_msgs\":";
+        out += std::to_string(r.request_msgs);
+        out += ",\"bytes_moved\":";
+        append_u64(out, r.bytes_moved);
+        out += ",\"particles\":";
+        append_u64(out, r.particles);
+        out += ",\"cache_hits\":";
+        append_u64(out, r.cache_hits);
+        out += ",\"cache_misses\":";
+        append_u64(out, r.cache_misses);
+        out += ",\"pool_task_us\":";
+        append_us(out, r.pool_task_ns);
+        out += ",\"fastpath_windows\":";
+        append_u64(out, r.fastpath_windows);
+        out += ",\"serve_spans\":[";
+        const auto [lo, hi] = by_id.equal_range(r.trace_id);
+        bool first = true;
+        for (auto it = lo; it != hi; ++it) {
+            if (!first) {
+                out += ",";
+            }
+            first = false;
+            append_span_json(out, *it->second);
+        }
+        by_id.erase(lo, hi);
+        out += "]}\n";
+    }
+    // Anything still unmatched is a serve span whose query never finalized:
+    // surfaced, not dropped, so CI can assert zero unattributed spans.
+    for (const auto& [id, sp] : by_id) {
+        out += "{\"schema\":\"bat-query-orphan-v1\",\"trace_id\":";
+        append_u64(out, id);
+        out += ",\"origin_rank\":";
+        out += std::to_string(sp->origin_rank);
+        out += ",\"seq\":";
+        out += std::to_string(sp->query_seq);
+        out += ",\"span\":";
+        append_span_json(out, *sp);
+        out += "}\n";
+    }
+    return out;
+}
+
+bool write_query_log(const std::filesystem::path& path) {
+    const std::string expanded = expand_path_template(path.string());
+    std::ofstream f(expanded, std::ios::binary | std::ios::app);
+    if (!f) {
+        BAT_LOG_ERROR("query log: cannot open " << expanded);
+        return false;
+    }
+    const std::string jsonl = query_log_jsonl();
+    f.write(jsonl.data(), static_cast<std::streamsize>(jsonl.size()));
+    BAT_LOG_INFO("query log appended to " << expanded << " (" << jsonl.size()
+                                          << " bytes)");
+    return true;
+}
+
+}  // namespace bat::obs

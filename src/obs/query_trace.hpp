@@ -1,0 +1,180 @@
+#pragma once
+// Request-scoped query tracing and cost attribution (docs/OBSERVABILITY.md).
+//
+// Phase-level tracing (obs/trace.hpp) and the run report (obs/health.hpp)
+// aggregate by phase and rank, so two concurrent queries in the same
+// DataService round are indistinguishable. This layer gives every
+// DataService::query_round / read_particles invocation an identity — a
+// QueryContext carrying a process-unique trace id, the origin rank, and a
+// per-origin sequence number — and propagates it across rank boundaries
+// inside the coalesced leaf-request framing (io/read_protocol) and through
+// ThreadPool tasks (context-carrying tasks survive work-helping), so work
+// performed *for* a query on any rank or worker thread is attributed to it:
+//
+//   - every remotely served leaf becomes one QueryServeSpan (serving rank,
+//     leaf id, wall window, response bytes, cache hit/miss);
+//   - LeafFileCache hits/misses and pool task time land in a lock-free
+//     per-query cost slot via the thread-local current context;
+//   - at round exit the origin emits one QueryRecord (stage breakdown,
+//     leaves local/remote, bytes moved, cache and pool costs, fast-path
+//     windows) into a lock-cheap ring.
+//
+// Records and spans are stitched by trace id at export into an append-only
+// JSONL log (one `bat-query-v1` object per line), armed by BAT_QUERY_LOG
+// ("%p" expands to the pid) with 1-in-N sampling via BAT_QUERY_SAMPLE.
+// tools/query_profile reconstructs per-query critical paths from the log.
+// Latency percentiles (p50/p90/p99) per operation type are recorded into
+// the MetricsRegistry regardless of arming, so they always reach the run
+// report.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace bat::obs {
+
+/// Identity of one in-flight query. trace_id is process-unique and nonzero
+/// for a valid context; it encodes the origin rank in its high bits so log
+/// lines stay human-readable.
+struct QueryContext {
+    std::uint64_t trace_id = 0;
+    std::int32_t origin_rank = -1;
+    std::uint32_t seq = 0;  // per-origin query counter
+    bool valid() const { return trace_id != 0; }
+};
+
+/// The calling thread's current query context (invalid when none).
+QueryContext current_query();
+
+/// Install `ctx` as the thread's current context for the enclosing scope;
+/// restores the previous context on destruction. Nesting is allowed (the
+/// innermost context wins), which is how a serving rank temporarily adopts
+/// a *remote* query's identity around each leaf evaluation.
+class QueryScope {
+public:
+    explicit QueryScope(const QueryContext& ctx);
+    QueryScope(const QueryScope&) = delete;
+    QueryScope& operator=(const QueryScope&) = delete;
+    ~QueryScope();
+
+private:
+    QueryContext prev_;
+};
+
+/// Mint a fresh context at a query's origin. Cheap (one relaxed atomic
+/// increment); does not install the context — wrap the returned value in a
+/// QueryScope.
+QueryContext query_begin(int origin_rank);
+
+// ---- recording switch -----------------------------------------------------
+
+/// True when ring recording (records, serve spans, cost slots) is on.
+/// Armed automatically when BAT_QUERY_LOG is set; tests and benches toggle
+/// it directly. Latency histograms are recorded regardless.
+bool query_trace_enabled();
+void set_query_trace_enabled(bool on);
+
+/// 1-in-N record sampling (BAT_QUERY_SAMPLE, default 1 = every query).
+/// Applies to ring records only; serve spans follow their record.
+std::uint32_t query_sample_every();
+void set_query_sample_every(std::uint32_t n);
+
+// ---- attribution hooks ----------------------------------------------------
+// All are no-ops (one thread-local read + branch) when no context is
+// installed or recording is off.
+
+/// A LeafFileCache lookup under the current context.
+void query_note_cache(bool hit);
+/// Pool task wall time executed under the current context.
+void query_note_pool_ns(std::uint64_t ns);
+/// One contiguous-range fast-path window emitted under the current context.
+void query_note_fastpath_window();
+
+/// Monotonic per-thread counts of cache notes recorded via query_note_cache
+/// on the calling thread. Serve tasks snapshot the delta around a single
+/// leaf evaluation (the cache open runs synchronously inside it, even under
+/// comm-thread work-helping) to label that leaf's span as hit or miss.
+void query_thread_cache_counts(std::uint64_t* hits, std::uint64_t* misses);
+
+// ---- per-leaf serve spans --------------------------------------------------
+
+/// One remotely served leaf, recorded by the serving rank before the
+/// response ships (so a query's spans are all visible once its responses
+/// arrived — no cross-rank flush needed).
+struct QueryServeSpan {
+    std::uint64_t trace_id = 0;
+    std::int32_t origin_rank = -1;
+    std::uint32_t query_seq = 0;
+    std::int32_t serve_rank = -1;
+    std::int32_t leaf = -1;
+    std::uint64_t start_ns = 0;  // trace_now_ns clock, shared by all ranks
+    std::uint64_t dur_ns = 0;
+    std::uint64_t bytes = 0;  // serialized response part size
+    bool cache_hit = false;
+};
+
+void query_record_serve_span(const QueryServeSpan& span);
+
+// ---- query records ---------------------------------------------------------
+
+/// One finished query, emitted by the origin rank at round exit.
+struct QueryRecord {
+    std::uint64_t trace_id = 0;
+    std::int32_t origin_rank = -1;
+    std::uint32_t seq = 0;
+    const char* op = "";  // string literal: "service.query_round" | "read.read_particles"
+    std::uint64_t start_ns = 0;
+    std::uint64_t wall_ns = 0;
+    // Stage breakdown (request build+send / serve loop / response merge /
+    // local leaf evaluation).
+    std::uint64_t request_ns = 0;
+    std::uint64_t serve_ns = 0;
+    std::uint64_t merge_ns = 0;
+    std::uint64_t local_ns = 0;
+    std::uint32_t leaves_local = 0;
+    std::uint32_t leaves_remote = 0;
+    std::uint32_t request_msgs = 0;
+    std::uint64_t bytes_moved = 0;  // response payload bytes received
+    std::uint64_t particles = 0;
+    // Cost-slot snapshot: local + remote attribution at finalize time.
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t pool_task_ns = 0;
+    std::uint64_t fastpath_windows = 0;
+};
+
+/// Snapshot the cost slot for `ctx` into the record's cost fields, push the
+/// record into the ring (subject to sampling), and release the cost slot.
+void query_finalize(QueryRecord record);
+
+// ---- export ----------------------------------------------------------------
+
+/// True once BAT_QUERY_LOG arming (or arm_query_log) registered the
+/// exit-time export.
+bool query_log_armed();
+
+/// Arm the exit-time JSONL export programmatically (tests, benches);
+/// `sample_every` = 0 keeps the current sampling rate.
+void arm_query_log(const std::filesystem::path& path, std::uint32_t sample_every = 0);
+
+/// Render the stitched log: one bat-query-v1 JSON object per line, serve
+/// spans embedded in their record by trace id; spans whose record was never
+/// finalized (or sampled out) become bat-query-orphan-v1 lines so nothing
+/// is silently dropped.
+std::string query_log_jsonl();
+
+/// Append query_log_jsonl() to `path` ("%p" expands to the pid).
+bool write_query_log(const std::filesystem::path& path);
+
+/// Ring snapshots for tests and in-process consumers.
+std::vector<QueryRecord> query_records();
+std::vector<QueryServeSpan> query_serve_spans();
+
+/// Records or spans lost to ring overflow since the last reset.
+std::uint64_t query_dropped();
+
+/// Drop all rings and cost slots (tests, repeated benchmark runs).
+void reset_query_trace();
+
+}  // namespace bat::obs

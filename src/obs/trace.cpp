@@ -312,7 +312,7 @@ void emit_begin_arg(const char* name, const char* cat, const char* arg,
 }
 
 void emit_begin_msg(const char* name, const char* cat, int tag, int peer,
-                    std::int64_t bytes, std::int64_t wait_us) {
+                    std::int64_t bytes, std::int64_t wait_us, std::uint64_t qtrace) {
     TraceEvent ev = make_event(EventType::begin, name, cat);
     ev.arg_names[0] = "tag";
     ev.arg_vals[0] = tag;
@@ -323,6 +323,9 @@ void emit_begin_msg(const char* name, const char* cat, int tag, int peer,
     if (wait_us >= 0) {
         ev.arg_names[3] = "wait_us";
         ev.arg_vals[3] = wait_us;
+    } else if (qtrace != 0) {
+        ev.arg_names[3] = "qtrace";
+        ev.arg_vals[3] = static_cast<std::int64_t>(qtrace);
     }
     push_event(ev);
 }

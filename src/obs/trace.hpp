@@ -47,9 +47,12 @@ std::uint64_t next_flow_id();
 void emit_begin(const char* name, const char* cat);
 void emit_begin_arg(const char* name, const char* cat, const char* arg,
                     std::int64_t value);
-/// Message-shaped span begin with tag/peer/bytes (and optional wait_us) args.
+/// Message-shaped span begin with tag/peer/bytes args, plus one optional
+/// fourth arg: the post→match wait (wait_us >= 0, receive side) or the
+/// sender's query trace id (qtrace != 0, send side — wait_us wins if both).
 void emit_begin_msg(const char* name, const char* cat, int tag, int peer,
-                    std::int64_t bytes, std::int64_t wait_us = -1);
+                    std::int64_t bytes, std::int64_t wait_us = -1,
+                    std::uint64_t qtrace = 0);
 void emit_end(const char* name, const char* cat);
 void emit_instant(const char* name, const char* cat);
 void emit_counter(const char* name, const char* cat, std::int64_t value);

@@ -137,6 +137,7 @@ void ThreadPool::enqueue(Task t) {
     if (obs::trace_enabled()) {
         t.enqueue_ns = obs::trace_now_ns();
     }
+    t.qctx = obs::current_query();
     if (sched::maybe_active()) {
         t.vc = sched::fork_token();  // enqueue→dequeue happens-before edge
     }
@@ -248,6 +249,12 @@ void ThreadPool::execute(Task& t) {
     sched::join_token(t.vc);  // dequeue side of the enqueue→dequeue edge
     t_executing_groups.push_back(g);
     active_.fetch_add(1, std::memory_order_relaxed);
+    // Re-install the submitter's query context for the task body; pool time
+    // is attributed to that query (best-effort: a task finishing after its
+    // query finalized loses its delta, it is never charged elsewhere).
+    obs::QueryScope qscope(t.qctx);
+    const std::uint64_t qt0 =
+        t.qctx.valid() && obs::query_trace_enabled() ? obs::trace_now_ns() : 0;
     try {
         t.fn();
         if (g != nullptr && sched::maybe_active() && sched::this_thread_scheduled()) {
@@ -271,6 +278,9 @@ void ThreadPool::execute(Task& t) {
     }
     active_.fetch_sub(1, std::memory_order_relaxed);
     t_executing_groups.pop_back();
+    if (qt0 != 0) {
+        obs::query_note_pool_ns(obs::trace_now_ns() - qt0);
+    }
     obs::note_pool_task();
     if (sched::maybe_active()) {
         sched::note_progress();  // a task ran: forward progress for the deadlock detector

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/query_trace.hpp"
 #include "sched/sched.hpp"
 #include "util/lock_order.hpp"
 
@@ -118,6 +119,11 @@ private:
         // Enqueue timestamp (obs::trace_now_ns) when tracing was enabled at
         // submission; execution spans report queue wait vs. run time.
         std::uint64_t enqueue_ns = 0;
+        // Submitter's query context (obs/query_trace.hpp), re-installed for
+        // the task's execution so per-query attribution survives the hop to
+        // a worker thread — and work-helping, where a comm thread may run a
+        // task submitted on behalf of a different query.
+        obs::QueryContext qctx;
         // Submitter's vector clock under schedule exploration (empty
         // otherwise): the enqueue→dequeue happens-before edge.
         sched::ClockToken vc;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/health.hpp"
+#include "obs/query_trace.hpp"
 #include "obs/trace.hpp"
 
 namespace bat::vmpi {
@@ -116,15 +117,18 @@ Request Comm::isend(int dst, int tag, Bytes payload) {
     std::uint64_t flow = 0;
     const std::uint64_t bytes = payload.size();
     const bool traced = obs::trace_enabled();
+    const std::uint64_t qtrace = obs::current_query().trace_id;
     if (traced) {
         // The flow id rides inside the message and is closed by the
         // matching receive, drawing a send→recv arrow in the trace viewer.
         flow = obs::next_flow_id();
         obs::emit_begin_msg("vmpi.send", "vmpi", tag, dst,
-                            static_cast<std::int64_t>(bytes));
+                            static_cast<std::int64_t>(bytes), /*wait_us=*/-1,
+                            qtrace);
         obs::emit_flow_start("vmpi", flow);
     }
     Runtime::Message msg{rank_, tag, std::move(payload), flow};
+    msg.qtrace = qtrace;
     if (sched::maybe_active()) {
         msg.vc = sched::fork_token();  // send side of the send→match edge
     }

@@ -259,6 +259,10 @@ private:
         // Trace flow id tying the send event to the matching receive
         // (obs/trace.hpp); 0 when tracing was off at send time.
         std::uint64_t flow = 0;
+        // Query trace id of the sender's current QueryContext
+        // (obs/query_trace.hpp); 0 when the send was not query-scoped. Lets
+        // message-level tooling attribute traffic to the originating query.
+        std::uint64_t qtrace = 0;
         // Starvation tracking (validator only): number of consuming
         // receives that matched a younger or unrelated message while this
         // one sat in the mailbox.

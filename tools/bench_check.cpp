@@ -8,12 +8,20 @@
 //   serve — threaded leaf serving must not lose to the serial comm-thread
 //     path: read.serve_pool <= read.serve_serial ns/op at n >= 1M;
 //   msgs — request coalescing must cut traffic: the read.msgs_coalesced
-//     message count (`n`) must be below read.msgs_per_leaf.
+//     message count (`n`) must be below read.msgs_per_leaf;
+//   querytrace — armed per-query tracing must stay cheap: the
+//     read.total_querytrace ns/op (bench/obs_overhead --json) must be within
+//     5% of read.total_off.
+//
+// Rows carry a `unit` (default "ns/op"); rows whose unit is a plain count
+// (e.g. "msgs") are exempt from the positive-ns_op requirement, since their
+// payload is `n` and a fabricated rate would gate nothing real.
 //
 // A bat-report-v1 document (obs/health.hpp run report, BAT_REPORT_FILE)
 // instead goes through the `report` gate family: schema-validates the run /
 // phases / messages sections, requires at least one write.* or read.* phase
-// with calls >= 1, and checks min <= mean <= max for every phase.
+// with calls >= 1, checks min <= mean <= max for every phase, and checks
+// min <= p50 <= p90 <= p99 <= max for every histogram carrying percentiles.
 //
 // A file that matches no family fails (exit 1): a gate silently skipping is
 // indistinguishable from a gate passing. Usage: bench_check <BENCH.json>
@@ -150,6 +158,36 @@ int gate_msgs(const NsByKey& ns_op) {
     return 1;
 }
 
+int gate_querytrace(const NsByKey& ns_op) {
+    constexpr double kMaxOverhead = 1.05;  // armed tracing within 5% of off
+    std::uint64_t n_off = 0;
+    std::uint64_t n_on = 0;
+    double off_ns = 0;
+    double on_ns = 0;
+    const bool has_off = find_unique(ns_op, "read.total_off", &n_off, &off_ns);
+    const bool has_on = find_unique(ns_op, "read.total_querytrace", &n_on, &on_ns);
+    if (!has_off && !has_on) {
+        return 0;
+    }
+    if (!has_off || !has_on) {
+        fail("read.total_off/read.total_querytrace must appear together (once each)");
+        return -1;
+    }
+    if (n_off != n_on) {
+        fail("read.total_off and read.total_querytrace ran at different n");
+        return -1;
+    }
+    const double ratio = on_ns / off_ns;
+    std::printf("bench_check: n=%-9llu read.total_querytrace %8.2f ns/op vs off %8.2f "
+                "(%.3fx)\n",
+                static_cast<unsigned long long>(n_on), on_ns, off_ns, ratio);
+    if (ratio > kMaxOverhead) {
+        fail("query tracing overhead above 5% on read.total");
+        return -1;
+    }
+    return 1;
+}
+
 // ---- report gate family ---------------------------------------------------
 // Validates a bat-report-v1 document end to end; returns 0 on success after
 // printing a summary line, 1 on failure.
@@ -209,8 +247,47 @@ int gate_report(const Value& doc, const char* path) {
             return fail(std::string("report \"messages.") + key + "\" missing");
         }
     }
-    std::printf("bench_check: %s: bat-report-v1 OK (%zu phases, %d io, %.3f s wall)\n",
-                path, phases->object().size(), io_phases, wall->number());
+    // Percentile sanity: every histogram that reports them must satisfy
+    // min <= p50 <= p90 <= p99 <= max (the estimator clamps to the observed
+    // range, so a violation means broken accounting, not estimation error).
+    int percentiled = 0;
+    if (const Value* histograms = doc.find("histograms");
+        histograms != nullptr && histograms->is_object()) {
+        for (const auto& [name, h] : histograms->object()) {
+            if (!h.is_object()) {
+                return fail("histogram \"" + name + "\" is not an object");
+            }
+            const Value* count = h.find("count");
+            const Value* p50 = h.find("p50");
+            const Value* p90 = h.find("p90");
+            const Value* p99 = h.find("p99");
+            if (p50 == nullptr && p90 == nullptr && p99 == nullptr) {
+                continue;  // pre-percentile report
+            }
+            if (p50 == nullptr || !p50->is_number() || p90 == nullptr ||
+                !p90->is_number() || p99 == nullptr || !p99->is_number()) {
+                return fail("histogram \"" + name + "\" has partial percentiles");
+            }
+            if (count == nullptr || !count->is_number() || count->number() < 1) {
+                continue;  // empty histogram: percentiles are all 0
+            }
+            const Value* min = h.find("min");
+            const Value* max = h.find("max");
+            if (min == nullptr || !min->is_number() || max == nullptr ||
+                !max->is_number()) {
+                return fail("histogram \"" + name + "\" missing min/max");
+            }
+            if (!(min->number() <= p50->number() && p50->number() <= p90->number() &&
+                  p90->number() <= p99->number() && p99->number() <= max->number())) {
+                return fail("histogram \"" + name +
+                            "\" violates min <= p50 <= p90 <= p99 <= max");
+            }
+            ++percentiled;
+        }
+    }
+    std::printf("bench_check: %s: bat-report-v1 OK (%zu phases, %d io, %d histograms "
+                "with percentiles, %.3f s wall)\n",
+                path, phases->object().size(), io_phases, percentiled, wall->number());
     return 0;
 }
 
@@ -270,8 +347,17 @@ int run(int argc, char** argv) {
         if (n == nullptr || !n->is_number() || n->number() <= 0) {
             return fail(name->string() + ": missing positive \"n\"");
         }
-        if (ns == nullptr || !ns->is_number() || ns->number() <= 0) {
-            return fail(name->string() + ": missing positive \"ns_op\"");
+        // `unit` is optional (pre-unit documents are all ns/op rows); count
+        // rows carry ns_op = 0 by design, rate rows must be positive.
+        const Value* unit = b.find("unit");
+        if (unit != nullptr && !unit->is_string()) {
+            return fail(name->string() + ": \"unit\" is not a string");
+        }
+        const bool is_rate = unit == nullptr || unit->string() == "ns/op";
+        if (ns == nullptr || !ns->is_number() ||
+            (is_rate ? ns->number() <= 0 : ns->number() < 0)) {
+            return fail(name->string() + (is_rate ? ": missing positive \"ns_op\""
+                                                  : ": negative \"ns_op\""));
         }
         if (bps == nullptr || !bps->is_number() || bps->number() < 0) {
             return fail(name->string() + ": missing \"bytes_per_sec\"");
@@ -283,7 +369,7 @@ int run(int argc, char** argv) {
     }
 
     int gated = 0;
-    for (const auto gate : {gate_radix, gate_serve, gate_msgs}) {
+    for (const auto gate : {gate_radix, gate_serve, gate_msgs, gate_querytrace}) {
         const int checked = gate(ns_op);
         if (checked < 0) {
             return 1;
@@ -291,7 +377,8 @@ int run(int argc, char** argv) {
         gated += checked;
     }
     if (gated == 0) {
-        return fail("no gateable rows (sort_*, read.serve_*, read.msgs_*) found");
+        return fail("no gateable rows (sort_*, read.serve_*, read.msgs_*, "
+                    "read.total_*) found");
     }
     std::printf("bench_check: OK (%zu entries, %d gated comparisons)\n", ns_op.size(),
                 gated);

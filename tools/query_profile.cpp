@@ -1,0 +1,375 @@
+// query_profile: inspect the per-query JSONL log written by the query
+// tracing layer (obs/query_trace.hpp, BAT_QUERY_LOG). One bat-query-v1
+// object per line, serve spans embedded; unattributed serve spans appear as
+// bat-query-orphan-v1 lines.
+//
+//   query_profile LOG.jsonl             top-k slowest queries (dominant
+//                                       stage each) + the slowest query's
+//                                       cross-rank critical path
+//   query_profile --top K LOG.jsonl     change k (default 5)
+//   query_profile --validate LOG.jsonl  schema-check every line, recompute
+//                                       exact wall-time quantiles and assert
+//                                       p50 <= p99, require every remote
+//                                       leaf to have exactly one serve span
+//                                       and zero orphan lines; nonzero exit
+//                                       on any violation (the CI gate)
+//
+// All timestamps share the process trace epoch (obs::trace_now_ns is one
+// clock across the in-process vmpi ranks), so a remote rank's serve spans
+// lie on the same axis as the origin's stage windows and the critical path
+// origin -> request send -> remote serve -> response -> merge can be read
+// off directly.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using bat::obs::json::Value;
+
+struct ServeSpan {
+    int rank = -1;
+    int leaf = -1;
+    double start_us = 0;
+    double dur_us = 0;
+    std::uint64_t bytes = 0;
+    bool cache_hit = false;
+};
+
+struct Query {
+    std::uint64_t trace_id = 0;
+    int origin_rank = -1;
+    std::uint64_t seq = 0;
+    std::string op;
+    double start_us = 0;
+    double wall_us = 0;
+    double request_us = 0;
+    double serve_us = 0;
+    double merge_us = 0;
+    double local_us = 0;
+    std::uint64_t leaves_local = 0;
+    std::uint64_t leaves_remote = 0;
+    std::uint64_t request_msgs = 0;
+    std::uint64_t bytes_moved = 0;
+    std::uint64_t particles = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    double pool_task_us = 0;
+    std::uint64_t fastpath_windows = 0;
+    std::vector<ServeSpan> spans;
+};
+
+int fail(int line_no, const std::string& msg) {
+    std::fprintf(stderr, "query_profile: FAIL (line %d): %s\n", line_no, msg.c_str());
+    return 1;
+}
+
+/// Fetch a required non-negative number member into *out.
+bool get_num(const Value& obj, const char* key, double* out) {
+    const Value* v = obj.find(key);
+    if (v == nullptr || !v->is_number() || v->number() < 0) {
+        return false;
+    }
+    *out = v->number();
+    return true;
+}
+
+bool get_u64(const Value& obj, const char* key, std::uint64_t* out) {
+    double d = 0;
+    if (!get_num(obj, key, &d)) {
+        return false;
+    }
+    *out = static_cast<std::uint64_t>(d);
+    return true;
+}
+
+/// Parse one bat-query-v1 line into *q; returns an error string ("" = ok).
+std::string parse_query(const Value& doc, Query* q) {
+    const Value* op = doc.find("op");
+    if (op == nullptr || !op->is_string() || op->string().empty()) {
+        return "missing string \"op\"";
+    }
+    q->op = op->string();
+    if (!get_u64(doc, "trace_id", &q->trace_id) || q->trace_id == 0) {
+        return "missing nonzero \"trace_id\"";
+    }
+    double origin = 0;
+    if (!get_num(doc, "origin_rank", &origin)) {
+        return "missing \"origin_rank\"";
+    }
+    q->origin_rank = static_cast<int>(origin);
+    if (!get_u64(doc, "seq", &q->seq)) {
+        return "missing \"seq\"";
+    }
+    if (!get_num(doc, "start_us", &q->start_us) ||
+        !get_num(doc, "wall_us", &q->wall_us)) {
+        return "missing \"start_us\"/\"wall_us\"";
+    }
+    const Value* stages = doc.find("stages");
+    if (stages == nullptr || !stages->is_object()) {
+        return "missing \"stages\" object";
+    }
+    if (!get_num(*stages, "request_us", &q->request_us) ||
+        !get_num(*stages, "serve_us", &q->serve_us) ||
+        !get_num(*stages, "merge_us", &q->merge_us) ||
+        !get_num(*stages, "local_us", &q->local_us)) {
+        return "stages missing request_us/serve_us/merge_us/local_us";
+    }
+    // The four stages tile the query's wall window by construction; allow
+    // the %.3f rounding of four terms.
+    const double sum = q->request_us + q->serve_us + q->merge_us + q->local_us;
+    if (sum > q->wall_us + 0.01 || sum < q->wall_us - 0.01) {
+        return "stage sum " + std::to_string(sum) + " != wall_us " +
+               std::to_string(q->wall_us);
+    }
+    if (!get_u64(doc, "leaves_local", &q->leaves_local) ||
+        !get_u64(doc, "leaves_remote", &q->leaves_remote) ||
+        !get_u64(doc, "request_msgs", &q->request_msgs) ||
+        !get_u64(doc, "bytes_moved", &q->bytes_moved) ||
+        !get_u64(doc, "particles", &q->particles) ||
+        !get_u64(doc, "cache_hits", &q->cache_hits) ||
+        !get_u64(doc, "cache_misses", &q->cache_misses) ||
+        !get_num(doc, "pool_task_us", &q->pool_task_us) ||
+        !get_u64(doc, "fastpath_windows", &q->fastpath_windows)) {
+        return "missing counter field (leaves/msgs/bytes/particles/cache/pool/"
+               "fastpath)";
+    }
+    const Value* spans = doc.find("serve_spans");
+    if (spans == nullptr || !spans->is_array()) {
+        return "missing \"serve_spans\" array";
+    }
+    for (const Value& sv : spans->array()) {
+        if (!sv.is_object()) {
+            return "serve span is not an object";
+        }
+        ServeSpan s;
+        double rank = 0;
+        double leaf = 0;
+        if (!get_num(sv, "rank", &rank) || !get_num(sv, "leaf", &leaf) ||
+            !get_num(sv, "start_us", &s.start_us) || !get_num(sv, "dur_us", &s.dur_us) ||
+            !get_u64(sv, "bytes", &s.bytes)) {
+            return "serve span missing rank/leaf/start_us/dur_us/bytes";
+        }
+        const Value* hit = sv.find("cache_hit");
+        if (hit == nullptr || !hit->is_bool()) {
+            return "serve span missing bool \"cache_hit\"";
+        }
+        s.rank = static_cast<int>(rank);
+        s.leaf = static_cast<int>(leaf);
+        s.cache_hit = hit->boolean();
+        q->spans.push_back(s);
+    }
+    return "";
+}
+
+const char* dominant_stage(const Query& q) {
+    const char* name = "request";
+    double best = q.request_us;
+    if (q.serve_us > best) {
+        name = "serve";
+        best = q.serve_us;
+    }
+    if (q.merge_us > best) {
+        name = "merge";
+        best = q.merge_us;
+    }
+    if (q.local_us > best) {
+        name = "local";
+    }
+    return name;
+}
+
+/// Exact quantile of a sorted sample (nearest-rank).
+double quantile(const std::vector<double>& sorted, double p) {
+    if (sorted.empty()) {
+        return 0;
+    }
+    const std::size_t rank = static_cast<std::size_t>(p * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// Stage windows + every serve span of one query on a shared time axis.
+void print_critical_path(const Query& q) {
+    std::printf("\ncritical path of slowest query %llu (op %s, origin rank %d, "
+                "%.3f ms wall):\n",
+                static_cast<unsigned long long>(q.trace_id), q.op.c_str(),
+                q.origin_rank, q.wall_us / 1e3);
+    const double t0 = q.start_us;
+    const double req_end = t0 + q.request_us;
+    const double serve_end = req_end + q.serve_us;
+    const double merge_end = serve_end + q.merge_us;
+    std::printf("  %10.3f..%-10.3f ms  origin %d: build+send %llu request msg(s) "
+                "(%llu remote leaves)\n",
+                0.0, q.request_us / 1e3, q.origin_rank,
+                static_cast<unsigned long long>(q.request_msgs),
+                static_cast<unsigned long long>(q.leaves_remote));
+    std::vector<ServeSpan> spans = q.spans;
+    std::sort(spans.begin(), spans.end(),
+              [](const ServeSpan& a, const ServeSpan& b) { return a.start_us < b.start_us; });
+    for (const ServeSpan& s : spans) {
+        std::printf("  %10.3f..%-10.3f ms  rank %d: serve leaf %-5d %8llu B %s\n",
+                    (s.start_us - t0) / 1e3, (s.start_us + s.dur_us - t0) / 1e3, s.rank,
+                    s.leaf, static_cast<unsigned long long>(s.bytes),
+                    s.cache_hit ? "(cache hit)" : "(cache miss)");
+    }
+    std::printf("  %10.3f..%-10.3f ms  origin %d: responses collected (%llu B moved)\n",
+                q.request_us / 1e3, (serve_end - t0) / 1e3, q.origin_rank,
+                static_cast<unsigned long long>(q.bytes_moved));
+    std::printf("  %10.3f..%-10.3f ms  origin %d: merge responses\n",
+                (serve_end - t0) / 1e3, (merge_end - t0) / 1e3, q.origin_rank);
+    std::printf("  %10.3f..%-10.3f ms  origin %d: local leaves (%llu)\n",
+                (merge_end - t0) / 1e3, q.wall_us / 1e3, q.origin_rank,
+                static_cast<unsigned long long>(q.leaves_local));
+    if (!spans.empty()) {
+        const auto last = std::max_element(
+            spans.begin(), spans.end(), [](const ServeSpan& a, const ServeSpan& b) {
+                return a.start_us + a.dur_us < b.start_us + b.dur_us;
+            });
+        std::printf("  serve stage dominated by rank %d leaf %d (ends %.3f ms; serve "
+                    "window closes %.3f ms)\n",
+                    last->rank, last->leaf,
+                    (last->start_us + last->dur_us - t0) / 1e3, (serve_end - t0) / 1e3);
+    }
+}
+
+void usage() {
+    std::fprintf(stderr, "usage: query_profile [--validate] [--top K] <LOG.jsonl>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool validate = false;
+    int top_k = 5;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--validate") == 0) {
+            validate = true;
+        } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+            top_k = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            usage();
+            return 0;
+        } else if (argv[i][0] == '-') {
+            usage();
+            return 2;
+        } else {
+            path = argv[i];
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "query_profile: cannot open %s\n", path.c_str());
+        return 1;
+    }
+
+    std::vector<Query> queries;
+    int orphans = 0;
+    int line_no = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) {
+            continue;
+        }
+        Value doc;
+        try {
+            doc = bat::obs::json::parse(line);
+        } catch (const std::exception& e) {
+            return fail(line_no, std::string("malformed JSON: ") + e.what());
+        }
+        const Value* schema = doc.find("schema");
+        if (schema == nullptr || !schema->is_string()) {
+            return fail(line_no, "missing \"schema\"");
+        }
+        if (schema->string() == "bat-query-orphan-v1") {
+            ++orphans;
+            continue;
+        }
+        if (schema->string() != "bat-query-v1") {
+            return fail(line_no, "unexpected schema \"" + schema->string() + "\"");
+        }
+        Query q;
+        if (const std::string err = parse_query(doc, &q); !err.empty()) {
+            return fail(line_no, err);
+        }
+        queries.push_back(std::move(q));
+    }
+    if (queries.empty() && orphans == 0) {
+        std::fprintf(stderr, "query_profile: %s holds no query records\n", path.c_str());
+        return 1;
+    }
+
+    std::vector<double> walls;
+    walls.reserve(queries.size());
+    for (const Query& q : queries) {
+        walls.push_back(q.wall_us);
+    }
+    std::sort(walls.begin(), walls.end());
+    const double p50 = quantile(walls, 0.50);
+    const double p99 = quantile(walls, 0.99);
+
+    if (validate) {
+        // An orphaned serve span means work ran under a query id whose
+        // record never landed — attribution is broken (or sampling split a
+        // record from its spans, which a validated run must not configure).
+        if (orphans != 0) {
+            std::fprintf(stderr,
+                         "query_profile: FAIL: %d unattributed serve span line(s)\n",
+                         orphans);
+            return 1;
+        }
+        for (const Query& q : queries) {
+            if (q.spans.size() != q.leaves_remote) {
+                std::fprintf(stderr,
+                             "query_profile: FAIL: query %llu has %zu serve spans for "
+                             "%llu remote leaves\n",
+                             static_cast<unsigned long long>(q.trace_id), q.spans.size(),
+                             static_cast<unsigned long long>(q.leaves_remote));
+                return 1;
+            }
+        }
+        if (p50 > p99) {
+            std::fprintf(stderr, "query_profile: FAIL: wall p50 %.3f us > p99 %.3f us\n",
+                         p50, p99);
+            return 1;
+        }
+        std::printf("query_profile: OK (%zu records, 0 orphans, wall p50 %.3f us, "
+                    "p99 %.3f us)\n",
+                    queries.size(), p50, p99);
+        return 0;
+    }
+
+    std::sort(queries.begin(), queries.end(),
+              [](const Query& a, const Query& b) { return a.wall_us > b.wall_us; });
+    std::printf("%zu queries, wall p50 %.3f us, p99 %.3f us, %d orphan span(s)\n\n",
+                queries.size(), p50, p99, orphans);
+    std::printf("%-16s %-6s %-22s %10s %9s %8s %8s %-8s\n", "trace_id", "origin", "op",
+                "wall_ms", "leaves", "msgs", "MB", "dominant");
+    const int k = std::min<int>(top_k, static_cast<int>(queries.size()));
+    for (int i = 0; i < k; ++i) {
+        const Query& q = queries[static_cast<std::size_t>(i)];
+        std::printf("%-16llu %-6d %-22s %10.3f %9llu %8llu %8.2f %-8s\n",
+                    static_cast<unsigned long long>(q.trace_id), q.origin_rank,
+                    q.op.c_str(), q.wall_us / 1e3,
+                    static_cast<unsigned long long>(q.leaves_local + q.leaves_remote),
+                    static_cast<unsigned long long>(q.request_msgs),
+                    static_cast<double>(q.bytes_moved) / (1 << 20), dominant_stage(q));
+    }
+    if (!queries.empty()) {
+        print_critical_path(queries.front());
+    }
+    return 0;
+}

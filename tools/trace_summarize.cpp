@@ -5,6 +5,11 @@
 //   trace_summarize --validate trace.json   structural check, nonzero on fail
 //   trace_summarize --metrics m.json        metrics summary (standalone or
 //                                           combined with a trace)
+//   trace_summarize --query ID trace.json   only spans tagged with the query
+//                                           trace id ID (obs/query_trace.hpp:
+//                                           read.serve_leaf and vmpi.send
+//                                           carry a "qtrace" arg), extracting
+//                                           one query's work from a dump
 //
 // The write-phase table reproduces the Fig 6 breakdown (gather / tree_build
 // / scatter / transfer / bat_build / file_write / metadata as percentages of
@@ -12,7 +17,9 @@
 // cross-checked against bench/fig6_breakdown and the simio model.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -43,13 +50,32 @@ struct SpanStats {
     double max_us = 0;
 };
 
+/// The event's "qtrace" arg (query trace id), or 0 when untagged.
+std::uint64_t event_qtrace(const Value& ev) {
+    const Value* args = ev.find("args");
+    if (args == nullptr || !args->is_object()) {
+        return 0;
+    }
+    const Value* q = args->find("qtrace");
+    return q != nullptr && q->is_number() ? static_cast<std::uint64_t>(q->number()) : 0;
+}
+
 /// Aggregate matched B/E pairs per span name across all (pid, tid) tracks.
-std::map<std::string, SpanStats> collect_spans(const Value& root) {
+/// With `query` != 0, only spans whose begin event carries a matching
+/// "qtrace" arg are counted (the begin/end pairing still walks every event,
+/// so nesting stays correct around the filtered-out spans).
+std::map<std::string, SpanStats> collect_spans(const Value& root,
+                                               std::uint64_t query = 0) {
     const Value* events = root.find("traceEvents");
     BAT_CHECK_MSG(events != nullptr && events->is_array(),
                   "trace has no traceEvents array");
     // Open-span stack per (pid, tid); Chrome trace B/E events nest per track.
-    std::map<std::pair<long, long>, std::vector<std::pair<std::string, double>>> stacks;
+    struct Open {
+        std::string name;
+        double ts = 0;
+        bool counted = false;
+    };
+    std::map<std::pair<long, long>, std::vector<Open>> stacks;
     std::map<std::string, SpanStats> spans;
     for (const Value& ev : events->array()) {
         const Value* ph = ev.find("ph");
@@ -66,14 +92,20 @@ std::map<std::string, SpanStats> collect_spans(const Value& root) {
         const std::pair<long, long> track{static_cast<long>(pid->number()),
                                           static_cast<long>(tid->number())};
         if (ph->string() == "B") {
-            stacks[track].emplace_back(name->string(), ts->number());
+            stacks[track].push_back(
+                {name->string(), ts->number(),
+                 query == 0 || event_qtrace(ev) == query});
         } else if (ph->string() == "E") {
             auto& stack = stacks[track];
-            if (stack.empty() || stack.back().first != name->string()) {
+            if (stack.empty() || stack.back().name != name->string()) {
                 continue;  // --validate reports these; summaries stay lenient
             }
-            const double dur_us = ts->number() - stack.back().second;
+            const double dur_us = ts->number() - stack.back().ts;
+            const bool counted = stack.back().counted;
             stack.pop_back();
+            if (!counted) {
+                continue;
+            }
             SpanStats& s = spans[name->string()];
             if (const Value* cat = ev.find("cat"); cat != nullptr && cat->is_string()) {
                 s.cat = cat->string();
@@ -83,7 +115,7 @@ std::map<std::string, SpanStats> collect_spans(const Value& root) {
             s.max_us = std::max(s.max_us, dur_us);
         } else if (ph->string() == "X") {
             const Value* dur = ev.find("dur");
-            if (dur == nullptr) {
+            if (dur == nullptr || (query != 0 && event_qtrace(ev) != query)) {
                 continue;
             }
             SpanStats& s = spans[name->string()];
@@ -165,14 +197,15 @@ int summarize_metrics(const std::string& path) {
 
 void usage() {
     std::fprintf(stderr,
-                 "usage: trace_summarize [--validate] [--metrics metrics.json] "
-                 "[trace.json]\n");
+                 "usage: trace_summarize [--validate] [--query TRACE_ID] "
+                 "[--metrics metrics.json] [trace.json]\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     bool validate = false;
+    std::uint64_t query = 0;
     std::string metrics_path;
     std::string trace_path;
     for (int i = 1; i < argc; ++i) {
@@ -180,6 +213,12 @@ int main(int argc, char** argv) {
             validate = true;
         } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
             metrics_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
+            query = std::strtoull(argv[++i], nullptr, 10);
+            if (query == 0) {
+                std::fprintf(stderr, "--query needs a nonzero decimal trace id\n");
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--help") == 0) {
             usage();
             return 0;
@@ -222,9 +261,22 @@ int main(int argc, char** argv) {
                             check.num_events, check.num_spans, check.num_flows,
                             check.num_ranks);
             }
-            const auto spans = collect_spans(root);
+            const auto spans = collect_spans(root, query);
+            if (query != 0) {
+                std::printf("spans tagged qtrace=%llu:\n",
+                            static_cast<unsigned long long>(query));
+                if (spans.empty()) {
+                    std::fprintf(stderr,
+                                 "no spans tagged with query %llu (was the trace "
+                                 "taken with per-query tracing active?)\n",
+                                 static_cast<unsigned long long>(query));
+                    return 1;
+                }
+            }
             print_span_table(spans);
-            print_write_breakdown(spans);
+            if (query == 0) {
+                print_write_breakdown(spans);
+            }
         }
         if (!metrics_path.empty()) {
             if (!trace_path.empty()) {
