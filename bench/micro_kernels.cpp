@@ -22,6 +22,7 @@
 #include "util/morton.hpp"
 #include "util/radix_sort.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/uniform.hpp"
 
@@ -252,6 +253,46 @@ int run_json_kernels(int argc, char** argv) {
         bench::best_seconds(
             kReps, [&] { parallel_ranges(&pool, n, std::size_t{1} << 14, encode_range); }),
         n * 12, pool_threads);
+
+    // SIMD kernel tiers vs forced-scalar on identical inputs. Rows are
+    // emitted only when a vector tier is active: on a scalar-only host (or
+    // under BAT_NO_SIMD) the comparison would gate nothing real, so the
+    // bench_check simd family reports itself inapplicable instead.
+    if (simd::active_level() != simd::Level::scalar) {
+        std::vector<float> xs(n);
+        std::vector<float> ys(n);
+        std::vector<float> zs(n);
+        set.deplane_positions(xs.data(), ys.data(), zs.data(), &pool);
+        std::vector<std::uint64_t> batch(n);
+        auto encode_batch = [&] {
+            morton_encode_positions(xs.data(), ys.data(), zs.data(), n, bounds,
+                                    batch.data());
+        };
+        simd::set_level_for_testing(simd::Level::scalar);
+        add("morton_encode_scalar", n, bench::best_seconds(kReps, encode_batch),
+            n * 12, 1);
+        BAT_CHECK_MSG(batch == codes, "scalar batch encode diverged");
+        simd::clear_level_for_testing();
+        add("morton_encode_simd", n, bench::best_seconds(kReps, encode_batch),
+            n * 12, 1);
+        BAT_CHECK_MSG(batch == codes, "simd batch encode diverged");
+
+        const std::span<const double> values = set.attr(0);
+        const auto [vlo, vhi] = set.attr_range(0);
+        const BinEdges edges = equal_width_edges(vlo, vhi);
+        std::vector<std::uint8_t> bins(n);
+        auto bin_batch = [&] {
+            simd::bin_values_batch(values.data(), n, edges.data(), bins.data());
+        };
+        simd::set_level_for_testing(simd::Level::scalar);
+        add("bitmap_bin_scalar", n, bench::best_seconds(kReps, bin_batch),
+            n * sizeof(double), 1);
+        const std::vector<std::uint8_t> scalar_bins = bins;
+        simd::clear_level_for_testing();
+        add("bitmap_bin_simd", n, bench::best_seconds(kReps, bin_batch),
+            n * sizeof(double), 1);
+        BAT_CHECK_MSG(bins == scalar_bins, "simd binning diverged from scalar");
+    }
 
     const std::vector<std::uint32_t> order = radix_sort_order(codes, &pool);
     const std::uint64_t payload = set.payload_bytes();

@@ -86,6 +86,11 @@ int main(int argc, char** argv) {
         {"write.scatter", t.scatter},       {"write.transfer", t.transfer},
         {"write.bat_build", t.bat_build},   {"write.file_write", t.file_write},
         {"write.metadata", t.metadata},     {"write.total", t.total()},
+        // write.bat_build broken down into the builder's internal stages
+        // (subsets of write.bat_build, not added into write.total).
+        {"bat.edges", t.bat.edges},         {"bat.encode", t.bat.encode},
+        {"bat.sort", t.bat.sort},           {"bat.treelets", t.bat.treelets},
+        {"bat.reorder", t.bat.reorder},     {"bat.bitmaps", t.bat.bitmaps},
     };
 
     if (bench::has_flag(argc, argv, "--json")) {

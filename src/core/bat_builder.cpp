@@ -1,16 +1,22 @@
 #include "core/bat_builder.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
 
 #include "core/karras.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/morton.hpp"
 #include "util/radix_sort.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace bat {
+
+// The binning kernels in util/simd.hpp are specialized for this bin count.
+static_assert(kBitmapBins == simd::kBinCount);
 
 int bitmap_bin(double v, double lo, double hi) {
     if (hi <= lo) {
@@ -60,12 +66,38 @@ BinEdges equal_depth_edges(std::span<const double> values, std::size_t max_sampl
     for (std::size_t i = 0; i < values.size(); i += stride) {
         sample.push_back(values[i]);
     }
-    std::sort(sample.begin(), sample.end());
+    // Constant input (and the single-sample case): every quantile is the
+    // same value, so skip selection entirely. minmax_f64 canonicalizes
+    // -0.0 to +0.0 identically in every dispatch tier.
+    double lo = 0.0;
+    double hi = 0.0;
+    simd::minmax_f64(sample.data(), sample.size(), &lo, &hi);
+    if (lo == hi) {
+        return equal_width_edges(lo, hi);
+    }
+    // The edges only need the 33 quantile order statistics, not a fully
+    // sorted sample: select them in ascending order with nth_element, each
+    // selection restricted to the suffix the previous one partitioned.
+    std::array<std::size_t, kBitmapBins + 1> wanted;
+    for (int b = 0; b <= kBitmapBins; ++b) {
+        wanted[static_cast<std::size_t>(b)] = std::min(
+            sample.size() - 1, static_cast<std::size_t>(b) * sample.size() / kBitmapBins);
+    }
+    std::size_t prev = 0;
+    bool first = true;
+    for (const std::size_t idx : wanted) {
+        if (!first && idx <= prev) {
+            continue;  // duplicate order statistic, already in place
+        }
+        const auto begin = first ? std::ptrdiff_t{0} : static_cast<std::ptrdiff_t>(prev) + 1;
+        std::nth_element(sample.begin() + begin,
+                         sample.begin() + static_cast<std::ptrdiff_t>(idx), sample.end());
+        prev = idx;
+        first = false;
+    }
     BinEdges edges(kBitmapBins + 1);
     for (int b = 0; b <= kBitmapBins; ++b) {
-        const std::size_t idx = std::min(
-            sample.size() - 1, b * sample.size() / kBitmapBins);
-        edges[static_cast<std::size_t>(b)] = sample[idx];
+        edges[static_cast<std::size_t>(b)] = sample[wanted[static_cast<std::size_t>(b)]];
     }
     edges.front() = sample.front();
     edges.back() = sample.back();
@@ -110,24 +142,41 @@ std::uint32_t BatData::root_bitmap(std::size_t a) const {
 
 namespace {
 
+/// One particle position plus its Morton rank, the treelet builds' working
+/// layout: the k-d recursion permutes these 16-byte records in place, so
+/// every median select, bounds scan, and LOD swap touches contiguous
+/// cache-resident memory instead of gathering through an index indirection.
+/// `rank` starts as the identity; after the build, the record sequence IS
+/// the final layout and rank recovers the permutation.
+struct PosRecord {
+    float p[3];
+    std::uint32_t rank;
+};
+static_assert(sizeof(PosRecord) == 16);
+
 /// Working state shared by the build steps.
 struct BuildContext {
     const BatConfig& config;
-    const ParticleSet& particles;  // original order
-    std::span<std::uint32_t> order;
+    std::span<PosRecord> recs;  // Morton-ordered, permuted by treelet builds
     Box bounds;
 
     Vec3 pos(std::uint32_t ordered_index) const {
-        return particles.position(order[ordered_index]);
+        const PosRecord& r = recs[ordered_index];
+        return {r.p[0], r.p[1], r.p[2]};
     }
 };
 
-/// Tight bounds of the ordered range [lo, hi).
+/// Tight bounds of the ordered range [lo, hi). The records are contiguous,
+/// so this is a strided vector min/max (simd::minmax_pos4 canonicalizes
+/// -0.0 identically in every dispatch tier).
 Box range_bounds(const BuildContext& ctx, std::uint32_t lo, std::uint32_t hi) {
+    BAT_CHECK(hi > lo);
+    float mn[3];
+    float mx[3];
+    simd::minmax_pos4(ctx.recs[lo].p, hi - lo, mn, mx);
     Box b;
-    for (std::uint32_t i = lo; i < hi; ++i) {
-        b.extend(ctx.pos(i));
-    }
+    b.lower = {mn[0], mn[1], mn[2]};
+    b.upper = {mx[0], mx[1], mx[2]};
     return b;
 }
 
@@ -143,7 +192,7 @@ void sample_lod(BuildContext& ctx, std::uint32_t lo, std::uint32_t hi, std::uint
         const std::uint32_t begin = std::max(s0, lo + j);
         BAT_CHECK(begin < s1);
         const std::uint32_t pick = begin + rng.next_bounded(s1 - begin);
-        std::swap(ctx.order[lo + j], ctx.order[pick]);
+        std::swap(ctx.recs[lo + j], ctx.recs[pick]);
     }
 }
 
@@ -184,14 +233,13 @@ struct TreeletBuilder {
         const Box rest_bounds = range_bounds(ctx, rest_lo, hi);
         const int axis = rest_bounds.longest_axis();
         const std::uint32_t mid = rest_lo + (hi - rest_lo) / 2;
-        std::nth_element(ctx.order.begin() + rest_lo, ctx.order.begin() + mid,
-                         ctx.order.begin() + hi,
-                         [this, axis](std::uint32_t a, std::uint32_t b) {
-                             return ctx.particles.position(a)[axis] <
-                                    ctx.particles.position(b)[axis];
+        std::nth_element(ctx.recs.begin() + rest_lo, ctx.recs.begin() + mid,
+                         ctx.recs.begin() + hi,
+                         [axis](const PosRecord& a, const PosRecord& b) {
+                             return a.p[axis] < b.p[axis];
                          });
         node.axis = static_cast<std::uint8_t>(axis);
-        node.split = ctx.particles.position(ctx.order[mid])[axis];
+        node.split = ctx.recs[mid].p[axis];
 
         const std::int32_t left = build(rest_lo, mid, depth + 1);
         BAT_CHECK(left == index + 1);
@@ -203,35 +251,64 @@ struct TreeletBuilder {
 
 /// Compute per-node bitmaps for one treelet. Nodes are preorder so children
 /// always have larger indices: a reverse sweep sees children before parents.
+/// Every particle is owned by exactly one node (LOD samples by their inner
+/// node, the rest by leaves), so the bins of the treelet's whole contiguous
+/// attribute span are computed once with the vectorized edge-compare kernel
+/// and the per-node OR just consumes the precomputed u8 bins.
 void compute_treelet_bitmaps(const ParticleSet& particles, Treelet& treelet,
                              std::span<const BinEdges> edges) {
     const std::size_t nattrs = edges.size();
     treelet.bitmaps.assign(treelet.nodes.size() * nattrs, 0);
-    for (std::size_t i = treelet.nodes.size(); i-- > 0;) {
-        const TreeletNode& node = treelet.nodes[i];
-        std::uint32_t* bm = treelet.bitmaps.data() + i * nattrs;
-        // Bits of the node's own points (all points for leaves, the LOD
-        // samples for inner nodes).
-        const std::uint32_t begin = treelet.first_particle + node.start;
-        for (std::uint32_t p = begin; p < begin + node.own_count; ++p) {
-            for (std::size_t a = 0; a < nattrs; ++a) {
-                const double v = particles.attr(a)[p];
-                bm[a] |= 1u << bin_of(v, edges[a]);
+    if (nattrs == 0) {
+        return;
+    }
+    std::vector<std::uint8_t> bins(treelet.num_particles);
+    for (std::size_t a = 0; a < nattrs; ++a) {
+        const double* values = particles.attr(a).data() + treelet.first_particle;
+        simd::bin_values_batch(values, treelet.num_particles, edges[a].data(), bins.data());
+        for (std::size_t i = treelet.nodes.size(); i-- > 0;) {
+            const TreeletNode& node = treelet.nodes[i];
+            // Bits of the node's own points (all points for leaves, the LOD
+            // samples for inner nodes), then the children's OR.
+            std::uint32_t bm = 0;
+            for (std::uint32_t p = node.start; p < node.start + node.own_count; ++p) {
+                bm |= 1u << bins[p];
             }
-        }
-        if (!node.is_leaf()) {
-            const std::size_t l = i + 1;
-            const auto r = static_cast<std::size_t>(node.right_child);
-            for (std::size_t a = 0; a < nattrs; ++a) {
-                bm[a] |= treelet.bitmaps[l * nattrs + a] | treelet.bitmaps[r * nattrs + a];
+            if (!node.is_leaf()) {
+                const std::size_t l = i + 1;
+                const auto r = static_cast<std::size_t>(node.right_child);
+                bm |= treelet.bitmaps[l * nattrs + a] | treelet.bitmaps[r * nattrs + a];
             }
+            treelet.bitmaps[i * nattrs + a] = bm;
         }
     }
 }
 
 }  // namespace
 
-BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* pool) {
+BatBuildTimings& BatBuildTimings::operator+=(const BatBuildTimings& o) {
+    edges += o.edges;
+    encode += o.encode;
+    sort += o.sort;
+    treelets += o.treelets;
+    reorder += o.reorder;
+    bitmaps += o.bitmaps;
+    return *this;
+}
+
+BatBuildTimings BatBuildTimings::max(const BatBuildTimings& a, const BatBuildTimings& b) {
+    BatBuildTimings m;
+    m.edges = std::max(a.edges, b.edges);
+    m.encode = std::max(a.encode, b.encode);
+    m.sort = std::max(a.sort, b.sort);
+    m.treelets = std::max(a.treelets, b.treelets);
+    m.reorder = std::max(a.reorder, b.reorder);
+    m.bitmaps = std::max(a.bitmaps, b.bitmaps);
+    return m;
+}
+
+BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* pool,
+                  BatBuildTimings* timings) {
     BAT_CHECK(config.subprefix_bits >= 1 && config.subprefix_bits <= 30);
     BAT_CHECK(config.lod_per_inner >= 1);
     BAT_CHECK(config.max_leaf_size >= 1);
@@ -240,41 +317,84 @@ BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* po
     bat.config = config;
     const std::size_t n = particles.count();
     const std::size_t nattrs = particles.num_attrs();
+    auto accum = [timings](double BatBuildTimings::*field) -> double* {
+        return timings != nullptr ? &(timings->*field) : nullptr;
+    };
 
     // ---- Attribute range/edge scans (independent per attribute) -----------
-    bat.attr_ranges.resize(nattrs);
-    bat.attr_edges.resize(nattrs);
-    auto attr_scan = [&](std::size_t a) {
-        bat.attr_ranges[a] = particles.attr_range(a);
-        bat.attr_edges[a] =
-            config.binning == BinningScheme::equal_depth
-                ? equal_depth_edges(particles.attr(a))
-                : equal_width_edges(bat.attr_ranges[a].first, bat.attr_ranges[a].second);
-    };
-    if (pool != nullptr && pool->num_threads() > 0) {
-        pool->parallel_for(0, nattrs, attr_scan, 1);
-    } else {
-        for (std::size_t a = 0; a < nattrs; ++a) {
-            attr_scan(a);
+    {
+        obs::PhaseSpan span("bat.edges", accum(&BatBuildTimings::edges));
+        bat.attr_ranges.resize(nattrs);
+        bat.attr_edges.resize(nattrs);
+        auto attr_scan = [&](std::size_t a) {
+            bat.attr_ranges[a] = particles.attr_range(a);
+            bat.attr_edges[a] =
+                config.binning == BinningScheme::equal_depth
+                    ? equal_depth_edges(particles.attr(a))
+                    : equal_width_edges(bat.attr_ranges[a].first, bat.attr_ranges[a].second);
+        };
+        if (pool != nullptr && pool->num_threads() > 0) {
+            pool->parallel_for(0, nattrs, attr_scan, 1);
+        } else {
+            for (std::size_t a = 0; a < nattrs; ++a) {
+                attr_scan(a);
+            }
         }
     }
     if (n == 0) {
         bat.particles = std::move(particles);
         return bat;
     }
-    bat.bounds = particles.bounds();
+
+    // ---- Morton encode ----------------------------------------------------
+    // Deplane the interleaved positions into SoA coordinate planes once,
+    // take the bounds with the vectorized min/max scan, and batch-encode
+    // whole plane spans (BMI2 pdep spread + AVX2 quantize where available).
+    constexpr std::size_t kGrain = std::size_t{1} << 14;
+    std::vector<float> xs(n);
+    std::vector<float> ys(n);
+    std::vector<float> zs(n);
+    std::vector<std::uint64_t> codes(n);
+    {
+        obs::PhaseSpan span("bat.encode", accum(&BatBuildTimings::encode));
+        particles.deplane_positions(xs.data(), ys.data(), zs.data(), pool);
+        simd::minmax_f32(xs.data(), n, &bat.bounds.lower.x, &bat.bounds.upper.x);
+        simd::minmax_f32(ys.data(), n, &bat.bounds.lower.y, &bat.bounds.upper.y);
+        simd::minmax_f32(zs.data(), n, &bat.bounds.lower.z, &bat.bounds.upper.z);
+        parallel_ranges(pool, n, kGrain, [&](std::size_t lo, std::size_t hi) {
+            morton_encode_positions(xs.data() + lo, ys.data() + lo, zs.data() + lo,
+                                    hi - lo, bat.bounds, codes.data() + lo);
+        });
+    }
 
     // ---- Morton sort ------------------------------------------------------
-    // Parallel encode, then a parallel LSD radix sort (stable, ties broken
-    // by original index) replacing the serial comparison sort — the
-    // dominant cost of the build at large n.
-    std::vector<std::uint64_t> codes(n);
-    parallel_ranges(pool, n, std::size_t{1} << 14, [&](std::size_t lo, std::size_t hi) {
+    // Parallel LSD radix sort (stable, ties broken by original index)
+    // replacing the serial comparison sort.
+    std::vector<std::uint32_t> order;
+    {
+        obs::PhaseSpan span("bat.sort", accum(&BatBuildTimings::sort));
+        order = radix_sort_order(codes, pool);
+    }
+
+    obs::PhaseSpan treelet_span("bat.treelets", accum(&BatBuildTimings::treelets));
+
+    // Gather positions and codes into Morton order, positions as 16-byte
+    // {x, y, z, rank} records: every later access (subprefix merge, treelet
+    // bounds, k-d medians, LOD swaps) then runs over contiguous memory —
+    // this is the only pass that gathers through the sort permutation.
+    std::vector<PosRecord> recs(n);
+    std::vector<std::uint64_t> sorted_codes(n);
+    parallel_ranges(pool, n, kGrain, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            codes[i] = morton_encode_position(particles.position(i), bat.bounds);
+            const std::uint32_t src = order[i];
+            recs[i] = PosRecord{{xs[src], ys[src], zs[src]}, static_cast<std::uint32_t>(i)};
+            sorted_codes[i] = codes[src];
         }
     });
-    std::vector<std::uint32_t> order = radix_sort_order(codes, pool);
+    std::vector<float>().swap(xs);
+    std::vector<float>().swap(ys);
+    std::vector<float>().swap(zs);
+    std::vector<std::uint64_t>().swap(codes);
 
     // ---- Shallow tree over merged subprefixes (§III-C1) -------------------
     int subprefix_bits = config.subprefix_bits;
@@ -290,20 +410,26 @@ BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* po
     std::vector<std::uint64_t> unique_prefixes;
     std::vector<std::uint32_t> range_begin;  // per unique prefix
     for (std::size_t i = 0; i < n; ++i) {
-        const std::uint64_t prefix = codes[order[i]] >> shift;
+        const std::uint64_t prefix = sorted_codes[i] >> shift;
         if (unique_prefixes.empty() || unique_prefixes.back() != prefix) {
             unique_prefixes.push_back(prefix);
             range_begin.push_back(static_cast<std::uint32_t>(i));
         }
     }
     range_begin.push_back(static_cast<std::uint32_t>(n));
+    std::vector<std::uint64_t>().swap(sorted_codes);
 
     const RadixTree radix = build_radix_tree(unique_prefixes, subprefix_bits, pool);
 
     // ---- Treelet builds (§III-C2) -----------------------------------------
+    // The builds permute the Morton-ordered records in place; afterwards the
+    // record sequence is the final layout and recs[i].rank composes with the
+    // sort to give the original index. The record values are exactly the
+    // value sequences the original index-gathering build saw, so the k-d
+    // recursion (nth_element, LOD swaps) produces a byte-identical tree.
     const std::size_t num_treelets = unique_prefixes.size();
     bat.treelets.resize(num_treelets);
-    BuildContext ctx{config, particles, order, bat.bounds};
+    BuildContext ctx{config, recs, bat.bounds};
     auto build_treelet = [&](std::size_t t) {
         Treelet& treelet = bat.treelets[t];
         treelet.first_particle = range_begin[t];
@@ -326,12 +452,34 @@ BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* po
             build_treelet(t);
         }
     }
+    treelet_span.close();
 
     // ---- Final particle order ---------------------------------------------
-    particles.reorder(order, pool);
-    bat.particles = std::move(particles);
+    {
+        obs::PhaseSpan span("bat.reorder", accum(&BatBuildTimings::reorder));
+        // Attributes gather through the composed permutation
+        // final[i] = original[order[recs[i].rank]]; positions come straight
+        // out of the already-permuted records (a sequential copy).
+        std::vector<std::uint32_t> final_order(n);
+        parallel_ranges(pool, n, kGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                final_order[i] = order[recs[i].rank];
+            }
+        });
+        particles.reorder_attrs(final_order, pool);
+        float* pos = particles.positions_mut().data();
+        parallel_ranges(pool, n, kGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                pos[3 * i] = recs[i].p[0];
+                pos[3 * i + 1] = recs[i].p[1];
+                pos[3 * i + 2] = recs[i].p[2];
+            }
+        });
+        bat.particles = std::move(particles);
+    }
 
     // ---- Bitmaps ------------------------------------------------------------
+    obs::PhaseSpan bitmap_span("bat.bitmaps", accum(&BatBuildTimings::bitmaps));
     auto bitmap_pass = [&](std::size_t t) {
         compute_treelet_bitmaps(bat.particles, bat.treelets[t], bat.attr_edges);
     };
@@ -342,6 +490,7 @@ BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* po
             bitmap_pass(t);
         }
     }
+    bitmap_span.close();
 
     // ---- Flatten the shallow tree to preorder -----------------------------
     // The radix tree uses split indices; we convert to a preorder node array

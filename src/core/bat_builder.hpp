@@ -158,8 +158,25 @@ struct BatData {
     std::uint32_t root_bitmap(std::size_t a) const;
 };
 
+/// Wall-clock seconds per build_bat sub-phase (the bat.* trace spans),
+/// aggregated across ranks like WritePhaseTimings.
+struct BatBuildTimings {
+    double edges = 0;     // attribute range + bin-edge scans
+    double encode = 0;    // position deplane + batched Morton encode
+    double sort = 0;      // radix sort of the Morton codes
+    double treelets = 0;  // shallow tree + per-treelet k-d builds
+    double reorder = 0;   // final gather into layout order
+    double bitmaps = 0;   // per-node attribute bitmaps
+
+    BatBuildTimings& operator+=(const BatBuildTimings& o);
+    /// Component-wise max (for "slowest rank" reductions).
+    static BatBuildTimings max(const BatBuildTimings& a, const BatBuildTimings& b);
+};
+
 /// Build the BAT over `particles` (consumed and reordered into the layout
-/// order). `pool` parallelizes the shallow-tree and treelet builds.
-BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* pool = nullptr);
+/// order). `pool` parallelizes the shallow-tree and treelet builds. When
+/// `timings` is given, per-sub-phase seconds are accumulated into it.
+BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* pool = nullptr,
+                  BatBuildTimings* timings = nullptr);
 
 }  // namespace bat

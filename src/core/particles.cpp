@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bat {
@@ -93,6 +94,18 @@ void ParticleSet::copy_from(const ParticleSet& src, std::size_t at) {
     }
 }
 
+void ParticleSet::deplane_positions(float* xs, float* ys, float* zs,
+                                    ThreadPool* pool) const {
+    constexpr std::size_t kGrain = std::size_t{1} << 14;
+    parallel_ranges(pool, count(), kGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            xs[i] = positions_[3 * i];
+            ys[i] = positions_[3 * i + 1];
+            zs[i] = positions_[3 * i + 2];
+        }
+    });
+}
+
 void ParticleSet::reorder(std::span<const std::uint32_t> order, ThreadPool* pool) {
     BAT_CHECK(order.size() == count());
     constexpr std::size_t kGrain = std::size_t{1} << 14;
@@ -106,11 +119,19 @@ void ParticleSet::reorder(std::span<const std::uint32_t> order, ThreadPool* pool
         }
     });
     positions_ = std::move(pos);
+    reorder_attrs(order, pool);
+}
+
+void ParticleSet::reorder_attrs(std::span<const std::uint32_t> order, ThreadPool* pool) {
+    BAT_CHECK(order.size() == count());
+    constexpr std::size_t kGrain = std::size_t{1} << 14;
     for (auto& attr : attrs_) {
         std::vector<double> tmp(attr.size());
+        const double* src = attr.data();
+        double* dst = tmp.data();
         parallel_ranges(pool, order.size(), kGrain, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i) {
-                tmp[i] = attr[order[i]];
+                dst[i] = src[order[i]];
             }
         });
         attr = std::move(tmp);
@@ -122,8 +143,10 @@ std::pair<double, double> ParticleSet::attr_range(std::size_t a) const {
     if (attrs_[a].empty()) {
         return {0.0, 0.0};
     }
-    const auto [lo, hi] = std::minmax_element(attrs_[a].begin(), attrs_[a].end());
-    return {*lo, *hi};
+    double lo = 0.0;
+    double hi = 0.0;
+    simd::minmax_f64(attrs_[a].data(), attrs_[a].size(), &lo, &hi);
+    return {lo, hi};
 }
 
 void ParticleSet::serialize(BufferWriter& w) const {

@@ -78,10 +78,21 @@ public:
     /// Tight bounding box of all particle positions (empty box if none).
     Box bounds() const;
 
+    /// Deplane the interleaved xyz storage into three SoA coordinate planes
+    /// of length count() (the BAT builder's batch-encode / treelet-build
+    /// scratch layout). Chunked over `pool` when one is given.
+    void deplane_positions(float* xs, float* ys, float* zs,
+                           ThreadPool* pool = nullptr) const;
+
     /// Reorder so particle i moves to position `perm[i]`... precisely:
     /// new[i] = old[order[i]]. `order` must be a permutation of [0, count).
     /// The gather loops are chunked over `pool` when one is given.
     void reorder(std::span<const std::uint32_t> order, ThreadPool* pool = nullptr);
+
+    /// reorder() for the attribute arrays only; positions are untouched.
+    /// The BAT build rewrites positions from its own already-permuted
+    /// scratch, so gathering them here would be wasted work.
+    void reorder_attrs(std::span<const std::uint32_t> order, ThreadPool* pool = nullptr);
 
     /// (min, max) of attribute `a`; (0, 0) for an empty set.
     std::pair<double, double> attr_range(std::size_t a) const;

@@ -101,6 +101,7 @@ WritePhaseTimings& WritePhaseTimings::operator+=(const WritePhaseTimings& o) {
     bat_build += o.bat_build;
     file_write += o.file_write;
     metadata += o.metadata;
+    bat += o.bat;
     return *this;
 }
 
@@ -114,6 +115,7 @@ WritePhaseTimings WritePhaseTimings::max(const WritePhaseTimings& a,
     m.bat_build = std::max(a.bat_build, b.bat_build);
     m.file_write = std::max(a.file_write, b.file_write);
     m.metadata = std::max(a.metadata, b.metadata);
+    m.bat = BatBuildTimings::max(a.bat, b.bat);
     return m;
 }
 
@@ -301,7 +303,7 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
         BatData bat;
         {
             obs::PhaseSpan span("write.bat_build", &timings.bat_build);
-            bat = build_bat(std::move(particles), config.bat, config.pool);
+            bat = build_bat(std::move(particles), config.bat, config.pool, &timings.bat);
         }
         {
             obs::PhaseSpan span("write.file_write", &timings.file_write);

@@ -53,6 +53,8 @@ struct WritePhaseTimings {
     double bat_build = 0;   // BAT construction on aggregators
     double file_write = 0;  // writing aggregator files
     double metadata = 0;    // top-level metadata population
+    /// Sub-phase breakdown of bat_build (bat.* spans; not part of total()).
+    BatBuildTimings bat;
 
     double total() const {
         return gather + tree_build + scatter + transfer + bat_build + file_write + metadata;

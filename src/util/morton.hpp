@@ -32,6 +32,21 @@ void morton_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y, std::
 /// Positions on the upper boundary map to the last cell.
 std::uint64_t morton_encode_position(Vec3 p, const Box& bounds);
 
+/// Batched morton_encode over integer coordinate planes: out[i] =
+/// morton_encode(x[i], y[i], z[i]). Runtime-dispatched (util/simd.hpp):
+/// the BMI2 tiers replace the magic-number bit spread with pdep; every
+/// tier produces bit-identical codes.
+void morton_encode_batch(const std::uint32_t* x, const std::uint32_t* y,
+                         const std::uint32_t* z, std::size_t n, std::uint64_t* out);
+
+/// Batched morton_encode_position over deplaned position planes (the BAT
+/// builder's SoA scratch): out[i] = morton_encode_position({xs[i], ys[i],
+/// zs[i]}, bounds), bit-identical across dispatch tiers. The AVX2 tier
+/// vectorizes the quantization (sub/div/clamp/truncate) 8 positions at a
+/// time; quantized cells are interleaved with pdep where available.
+void morton_encode_positions(const float* xs, const float* ys, const float* zs,
+                             std::size_t n, const Box& bounds, std::uint64_t* out);
+
 /// Axis (0=x, 1=y, 2=z) that the bit at position `bit` (0 = LSB) splits.
 /// With the layout produced by morton_encode, bit index b counts from the
 /// LSB; the axis cycles z, y, x as b increases... concretely:

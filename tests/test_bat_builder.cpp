@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <map>
@@ -310,6 +311,126 @@ TEST(BinEdgesTest, EqualDepthBalancesSkewedData) {
     const auto max_depth = *std::max_element(depth_counts.begin(), depth_counts.end());
     EXPECT_GT(max_width, values.size() / 2);  // equal-width collapses
     EXPECT_LT(max_depth, values.size() / 8);  // equal-depth spreads
+}
+
+/// The pre-multi-select equal_depth_edges: strided sample, full std::sort,
+/// quantile picks. The nth_element version must stay value-identical to it.
+BinEdges reference_equal_depth(std::span<const double> values,
+                               std::size_t max_sample = 65536) {
+    if (values.empty()) {
+        return equal_width_edges(0.0, 0.0);
+    }
+    const std::size_t stride = values.size() > max_sample
+                                   ? (values.size() + max_sample - 1) / max_sample
+                                   : 1;
+    std::vector<double> sample;
+    for (std::size_t i = 0; i < values.size(); i += stride) {
+        sample.push_back(values[i]);
+    }
+    std::sort(sample.begin(), sample.end());
+    BinEdges edges(kBitmapBins + 1);
+    for (int b = 0; b <= kBitmapBins; ++b) {
+        const std::size_t idx =
+            std::min(sample.size() - 1,
+                     static_cast<std::size_t>(b) * sample.size() / kBitmapBins);
+        edges[static_cast<std::size_t>(b)] = sample[idx];
+    }
+    edges.front() = sample.front();
+    edges.back() = sample.back();
+    for (int b = 1; b <= kBitmapBins; ++b) {
+        edges[static_cast<std::size_t>(b)] =
+            std::max(edges[static_cast<std::size_t>(b)],
+                     edges[static_cast<std::size_t>(b - 1)]);
+    }
+    return edges;
+}
+
+TEST(BinEdgesTest, EqualDepthEmptyInput) {
+    const BinEdges edges = equal_depth_edges({});
+    ASSERT_EQ(edges.size(), static_cast<std::size_t>(kBitmapBins) + 1);
+    for (double e : edges) {
+        EXPECT_EQ(e, 0.0);
+    }
+}
+
+TEST(BinEdgesTest, EqualDepthSingleValue) {
+    const std::vector<double> one{3.25};
+    const BinEdges edges = equal_depth_edges(one);
+    ASSERT_EQ(edges.size(), static_cast<std::size_t>(kBitmapBins) + 1);
+    for (double e : edges) {
+        EXPECT_EQ(e, 3.25);
+    }
+    EXPECT_EQ(bin_of(3.25, edges), kBitmapBins - 1);
+}
+
+TEST(BinEdgesTest, EqualDepthConstantValues) {
+    const std::vector<double> constant(10'000, -7.5);
+    const BinEdges edges = equal_depth_edges(constant);
+    for (double e : edges) {
+        EXPECT_EQ(e, -7.5);
+    }
+}
+
+TEST(BinEdgesTest, EqualDepthAdversarialDistributions) {
+    // Each case must match the full-sort reference edge-for-edge: two
+    // distinct values, a sorted ramp, a reversed ramp, alternating
+    // extremes, one outlier in a constant sea, and heavy duplication.
+    std::vector<std::vector<double>> cases;
+    cases.push_back({1.0, 2.0});
+    std::vector<double> ramp(1'000);
+    for (std::size_t i = 0; i < ramp.size(); ++i) {
+        ramp[i] = static_cast<double>(i);
+    }
+    cases.push_back(ramp);
+    cases.emplace_back(ramp.rbegin(), ramp.rend());
+    std::vector<double> alternating(999);
+    for (std::size_t i = 0; i < alternating.size(); ++i) {
+        alternating[i] = (i % 2 == 0) ? -1e300 : 1e300;
+    }
+    cases.push_back(alternating);
+    std::vector<double> outlier(5'000, 2.0);
+    outlier[4'321] = 1e9;
+    cases.push_back(outlier);
+    std::vector<double> dups(2'048);
+    Pcg32 dup_rng(11);
+    for (double& v : dups) {
+        v = static_cast<double>(dup_rng.next_bounded(5));
+    }
+    cases.push_back(dups);
+    for (const auto& values : cases) {
+        const BinEdges got = equal_depth_edges(values);
+        const BinEdges want = reference_equal_depth(values);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i], want[i]) << "case size " << values.size() << " edge " << i;
+        }
+    }
+}
+
+TEST(BinEdgesTest, EqualDepthMatchesFullSortReference) {
+    // Randomized sweep over sizes bracketing the bin count and the
+    // max_sample stride cutoff (70'000 > 65'536 exercises stride > 1).
+    Pcg32 rng(23);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{31},
+                                std::size_t{32}, std::size_t{33}, std::size_t{1'000},
+                                std::size_t{70'000}}) {
+        std::vector<double> values(n);
+        for (double& v : values) {
+            v = -50.0 + 100.0 * rng.next_double();
+        }
+        const BinEdges got = equal_depth_edges(values);
+        const BinEdges want = reference_equal_depth(values);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(got[i], want[i]) << "n=" << n << " edge " << i;
+        }
+        // An explicit tiny max_sample uses the same stride in both paths.
+        const BinEdges got_s = equal_depth_edges(values, 100);
+        const BinEdges want_s = reference_equal_depth(values, 100);
+        for (std::size_t i = 0; i < got_s.size(); ++i) {
+            ASSERT_EQ(got_s[i], want_s[i]) << "n=" << n << " strided edge " << i;
+        }
+    }
 }
 
 TEST(BinEdgesTest, EdgesAreMonotone) {

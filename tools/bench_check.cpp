@@ -5,6 +5,14 @@
 //   radix — the builder's sort must never regress past std::sort: both
 //     sort_radix_serial and sort_radix_pool must beat sort_std at every
 //     n >= 1M;
+//   simd — the vector kernel tiers must pay for their dispatch:
+//     morton_encode_simd >= 1.5x over morton_encode_scalar and
+//     bitmap_bin_simd >= 1.0x over bitmap_bin_scalar at n >= 1M (rows are
+//     only emitted when a vector tier is active, so scalar-only hosts skip
+//     this family);
+//   bat_build — absolute ceiling on the write pipeline's BAT build phase:
+//     write.bat_build <= 140 ns/op at n >= 1M (override the ceiling with
+//     BAT_BENCH_MAX_BAT_BUILD_NS on slower hosts);
 //   serve — threaded leaf serving must not lose to the serial comm-thread
 //     path: read.serve_pool <= read.serve_serial ns/op at n >= 1M;
 //   msgs — request coalescing must cut traffic: the read.msgs_coalesced
@@ -27,6 +35,7 @@
 // indistinguishable from a gate passing. Usage: bench_check <BENCH.json>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -153,6 +162,91 @@ int gate_msgs(const NsByKey& ns_op) {
                 static_cast<unsigned long long>(per_leaf));
     if (coalesced >= per_leaf) {
         fail("coalescing did not reduce the request message count");
+        return -1;
+    }
+    return 1;
+}
+
+int gate_simd(const NsByKey& ns_op) {
+    // The vectorized kernels must actually pay for their dispatch: the BMI2
+    // Morton batch encode has to beat forced-scalar by 1.5x at >= 1M, the
+    // AVX2 binning kernel must at least not lose. micro_kernels emits these
+    // rows only when a vector tier is active, so a scalar-only host simply
+    // reports this family inapplicable.
+    struct Pair {
+        const char* scalar;
+        const char* simd;
+        double min_speedup;
+    };
+    constexpr std::uint64_t kGateMin = 1u << 20;
+    int gated = 0;
+    for (const Pair& p : {Pair{"morton_encode_scalar", "morton_encode_simd", 1.5},
+                          Pair{"bitmap_bin_scalar", "bitmap_bin_simd", 1.0}}) {
+        std::uint64_t n_scalar = 0;
+        std::uint64_t n_simd = 0;
+        double scalar_ns = 0;
+        double simd_ns = 0;
+        const bool has_scalar = find_unique(ns_op, p.scalar, &n_scalar, &scalar_ns);
+        const bool has_simd = find_unique(ns_op, p.simd, &n_simd, &simd_ns);
+        if (!has_scalar && !has_simd) {
+            continue;
+        }
+        if (!has_scalar || !has_simd) {
+            fail(std::string(p.scalar) + "/" + p.simd +
+                 " must appear together (once each)");
+            return -1;
+        }
+        if (n_scalar != n_simd) {
+            fail(std::string(p.simd) + " ran at a different n than its scalar row");
+            return -1;
+        }
+        if (n_scalar < kGateMin) {
+            fail(std::string(p.simd) + " comparison below the 1M gate size");
+            return -1;
+        }
+        const double speedup = scalar_ns / simd_ns;
+        std::printf("bench_check: n=%-9llu %-20s %8.2f ns/op vs scalar %8.2f (%.2fx, "
+                    "need %.1fx)\n",
+                    static_cast<unsigned long long>(n_simd), p.simd, simd_ns, scalar_ns,
+                    speedup, p.min_speedup);
+        if (speedup < p.min_speedup) {
+            fail(std::string(p.simd) + " speedup below " +
+                 std::to_string(p.min_speedup) + "x over scalar");
+            return -1;
+        }
+        ++gated;
+    }
+    return gated;
+}
+
+int gate_bat_build(const NsByKey& ns_op) {
+    // Absolute ceiling on the BAT build phase of the write pipeline. The
+    // default is calibrated for the reference CI host; slower machines can
+    // raise it with BAT_BENCH_MAX_BAT_BUILD_NS (same-host before/after
+    // comparisons stay the honest regression signal either way).
+    constexpr std::uint64_t kGateMin = 1u << 20;
+    double ceiling = 140.0;
+    if (const char* env = std::getenv("BAT_BENCH_MAX_BAT_BUILD_NS");
+        env != nullptr && *env != '\0') {
+        ceiling = std::atof(env);
+        if (ceiling <= 0) {
+            fail("BAT_BENCH_MAX_BAT_BUILD_NS is not a positive number");
+            return -1;
+        }
+    }
+    std::uint64_t n = 0;
+    double ns = 0;
+    if (!find_unique(ns_op, "write.bat_build", &n, &ns)) {
+        return 0;
+    }
+    if (n < kGateMin) {
+        fail("write.bat_build below the 1M-particle gate size");
+        return -1;
+    }
+    std::printf("bench_check: n=%-9llu write.bat_build  %8.2f ns/op (ceiling %.1f)\n",
+                static_cast<unsigned long long>(n), ns, ceiling);
+    if (ns > ceiling) {
+        fail("write.bat_build above the " + std::to_string(ceiling) + " ns/op ceiling");
         return -1;
     }
     return 1;
@@ -369,7 +463,9 @@ int run(int argc, char** argv) {
     }
 
     int gated = 0;
-    for (const auto gate : {gate_radix, gate_serve, gate_msgs, gate_querytrace}) {
+    for (const auto gate :
+         {gate_radix, gate_simd, gate_bat_build, gate_serve, gate_msgs,
+          gate_querytrace}) {
         const int checked = gate(ns_op);
         if (checked < 0) {
             return 1;
@@ -377,8 +473,8 @@ int run(int argc, char** argv) {
         gated += checked;
     }
     if (gated == 0) {
-        return fail("no gateable rows (sort_*, read.serve_*, read.msgs_*, "
-                    "read.total_*) found");
+        return fail("no gateable rows (sort_*, morton_encode_*, bitmap_bin_*, "
+                    "write.bat_build, read.serve_*, read.msgs_*, read.total_*) found");
     }
     std::printf("bench_check: OK (%zu entries, %d gated comparisons)\n", ns_op.size(),
                 gated);
