@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "core/karras.hpp"
@@ -488,6 +489,58 @@ BatData build_bat(ParticleSet particles, const BatConfig& config, ThreadPool* po
     } else {
         for (std::size_t t = 0; t < num_treelets; ++t) {
             bitmap_pass(t);
+        }
+    }
+    if (config.hash_treelets) {
+        // Content hashes for delta detection: cover exactly the per-treelet
+        // payload serialize_bat writes (counts, depth, bounds, nodes,
+        // bitmaps, positions, attribute values) so hash equality implies
+        // byte-identical treelet blocks on disk.
+        auto hash_pass = [&](std::size_t t) {
+            Treelet& treelet = bat.treelets[t];
+            std::uint64_t h = 0xcbf29ce484222325ull;
+            // Word-wise multiply-xorshift mix: the hash only ever meets
+            // hashes computed by this same code on the previous step (it is
+            // never persisted), and byte-at-a-time FNV would make the hash
+            // pass cost as much as the delta path saves on file writes.
+            auto mix = [&h](const void* data, std::size_t bytes) {
+                const auto* p = static_cast<const unsigned char*>(data);
+                std::size_t i = 0;
+                for (; i + 8 <= bytes; i += 8) {
+                    std::uint64_t w;
+                    std::memcpy(&w, p + i, 8);
+                    h = (h ^ w) * 0x9e3779b97f4a7c15ull;
+                    h ^= h >> 29;
+                }
+                if (i < bytes) {
+                    std::uint64_t tail = 0;
+                    std::memcpy(&tail, p + i, bytes - i);
+                    h = (h ^ (tail + bytes)) * 0x9e3779b97f4a7c15ull;
+                    h ^= h >> 29;
+                }
+            };
+            mix(&treelet.num_particles, sizeof(treelet.num_particles));
+            mix(&treelet.max_depth, sizeof(treelet.max_depth));
+            mix(&treelet.bounds, sizeof(treelet.bounds));
+            mix(treelet.nodes.data(), treelet.nodes.size() * sizeof(TreeletNode));
+            mix(treelet.bitmaps.data(),
+                treelet.bitmaps.size() * sizeof(std::uint32_t));
+            const auto pos = bat.particles.positions().subspan(
+                3 * treelet.first_particle, 3 * treelet.num_particles);
+            mix(pos.data(), pos.size_bytes());
+            for (std::size_t a = 0; a < nattrs; ++a) {
+                const auto vals = bat.particles.attr(a).subspan(
+                    treelet.first_particle, treelet.num_particles);
+                mix(vals.data(), vals.size_bytes());
+            }
+            treelet.hash = h;
+        };
+        if (pool != nullptr && pool->num_threads() > 0) {
+            pool->parallel_for(0, num_treelets, hash_pass, treelet_grain);
+        } else {
+            for (std::size_t t = 0; t < num_treelets; ++t) {
+                hash_pass(t);
+            }
         }
     }
     bitmap_span.close();

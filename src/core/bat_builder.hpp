@@ -57,6 +57,11 @@ struct BatConfig {
     std::uint64_t seed = 0;
     /// Bitmap bin placement (see BinningScheme).
     BinningScheme binning = BinningScheme::equal_width;
+    /// When true, compute a per-treelet content hash (Treelet::hash) over
+    /// everything serialize_bat writes for the treelet. The incremental
+    /// series writer compares these against the previous step to detect
+    /// unchanged regions; standalone builds skip the pass.
+    bool hash_treelets = false;
 };
 
 /// Number of bins in every attribute bitmap. The paper restricts bitmaps to
@@ -130,6 +135,12 @@ struct Treelet {
     /// Per node, per attribute: the node's 32-bit binned bitmap
     /// (nodes.size() * num_attrs entries, node-major).
     std::vector<std::uint32_t> bitmaps;
+    /// Content hash (word-wise multiply-xorshift) over the treelet's
+    /// serialized payload: counts, depth, bounds, nodes, bitmaps,
+    /// positions, and attribute values. Only comparable against hashes
+    /// from the same build (never persisted). Zero unless
+    /// BatConfig::hash_treelets was set.
+    std::uint64_t hash = 0;
 };
 
 /// The complete in-memory BAT for one aggregator, ready for compaction to

@@ -48,9 +48,20 @@ Box box_from(const float b[6]) {
 
 }  // namespace
 
-std::vector<std::byte> serialize_bat(const BatData& bat) {
+std::vector<std::byte> serialize_bat(const BatData& bat, const BatDeltaSpec* delta) {
     const std::size_t nattrs = bat.num_attrs();
+    const bool has_refs = delta != nullptr && !delta->refs.empty();
+    if (has_refs) {
+        BAT_CHECK_MSG(delta->refs.size() == bat.treelets.size(),
+                      "delta spec must cover every treelet");
+    }
+    auto ref_of = [&](std::size_t t) {
+        return has_refs ? delta->refs[t] : DeltaRef{};
+    };
     FileHeader header;
+    if (delta != nullptr && !delta->base_files.empty()) {
+        header.flags |= kBatFlagHasBases;
+    }
     header.num_particles = bat.particles.count();
     header.num_attrs = static_cast<std::uint32_t>(nattrs);
     header.subprefix_bits = static_cast<std::uint32_t>(bat.config.subprefix_bits);
@@ -72,8 +83,13 @@ std::vector<std::byte> serialize_bat(const BatData& bat) {
     for (std::size_t i = 0; i < bat.shallow_bitmaps.size(); ++i) {
         shallow_ids[i] = dict.intern(bat.shallow_bitmaps[i]);
     }
+    // Referenced treelets keep their bitmaps in the base file (their IDs
+    // index the base's dictionary), so only inline treelets intern here.
     std::vector<std::vector<std::uint16_t>> treelet_ids(bat.treelets.size());
     for (std::size_t t = 0; t < bat.treelets.size(); ++t) {
+        if (ref_of(t).base_file >= 0) {
+            continue;
+        }
         const Treelet& tr = bat.treelets[t];
         treelet_ids[t].resize(tr.bitmaps.size());
         for (std::size_t i = 0; i < tr.bitmaps.size(); ++i) {
@@ -95,6 +111,13 @@ std::vector<std::byte> serialize_bat(const BatData& bat) {
         w.write_span(std::span<const double>(bat.attr_edges[a]));
     }
 
+    if (header.flags & kBatFlagHasBases) {
+        w.write(static_cast<std::uint32_t>(delta->base_files.size()));
+        for (const std::string& name : delta->base_files) {
+            w.write_string(name);
+        }
+    }
+
     w.align_to(8);
     header.shallow_nodes_offset = w.size();
     w.write_span(std::span<const ShallowNode>(bat.shallow_nodes));
@@ -109,7 +132,8 @@ std::vector<std::byte> serialize_bat(const BatData& bat) {
     w.align_to(8);
     header.treelet_dir_offset = w.size();
     const std::size_t dir_pos = w.size();
-    for (const Treelet& tr : bat.treelets) {
+    for (std::size_t t = 0; t < bat.treelets.size(); ++t) {
+        const Treelet& tr = bat.treelets[t];
         TreeletDirEntry entry;  // offset patched once the treelet is placed
         entry.num_nodes = static_cast<std::uint32_t>(tr.nodes.size());
         entry.num_points = tr.num_particles;
@@ -121,10 +145,20 @@ std::vector<std::byte> serialize_bat(const BatData& bat) {
         entry.bounds[5] = tr.bounds.upper.z;
         entry.max_depth = tr.max_depth;
         entry.first_particle = tr.first_particle;
+        const DeltaRef ref = ref_of(t);
+        if (ref.base_file >= 0) {
+            BAT_CHECK(static_cast<std::size_t>(ref.base_file) <
+                      delta->base_files.size());
+            entry.base_file = ref.base_file;
+            entry.base_treelet = ref.base_treelet;
+        }
         w.write(entry);
     }
 
     for (std::size_t t = 0; t < bat.treelets.size(); ++t) {
+        if (ref_of(t).base_file >= 0) {
+            continue;  // payload lives in the base file
+        }
         const Treelet& tr = bat.treelets[t];
         w.align_to(kTreeletAlignment);
         const std::uint64_t offset = w.size();
@@ -164,11 +198,48 @@ BatSizeStats bat_size_stats(const BatData& bat, std::uint64_t file_bytes) {
 
 // ---- BatFile ---------------------------------------------------------------
 
-BatFile::BatFile(const std::filesystem::path& path) : map_(path) {
+namespace {
+
+/// Guards against reference cycles between delta files (impossible for
+/// writer-produced chains, which only ever point backwards in time, but a
+/// corrupted or hand-crafted pair of files could otherwise recurse forever).
+thread_local int g_open_depth = 0;
+
+struct OpenDepthGuard {
+    OpenDepthGuard() {
+        BAT_CHECK_MSG(++g_open_depth <= 64, "BAT delta base chain too deep");
+    }
+    ~OpenDepthGuard() { --g_open_depth; }
+};
+
+}  // namespace
+
+BatFile::BatFile(const std::filesystem::path& path, const BatFileOpener& opener)
+    : map_(path) {
     parse(map_.bytes());
+    open_bases(path.parent_path(), opener);
 }
 
-BatFile::BatFile(std::span<const std::byte> bytes) { parse(bytes); }
+BatFile::BatFile(std::span<const std::byte> bytes) {
+    parse(bytes);
+    BAT_CHECK_MSG(base_names_.empty(),
+                  "buffer-backed BAT cannot resolve delta base files");
+}
+
+void BatFile::open_bases(const std::filesystem::path& dir, const BatFileOpener& opener) {
+    if (base_names_.empty()) {
+        return;
+    }
+    const OpenDepthGuard guard;
+    bases_.reserve(base_names_.size());
+    for (const std::string& name : base_names_) {
+        const std::filesystem::path base_path = dir / name;
+        bases_.push_back(opener ? opener(base_path)
+                                : std::make_shared<const BatFile>(base_path, opener));
+        BAT_CHECK_MSG(bases_.back() != nullptr,
+                      "opener returned no BAT for base file " << name);
+    }
+}
 
 namespace {
 
@@ -210,6 +281,14 @@ void BatFile::parse(std::span<const std::byte> bytes) {
         r.read_into(std::span<double>(attr_edges_[a]));
     }
 
+    if (header_.flags & kBatFlagHasBases) {
+        const auto num_bases = r.read<std::uint32_t>();
+        base_names_.resize(num_bases);
+        for (std::uint32_t i = 0; i < num_bases; ++i) {
+            base_names_[i] = r.read_string();
+        }
+    }
+
     shallow_nodes_ =
         view_array<ShallowNode>(bytes, header_.shallow_nodes_offset, header_.num_shallow_nodes);
     shallow_bitmap_ids_ = view_array<std::uint16_t>(
@@ -220,6 +299,12 @@ void BatFile::parse(std::span<const std::byte> bytes) {
         view_array<TreeletDirEntry>(bytes, header_.treelet_dir_offset, header_.num_treelets);
     BAT_CHECK_MSG(!dict_.empty() || header_.num_shallow_nodes == 0,
                   "BAT dictionary missing");
+    for (const TreeletDirEntry& entry : treelet_dir_) {
+        if (entry.base_file >= 0) {
+            BAT_CHECK_MSG(static_cast<std::size_t>(entry.base_file) < base_names_.size(),
+                          "delta treelet references an unlisted base file");
+        }
+    }
 }
 
 Box BatFile::bounds() const { return box_from(header_.bounds); }
@@ -233,6 +318,18 @@ std::uint32_t BatFile::shallow_bitmap(std::size_t i, std::size_t a) const {
 BatFile::TreeletView BatFile::treelet(std::size_t t) const {
     BAT_CHECK(t < treelet_dir_.size());
     const TreeletDirEntry& entry = treelet_dir_[t];
+    if (entry.base_file >= 0) {
+        // Delta treelet: byte-identical payload lives in the base file. The
+        // base view is complete (its spans point into the base mapping, its
+        // dict is the base's dictionary); only first_particle is this
+        // file's — it positions the treelet in *our* file-wide point order.
+        const auto& base = bases_[static_cast<std::size_t>(entry.base_file)];
+        TreeletView view = base->treelet(entry.base_treelet);
+        BAT_CHECK_MSG(view.num_points == entry.num_points,
+                      "delta treelet size mismatch against base file");
+        view.first_particle = entry.first_particle;
+        return view;
+    }
     TreeletView view;
     view.bounds = box_from(entry.bounds);
     view.num_points = entry.num_points;
@@ -249,6 +346,7 @@ BatFile::TreeletView BatFile::treelet(std::size_t t) const {
     r.read<std::uint32_t>();  // reserved
     pos += 16;
 
+    view.dict = dict_;
     view.nodes = view_array<TreeletNode>(bytes_, pos, entry.num_nodes);
     pos += entry.num_nodes * sizeof(TreeletNode);
     view.bitmap_ids = view_array<std::uint16_t>(
@@ -268,9 +366,11 @@ BatFile::TreeletView BatFile::treelet(std::size_t t) const {
 
 std::uint32_t BatFile::treelet_bitmap(const TreeletView& view, std::size_t node,
                                       std::size_t a) const {
+    // Resolve through the view's own dictionary: a delta treelet's IDs
+    // index the base file's dictionary, not ours.
     const std::uint16_t id = view.bitmap_ids[node * header_.num_attrs + a];
-    BAT_CHECK(id < dict_.size());
-    return dict_[id];
+    BAT_CHECK(id < view.dict.size());
+    return view.dict[id];
 }
 
 }  // namespace bat

@@ -5,6 +5,9 @@
 //
 //   [header]                fixed-size FileHeader
 //   [attribute table]       per attr: length-prefixed name, f64 min, f64 max
+//   [base file table]       only when flags & kBatFlagHasBases: u32 count,
+//                           then length-prefixed file names (relative to the
+//                           BAT's directory) that delta treelets reference
 //   [shallow tree]          ShallowNode[num_shallow_nodes], preorder
 //   [shallow bitmap IDs]    u16[num_shallow_nodes * num_attrs]
 //   [bitmap dictionary]     u32[dict_size] — unique bitmaps, shared by the
@@ -22,9 +25,20 @@
 // The shallow tree and dictionary sit at the start of the file because they
 // are touched by every query; treelets are page-aligned for fast mmap access
 // (the paper's motivation for the 4 KB alignment).
+//
+// v3 adds *delta treelets* for slowly-evolving time series: a directory
+// entry whose `base_file >= 0` has no treelet block in this file — its
+// payload is treelet `base_treelet` of the base-table file `base_file`,
+// byte-identical to what a full rewrite would have stored. The series
+// writer always points a reference at the file that physically holds the
+// bytes (references are flattened, never chained through intermediate
+// delta files), so resolution is one hop per treelet and the set of live
+// base files is bounded by the keyframe interval.
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -36,7 +50,10 @@ namespace bat {
 
 inline constexpr std::uint32_t kBatMagic = 0x46544142;      // "BATF"
 inline constexpr std::uint32_t kTreeletMagic = 0x544c5254;  // "TRLT"
-inline constexpr std::uint32_t kBatVersion = 2;  // v2 added per-attr bin edges
+inline constexpr std::uint32_t kBatVersion = 3;  // v3 added delta treelets
+/// FileHeader::flags bit: the file carries a base file table and may hold
+/// directory entries that reference treelets stored in those base files.
+inline constexpr std::uint32_t kBatFlagHasBases = 1u;
 inline constexpr std::size_t kTreeletAlignment = 4096;
 /// Dictionary ID 0 always refers to the all-ones bitmap; it doubles as the
 /// overflow fallback if a file ever exceeds 65535 unique bitmaps (queries
@@ -71,11 +88,33 @@ struct TreeletDirEntry {
     float bounds[6] = {0, 0, 0, 0, 0, 0};
     std::int32_t max_depth = 0;
     std::uint32_t first_particle = 0;  // offset in the file-wide point order
+    /// v3 delta reference: when >= 0, this treelet's block is not stored in
+    /// this file; its payload is treelet `base_treelet` of base-table file
+    /// `base_file` (and `offset` is 0).
+    std::int32_t base_file = -1;
+    std::uint32_t base_treelet = 0;
 };
-static_assert(sizeof(TreeletDirEntry) == 48);
+static_assert(sizeof(TreeletDirEntry) == 56);
 
-/// Serialize a built BAT into its on-disk byte layout.
-std::vector<std::byte> serialize_bat(const BatData& bat);
+/// Reference of one treelet into a prior step's BAT file.
+struct DeltaRef {
+    std::int32_t base_file = -1;  // index into BatDeltaSpec::base_files
+    std::uint32_t base_treelet = 0;
+};
+
+/// Instructions for an incremental serialize_bat: which treelets to write
+/// by reference instead of inline. `refs` is either empty (write everything
+/// inline) or one entry per treelet, with base_file == -1 marking inline
+/// treelets.
+struct BatDeltaSpec {
+    std::vector<std::string> base_files;  // relative to the BAT's directory
+    std::vector<DeltaRef> refs;
+};
+
+/// Serialize a built BAT into its on-disk byte layout. With a delta spec,
+/// referenced treelets contribute only their 56-byte directory entry.
+std::vector<std::byte> serialize_bat(const BatData& bat,
+                                     const BatDeltaSpec* delta = nullptr);
 
 /// Convenience: serialize and write to `path`.
 void write_bat_file(const std::filesystem::path& path, const BatData& bat);
@@ -108,6 +147,10 @@ struct BatTreeletView {
     std::uint32_t first_particle = 0;
     std::span<const TreeletNode> nodes;
     std::span<const std::uint16_t> bitmap_ids;  // file-backed: dictionary IDs
+    /// Dictionary the bitmap_ids index into. For a treelet resolved through
+    /// a delta reference this is the *base* file's dictionary, so the view
+    /// stays self-contained wherever it came from.
+    std::span<const std::uint32_t> dict;
     std::span<const std::uint32_t> raw_bitmaps; // in-memory: bitmaps directly
     std::span<const float> positions;           // xyz interleaved
     std::vector<std::span<const double>> attrs;
@@ -117,13 +160,27 @@ struct BatTreeletView {
     }
 };
 
+class BatFile;
+
+/// How a BatFile opens the base files its delta treelets reference. The
+/// LeafFileCache passes itself in so base files land in (and are charged
+/// to) the cache under their own path keys; the default opener simply maps
+/// the file recursively.
+using BatFileOpener =
+    std::function<std::shared_ptr<const BatFile>(const std::filesystem::path&)>;
+
 /// Memory-mapped, zero-copy view of a BAT file. All accessors return spans
-/// into the mapping; the BatFile must outlive them.
+/// into the mapping; the BatFile must outlive them. Delta treelets (v3)
+/// resolve transparently: `treelet()` returns a view into the base file's
+/// mapping, which the BatFile keeps alive.
 class BatFile {
 public:
-    explicit BatFile(const std::filesystem::path& path);
+    explicit BatFile(const std::filesystem::path& path,
+                     const BatFileOpener& opener = {});
     /// Parse from an in-memory buffer (used for in-transit queries and
-    /// tests; the buffer must outlive the BatFile).
+    /// tests; the buffer must outlive the BatFile). Buffers with delta
+    /// references are rejected — they have no directory to resolve
+    /// base files against.
     explicit BatFile(std::span<const std::byte> bytes);
 
     std::uint64_t num_particles() const { return header_.num_particles; }
@@ -149,8 +206,17 @@ public:
     std::uint32_t treelet_bitmap(const TreeletView& view, std::size_t node,
                                  std::size_t a) const;
 
+    /// v3 delta introspection: base file names referenced by this file's
+    /// delta treelets (empty for full/keyframe files).
+    const std::vector<std::string>& base_file_names() const { return base_names_; }
+    /// True when treelet `t` is stored by reference into a base file.
+    bool treelet_is_delta(std::size_t t) const {
+        return treelet_dir_[t].base_file >= 0;
+    }
+
 private:
     void parse(std::span<const std::byte> bytes);
+    void open_bases(const std::filesystem::path& dir, const BatFileOpener& opener);
 
     MappedFile map_;  // empty when constructed from a buffer
     std::span<const std::byte> bytes_;
@@ -162,6 +228,8 @@ private:
     std::span<const std::uint16_t> shallow_bitmap_ids_;
     std::span<const std::uint32_t> dict_;
     std::span<const TreeletDirEntry> treelet_dir_;
+    std::vector<std::string> base_names_;
+    std::vector<std::shared_ptr<const BatFile>> bases_;
 };
 
 }  // namespace bat

@@ -12,7 +12,7 @@ namespace bat {
 namespace {
 
 constexpr std::uint32_t kMetaMagic = 0x4d544142;  // "BATM"
-constexpr std::uint32_t kMetaVersion = 1;
+constexpr std::uint32_t kMetaVersion = 2;  // v2 added per-leaf delta_bases
 
 void write_box(BufferWriter& w, const Box& b) {
     w.write(b.lower.x);
@@ -52,6 +52,11 @@ std::vector<std::byte> LeafReport::to_bytes() const {
             w.write_span(std::span<const double>(edges[a]));
         }
     }
+    w.write_string(file_override);
+    w.write(static_cast<std::uint32_t>(delta_bases.size()));
+    for (const std::string& base : delta_bases) {
+        w.write_string(base);
+    }
     return w.take();
 }
 
@@ -75,6 +80,12 @@ LeafReport LeafReport::from_bytes(std::span<const std::byte> bytes) {
             report.edges[a].resize(kBitmapBins + 1);
             r.read_into(std::span<double>(report.edges[a]));
         }
+    }
+    report.file_override = r.read_string();
+    const auto nbases = r.read<std::uint32_t>();
+    report.delta_bases.resize(nbases);
+    for (std::uint32_t i = 0; i < nbases; ++i) {
+        report.delta_bases[i] = r.read_string();
     }
     return report;
 }
@@ -195,6 +206,10 @@ std::vector<std::byte> Metadata::to_bytes() const {
             w.write(leaf.local_ranges[a].second);
             w.write(leaf.bitmaps[a]);
         }
+        w.write(static_cast<std::uint32_t>(leaf.delta_bases.size()));
+        for (const std::string& base : leaf.delta_bases) {
+            w.write_string(base);
+        }
     }
     w.write_span(std::span<const std::uint32_t>(node_bitmaps));
     return w.take();
@@ -236,6 +251,11 @@ Metadata Metadata::from_bytes(std::span<const std::byte> bytes) {
             leaf.local_ranges[a].first = r.read<double>();
             leaf.local_ranges[a].second = r.read<double>();
             leaf.bitmaps[a] = r.read<std::uint32_t>();
+        }
+        const auto nbases = r.read<std::uint32_t>();
+        leaf.delta_bases.resize(nbases);
+        for (std::uint32_t i = 0; i < nbases; ++i) {
+            leaf.delta_bases[i] = r.read_string();
         }
     }
     meta.node_bitmaps.resize(static_cast<std::size_t>(nnodes) * nattrs);
@@ -290,7 +310,12 @@ Metadata build_metadata(const Aggregation& agg, std::vector<std::string> attr_na
                   static_cast<std::size_t>(report.leaf_id) < agg.leaves.size());
         MetaLeaf& leaf = meta.leaves[static_cast<std::size_t>(report.leaf_id)];
         leaf.bounds = agg.leaves[static_cast<std::size_t>(report.leaf_id)].bounds;
-        leaf.file = leaf_files[static_cast<std::size_t>(report.leaf_id)];
+        // Incremental steps that skipped the leaf entirely point the
+        // metadata at the prior step's file (the .batmeta back-reference).
+        leaf.file = !report.file_override.empty()
+                        ? report.file_override
+                        : leaf_files[static_cast<std::size_t>(report.leaf_id)];
+        leaf.delta_bases = report.delta_bases;
         leaf.num_particles = report.num_particles;
         leaf.local_ranges = report.ranges;
         leaf.bitmaps.resize(nattrs);

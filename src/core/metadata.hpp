@@ -30,6 +30,13 @@ struct LeafReport {
     /// Per-attr local bin edges the bitmaps were computed with; when empty,
     /// equal-width edges over `ranges` are assumed.
     std::vector<BinEdges> edges;
+    /// Incremental writes: when non-empty, this step did not write a new
+    /// BAT for the leaf — the metadata should reference this prior step's
+    /// file instead of the step's own leaf file name.
+    std::string file_override;
+    /// Base files the leaf's (possibly delta) BAT references; recorded in
+    /// the .batmeta so tools can see a step's full file dependency set.
+    std::vector<std::string> delta_bases;
 
     std::vector<std::byte> to_bytes() const;
     static LeafReport from_bytes(std::span<const std::byte> bytes);
@@ -43,6 +50,11 @@ struct MetaLeaf {
     std::uint64_t num_particles = 0;
     std::vector<std::pair<double, double>> local_ranges;  // per attr
     std::vector<std::uint32_t> bitmaps;                   // per attr, global range
+    /// Back-references of an incremental step (v2): the prior-step BAT
+    /// files this leaf's file borrows treelets from (empty for full
+    /// writes). `file` itself may already be a prior step's file when the
+    /// whole leaf was unchanged.
+    std::vector<std::string> delta_bases;
 };
 
 class Metadata {

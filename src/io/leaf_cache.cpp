@@ -32,8 +32,14 @@ std::shared_ptr<const BatFile> LeafFileCache::open(
         }
     }
     // Miss: map the file outside the lock so concurrent misses on different
-    // leaves overlap their I/O.
-    auto file = std::make_shared<const BatFile>(path);
+    // leaves overlap their I/O. Delta base files resolve through the cache
+    // itself (re-entrancy is safe — construction runs outside the lock), so
+    // each physical file is mapped, keyed, and byte-accounted exactly once
+    // no matter how many delta files reference it.
+    const BatFileOpener opener = [this, bytes_read](const std::filesystem::path& p) {
+        return open(p, bytes_read);
+    };
+    auto file = std::make_shared<const BatFile>(path, opener);
     metrics.counter("read.leaf_cache_miss").add(1);
     obs::query_note_cache(/*hit=*/false);
     if (bytes_read != nullptr) {

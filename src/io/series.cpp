@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/buffer.hpp"
 #include "util/check.hpp"
 #include "util/mmap_file.hpp"
@@ -68,7 +69,15 @@ WriteResult SeriesWriter::write_timestep(vmpi::Comm& comm, int timestep,
                   "timesteps must be written in increasing order");
     WriterConfig config = base_;
     config.basename = base_.basename + "_t" + std::to_string(timestep);
-    const WriteResult result = write_particles(comm, local, local_bounds, config);
+    // Periodic keyframes bound how far back delta chains can reach: every
+    // keyframe_interval-th step writes full files (the first step is a
+    // keyframe by construction — the plan starts empty).
+    const int interval = std::max(1, base_.delta.keyframe_interval);
+    if (steps_written_ % static_cast<std::size_t>(interval) == 0) {
+        config.delta.force_keyframe = true;
+    }
+    const WriteResult result = write_particles(comm, local, local_bounds, config, &plan_);
+    ++steps_written_;
     series_.timesteps.emplace_back(timestep, result.metadata_path.filename().string());
     return result;
 }
@@ -76,6 +85,14 @@ WriteResult SeriesWriter::write_timestep(vmpi::Comm& comm, int timestep,
 std::filesystem::path SeriesWriter::finalize(vmpi::Comm& comm) const {
     if (comm.rank() == 0) {
         series_.save(manifest_path_);
+        // The manifest hits disk like any leaf or .batmeta file; leaving it
+        // out of the byte accounting inflates per-step byte gates.
+        manifest_bytes_ = std::filesystem::file_size(manifest_path_);
+        auto& metrics = obs::MetricsRegistry::global();
+        metrics.counter("write.bytes_written")
+            .add(static_cast<std::int64_t>(manifest_bytes_));
+        metrics.counter("write.manifest_bytes")
+            .add(static_cast<std::int64_t>(manifest_bytes_));
     }
     comm.barrier();
     return manifest_path_;

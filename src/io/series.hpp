@@ -29,7 +29,12 @@ struct TimeSeries {
     std::size_t index_of(int timestep) const;
 };
 
-/// Collective writer for a simulation's dump loop.
+/// Collective writer for a simulation's dump loop. Writes are incremental
+/// by default (base.delta): the writer carries a WritePlan across steps so
+/// slowly-evolving series reuse the aggregation tree and write unchanged
+/// treelets as references into prior steps' files, with every
+/// base.delta.keyframe_interval-th step forced to a full (all-inline)
+/// write to bound delta chains.
 class SeriesWriter {
 public:
     /// `base.basename` becomes the series name; per-timestep outputs are
@@ -41,15 +46,23 @@ public:
                                const Box& local_bounds);
 
     /// Collective: write the series manifest (rank 0) and return its path.
+    /// The manifest's size is accounted into the write.bytes_written and
+    /// write.manifest_bytes metrics (everything the series puts on disk is
+    /// measured).
     std::filesystem::path finalize(vmpi::Comm& comm) const;
 
     const TimeSeries& series() const { return series_; }
     const std::filesystem::path& manifest_path() const { return manifest_path_; }
+    /// Bytes the manifest occupied when finalize last wrote it (rank 0).
+    std::uint64_t manifest_bytes() const { return manifest_bytes_; }
 
 private:
     WriterConfig base_;
     TimeSeries series_;
     std::filesystem::path manifest_path_;
+    WritePlan plan_;
+    std::size_t steps_written_ = 0;
+    mutable std::uint64_t manifest_bytes_ = 0;
 };
 
 /// Postprocess-side access to a written series.

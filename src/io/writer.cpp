@@ -1,6 +1,8 @@
 #include "io/writer.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <map>
 
 #include "core/bat_file.hpp"
@@ -29,6 +31,30 @@ std::vector<double> transfer_size_bounds() {
     }
     return bounds;
 }
+
+/// Bucket edges for the delta-chain-length histogram (steps back the oldest
+/// referenced treelet lives; bounded by the keyframe interval).
+std::vector<double> chain_len_bounds() { return {1, 2, 4, 8, 16, 32}; }
+
+/// Bytes an inline treelet block occupies on disk (including the 4 KB
+/// alignment every block pays), for the write.delta_bytes_saved estimate.
+std::uint64_t inline_treelet_bytes(const Treelet& tr, std::size_t nattrs) {
+    std::uint64_t sz = 16;  // magic + counts header
+    sz += tr.nodes.size() * sizeof(TreeletNode);
+    sz += tr.nodes.size() * nattrs * 2;  // bitmap IDs
+    sz = (sz + 3) & ~std::uint64_t{3};
+    sz += 12ull * tr.num_particles;  // f32 xyz
+    sz = (sz + 7) & ~std::uint64_t{7};
+    sz += 8ull * tr.num_particles * nattrs;
+    const std::uint64_t align = kTreeletAlignment;
+    return (sz + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+// Transfer-plumbing types live in io_detail (not the anonymous namespace)
+// because WritePlanState holds an Assignment across steps.
+namespace io_detail {
 
 /// Per-leaf aggregation duty sent to an aggregator rank.
 struct LeafDuty {
@@ -82,7 +108,51 @@ struct Assignment {
     }
 };
 
-}  // namespace
+/// Carry-over of one leaf between steps: treelet content hashes plus the
+/// physical location (file name + treelet index) of every treelet's bytes.
+/// References are flattened — treelet_file[t] always names the file that
+/// physically holds the block, never an intermediate delta file.
+struct LeafDeltaState {
+    std::vector<std::uint64_t> hashes;        // per treelet, FNV-1a 64
+    std::vector<std::uint32_t> num_points;    // per treelet
+    std::vector<std::string> treelet_file;    // per treelet, physical holder
+    std::vector<std::uint32_t> treelet_index; // per treelet, index in holder
+    std::vector<int> ages;  // steps since the treelet was written inline
+    /// File recorded in the metadata for this leaf last step (its own file,
+    /// or an older one when the whole leaf was unchanged) + its base table,
+    /// and the non-treelet sections needed to prove a whole-file match.
+    std::string last_file;
+    std::vector<std::string> last_file_bases;
+    std::vector<std::pair<double, double>> attr_ranges;
+    std::vector<BinEdges> attr_edges;
+    std::vector<ShallowNode> shallow_nodes;
+    std::vector<std::uint32_t> shallow_bitmaps;
+};
+
+/// Everything write_particles carries from one step to the next.
+struct WritePlanState {
+    bool valid = false;
+    int nranks = 0;
+    AggStrategy strategy = AggStrategy::adaptive;
+    RankInfo my_info;        // this rank's previous bounds + count
+    Assignment assignment;   // this rank's previous assignment
+    Aggregation agg;         // rank 0 only
+    std::map<int, LeafDeltaState> leaves;  // keyed by leaf id (my duties)
+};
+
+}  // namespace io_detail
+
+using io_detail::Assignment;
+using io_detail::LeafDuty;
+
+WritePlan::WritePlan() : state_(std::make_unique<io_detail::WritePlanState>()) {}
+WritePlan::~WritePlan() = default;
+WritePlan::WritePlan(WritePlan&&) noexcept = default;
+WritePlan& WritePlan::operator=(WritePlan&&) noexcept = default;
+
+bool WritePlan::valid() const { return state_->valid; }
+
+void WritePlan::reset() { *state_ = io_detail::WritePlanState{}; }
 
 const char* to_string(AggStrategy s) {
     switch (s) {
@@ -188,42 +258,98 @@ std::vector<vmpi::Bytes> make_assignments(const Aggregation& agg,
 
 WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
                             const Box& local_bounds, const WriterConfig& config) {
+    return write_particles(comm, local, local_bounds, config, nullptr);
+}
+
+WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
+                            const Box& local_bounds, const WriterConfig& config,
+                            WritePlan* plan) {
     WriteResult result;
     WritePhaseTimings& timings = result.timings;
     const int nranks = comm.size();
     const std::size_t nattrs = local.num_attrs();
+    auto& metrics = obs::MetricsRegistry::global();
+    io_detail::WritePlanState* state = plan != nullptr ? plan->state_.get() : nullptr;
 
     // Phase accounting: each obs::PhaseSpan both emits a trace span (when
     // BAT_TRACE is on) and accumulates wall seconds into the corresponding
     // WritePhaseTimings field — the only bookkeeping path for Fig 6/10/12.
 
     // ---- (a) gather counts + bounds; build the aggregation on rank 0 ------
+    // With a valid plan, each rank first checks its own drift against the
+    // previous step; a cheap all-ranks AND then decides collectively
+    // whether the cached tree + assignment can be reused. The plan must be
+    // passed on every rank or on none — validity transitions collectively.
     RankInfo my_info{local_bounds, local.count()};
     std::vector<RankInfo> infos;
+    bool reuse = false;
     {
         obs::PhaseSpan span("write.gather", &timings.gather);
-        infos = comm.gather(my_info, 0);
-    }
-
-    Aggregation agg;  // populated on rank 0 only
-    std::vector<vmpi::Bytes> assignment_blobs;
-    {
-        obs::PhaseSpan span("write.tree_build", &timings.tree_build);
-        if (comm.rank() == 0) {
-            AggTreeConfig tree_config = config.tree;
-            tree_config.bytes_per_particle = local.bytes_per_particle();
-            agg = build_aggregation(infos, config.strategy, tree_config, config.pool);
-            assign_strategy_aggregators(agg, config.strategy, nranks);
-            assignment_blobs = make_assignments(agg, infos, nranks);
+        if (state != nullptr && state->valid) {
+            const RankInfo& prev = state->my_info;
+            const std::uint64_t pn = prev.num_particles;
+            const std::uint64_t n = local.count();
+            const double drift =
+                pn > 0 ? std::abs(static_cast<double>(n) - static_cast<double>(pn)) /
+                             static_cast<double>(pn)
+                       : 0.0;
+            const bool local_ok = state->nranks == nranks &&
+                                  state->strategy == config.strategy &&
+                                  prev.bounds == local_bounds && (pn > 0) == (n > 0) &&
+                                  drift <= config.delta.max_rank_drift;
+            reuse = comm.allreduce(local_ok ? 1 : 0,
+                                   [](int a, int b) { return a & b; }) != 0;
+        }
+        if (!reuse) {
+            infos = comm.gather(my_info, 0);
         }
     }
 
-    // ---- (b) scatter assignments ------------------------------------------
+    Aggregation agg_local;  // rank 0, planless path only
     Assignment assignment;
-    {
-        obs::PhaseSpan span("write.scatter", &timings.scatter);
-        assignment = Assignment::from_bytes(comm.scatterv(std::move(assignment_blobs), 0));
+    if (reuse) {
+        assignment = state->assignment;
+        result.reused_plan = true;
+        if (comm.rank() == 0) {
+            metrics.counter("write.plan_reused").add(1);
+        }
+    } else {
+        std::vector<vmpi::Bytes> assignment_blobs;
+        {
+            obs::PhaseSpan span("write.tree_build", &timings.tree_build);
+            if (comm.rank() == 0) {
+                AggTreeConfig tree_config = config.tree;
+                tree_config.bytes_per_particle = local.bytes_per_particle();
+                agg_local =
+                    build_aggregation(infos, config.strategy, tree_config, config.pool);
+                assign_strategy_aggregators(agg_local, config.strategy, nranks);
+                assignment_blobs = make_assignments(agg_local, infos, nranks);
+            }
+        }
+
+        // ---- (b) scatter assignments --------------------------------------
+        {
+            obs::PhaseSpan span("write.scatter", &timings.scatter);
+            assignment =
+                Assignment::from_bytes(comm.scatterv(std::move(assignment_blobs), 0));
+        }
+        if (state != nullptr) {
+            // Replan: the leaf decomposition may have shifted, so the old
+            // per-leaf hashes describe regions that no longer line up —
+            // drop them and let this step repopulate from its full writes.
+            state->leaves.clear();
+            state->agg = std::move(agg_local);
+            state->assignment = assignment;
+            state->nranks = nranks;
+            state->strategy = config.strategy;
+            state->valid = true;
+        }
     }
+    if (state != nullptr) {
+        state->my_info = my_info;
+    }
+    // Rank 0's aggregation lives in the plan when one is carried.
+    const Aggregation& agg = state != nullptr ? state->agg : agg_local;
     result.num_leaves = assignment.num_leaves;
     result.my_leaf = assignment.my_leaf;
 
@@ -239,7 +365,6 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
     std::vector<std::pair<int, ParticleSet>> leaf_particles;  // (leaf_id, data)
     {
         obs::PhaseSpan span("write.transfer", &timings.transfer);
-        auto& metrics = obs::MetricsRegistry::global();
         const bool send_self =
             !local.empty() && assignment.my_aggregator == comm.rank();
         if (!local.empty()) {
@@ -252,64 +377,112 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
                 comm.isend(assignment.my_aggregator, kTagData, std::move(payload));
             }
         }
-        struct SenderSlot {
-            std::size_t duty;    // index into leaf_particles
-            std::size_t offset;  // particle slot within the merged set
-            std::uint64_t count;
-        };
-        std::map<int, SenderSlot> slots;
-        leaf_particles.reserve(assignment.duties.size());
-        for (std::size_t d = 0; d < assignment.duties.size(); ++d) {
-            const LeafDuty& duty = assignment.duties[d];
-            ParticleSet merged(local.attr_names());
-            merged.resize(duty.total_particles);
-            std::size_t offset = 0;
-            for (const auto& [sender, count] : duty.senders) {
-                if (send_self && sender == comm.rank()) {
-                    merged.copy_from(local, offset);
-                    metrics.counter("write.transfer_bytes").add(local.payload_bytes());
-                } else {
-                    const bool inserted =
-                        slots.emplace(sender, SenderSlot{d, offset, count}).second;
-                    BAT_CHECK_MSG(inserted, "rank " << sender << " feeds two leaves");
+        if (!reuse) {
+            struct SenderSlot {
+                std::size_t duty;    // index into leaf_particles
+                std::size_t offset;  // particle slot within the merged set
+                std::uint64_t count;
+            };
+            std::map<int, SenderSlot> slots;
+            leaf_particles.reserve(assignment.duties.size());
+            for (std::size_t d = 0; d < assignment.duties.size(); ++d) {
+                const LeafDuty& duty = assignment.duties[d];
+                ParticleSet merged(local.attr_names());
+                merged.resize(duty.total_particles);
+                std::size_t offset = 0;
+                for (const auto& [sender, count] : duty.senders) {
+                    if (send_self && sender == comm.rank()) {
+                        merged.copy_from(local, offset);
+                        metrics.counter("write.transfer_bytes").add(local.payload_bytes());
+                    } else {
+                        const bool inserted =
+                            slots.emplace(sender, SenderSlot{d, offset, count}).second;
+                        BAT_CHECK_MSG(inserted, "rank " << sender << " feeds two leaves");
+                    }
+                    offset += count;
                 }
-                offset += count;
+                BAT_CHECK(offset == duty.total_particles);
+                leaf_particles.emplace_back(duty.leaf_id, std::move(merged));
             }
-            BAT_CHECK(offset == duty.total_particles);
-            leaf_particles.emplace_back(duty.leaf_id, std::move(merged));
-        }
-        const std::size_t expected = slots.size();
-        for (std::size_t m = 0; m < expected; ++m) {
-            int from = -1;
-            const vmpi::Bytes payload = comm.recv(vmpi::kAnySource, kTagData, &from);
-            const auto it = slots.find(from);
-            BAT_CHECK_MSG(it != slots.end(),
-                          "unexpected transfer payload from rank " << from);
-            const SenderSlot slot = it->second;
-            slots.erase(it);
-            metrics.counter("write.transfer_bytes").add(payload.size());
-            const std::size_t got =
-                leaf_particles[slot.duty].second.deserialize_into(payload, slot.offset);
-            BAT_CHECK_MSG(got == slot.count, "sender " << from << " sent " << got
-                                                       << " particles, " << slot.count
-                                                       << " expected");
+            const std::size_t expected = slots.size();
+            for (std::size_t m = 0; m < expected; ++m) {
+                int from = -1;
+                const vmpi::Bytes payload = comm.recv(vmpi::kAnySource, kTagData, &from);
+                const auto it = slots.find(from);
+                BAT_CHECK_MSG(it != slots.end(),
+                              "unexpected transfer payload from rank " << from);
+                const SenderSlot slot = it->second;
+                slots.erase(it);
+                metrics.counter("write.transfer_bytes").add(payload.size());
+                const std::size_t got =
+                    leaf_particles[slot.duty].second.deserialize_into(payload, slot.offset);
+                BAT_CHECK_MSG(got == slot.count, "sender " << from << " sent " << got
+                                                           << " particles, " << slot.count
+                                                           << " expected");
+            }
+        } else {
+            // Reused assignment: the cached per-sender counts are stale
+            // (ranks may have drifted under the threshold), so the merged
+            // sets cannot be pre-sized with fixed slots. Instead receive
+            // every expected payload first, then append per duty in the
+            // fixed ascending-sender order — which is exactly the order the
+            // fixed-slot path lays senders out in, so the merged sets (and
+            // therefore the output bytes) match a full-pipeline write of
+            // the same data bit for bit. The sender *sets* are still exact:
+            // any empty/non-empty flip forces a replan.
+            std::size_t expected = 0;
+            for (const LeafDuty& duty : assignment.duties) {
+                for (const auto& [sender, count] : duty.senders) {
+                    if (sender != comm.rank()) {
+                        ++expected;
+                    }
+                }
+            }
+            std::map<int, vmpi::Bytes> payloads;
+            for (std::size_t m = 0; m < expected; ++m) {
+                int from = -1;
+                vmpi::Bytes payload = comm.recv(vmpi::kAnySource, kTagData, &from);
+                metrics.counter("write.transfer_bytes").add(payload.size());
+                const bool inserted = payloads.emplace(from, std::move(payload)).second;
+                BAT_CHECK_MSG(inserted, "rank " << from << " feeds two leaves");
+            }
+            leaf_particles.reserve(assignment.duties.size());
+            for (const LeafDuty& duty : assignment.duties) {
+                ParticleSet merged(local.attr_names());
+                for (const auto& [sender, count] : duty.senders) {
+                    (void)count;  // stale; payloads carry the real counts
+                    if (sender == comm.rank()) {
+                        merged.append(local);
+                        metrics.counter("write.transfer_bytes").add(local.payload_bytes());
+                    } else {
+                        const auto it = payloads.find(sender);
+                        BAT_CHECK_MSG(it != payloads.end(),
+                                      "no transfer payload from rank " << sender);
+                        merged.append_from_bytes(it->second);
+                    }
+                }
+                leaf_particles.emplace_back(duty.leaf_id, std::move(merged));
+            }
         }
     }
 
     // ---- (c) build + write the BAT for each owned leaf --------------------
+    // With a plan, the builder hashes every treelet; treelets whose hash,
+    // point count, and physical location carry over from the previous step
+    // are written as references into the prior step's file. A leaf whose
+    // treelets are ALL clean (and whose attr table + shallow tree match)
+    // skips its file entirely — the metadata points at the prior file.
+    BatConfig bat_config = config.bat;
+    const bool delta_enabled = state != nullptr && config.delta.enabled;
+    bat_config.hash_treelets = delta_enabled;
+
     std::vector<LeafReport> my_reports;
     std::filesystem::create_directories(config.directory);
     for (auto& [leaf_id, particles] : leaf_particles) {
         BatData bat;
         {
             obs::PhaseSpan span("write.bat_build", &timings.bat_build);
-            bat = build_bat(std::move(particles), config.bat, config.pool, &timings.bat);
-        }
-        {
-            obs::PhaseSpan span("write.file_write", &timings.file_write);
-            const std::vector<std::byte> bytes = serialize_bat(bat);
-            write_file(config.directory / leaf_file_name(config.basename, leaf_id), bytes);
-            result.bytes_written += bytes.size();
+            bat = build_bat(std::move(particles), bat_config, config.pool, &timings.bat);
         }
 
         LeafReport report;
@@ -321,6 +494,101 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
         for (std::size_t a = 0; a < nattrs; ++a) {
             report.root_bitmaps[a] = bat.root_bitmap(a);
         }
+
+        obs::PhaseSpan span("write.file_write", &timings.file_write);
+        const std::string own_file = leaf_file_name(config.basename, leaf_id);
+        if (!delta_enabled) {
+            const std::vector<std::byte> bytes = serialize_bat(bat);
+            write_file(config.directory / own_file, bytes);
+            result.bytes_written += bytes.size();
+            my_reports.push_back(std::move(report));
+            continue;
+        }
+
+        io_detail::LeafDeltaState& st = state->leaves[leaf_id];
+        const std::size_t num_treelets = bat.treelets.size();
+        const bool can_delta = !config.delta.force_keyframe && !st.last_file.empty() &&
+                               st.hashes.size() == num_treelets;
+        BatDeltaSpec spec;
+        spec.refs.resize(num_treelets);
+        std::map<std::string, std::int32_t> base_ids;
+        std::size_t clean = 0;
+        std::uint64_t saved = 0;
+        int max_age = 0;
+        for (std::size_t t = 0; t < num_treelets; ++t) {
+            const Treelet& tr = bat.treelets[t];
+            if (can_delta && st.hashes[t] == tr.hash &&
+                st.num_points[t] == tr.num_particles && !st.treelet_file[t].empty()) {
+                const auto [it, inserted] = base_ids.emplace(
+                    st.treelet_file[t], static_cast<std::int32_t>(spec.base_files.size()));
+                if (inserted) {
+                    spec.base_files.push_back(st.treelet_file[t]);
+                }
+                spec.refs[t] = DeltaRef{it->second, st.treelet_index[t]};
+                saved += inline_treelet_bytes(tr, nattrs);
+                ++clean;
+            }
+        }
+
+        const bool all_clean =
+            can_delta && clean == num_treelets && st.attr_ranges == bat.attr_ranges &&
+            st.attr_edges == bat.attr_edges && st.shallow_bitmaps == bat.shallow_bitmaps &&
+            st.shallow_nodes.size() == bat.shallow_nodes.size() &&
+            (st.shallow_nodes.empty() ||
+             std::memcmp(st.shallow_nodes.data(), bat.shallow_nodes.data(),
+                         st.shallow_nodes.size() * sizeof(ShallowNode)) == 0);
+        if (all_clean) {
+            // Nothing about the leaf changed: keep the prior step's file and
+            // record it (plus its base table) in this step's metadata.
+            report.file_override = st.last_file;
+            report.delta_bases = st.last_file_bases;
+            result.leaves_unchanged += 1;
+            metrics.counter("write.leaves_unchanged").add(1);
+            for (std::size_t t = 0; t < num_treelets; ++t) {
+                max_age = std::max(max_age, ++st.ages[t]);
+            }
+        } else {
+            const std::vector<std::byte> bytes =
+                serialize_bat(bat, clean > 0 ? &spec : nullptr);
+            write_file(config.directory / own_file, bytes);
+            result.bytes_written += bytes.size();
+
+            st.hashes.resize(num_treelets);
+            st.num_points.resize(num_treelets);
+            st.treelet_file.resize(num_treelets);
+            st.treelet_index.resize(num_treelets);
+            st.ages.resize(num_treelets, 0);
+            for (std::size_t t = 0; t < num_treelets; ++t) {
+                const Treelet& tr = bat.treelets[t];
+                st.hashes[t] = tr.hash;
+                st.num_points[t] = tr.num_particles;
+                if (spec.refs[t].base_file >= 0) {
+                    max_age = std::max(max_age, ++st.ages[t]);
+                } else {
+                    st.treelet_file[t] = own_file;
+                    st.treelet_index[t] = static_cast<std::uint32_t>(t);
+                    st.ages[t] = 0;
+                }
+            }
+            st.last_file = own_file;
+            st.last_file_bases = spec.base_files;
+            st.attr_ranges = bat.attr_ranges;
+            st.attr_edges = bat.attr_edges;
+            st.shallow_nodes = bat.shallow_nodes;
+            st.shallow_bitmaps = bat.shallow_bitmaps;
+            report.delta_bases = spec.base_files;
+        }
+
+        result.delta_treelets_clean += clean;
+        result.delta_treelets_written += num_treelets - clean;
+        result.delta_bytes_saved += saved;
+        metrics.counter("write.delta_treelets_clean")
+            .add(static_cast<std::int64_t>(clean));
+        metrics.counter("write.delta_treelets_written")
+            .add(static_cast<std::int64_t>(num_treelets - clean));
+        metrics.counter("write.delta_bytes_saved").add(static_cast<std::int64_t>(saved));
+        metrics.histogram("write.delta_chain_len", chain_len_bounds())
+            .record(static_cast<double>(max_age + 1));
         my_reports.push_back(std::move(report));
     }
 
@@ -365,7 +633,6 @@ WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
     comm.barrier();
     metadata_span.close();
 
-    auto& metrics = obs::MetricsRegistry::global();
     metrics.counter("write.bytes_written").add(static_cast<std::int64_t>(result.bytes_written));
     metrics.counter("write.files").add(static_cast<std::int64_t>(my_reports.size()));
     obs::record_rank_value("write.bytes_written", result.bytes_written);

@@ -14,6 +14,7 @@
 //       rank 0, which populates and writes the top-level metadata file.
 
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "core/agg_tree.hpp"
@@ -33,6 +34,27 @@ enum class AggStrategy {
 
 const char* to_string(AggStrategy s);
 
+/// Knobs for incremental (delta) series writes. Only consulted when a
+/// WritePlan is passed to write_particles; one-shot writes are unaffected.
+struct DeltaWriteConfig {
+    /// Master switch: when false the plan still caches the aggregation
+    /// tree (phase reuse) but every BAT is written in full.
+    bool enabled = true;
+    /// Maximum per-rank particle-count drift, as a fraction of the rank's
+    /// previous count, under which the cached aggregation tree and
+    /// aggregator assignment are reused (skipping gather→tree_build→
+    /// scatter). Any rank whose bounds changed, whose empty/non-empty
+    /// status flipped, or whose count drifted more forces a full replan.
+    double max_rank_drift = 0.3;
+    /// Every keyframe_interval-th step a series writes full (all-inline)
+    /// BAT files, bounding how far back a delta chain can reach. Enforced
+    /// by SeriesWriter via force_keyframe.
+    int keyframe_interval = 8;
+    /// When set, this step writes full files regardless of hash matches
+    /// (delta detection still runs so the next step has fresh hashes).
+    bool force_keyframe = false;
+};
+
 struct WriterConfig {
     AggStrategy strategy = AggStrategy::adaptive;
     AggTreeConfig tree;  // target file size etc.; bytes_per_particle is
@@ -41,6 +63,7 @@ struct WriterConfig {
     std::filesystem::path directory;
     std::string basename = "particles";
     ThreadPool* pool = nullptr;  // parallelizes tree + BAT builds
+    DeltaWriteConfig delta;  // incremental-series behavior (needs a WritePlan)
 };
 
 /// Per-rank wall-clock seconds spent in each pipeline component (the
@@ -71,12 +94,57 @@ struct WriteResult {
                                          // files + (on rank 0) the .batmeta
     int num_leaves = 0;                  // total output files
     int my_leaf = -1;                    // leaf this rank's data went to
+    // Incremental-write effectiveness for this step (zero without a plan):
+    bool reused_plan = false;            // gather→tree→scatter skipped
+    std::uint64_t delta_treelets_clean = 0;    // this rank, written by reference
+    std::uint64_t delta_treelets_written = 0;  // this rank, written inline
+    std::uint64_t delta_bytes_saved = 0;       // this rank, estimated
+    int leaves_unchanged = 0;            // leaves whose file was not rewritten
 };
+
+namespace io_detail {
+struct WritePlanState;
+}
+
+class WritePlan;
 
 /// Collective: write one timestep. `local_bounds` is this rank's domain
 /// box (not the tight particle bounds; ranks may own empty regions).
 WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
                             const Box& local_bounds, const WriterConfig& config);
+
+/// Collective, incremental: like write_particles, but carries state from
+/// the previous step in `plan` (owned by the caller, one per rank, reused
+/// across steps). When the per-rank drift stays under
+/// DeltaWriteConfig::max_rank_drift the cached aggregation tree and
+/// aggregator assignment are reused, and unchanged treelets are written as
+/// references into the prior step's files (see bat_file.hpp). A null plan
+/// degrades to the one-shot path.
+WriteResult write_particles(vmpi::Comm& comm, const ParticleSet& local,
+                            const Box& local_bounds, const WriterConfig& config,
+                            WritePlan* plan);
+
+/// Per-rank carry-over state of an incremental write series: the previous
+/// step's rank info, aggregator assignment, and per-leaf treelet content
+/// hashes + physical treelet locations. Opaque; create one per rank and
+/// pass it to every step's write_particles.
+class WritePlan {
+public:
+    WritePlan();
+    ~WritePlan();
+    WritePlan(WritePlan&&) noexcept;
+    WritePlan& operator=(WritePlan&&) noexcept;
+
+    /// True once a step has populated the plan (the next step may reuse it).
+    bool valid() const;
+    /// Drop all cached state; the next write runs the full pipeline.
+    void reset();
+
+private:
+    friend WriteResult write_particles(vmpi::Comm&, const ParticleSet&, const Box&,
+                                       const WriterConfig&, WritePlan*);
+    std::unique_ptr<io_detail::WritePlanState> state_;
+};
 
 /// Build the aggregation structure for a strategy (exposed for benchmarks
 /// and the performance model, which run it over full-scale rank metadata).

@@ -22,6 +22,25 @@ TEST(TimeSeriesTest, ManifestRoundTrip) {
     EXPECT_THROW(back.index_of(7), Error);
 }
 
+TEST(TimeSeriesTest, ManifestWithGapsRoundTripsOnDisk) {
+    // Dump loops rarely write every simulation step; the manifest must
+    // round-trip sparse, irregular timestep numbering through a real file.
+    testing::TempDir dir;
+    TimeSeries series;
+    series.timesteps = {{0, "t0.batmeta"}, {7, "t7.batmeta"},
+                        {500, "t500.batmeta"}, {501, "t501.batmeta"}};
+    series.save(dir.path() / "gaps.batseries");
+    const TimeSeries back = TimeSeries::load(dir.path() / "gaps.batseries");
+    EXPECT_EQ(back.timesteps, series.timesteps);
+    EXPECT_EQ(back.index_of(7), 1u);
+    EXPECT_EQ(back.index_of(501), 3u);
+    // Timesteps inside the gaps (and past the ends) are absent, not
+    // rounded to a neighbor.
+    EXPECT_THROW(back.index_of(1), Error);
+    EXPECT_THROW(back.index_of(250), Error);
+    EXPECT_THROW(back.index_of(502), Error);
+}
+
 TEST(TimeSeriesTest, LoadRejectsGarbage) {
     testing::TempDir dir;
     const std::vector<std::byte> junk(32, std::byte{1});
@@ -74,6 +93,60 @@ TEST(SeriesTest, WriteAndReadBackThreeTimesteps) {
     }
     Dataset mid = reader.open_timestep(100);
     EXPECT_EQ(mid.num_particles(), globals[1].count());
+}
+
+TEST(SeriesTest, OpenTimestepMissingFromManifestThrows) {
+    testing::TempDir dir;
+    TimeSeries series;
+    series.timesteps = {{0, "t0.batmeta"}, {100, "t100.batmeta"}};
+    series.save(dir.path() / "s.batseries");
+    SeriesReader reader(dir.path() / "s.batseries");
+    EXPECT_THROW(reader.open_timestep(50), Error);
+}
+
+TEST(SeriesTest, ManifestIsWrittenByFinalizeOnly) {
+    // A series is not readable mid-write: the manifest only exists after
+    // finalize, and re-finalizing after further steps updates it in place.
+    testing::TempDir dir;
+    const GridDecomp decomp = grid_decomp_3d(2, kDomain);
+    const auto manifest_path = dir.path() / "mid.batseries";
+    vmpi::Runtime::run(2, [&](vmpi::Comm& comm) {
+        WriterConfig base;
+        base.tree.target_file_size = 32 << 10;
+        base.directory = dir.path();
+        base.basename = "mid";
+        SeriesWriter writer(base);
+        const auto write_step = [&](int t, std::uint64_t seed) {
+            const auto per_rank = partition_particles(
+                make_uniform_particles(kDomain, 2'000, 1, seed), decomp);
+            writer.write_timestep(comm, t,
+                                  per_rank[static_cast<std::size_t>(comm.rank())],
+                                  decomp.rank_box(comm.rank()));
+        };
+        write_step(0, 11);
+        write_step(10, 12);
+        comm.barrier();
+        if (comm.rank() == 0) {
+            // Two timesteps written, nothing finalized: no manifest yet.
+            EXPECT_FALSE(std::filesystem::exists(manifest_path));
+            EXPECT_ANY_THROW(SeriesReader{manifest_path});
+        }
+        comm.barrier();
+        writer.finalize(comm);
+        if (comm.rank() == 0) {
+            EXPECT_EQ(SeriesReader(manifest_path).num_timesteps(), 2u);
+            EXPECT_GT(writer.manifest_bytes(), 0u);
+        }
+        // The writer stays usable after finalize: keep appending and
+        // re-finalize to pick up the new timestep.
+        write_step(20, 13);
+        writer.finalize(comm);
+        if (comm.rank() == 0) {
+            SeriesReader reader(manifest_path);
+            EXPECT_EQ(reader.num_timesteps(), 3u);
+            EXPECT_EQ(reader.timestep_at(2), 20);
+        }
+    });
 }
 
 TEST(SeriesTest, RejectsOutOfOrderTimesteps) {

@@ -1,7 +1,7 @@
 // bat_report: pretty-print a bat-report-v1 run report (obs/health.hpp,
 // written by BAT_REPORT_FILE or obs::write_run_report).
 //
-//   bat_report REPORT.json            full report: run, phases, io, traffic
+//   bat_report REPORT.json            full report: run, phases, io, delta, traffic
 //   bat_report --phases REPORT.json   phase table only
 //
 // The phase table shows per-rank min/mean/max wall seconds and the
@@ -109,6 +109,40 @@ void print_io(const Value& root) {
     }
 }
 
+void print_delta(const Value& root) {
+    // Incremental-write effectiveness: the write.delta_* counters the
+    // writer records when a WritePlan is carried across steps. Absent
+    // counters mean the run never wrote incrementally; print nothing.
+    const Value* counters = root.find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+        return;
+    }
+    const double clean = num_or(counters, "write.delta_treelets_clean", 0);
+    const double written = num_or(counters, "write.delta_treelets_written", 0);
+    const double reused = num_or(counters, "write.plan_reused", 0);
+    if (clean + written + reused == 0) {
+        return;
+    }
+    const double judged = clean + written;
+    std::printf("\ndelta writes: %ld plan reuse(s), treelets %ld clean / %ld written "
+                "(%.1f%% hit rate), %s saved, %ld leaf file(s) unchanged\n",
+                static_cast<long>(reused), static_cast<long>(clean),
+                static_cast<long>(written),
+                judged > 0 ? 100.0 * clean / judged : 0.0,
+                human_bytes(num_or(counters, "write.delta_bytes_saved", 0)).c_str(),
+                static_cast<long>(num_or(counters, "write.leaves_unchanged", 0)));
+    if (const Value* histograms = root.find("histograms"); histograms != nullptr) {
+        if (const Value* chain = histograms->find("write.delta_chain_len");
+            chain != nullptr && num_or(chain, "count", 0) > 0) {
+            std::printf("delta chains: mean %.2f, p50 %.0f, p99 %.0f, max %.0f "
+                        "(%ld delta file(s))\n",
+                        num_or(chain, "mean", 0), num_or(chain, "p50", 0),
+                        num_or(chain, "p99", 0), num_or(chain, "max", 0),
+                        static_cast<long>(num_or(chain, "count", 0)));
+        }
+    }
+}
+
 void print_traffic(const Value& root) {
     if (const Value* msgs = root.find("messages"); msgs != nullptr) {
         std::printf("\nmessages: %ld sends (%s), %ld recvs (%s), %ld collectives, "
@@ -172,6 +206,7 @@ int main(int argc, char** argv) {
         print_phases(root);
         if (!phases_only) {
             print_io(root);
+            print_delta(root);
             print_traffic(root);
         }
         return 0;

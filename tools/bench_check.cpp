@@ -10,9 +10,23 @@
 //     bitmap_bin_simd >= 1.0x over bitmap_bin_scalar at n >= 1M (rows are
 //     only emitted when a vector tier is active, so scalar-only hosts skip
 //     this family);
-//   bat_build — absolute ceiling on the write pipeline's BAT build phase:
-//     write.bat_build <= 140 ns/op at n >= 1M (override the ceiling with
-//     BAT_BENCH_MAX_BAT_BUILD_NS on slower hosts);
+//   bat_build — ceiling on the write pipeline's BAT build phase. When a
+//     seed document (--seed FILE or BAT_BENCH_SEED_FILE) carries a
+//     write.bat_build row, the gate is the same-host before/after ratio:
+//     new <= 1.25x seed ns/op (BAT_BENCH_MAX_BAT_BUILD_RATIO). Without a
+//     seed row it falls back to the absolute 140 ns/op ceiling at n >= 1M
+//     (BAT_BENCH_MAX_BAT_BUILD_NS) — absolute ceilings are calibrated for
+//     the reference host and trip spuriously on slower machines, so prefer
+//     seeding with the same host's previous run;
+//   series — incremental series writes (bench/series_pipeline --json) must
+//     pay off on slowly-evolving data: for every series.<workload> row
+//     group, steady-state delta steps must write <= 0.40x the bytes of the
+//     full-rewrite baseline (BAT_BENCH_MAX_SERIES_BYTES_RATIO), the
+//     per-step write total must not exceed the baseline's
+//     (BAT_BENCH_MAX_SERIES_TOTAL_RATIO, default 1.0), and at least one
+//     treelet must actually have been written by reference
+//     (series.<w>.treelets_clean >= 1 — a zero delta-hit count means the
+//     incremental path silently degraded to full rewrites);
 //   serve — threaded leaf serving must not lose to the serial comm-thread
 //     path: read.serve_pool <= read.serve_serial ns/op at n >= 1M;
 //   msgs — request coalescing must cut traffic: the read.msgs_coalesced
@@ -32,10 +46,12 @@
 // min <= p50 <= p90 <= p99 <= max for every histogram carrying percentiles.
 //
 // A file that matches no family fails (exit 1): a gate silently skipping is
-// indistinguishable from a gate passing. Usage: bench_check <BENCH.json>
+// indistinguishable from a gate passing.
+// Usage: bench_check [--seed FILE] <BENCH.json>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -219,21 +235,22 @@ int gate_simd(const NsByKey& ns_op) {
     return gated;
 }
 
-int gate_bat_build(const NsByKey& ns_op) {
-    // Absolute ceiling on the BAT build phase of the write pipeline. The
-    // default is calibrated for the reference CI host; slower machines can
-    // raise it with BAT_BENCH_MAX_BAT_BUILD_NS (same-host before/after
-    // comparisons stay the honest regression signal either way).
-    constexpr std::uint64_t kGateMin = 1u << 20;
-    double ceiling = 140.0;
-    if (const char* env = std::getenv("BAT_BENCH_MAX_BAT_BUILD_NS");
-        env != nullptr && *env != '\0') {
-        ceiling = std::atof(env);
-        if (ceiling <= 0) {
-            fail("BAT_BENCH_MAX_BAT_BUILD_NS is not a positive number");
-            return -1;
+/// Positive ratio/ceiling override from the environment, or `fallback`.
+/// Returns false (after printing) when the variable is set but not positive.
+bool env_positive(const char* var, double fallback, double* out) {
+    *out = fallback;
+    if (const char* env = std::getenv(var); env != nullptr && *env != '\0') {
+        *out = std::atof(env);
+        if (*out <= 0) {
+            fail(std::string(var) + " is not a positive number");
+            return false;
         }
     }
+    return true;
+}
+
+int gate_bat_build(const NsByKey& ns_op, const NsByKey* seed) {
+    constexpr std::uint64_t kGateMin = 1u << 20;
     std::uint64_t n = 0;
     double ns = 0;
     if (!find_unique(ns_op, "write.bat_build", &n, &ns)) {
@@ -243,6 +260,32 @@ int gate_bat_build(const NsByKey& ns_op) {
         fail("write.bat_build below the 1M-particle gate size");
         return -1;
     }
+    // Same-host before/after ratio against the seed document when it has a
+    // row; absolute ceilings are calibrated for the reference host, so they
+    // only apply when there is nothing honest to compare against.
+    std::uint64_t seed_n = 0;
+    double seed_ns = 0;
+    if (seed != nullptr && find_unique(*seed, "write.bat_build", &seed_n, &seed_ns) &&
+        seed_ns > 0) {
+        double max_ratio = 0;
+        if (!env_positive("BAT_BENCH_MAX_BAT_BUILD_RATIO", 1.25, &max_ratio)) {
+            return -1;
+        }
+        const double ratio = ns / seed_ns;
+        std::printf("bench_check: n=%-9llu write.bat_build  %8.2f ns/op vs seed %8.2f "
+                    "(%.3fx, max %.2fx)\n",
+                    static_cast<unsigned long long>(n), ns, seed_ns, ratio, max_ratio);
+        if (ratio > max_ratio) {
+            fail("write.bat_build regressed more than " + std::to_string(max_ratio) +
+                 "x over the seed run");
+            return -1;
+        }
+        return 1;
+    }
+    double ceiling = 0;
+    if (!env_positive("BAT_BENCH_MAX_BAT_BUILD_NS", 140.0, &ceiling)) {
+        return -1;
+    }
     std::printf("bench_check: n=%-9llu write.bat_build  %8.2f ns/op (ceiling %.1f)\n",
                 static_cast<unsigned long long>(n), ns, ceiling);
     if (ns > ceiling) {
@@ -250,6 +293,90 @@ int gate_bat_build(const NsByKey& ns_op) {
         return -1;
     }
     return 1;
+}
+
+int gate_series(const NsByKey& ns_op) {
+    // Incremental series writes (bench/series_pipeline): per workload row
+    // group, steady-state delta steps must write well under the full-rewrite
+    // baseline's bytes, must not be slower end to end, and must have
+    // actually referenced prior-step treelets (non-vacuity).
+    double max_bytes_ratio = 0;
+    double max_total_ratio = 0;
+    if (!env_positive("BAT_BENCH_MAX_SERIES_BYTES_RATIO", 0.40, &max_bytes_ratio) ||
+        !env_positive("BAT_BENCH_MAX_SERIES_TOTAL_RATIO", 1.0, &max_total_ratio)) {
+        return -1;
+    }
+    int gated = 0;
+    const std::string kBytesFull = ".steady_bytes_full";
+    for (const auto& [key, unused] : ns_op) {
+        const std::string& name = key.first;
+        if (name.rfind("series.", 0) != 0 || name.size() <= kBytesFull.size() ||
+            name.compare(name.size() - kBytesFull.size(), kBytesFull.size(),
+                         kBytesFull) != 0) {
+            continue;
+        }
+        const std::string prefix = name.substr(0, name.size() - kBytesFull.size());
+        auto need = [&](const char* suffix, std::uint64_t* n, double* ns) {
+            if (!find_unique(ns_op, prefix + suffix, n, ns)) {
+                fail(prefix + suffix + " missing (series rows must appear together)");
+                return false;
+            }
+            return true;
+        };
+        std::uint64_t bytes_full = 0;
+        std::uint64_t bytes_delta = 0;
+        std::uint64_t n_full = 0;
+        std::uint64_t n_delta = 0;
+        std::uint64_t clean = 0;
+        std::uint64_t written = 0;
+        double ignored = 0;
+        double total_full_ns = 0;
+        double total_delta_ns = 0;
+        if (!need(".steady_bytes_full", &bytes_full, &ignored) ||
+            !need(".steady_bytes_delta", &bytes_delta, &ignored) ||
+            !need(".write_total_full", &n_full, &total_full_ns) ||
+            !need(".write_total_delta", &n_delta, &total_delta_ns) ||
+            !need(".treelets_clean", &clean, &ignored) ||
+            !need(".treelets_written", &written, &ignored)) {
+            return -1;
+        }
+        if (bytes_full == 0 || total_full_ns <= 0) {
+            fail(prefix + ": full-rewrite baseline rows are zero");
+            return -1;
+        }
+        if (n_full != n_delta) {
+            fail(prefix + ": full and delta passes ran at different n");
+            return -1;
+        }
+        const double bytes_ratio =
+            static_cast<double>(bytes_delta) / static_cast<double>(bytes_full);
+        const double total_ratio = total_delta_ns / total_full_ns;
+        const double hit_rate =
+            clean + written > 0
+                ? static_cast<double>(clean) / static_cast<double>(clean + written)
+                : 0.0;
+        std::printf("bench_check: %-24s steady bytes %.3fx (max %.2fx), write total "
+                    "%.3fx (max %.2fx), delta hits %.1f%%\n",
+                    prefix.c_str(), bytes_ratio, max_bytes_ratio, total_ratio,
+                    max_total_ratio, 100.0 * hit_rate);
+        if (clean == 0) {
+            fail(prefix + ": no treelets written by reference — the incremental "
+                          "path degraded to full rewrites");
+            return -1;
+        }
+        if (bytes_ratio > max_bytes_ratio) {
+            fail(prefix + ": steady-state delta steps write more than " +
+                 std::to_string(max_bytes_ratio) + "x the full-rewrite bytes");
+            return -1;
+        }
+        if (total_ratio > max_total_ratio) {
+            fail(prefix + ": steady-state delta write total exceeds " +
+                 std::to_string(max_total_ratio) + "x the full-rewrite total");
+            return -1;
+        }
+        ++gated;
+    }
+    return gated;
 }
 
 int gate_querytrace(const NsByKey& ns_op) {
@@ -385,25 +512,107 @@ int gate_report(const Value& doc, const char* path) {
     return 0;
 }
 
-}  // namespace
-
-int run(int argc, char** argv) {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: bench_check <BENCH.json>\n");
-        return 2;
+/// Parse + schema-validate a bat-bench-v1 "benchmarks" array into
+/// (name, n) -> ns/op. Returns false after printing the reason.
+bool parse_bench_rows(const Value& doc, NsByKey* ns_op) {
+    const Value* benchmarks = doc.find("benchmarks");
+    if (benchmarks == nullptr || !benchmarks->is_array() || benchmarks->array().empty()) {
+        fail("\"benchmarks\" missing, not an array, or empty");
+        return false;
     }
-    std::ifstream in(argv[1]);
+    for (const Value& b : benchmarks->array()) {
+        if (!b.is_object()) {
+            fail("benchmark entry is not an object");
+            return false;
+        }
+        const Value* name = b.find("name");
+        const Value* n = b.find("n");
+        const Value* ns = b.find("ns_op");
+        const Value* bps = b.find("bytes_per_sec");
+        const Value* threads = b.find("threads");
+        if (name == nullptr || !name->is_string() || name->string().empty()) {
+            fail("benchmark entry missing string \"name\"");
+            return false;
+        }
+        if (n == nullptr || !n->is_number() || n->number() <= 0) {
+            fail(name->string() + ": missing positive \"n\"");
+            return false;
+        }
+        // `unit` is optional (pre-unit documents are all ns/op rows); count
+        // rows carry ns_op = 0 by design, rate rows must be positive.
+        const Value* unit = b.find("unit");
+        if (unit != nullptr && !unit->is_string()) {
+            fail(name->string() + ": \"unit\" is not a string");
+            return false;
+        }
+        const bool is_rate = unit == nullptr || unit->string() == "ns/op";
+        if (ns == nullptr || !ns->is_number() ||
+            (is_rate ? ns->number() <= 0 : ns->number() < 0)) {
+            fail(name->string() + (is_rate ? ": missing positive \"ns_op\""
+                                           : ": negative \"ns_op\""));
+            return false;
+        }
+        if (bps == nullptr || !bps->is_number() || bps->number() < 0) {
+            fail(name->string() + ": missing \"bytes_per_sec\"");
+            return false;
+        }
+        if (threads == nullptr || !threads->is_number() || threads->number() < 1) {
+            fail(name->string() + ": missing \"threads\" >= 1");
+            return false;
+        }
+        (*ns_op)[{name->string(), static_cast<std::uint64_t>(n->number())}] =
+            ns->number();
+    }
+    return true;
+}
+
+/// Load a JSON document from `path`; returns false after printing.
+bool load_json(const char* path, Value* doc) {
+    std::ifstream in(path);
     if (!in) {
-        return fail(std::string("cannot open ") + argv[1]);
+        fail(std::string("cannot open ") + path);
+        return false;
     }
     std::ostringstream text;
     text << in.rdbuf();
+    try {
+        *doc = bat::obs::json::parse(text.str());
+    } catch (const bat::Error& e) {
+        fail(std::string(path) + ": malformed JSON: " + e.what());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+    const char* path = nullptr;
+    const char* seed_path = std::getenv("BAT_BENCH_SEED_FILE");
+    if (seed_path != nullptr && *seed_path == '\0') {
+        seed_path = nullptr;
+    }
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed_path = argv[++i];
+        } else if (argv[i][0] == '-') {
+            path = nullptr;
+            break;
+        } else if (path == nullptr) {
+            path = argv[i];
+        } else {
+            path = nullptr;
+            break;
+        }
+    }
+    if (path == nullptr) {
+        std::fprintf(stderr, "usage: bench_check [--seed FILE] <BENCH.json>\n");
+        return 2;
+    }
 
     Value doc;
-    try {
-        doc = bat::obs::json::parse(text.str());
-    } catch (const bat::Error& e) {
-        return fail(std::string("malformed JSON: ") + e.what());
+    if (!load_json(path, &doc)) {
+        return 1;
     }
 
     // Dispatch on the document schema: bat-bench-v1 benchmark rows go
@@ -414,67 +623,58 @@ int run(int argc, char** argv) {
         return fail("missing \"schema\"");
     }
     if (schema->string() == "bat-report-v1") {
-        return gate_report(doc, argv[1]);
+        return gate_report(doc, path);
     }
     if (schema->string() != "bat-bench-v1") {
         return fail("unexpected \"schema\" (want \"bat-bench-v1\" or \"bat-report-v1\")");
     }
-    const Value* benchmarks = doc.find("benchmarks");
-    if (benchmarks == nullptr || !benchmarks->is_array() || benchmarks->array().empty()) {
-        return fail("\"benchmarks\" missing, not an array, or empty");
-    }
 
     // (row name, n) -> ns/op; also validates every entry's fields.
     NsByKey ns_op;
-    for (const Value& b : benchmarks->array()) {
-        if (!b.is_object()) {
-            return fail("benchmark entry is not an object");
+    if (!parse_bench_rows(doc, &ns_op)) {
+        return 1;
+    }
+
+    // The optional seed document (a previous same-host run) turns absolute
+    // ceilings into before/after ratio gates where its rows overlap.
+    NsByKey seed_ns_op;
+    bool have_seed = false;
+    if (seed_path != nullptr) {
+        Value seed_doc;
+        if (!load_json(seed_path, &seed_doc)) {
+            return 1;
         }
-        const Value* name = b.find("name");
-        const Value* n = b.find("n");
-        const Value* ns = b.find("ns_op");
-        const Value* bps = b.find("bytes_per_sec");
-        const Value* threads = b.find("threads");
-        if (name == nullptr || !name->is_string() || name->string().empty()) {
-            return fail("benchmark entry missing string \"name\"");
+        const Value* seed_schema = seed_doc.find("schema");
+        if (seed_schema == nullptr || !seed_schema->is_string() ||
+            seed_schema->string() != "bat-bench-v1") {
+            return fail(std::string(seed_path) + ": seed is not a bat-bench-v1 "
+                                                 "document");
         }
-        if (n == nullptr || !n->is_number() || n->number() <= 0) {
-            return fail(name->string() + ": missing positive \"n\"");
+        if (!parse_bench_rows(seed_doc, &seed_ns_op)) {
+            return 1;
         }
-        // `unit` is optional (pre-unit documents are all ns/op rows); count
-        // rows carry ns_op = 0 by design, rate rows must be positive.
-        const Value* unit = b.find("unit");
-        if (unit != nullptr && !unit->is_string()) {
-            return fail(name->string() + ": \"unit\" is not a string");
-        }
-        const bool is_rate = unit == nullptr || unit->string() == "ns/op";
-        if (ns == nullptr || !ns->is_number() ||
-            (is_rate ? ns->number() <= 0 : ns->number() < 0)) {
-            return fail(name->string() + (is_rate ? ": missing positive \"ns_op\""
-                                                  : ": negative \"ns_op\""));
-        }
-        if (bps == nullptr || !bps->is_number() || bps->number() < 0) {
-            return fail(name->string() + ": missing \"bytes_per_sec\"");
-        }
-        if (threads == nullptr || !threads->is_number() || threads->number() < 1) {
-            return fail(name->string() + ": missing \"threads\" >= 1");
-        }
-        ns_op[{name->string(), static_cast<std::uint64_t>(n->number())}] = ns->number();
+        have_seed = true;
     }
 
     int gated = 0;
     for (const auto gate :
-         {gate_radix, gate_simd, gate_bat_build, gate_serve, gate_msgs,
-          gate_querytrace}) {
+         {gate_radix, gate_simd, gate_serve, gate_msgs, gate_querytrace,
+          gate_series}) {
         const int checked = gate(ns_op);
         if (checked < 0) {
             return 1;
         }
         gated += checked;
     }
+    const int checked = gate_bat_build(ns_op, have_seed ? &seed_ns_op : nullptr);
+    if (checked < 0) {
+        return 1;
+    }
+    gated += checked;
     if (gated == 0) {
         return fail("no gateable rows (sort_*, morton_encode_*, bitmap_bin_*, "
-                    "write.bat_build, read.serve_*, read.msgs_*, read.total_*) found");
+                    "write.bat_build, read.serve_*, read.msgs_*, read.total_*, "
+                    "series.*) found");
     }
     std::printf("bench_check: OK (%zu entries, %d gated comparisons)\n", ns_op.size(),
                 gated);
