@@ -9,15 +9,19 @@
 //      production runs keep enabled permanently;
 //   4. the same pipeline with per-query tracing armed (obs/query_trace.hpp:
 //      ring records, serve spans, cost slots — trace rings off), gated at
-//      <= 5% over the all-off baseline.
+//      <= 5% over the all-off baseline;
+//   5. the same pipeline with the sampling CPU profiler armed at 97 Hz
+//      (obs/prof.hpp: per-thread CPU-clock timers + signal-handler sample
+//      capture + span tracking), gated at <= 5% over the all-off baseline.
 //
 // The acceptance bars are <1% pipeline overhead with tracing disabled and
 // <1% with the watchdog + report armed; the disabled span path is a relaxed
 // atomic load and a branch, the health hooks one relaxed increment each.
 //
 // `obs_overhead --json [--out FILE]` additionally emits bat-bench-v1 rows
-// read.total_off / read.total_querytrace so tools/bench_check gates the
-// query-tracing overhead mechanically in CI.
+// read.total_off / read.total_querytrace / read.total_prof so
+// tools/bench_check gates the query-tracing and profiler overheads
+// mechanically in CI.
 
 #include <algorithm>
 #include <chrono>
@@ -30,6 +34,7 @@
 #include "io/reader.hpp"
 #include "io/writer.hpp"
 #include "obs/health.hpp"
+#include "obs/prof.hpp"
 #include "obs/query_trace.hpp"
 #include "obs/trace.hpp"
 #include "vmpi/comm.hpp"
@@ -166,6 +171,34 @@ int main(int argc, char** argv) {
         return 1;
     }
 
+    // Sampling profiler armed at the CI rate: SIGPROF delivery + handler
+    // sample capture + span-stack tracking on every rank/pool thread.
+    double prof_s = -1.0;
+    if (obs::profiler_supported()) {
+        obs::ProfOptions popts;
+        popts.hz = 97.0;
+        obs::start_profiler(popts);
+        prof_s = min_of_runs(runs, dir, per_rank, decomp);
+        const obs::ProfTotals totals = obs::prof_totals();
+        obs::stop_profiler();
+
+        const double prof_pct = 100.0 * (prof_s - off_s) / off_s;
+        std::printf("8-rank write+read pipeline with profiler armed @97Hz: %.3f s, "
+                    "overhead %.2f%% (%" PRIu64 " samples, %" PRIu64 " dropped)\n",
+                    prof_s, prof_pct, totals.samples, totals.dropped);
+        if (prof_pct > 5.0) {
+            std::fprintf(stderr, "FAIL: profiler overhead %.2f%% > 5%%\n", prof_pct);
+            return 1;
+        }
+        if (totals.samples == 0) {
+            std::fprintf(stderr, "FAIL: profiler armed but captured no samples\n");
+            return 1;
+        }
+    } else {
+        std::printf("8-rank write+read pipeline with profiler: skipped "
+                    "(per-thread CPU timers unsupported on this platform)\n");
+    }
+
     if (bench::has_flag(argc, argv, "--json")) {
         const char* out = bench::flag_value(argc, argv, "--out", "BENCH_obs.json");
         bench::JsonBenchWriter writer;
@@ -175,6 +208,11 @@ int main(int argc, char** argv) {
         writer.add(bench::JsonBenchResult{"read.total_querytrace", n,
                                           1e9 * qtrace_s / static_cast<double>(n),
                                           "ns/op", 0.0, 1});
+        if (prof_s > 0) {
+            writer.add(bench::JsonBenchResult{"read.total_prof", n,
+                                              1e9 * prof_s / static_cast<double>(n),
+                                              "ns/op", 0.0, 1});
+        }
         writer.write(out);
     }
 

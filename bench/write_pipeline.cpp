@@ -9,11 +9,14 @@
 // plain run prints a table. See docs/PERFORMANCE.md.
 
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "io/writer.hpp"
+#include "obs/prof.hpp"
+#include "obs/trace.hpp"
 #include "test_output_free.hpp"
 #include "util/thread_pool.hpp"
 #include "vmpi/comm.hpp"
@@ -23,6 +26,23 @@
 using namespace bat;
 
 namespace {
+
+/// Deterministic CPU burn for the prof_report --diff acceptance check: with
+/// BAT_BENCH_SYNTHETIC_HOT=1 each measured run spends extra CPU inside a
+/// "bench.synthetic_hot" span, which a diff against an unpolluted profile
+/// must flag as the grown stack.
+void synthetic_hot_loop() {
+    obs::SpanScope span("bench.synthetic_hot", "bench");
+    volatile double sink = 0;
+    for (int i = 0; i < 40'000'000; ++i) {
+        sink = sink + static_cast<double>(i % 97) * 1e-9;
+    }
+}
+
+bool synthetic_hot_enabled() {
+    const char* env = std::getenv("BAT_BENCH_SYNTHETIC_HOT");
+    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
 
 struct PipelineRun {
     WritePhaseTimings slowest;  // component-wise max over ranks
@@ -60,6 +80,10 @@ int main(int argc, char** argv) {
     constexpr std::size_t kParticles = 1 << 20;
     constexpr int kRuns = 5;
 
+    // Participate in sampling when armed via BAT_PROF_HZ (the rank and pool
+    // threads register themselves; the synthetic hot loop runs here).
+    obs::prof_register_thread("main");
+
     const auto dir = bench::scratch_dir("write_pipeline");
     const Box domain({0, 0, 0}, {4, 4, 4});
     const GridDecomp decomp = grid_decomp_3d(kRanks, domain);
@@ -70,9 +94,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[bench] %d-rank write of %zu particles, best of %d runs\n",
                  kRanks, kParticles, kRuns);
     run_pipeline(dir, per_rank, decomp, &pool);  // warm up page cache + pool
+    if (obs::profiler_running()) {
+        obs::reset_profiler();  // drop warmup samples: profile the measured runs
+    }
     PipelineRun best;
     double best_total = 1e30;
     for (int i = 0; i < kRuns; ++i) {
+        if (synthetic_hot_enabled()) {
+            synthetic_hot_loop();
+        }
         const PipelineRun run = run_pipeline(dir, per_rank, decomp, &pool);
         if (run.slowest.total() < best_total) {
             best_total = run.slowest.total();
@@ -103,6 +133,51 @@ int main(int argc, char** argv) {
                 "ns/op",
                 seconds > 0 ? static_cast<double>(best.bytes_written) / seconds : 0.0,
                 threads});
+        }
+        // Profiler-armed runs also report sample attribution rows, gated by
+        // tools/bench_check's prof family against the wall-time rows above.
+        if (obs::profiler_running()) {
+            const obs::ProfTotals totals = obs::prof_totals();
+            if (totals.samples > 0) {
+                writer.add(bench::JsonBenchResult{
+                    "prof.samples", totals.samples, 0.0, "samples", 0.0, threads});
+                writer.add(bench::JsonBenchResult{
+                    "prof.attributed_pct", totals.samples,
+                    100.0 * static_cast<double>(totals.attributed) /
+                        static_cast<double>(totals.samples),
+                    "pct", 0.0, threads});
+                // Per-stage sample shares, normalized over the six builder
+                // stages so they compare against the bat.* wall shares.
+                const std::vector<obs::ProfStackCount> stacks = obs::prof_stack_counts();
+                std::vector<std::pair<std::string, std::uint64_t>> stage_samples;
+                std::uint64_t stage_total = 0;
+                for (const auto& [phase_name, seconds] : phases) {
+                    if (std::strncmp(phase_name, "bat.", 4) != 0) {
+                        continue;
+                    }
+                    std::uint64_t count = 0;
+                    for (const obs::ProfStackCount& sc : stacks) {
+                        for (const std::string& frame : sc.frames) {
+                            if (frame == phase_name) {
+                                count += sc.samples;
+                                break;
+                            }
+                        }
+                    }
+                    stage_samples.emplace_back(phase_name, count);
+                    stage_total += count;
+                }
+                for (const auto& [stage, count] : stage_samples) {
+                    if (count == 0) {
+                        continue;  // a zero-n row would fail schema validation
+                    }
+                    writer.add(bench::JsonBenchResult{
+                        "prof.share." + stage, count,
+                        100.0 * static_cast<double>(count) /
+                            static_cast<double>(stage_total),
+                        "pct", 0.0, threads});
+                }
+            }
         }
         writer.write(out);
     } else {

@@ -16,6 +16,8 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/output_path.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -142,15 +144,22 @@ void bump(int rank) {
     s.total_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
+// The calling thread's span stack, reachable two ways: thread_span_stack()
+// creates it on first use (registry lock), while the raw pointer is
+// constant-initialized TLS so the profiler's SIGPROF handler can read the
+// current thread's stack without locking, allocating, or running a lazy
+// initializer — an unregistered thread just reads null.
+thread_local SpanStack* t_span_stack = nullptr;
+
 SpanStack& thread_span_stack() {
-    thread_local SpanStack* stack = [] {
+    if (t_span_stack == nullptr) {
         auto* st = new SpanStack;
         HealthState& s = state();
         std::lock_guard<std::mutex> lock(s.stacks_mutex);
         s.stacks.push_back(st);
-        return st;
-    }();
-    return *stack;
+        t_span_stack = st;
+    }
+    return *t_span_stack;
 }
 
 // ---- JSON building --------------------------------------------------------
@@ -733,7 +742,7 @@ std::string run_report_json() {
 }
 
 bool write_run_report(const std::filesystem::path& path) {
-    const std::string expanded = expand_path_template(path.string());
+    const std::string expanded = expand_output_path(path.string());
     std::ofstream f(expanded, std::ios::binary | std::ios::trunc);
     if (!f) {
         BAT_LOG_ERROR("run report: cannot open " << expanded);
@@ -784,7 +793,9 @@ void stop_watchdog() {
         dog = s.watchdog;
         s.watchdog = nullptr;
         s.watchdog_on.store(false, std::memory_order_relaxed);
-        if (!g_flight_armed.load(std::memory_order_relaxed)) {
+        // Span tracking is shared: the flight recorder and the sampling
+        // profiler both depend on it staying on past watchdog shutdown.
+        if (!g_flight_armed.load(std::memory_order_relaxed) && !profiler_running()) {
             set_span_tracking(false);
         }
     }
@@ -909,7 +920,7 @@ bool dump_flight_record(const std::string& reason, const std::filesystem::path& 
     if (target.empty()) {
         return false;
     }
-    const std::string expanded = expand_path_template(target);
+    const std::string expanded = expand_output_path(target);
     std::ofstream f(expanded, std::ios::binary | std::ios::trunc);
     if (!f) {
         BAT_LOG_ERROR("flight record: cannot open " << expanded);
@@ -976,17 +987,6 @@ std::vector<ThreadSpanStack> snapshot_span_stacks() {
     return out;
 }
 
-std::string expand_path_template(const std::string& path) {
-    std::string out = path;
-    const std::string pid = std::to_string(static_cast<long>(::getpid()));
-    std::size_t at = 0;
-    while ((at = out.find("%p", at)) != std::string::npos) {
-        out.replace(at, 2, pid);
-        at += pid.size();
-    }
-    return out;
-}
-
 namespace health_detail {
 
 void push_span(const char* name) {
@@ -1005,6 +1005,37 @@ void pop_span() {
     if (d > 0) {
         st.depth.store(d - 1, std::memory_order_release);
     }
+}
+
+void ensure_span_stack() { thread_span_stack(); }
+
+int read_own_span_stack(const char** out, int max) {
+    const SpanStack* st = t_span_stack;
+    if (st == nullptr || max <= 0) {
+        return 0;
+    }
+    int depth = st->depth.load(std::memory_order_acquire);
+    depth = std::min({depth, SpanStack::kMaxDepth, max});
+    int n = 0;
+    for (int i = 0; i < depth; ++i) {
+        if (const char* name = st->names[i].load(std::memory_order_relaxed)) {
+            out[n++] = name;
+        }
+    }
+    return n;
+}
+
+const char* innermost_span() {
+    const SpanStack* st = t_span_stack;
+    if (st == nullptr) {
+        return nullptr;
+    }
+    const int depth =
+        std::min(st->depth.load(std::memory_order_acquire), SpanStack::kMaxDepth);
+    if (depth <= 0) {
+        return nullptr;
+    }
+    return st->names[depth - 1].load(std::memory_order_relaxed);
 }
 
 void record_phase(const char* name, double seconds) {

@@ -151,10 +151,6 @@ struct ThreadSpanStack {
 /// mutating mid-snapshot yields a truncated, never torn, view).
 std::vector<ThreadSpanStack> snapshot_span_stacks();
 
-/// Expand "%p" in export path templates (BAT_TRACE_FILE, BAT_REPORT_FILE,
-/// ...) to the process id, so concurrent test processes do not collide.
-std::string expand_path_template(const std::string& path);
-
 namespace health_detail {
 /// Called by SpanScope/PhaseSpan when span_tracking_enabled(); `name` must
 /// be a string literal (the pointer is stored, not the contents).
@@ -163,6 +159,20 @@ void pop_span();
 /// Called by every PhaseSpan::close(), tracing on or off: accumulates the
 /// phase's wall seconds into the report under the calling thread's rank.
 void record_phase(const char* name, double seconds);
+
+/// Force the calling thread's span stack into existence (takes the registry
+/// lock). The profiler calls this at thread registration so the two readers
+/// below never allocate.
+void ensure_span_stack();
+/// Copy the calling thread's open-span labels (outermost first) into `out`,
+/// up to `max`; returns the count. Async-signal-safe: reads a
+/// constant-initialized thread_local pointer and relaxed atomics only, and
+/// never creates the stack — an unregistered thread reads 0.
+int read_own_span_stack(const char** out, int max);
+/// The calling thread's innermost open span label, or null. Same safety
+/// contract as read_own_span_stack; used by the thread pool to stamp tasks
+/// with their enqueue-site origin.
+const char* innermost_span();
 }  // namespace health_detail
 
 }  // namespace bat::obs

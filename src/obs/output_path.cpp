@@ -1,0 +1,18 @@
+#include "obs/output_path.hpp"
+
+#include <unistd.h>
+
+namespace bat::obs {
+
+std::string expand_output_path(const std::string& path_template) {
+    std::string out = path_template;
+    const std::string pid = std::to_string(static_cast<long>(::getpid()));
+    std::size_t at = 0;
+    while ((at = out.find("%p", at)) != std::string::npos) {
+        out.replace(at, 2, pid);
+        at += pid.size();
+    }
+    return out;
+}
+
+}  // namespace bat::obs

@@ -1,0 +1,16 @@
+#pragma once
+// Shared expansion for observability output-path templates. Every BAT_*
+// export knob (BAT_TRACE_FILE, BAT_METRICS_FILE, BAT_REPORT_FILE,
+// BAT_QUERY_LOG, BAT_FLIGHT_RECORD_FILE, BAT_SCHED_TRACE_FILE,
+// BAT_PROF_FILE) accepts the same template vocabulary, so concurrent test
+// processes sharing one environment write to distinct files.
+
+#include <string>
+
+namespace bat::obs {
+
+/// Expand "%p" in an output path template to the process id. Unknown "%x"
+/// sequences (and a trailing lone '%') pass through unchanged.
+std::string expand_output_path(const std::string& path_template);
+
+}  // namespace bat::obs

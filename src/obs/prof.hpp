@@ -1,0 +1,138 @@
+#pragma once
+// Always-on sampling CPU profiler (docs/OBSERVABILITY.md). Spans (trace.hpp)
+// and the run report (health.hpp) say where wall time elapsed; this layer
+// says where CPU burned, attributed through the same obs context: each
+// sample captures the thread's rank, its open-span stack, and the active
+// QueryContext, so samples roll up by phase, by query trace id, and — via
+// the thread pool's origin-span propagation — by pool-task origin even
+// under comm-thread work-helping.
+//
+// Mechanics: one POSIX per-thread CPU-clock timer per registered thread
+// (pthread_getcpuclockid + timer_create(SIGEV_THREAD_ID)) delivers SIGPROF
+// at BAT_PROF_HZ only while the thread consumes CPU — blocked threads cost
+// and produce nothing. The handler is async-signal-safe: it copies the
+// thread-local attribution context into a preallocated per-thread SPSC ring
+// (no malloc, no locks). A drain thread folds rings into collapsed-stack
+// aggregates, which export as one bat-prof-v1 JSON document and surface in
+// flight records / watchdog stall diagnoses through a "prof" diag provider
+// (a stuck-rank report includes the profile tail). tools/prof_report
+// renders top-k attributions, per-rank imbalance, flamegraph-compatible
+// collapsed output, and before/after regression diffs.
+//
+// Arming: BAT_PROF_HZ=N starts the profiler at process startup (first obs
+// registration); BAT_PROF_FILE writes the profile at exit ("%p" expands to
+// the pid); BAT_PROF_RING overrides per-thread ring capacity;
+// BAT_PROF_NATIVE=1 additionally captures raw native frames via backtrace.
+// Default off; overhead when armed at 97 Hz is gated <= 5% end to end by
+// bench/obs_overhead + tools/bench_check.
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace bat::obs {
+
+struct ProfOptions {
+    /// Samples per second of *CPU time* per thread; clamped to [1, 1000].
+    double hz = 97.0;
+    /// Per-thread ring capacity in samples; overflow increments a dropped
+    /// counter instead of blocking or allocating in the handler.
+    std::size_t ring_slots = 4096;
+    /// Also capture raw native return addresses via backtrace(3) in the
+    /// handler. glibc's backtrace is not formally async-signal-safe (the
+    /// first call may allocate), so it is warmed at start and off by
+    /// default; span-stack labels are the primary attribution.
+    bool native_frames = false;
+    /// How often the drain thread folds the per-thread rings.
+    std::chrono::milliseconds drain_interval{100};
+};
+
+/// False on platforms without per-thread CPU-clock timers; start_profiler
+/// then warns and returns false, everything else degrades to no-ops.
+bool profiler_supported();
+bool profiler_running();
+
+/// Start sampling (idempotent: a running profiler is stopped first). Also
+/// registers the calling thread and enables span-stack tracking. Returns
+/// false when unsupported.
+bool start_profiler(ProfOptions opts = {});
+
+/// Disarm every timer, join the drain thread, and fold any remaining
+/// samples. Aggregates survive for export; no-op when not running.
+void stop_profiler();
+
+/// Drop every aggregate and pending ring sample (tests, benchmark warmup).
+/// The profiler keeps running if it was running.
+void reset_profiler();
+
+/// Register the calling thread for sampling under `kind` ("rank", "pool",
+/// "main"); cheap when the profiler is off, arms a timer immediately when
+/// running. Idempotent per thread (the first kind wins). The vmpi runtime
+/// and thread pool register their threads; register manually only for
+/// threads outside those.
+void prof_register_thread(const char* kind);
+/// Disarm + retire the calling thread's sampling state; pending samples are
+/// folded by the next drain. Must be called on the registered thread.
+void prof_unregister_thread();
+
+struct ProfTotals {
+    std::uint64_t samples = 0;     // folded samples
+    std::uint64_t attributed = 0;  // samples with a non-empty span stack
+    std::uint64_t dropped = 0;     // lost to ring overflow
+    double hz = 0.0;
+    double wall_seconds = 0.0;  // cumulative armed wall time
+};
+/// Totals after folding the current rings.
+ProfTotals prof_totals();
+
+struct ProfStackCount {
+    int rank = -1;                    // thread_log_rank at sample time
+    std::vector<std::string> frames;  // span labels, outermost first
+    std::uint64_t samples = 0;
+};
+/// Collapsed-stack aggregate after folding the current rings.
+std::vector<ProfStackCount> prof_stack_counts();
+
+struct ProfQueryCount {
+    std::uint64_t trace_id = 0;
+    std::uint64_t samples = 0;
+};
+/// Per-query rollup (samples taken while a QueryContext was installed).
+std::vector<ProfQueryCount> prof_query_counts();
+
+/// Render the bat-prof-v1 JSON document (drains first; callable while
+/// running or after stop).
+std::string profile_json();
+
+/// Write profile_json() to `path`, or to BAT_PROF_FILE when `path` is empty
+/// ("%p" expands to the pid via expand_output_path). Returns false when no
+/// destination is configured or the write failed.
+bool write_profile(const std::filesystem::path& path = {});
+
+// ---- profile diffing (tools/prof_report --diff) ----------------------------
+
+struct ProfDiffEntry {
+    std::string stack;        // frames joined with ';', ranks merged
+    double before_share = 0;  // percent of attributed samples
+    double after_share = 0;
+    double delta = 0;  // after - before, percentage points
+};
+
+struct ProfDiff {
+    std::uint64_t before_samples = 0;
+    std::uint64_t after_samples = 0;
+    std::vector<ProfDiffEntry> entries;  // sorted by |delta| descending
+    std::vector<ProfDiffEntry> flagged;  // |delta| >= threshold_pts
+};
+
+/// Compare two parsed bat-prof-v1 documents by per-stack share of
+/// attributed samples. Shares are rank-merged so a diff is stable across
+/// rank-count changes; `threshold_pts` is in percentage points.
+ProfDiff prof_diff(const json::Value& before, const json::Value& after,
+                   double threshold_pts);
+
+}  // namespace bat::obs

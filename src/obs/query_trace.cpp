@@ -9,6 +9,7 @@
 
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/output_path.hpp"
 #include "util/log.hpp"
 
 namespace bat::obs {
@@ -458,7 +459,7 @@ std::string query_log_jsonl() {
 }
 
 bool write_query_log(const std::filesystem::path& path) {
-    const std::string expanded = expand_path_template(path.string());
+    const std::string expanded = expand_output_path(path.string());
     std::ofstream f(expanded, std::ios::binary | std::ios::app);
     if (!f) {
         BAT_LOG_ERROR("query log: cannot open " << expanded);

@@ -14,6 +14,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/output_path.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -130,10 +131,10 @@ void register_atexit_export() {
                 // "%p" in either path expands to the pid so concurrent test
                 // processes sharing one env do not clobber each other.
                 if (const char* path = std::getenv("BAT_TRACE_FILE")) {
-                    write_chrome_trace(expand_path_template(path));
+                    write_chrome_trace(expand_output_path(path));
                 }
                 if (const char* path = std::getenv("BAT_METRICS_FILE")) {
-                    MetricsRegistry::global().write_json(expand_path_template(path));
+                    MetricsRegistry::global().write_json(expand_output_path(path));
                 }
             });
         }

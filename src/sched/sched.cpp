@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "obs/health.hpp"
+#include "obs/output_path.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -445,7 +446,7 @@ void write_env_report(const RunResult& r) {
     if (path_env == nullptr || *path_env == '\0') {
         return;
     }
-    const std::string path = obs::expand_path_template(path_env);
+    const std::string path = obs::expand_output_path(path_env);
     std::ofstream out(path, std::ios::app);
     if (!out) {
         BAT_LOG_WARN("sched: cannot open BAT_SCHED_TRACE_FILE " << path);

@@ -4,6 +4,7 @@
 
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -138,6 +139,9 @@ void ThreadPool::enqueue(Task t) {
         t.enqueue_ns = obs::trace_now_ns();
     }
     t.qctx = obs::current_query();
+    if (obs::span_tracking_enabled()) {
+        t.origin_span = obs::health_detail::innermost_span();
+    }
     if (sched::maybe_active()) {
         t.vc = sched::fork_token();  // enqueue→dequeue happens-before edge
     }
@@ -173,6 +177,12 @@ std::size_t ThreadPool::queue_depth() const {
 }
 
 void ThreadPool::worker_loop(std::uint64_t sched_handle) {
+    // Workers participate in CPU sampling for their whole lifetime; the
+    // guard retires this thread's profiler state on any exit path.
+    struct ProfReg {
+        ProfReg() { obs::prof_register_thread("pool"); }
+        ~ProfReg() { obs::prof_unregister_thread(); }
+    } prof_reg;
     sched::AdoptScope adopt(sched_handle);
     for (;;) {
         Task t;
@@ -253,6 +263,12 @@ void ThreadPool::execute(Task& t) {
     // is attributed to that query (best-effort: a task finishing after its
     // query finalized loses its delta, it is never charged elsewhere).
     obs::QueryScope qscope(t.qctx);
+    // Re-open the submit-site span around the body so profiler samples in
+    // this task fold under their originating phase, whichever thread runs it.
+    const bool origin_pushed = t.origin_span != nullptr && obs::span_tracking_enabled();
+    if (origin_pushed) {
+        obs::health_detail::push_span(t.origin_span);
+    }
     const std::uint64_t qt0 =
         t.qctx.valid() && obs::query_trace_enabled() ? obs::trace_now_ns() : 0;
     try {
@@ -275,6 +291,9 @@ void ThreadPool::execute(Task& t) {
                 // pending_ decrement below keeps waiters sound).
             }
         }
+    }
+    if (origin_pushed) {
+        obs::health_detail::pop_span();
     }
     active_.fetch_sub(1, std::memory_order_relaxed);
     t_executing_groups.pop_back();

@@ -124,6 +124,11 @@ private:
         // a worker thread — and work-helping, where a comm thread may run a
         // task submitted on behalf of a different query.
         obs::QueryContext qctx;
+        // Innermost span open at the submit site when span tracking was on
+        // (a string literal, or null): re-pushed around the task body so
+        // profiler samples taken inside pool tasks — including work-helping
+        // on a comm thread — attribute back to the phase that spawned them.
+        const char* origin_span = nullptr;
         // Submitter's vector clock under schedule exploration (empty
         // otherwise): the enqueue→dequeue happens-before edge.
         sched::ClockToken vc;

@@ -28,6 +28,7 @@
 #include "obs/health.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/output_path.hpp"
 #include "obs/trace.hpp"
 #include "test_helpers.hpp"
 #include "util/thread_pool.hpp"
@@ -78,11 +79,16 @@ std::vector<int> flight_stuck_ranks(const Value& record) {
 
 // ---- unit pieces ----------------------------------------------------------
 
-TEST(HealthUnitTest, ExpandPathTemplateSubstitutesPid) {
+TEST(HealthUnitTest, ExpandOutputPathSubstitutesPid) {
     const std::string pid = std::to_string(::getpid());
-    EXPECT_EQ(obs::expand_path_template("plain.json"), "plain.json");
-    EXPECT_EQ(obs::expand_path_template("flight_%p.json"), "flight_" + pid + ".json");
-    EXPECT_EQ(obs::expand_path_template("%p/%p"), pid + "/" + pid);
+    EXPECT_EQ(obs::expand_output_path("plain.json"), "plain.json");
+    EXPECT_EQ(obs::expand_output_path("flight_%p.json"), "flight_" + pid + ".json");
+    EXPECT_EQ(obs::expand_output_path("%p/%p"), pid + "/" + pid);
+    EXPECT_EQ(obs::expand_output_path(""), "");
+    EXPECT_EQ(obs::expand_output_path("%p"), pid);
+    // A lone '%' or unknown escape passes through untouched.
+    EXPECT_EQ(obs::expand_output_path("50%_%q.json"), "50%_%q.json");
+    EXPECT_EQ(obs::expand_output_path("trailing%"), "trailing%");
 }
 
 TEST(HealthUnitTest, DiagProvidersAppearInFlightRecordsUntilUnregistered) {

@@ -242,6 +242,51 @@ TEST(ObsMetricsTest, HistogramEdgesAreInclusive) {
     EXPECT_EQ(counts[3], 1u);
 }
 
+TEST(ObsMetricsTest, PercentileEdgeCases) {
+    // Empty histogram: every quantile is 0 by contract.
+    obs::Histogram empty({1.0, 10.0});
+    EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(1.0), 0.0);
+
+    // Single sample: every quantile collapses to that sample (interpolation
+    // is clamped to the observed [min, max]).
+    obs::Histogram one({1.0, 10.0, 100.0});
+    one.record(7.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(one.percentile(1.0), 7.0);
+
+    // All samples past the last edge land in the overflow bucket, whose
+    // missing upper edge is the observed max — estimates must stay inside
+    // [min, max], not run off to infinity.
+    obs::Histogram over({1.0, 2.0});
+    over.record(50.0);
+    over.record(70.0);
+    over.record(90.0);
+    EXPECT_GE(over.percentile(0.5), 50.0);
+    EXPECT_LE(over.percentile(0.5), 90.0);
+    EXPECT_DOUBLE_EQ(over.percentile(1.0), 90.0);
+
+    // p0 / p100 pin to the observed extremes even when the samples occupy
+    // a bucket interior, and out-of-range q clamps instead of misbehaving.
+    obs::Histogram h({1.0, 10.0, 100.0});
+    h.record(3.0);
+    h.record(5.0);
+    h.record(42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+    // Monotone in q.
+    double prev = h.percentile(0.0);
+    for (double q = 0.1; q <= 1.0; q += 0.1) {
+        const double v = h.percentile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
 TEST(ObsMetricsTest, MergeMatchesConcatenation) {
     obs::MetricsRegistry a;
     obs::MetricsRegistry b;

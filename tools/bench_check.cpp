@@ -33,7 +33,14 @@
 //     message count (`n`) must be below read.msgs_per_leaf;
 //   querytrace — armed per-query tracing must stay cheap: the
 //     read.total_querytrace ns/op (bench/obs_overhead --json) must be within
-//     5% of read.total_off.
+//     5% of read.total_off;
+//   prof — profiler-armed runs (obs/prof.hpp) must stay honest three ways:
+//     read.total_prof within 5% of read.total_off
+//     (BAT_BENCH_MAX_PROF_RATIO), prof.attributed_pct >= 90% of samples
+//     carrying a span-stack attribution (BAT_BENCH_MIN_PROF_ATTRIB_PCT),
+//     and every prof.share.bat.* stage sample share within 15 points of the
+//     matching bat.* wall share for stages with >= 10% wall share
+//     (BAT_BENCH_MAX_PROF_SHARE_DELTA).
 //
 // Rows carry a `unit` (default "ns/op"); rows whose unit is a plain count
 // (e.g. "msgs") are exempt from the positive-ns_op requirement, since their
@@ -409,6 +416,133 @@ int gate_querytrace(const NsByKey& ns_op) {
     return 1;
 }
 
+// ---- prof gate family -----------------------------------------------------
+// Gates profiler-armed runs three ways: end-to-end overhead vs the unarmed
+// pipeline (bench/obs_overhead rows), sample-attribution coverage, and
+// per-stage sample shares vs the builder's wall-time shares
+// (bench/write_pipeline rows).
+
+int gate_prof_overhead(const NsByKey& ns_op) {
+    std::uint64_t n_off = 0;
+    std::uint64_t n_prof = 0;
+    double off_ns = 0;
+    double prof_ns = 0;
+    const bool has_off = find_unique(ns_op, "read.total_off", &n_off, &off_ns);
+    const bool has_prof = find_unique(ns_op, "read.total_prof", &n_prof, &prof_ns);
+    if (!has_prof) {
+        return 0;  // not a profiler-armed obs_overhead run
+    }
+    if (!has_off) {
+        fail("read.total_prof present without its read.total_off baseline");
+        return -1;
+    }
+    if (n_off != n_prof) {
+        fail("read.total_off and read.total_prof ran at different n");
+        return -1;
+    }
+    double max_ratio = 0;
+    if (!env_positive("BAT_BENCH_MAX_PROF_RATIO", 1.05, &max_ratio)) {
+        return -1;
+    }
+    const double ratio = prof_ns / off_ns;
+    std::printf("bench_check: n=%-9llu read.total_prof       %8.2f ns/op vs off %8.2f "
+                "(%.3fx)\n",
+                static_cast<unsigned long long>(n_prof), prof_ns, off_ns, ratio);
+    if (ratio > max_ratio) {
+        fail("profiler-armed overhead above " + std::to_string(max_ratio) +
+             "x on read.total");
+        return -1;
+    }
+    return 1;
+}
+
+int gate_prof_attrib(const NsByKey& ns_op) {
+    std::uint64_t samples_n = 0;
+    std::uint64_t attrib_n = 0;
+    double samples_ns = 0;
+    double attrib_pct = 0;
+    const bool has_samples = find_unique(ns_op, "prof.samples", &samples_n, &samples_ns);
+    const bool has_attrib =
+        find_unique(ns_op, "prof.attributed_pct", &attrib_n, &attrib_pct);
+    if (!has_samples && !has_attrib) {
+        return 0;
+    }
+    if (!has_samples || !has_attrib) {
+        fail("prof.samples/prof.attributed_pct must appear together (once each)");
+        return -1;
+    }
+    double min_pct = 0;
+    if (!env_positive("BAT_BENCH_MIN_PROF_ATTRIB_PCT", 90.0, &min_pct)) {
+        return -1;
+    }
+    std::printf("bench_check: %llu profiler samples, %.1f%% span-attributed\n",
+                static_cast<unsigned long long>(samples_n), attrib_pct);
+    if (attrib_pct < min_pct) {
+        fail("profiler span attribution below " + std::to_string(min_pct) + "%");
+        return -1;
+    }
+    return 1;
+}
+
+int gate_prof_shares(const NsByKey& ns_op) {
+    // The builder's internal stages: wall shares come from the bat.* ns/op
+    // rows, sample shares from the prof.share.bat.* rows, both normalized
+    // over this set. A stage with no prof.share row has 0 sampled share
+    // (zero-n rows are not representable in the schema). Only stages with a
+    // meaningful wall share (>= 10%) are gated: at ~100 ms of bat_build per
+    // run, a 5%-wall stage collects too few 97 Hz samples to bound tightly.
+    static const char* kStages[] = {"bat.edges",    "bat.encode",  "bat.sort",
+                                    "bat.treelets", "bat.reorder", "bat.bitmaps"};
+    double wall_total = 0;
+    std::map<std::string, double> wall;
+    std::map<std::string, double> sampled;
+    bool any_share_row = false;
+    for (const char* stage : kStages) {
+        std::uint64_t n = 0;
+        double ns = 0;
+        if (find_unique(ns_op, stage, &n, &ns)) {
+            wall[stage] = ns;
+            wall_total += ns;
+        }
+        if (find_unique(ns_op, std::string("prof.share.") + stage, &n, &ns)) {
+            sampled[stage] = ns;  // ns_op carries the share in percent
+            any_share_row = true;
+        }
+    }
+    if (!any_share_row) {
+        return 0;  // not a profiler-armed write_pipeline run
+    }
+    if (wall_total <= 0) {
+        fail("prof.share.bat.* rows present without bat.* wall-time rows");
+        return -1;
+    }
+    double max_delta = 0;
+    if (!env_positive("BAT_BENCH_MAX_PROF_SHARE_DELTA", 15.0, &max_delta)) {
+        return -1;
+    }
+    int gated = 0;
+    for (const char* stage : kStages) {
+        const double wall_share =
+            wall.count(stage) != 0 ? 100.0 * wall[stage] / wall_total : 0.0;
+        const double sample_share = sampled.count(stage) != 0 ? sampled[stage] : 0.0;
+        const double delta = sample_share - wall_share;
+        std::printf("bench_check: %-14s wall %5.1f%% sampled %5.1f%% (delta %+5.1f)%s\n",
+                    stage, wall_share, sample_share, delta,
+                    wall_share >= 10.0 ? "" : "  [not gated]");
+        if (wall_share < 10.0) {
+            continue;
+        }
+        if (delta > max_delta || delta < -max_delta) {
+            fail(std::string(stage) + " sample share deviates from wall share by more "
+                                      "than " +
+                 std::to_string(max_delta) + " points");
+            return -1;
+        }
+        ++gated;
+    }
+    return gated;
+}
+
 // ---- report gate family ---------------------------------------------------
 // Validates a bat-report-v1 document end to end; returns 0 on success after
 // printing a summary line, 1 on failure.
@@ -659,7 +793,7 @@ int run(int argc, char** argv) {
     int gated = 0;
     for (const auto gate :
          {gate_radix, gate_simd, gate_serve, gate_msgs, gate_querytrace,
-          gate_series}) {
+          gate_series, gate_prof_overhead, gate_prof_attrib, gate_prof_shares}) {
         const int checked = gate(ns_op);
         if (checked < 0) {
             return 1;
@@ -674,7 +808,7 @@ int run(int argc, char** argv) {
     if (gated == 0) {
         return fail("no gateable rows (sort_*, morton_encode_*, bitmap_bin_*, "
                     "write.bat_build, read.serve_*, read.msgs_*, read.total_*, "
-                    "series.*) found");
+                    "series.*, prof.*) found");
     }
     std::printf("bench_check: OK (%zu entries, %d gated comparisons)\n", ns_op.size(),
                 gated);

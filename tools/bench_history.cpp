@@ -1,0 +1,294 @@
+// bench_history: merge bat-bench-v1 result files into one
+// bat-bench-trajectory-v1 document — the cross-run bench trajectory the
+// perf-smoke CI leg accumulates (one row per gate metric per run).
+//
+//   bench_history --label L [--out TRAJ.json] BENCH.json...
+//       merge the given bench files into a single run labeled L and write
+//       (or print, without --out) a one-run trajectory
+//   bench_history --label L --append TRAJ.json [--out OUT.json] BENCH.json...
+//       load an existing trajectory, add the new run, and write it back
+//       (--out defaults to the --append path; a missing file starts empty)
+//   bench_history --print TRAJ.json
+//       render the trajectory as a metric x run table
+//
+// Rows keep (name, n, ns_op, unit) — exactly the identity tools/bench_check
+// gates on — so a trajectory diff answers "which gated metric moved, when".
+// Exits non-zero on malformed input or a schema mismatch.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using bat::obs::json::Value;
+
+struct Row {
+    std::string name;
+    double n = 0;
+    double ns_op = 0;
+    std::string unit;
+};
+
+struct Run {
+    std::string label;
+    std::vector<std::string> sources;
+    std::vector<Row> rows;
+};
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        throw std::runtime_error("cannot open " + path);
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+bool file_exists(const std::string& path) {
+    return std::ifstream(path).good();
+}
+
+const std::string& schema_of(const Value& root, const std::string& path) {
+    const Value* schema = root.find("schema");
+    if (schema == nullptr || !schema->is_string()) {
+        throw std::runtime_error(path + ": missing schema field");
+    }
+    return schema->string();
+}
+
+double num_or(const Value& obj, const char* key, double fallback) {
+    const Value* v = obj.find(key);
+    return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+std::string str_or(const Value& obj, const char* key, const char* fallback) {
+    const Value* v = obj.find(key);
+    return v != nullptr && v->is_string() ? v->string() : fallback;
+}
+
+std::vector<Row> load_bench_rows(const std::string& path) {
+    const Value root = bat::obs::json::parse(read_file(path));
+    if (schema_of(root, path) != "bat-bench-v1") {
+        throw std::runtime_error(path + ": not a bat-bench-v1 file");
+    }
+    std::vector<Row> rows;
+    const Value* benchmarks = root.find("benchmarks");
+    if (benchmarks == nullptr || !benchmarks->is_array()) {
+        return rows;
+    }
+    for (const Value& b : benchmarks->array()) {
+        Row row;
+        row.name = str_or(b, "name", "");
+        row.n = num_or(b, "n", 0);
+        row.ns_op = num_or(b, "ns_op", 0);
+        row.unit = str_or(b, "unit", "ns/op");
+        if (!row.name.empty()) {
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+std::vector<Run> load_trajectory(const std::string& path) {
+    const Value root = bat::obs::json::parse(read_file(path));
+    if (schema_of(root, path) != "bat-bench-trajectory-v1") {
+        throw std::runtime_error(path + ": not a bat-bench-trajectory-v1 file");
+    }
+    std::vector<Run> runs;
+    const Value* runs_v = root.find("runs");
+    if (runs_v == nullptr || !runs_v->is_array()) {
+        return runs;
+    }
+    for (const Value& r : runs_v->array()) {
+        Run run;
+        run.label = str_or(r, "label", "");
+        if (const Value* sources = r.find("sources");
+            sources != nullptr && sources->is_array()) {
+            for (const Value& s : sources->array()) {
+                run.sources.push_back(s.string());
+            }
+        }
+        if (const Value* rows = r.find("rows"); rows != nullptr && rows->is_array()) {
+            for (const Value& row_v : rows->array()) {
+                Row row;
+                row.name = str_or(row_v, "name", "");
+                row.n = num_or(row_v, "n", 0);
+                row.ns_op = num_or(row_v, "ns_op", 0);
+                row.unit = str_or(row_v, "unit", "ns/op");
+                run.rows.push_back(std::move(row));
+            }
+        }
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+void json_escape(std::string& out, const std::string& in) {
+    for (const char c : in) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+}
+
+std::string render_trajectory(const std::vector<Run>& runs) {
+    std::string out = "{\n  \"schema\": \"bat-bench-trajectory-v1\",\n  \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Run& run = runs[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"label\": \"";
+        json_escape(out, run.label);
+        out += "\", \"sources\": [";
+        for (std::size_t s = 0; s < run.sources.size(); ++s) {
+            out += s == 0 ? "\"" : ", \"";
+            json_escape(out, run.sources[s]);
+            out += "\"";
+        }
+        out += "], \"rows\": [";
+        for (std::size_t r = 0; r < run.rows.size(); ++r) {
+            const Row& row = run.rows[r];
+            out += r == 0 ? "\n      " : ",\n      ";
+            char buf[256];
+            std::string name;
+            json_escape(name, row.name);
+            std::string unit;
+            json_escape(unit, row.unit);
+            std::snprintf(buf, sizeof(buf),
+                          "{\"name\": \"%s\", \"n\": %.0f, \"ns_op\": %.3f, "
+                          "\"unit\": \"%s\"}",
+                          name.c_str(), row.n, row.ns_op, unit.c_str());
+            out += buf;
+        }
+        out += run.rows.empty() ? "]}" : "\n    ]}";
+    }
+    out += runs.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+void print_table(const std::vector<Run>& runs) {
+    // metric identity = name @ n (the bench_check gate key); unit rides along
+    std::map<std::string, std::map<std::string, double>> by_metric;
+    std::vector<std::string> labels;
+    for (const Run& run : runs) {
+        labels.push_back(run.label);
+        for (const Row& row : run.rows) {
+            by_metric[row.name + " @ " + std::to_string(static_cast<long long>(row.n)) +
+                      " [" + row.unit + "]"][run.label] = row.ns_op;
+        }
+    }
+    std::printf("%-52s", "metric");
+    for (const std::string& label : labels) {
+        std::printf(" %14s", label.c_str());
+    }
+    std::printf("\n");
+    for (const auto& [metric, values] : by_metric) {
+        std::printf("%-52s", metric.c_str());
+        for (const std::string& label : labels) {
+            const auto it = values.find(label);
+            if (it != values.end()) {
+                std::printf(" %14.3f", it->second);
+            } else {
+                std::printf(" %14s", "-");
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("%zu run(s), %zu metric(s)\n", runs.size(), by_metric.size());
+}
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: bench_history --label L [--append TRAJ.json] [--out OUT.json] "
+                 "BENCH.json...\n"
+                 "       bench_history --print TRAJ.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string label;
+    std::string append_path;
+    std::string out_path;
+    std::string print_path;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--label" && i + 1 < argc) {
+            label = argv[++i];
+        } else if (arg == "--append" && i + 1 < argc) {
+            append_path = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--print" && i + 1 < argc) {
+            print_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    try {
+        if (!print_path.empty()) {
+            print_table(load_trajectory(print_path));
+            return 0;
+        }
+        if (label.empty() || inputs.empty()) {
+            usage();
+            return 2;
+        }
+        std::vector<Run> runs;
+        if (!append_path.empty() && file_exists(append_path)) {
+            runs = load_trajectory(append_path);
+        }
+        Run run;
+        run.label = label;
+        for (const std::string& input : inputs) {
+            // Strip directories so CI paths do not leak into the artifact.
+            const std::size_t slash = input.find_last_of('/');
+            run.sources.push_back(slash == std::string::npos
+                                      ? input
+                                      : input.substr(slash + 1));
+            for (Row& row : load_bench_rows(input)) {
+                run.rows.push_back(std::move(row));
+            }
+        }
+        // Re-running under the same label replaces the old run (CI retries).
+        runs.erase(std::remove_if(runs.begin(), runs.end(),
+                                  [&label](const Run& r) { return r.label == label; }),
+                   runs.end());
+        runs.push_back(std::move(run));
+        const std::string rendered = render_trajectory(runs);
+        if (out_path.empty()) {
+            out_path = append_path;
+        }
+        if (out_path.empty()) {
+            std::fputs(rendered.c_str(), stdout);
+        } else {
+            std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+            if (!out) {
+                throw std::runtime_error("cannot open " + out_path + " for writing");
+            }
+            out.write(rendered.data(), static_cast<std::streamsize>(rendered.size()));
+            std::printf("bench_history: %zu run(s) -> %s\n", runs.size(),
+                        out_path.c_str());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_history: %s\n", e.what());
+        return 1;
+    }
+}

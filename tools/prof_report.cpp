@@ -1,0 +1,297 @@
+// prof_report: render a bat-prof-v1 CPU profile (obs/prof.hpp, written by
+// BAT_PROF_FILE or obs::write_profile).
+//
+//   prof_report PROFILE.json                 totals + top-k hot attributions
+//   prof_report --top K PROFILE.json         change the top-k cutoff (default 20)
+//   prof_report --per-rank PROFILE.json      per-rank sample imbalance view
+//   prof_report --collapsed PROFILE.json     flamegraph-compatible collapsed
+//                                            stacks ("a;b;c count") on stdout
+//   prof_report --min-attributed F PROFILE.json
+//                                            exit 1 when attributed/samples < F
+//                                            (or no samples at all) — CI gate
+//   prof_report --diff OLD.json NEW.json     share-shift regression view
+//       [--fail-above PTS]                   exit 1 when any stack's share of
+//                                            attributed samples moved by >= PTS
+//                                            percentage points (default 5)
+//
+// Exits non-zero on missing files, malformed JSON, a schema other than
+// bat-prof-v1, or a failed --min-attributed / --fail-above gate.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/prof.hpp"
+
+namespace {
+
+using bat::obs::ProfDiff;
+using bat::obs::ProfDiffEntry;
+using bat::obs::json::Value;
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        throw std::runtime_error("cannot open " + path);
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+Value load_profile(const std::string& path) {
+    Value root = bat::obs::json::parse(read_file(path));
+    const Value* schema = root.find("schema");
+    if (schema == nullptr || !schema->is_string() || schema->string() != "bat-prof-v1") {
+        throw std::runtime_error(path + ": not a bat-prof-v1 profile");
+    }
+    return root;
+}
+
+double num_or(const Value& obj, const char* key, double fallback) {
+    const Value* v = obj.find(key);
+    return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+struct Stack {
+    int rank = -1;
+    std::string joined;  // frames joined with ';'
+    std::uint64_t samples = 0;
+};
+
+std::vector<Stack> load_stacks(const Value& root) {
+    std::vector<Stack> out;
+    const Value* stacks = root.find("stacks");
+    if (stacks == nullptr || !stacks->is_array()) {
+        return out;
+    }
+    for (const Value& entry : stacks->array()) {
+        const Value* frames = entry.find("frames");
+        if (frames == nullptr || !frames->is_array()) {
+            continue;
+        }
+        Stack s;
+        s.rank = static_cast<int>(num_or(entry, "rank", -1));
+        s.samples = static_cast<std::uint64_t>(num_or(entry, "samples", 0));
+        for (const Value& f : frames->array()) {
+            if (!s.joined.empty()) {
+                s.joined += ';';
+            }
+            s.joined += f.string();
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void print_totals(const Value& root) {
+    const double samples = num_or(root, "samples", 0);
+    const double attributed = num_or(root, "attributed", 0);
+    std::printf("profile: %.0f samples @ %.0f Hz over %.2f s wall (pid %.0f)\n",
+                samples, num_or(root, "hz", 0), num_or(root, "wall_seconds", 0),
+                num_or(root, "pid", 0));
+    std::printf("attributed: %.0f (%.1f%%), dropped: %.0f\n", attributed,
+                samples > 0 ? 100.0 * attributed / samples : 0.0,
+                num_or(root, "dropped", 0));
+    if (const Value* kinds = root.find("kinds"); kinds != nullptr && kinds->is_object()) {
+        for (const auto& [kind, v] : kinds->object()) {
+            std::printf("  %-8s %4.0f thread(s), %8.0f sample(s)\n", kind.c_str(),
+                        num_or(v, "threads", 0), num_or(v, "samples", 0));
+        }
+    }
+}
+
+void print_top(const Value& root, int top_k) {
+    // Merge ranks: the hot-spot view asks "which code", not "which rank".
+    std::map<std::string, std::uint64_t> merged;
+    std::uint64_t total = 0;
+    for (const Stack& s : load_stacks(root)) {
+        merged[s.joined] += s.samples;
+        total += s.samples;
+    }
+    std::vector<std::pair<std::string, std::uint64_t>> sorted(merged.begin(),
+                                                              merged.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::printf("\n%-10s %7s  %s\n", "samples", "share", "stack");
+    int shown = 0;
+    for (const auto& [stack, samples] : sorted) {
+        if (shown++ >= top_k) {
+            break;
+        }
+        std::printf("%-10llu %6.1f%%  %s\n",
+                    static_cast<unsigned long long>(samples),
+                    total > 0 ? 100.0 * static_cast<double>(samples) /
+                                    static_cast<double>(total)
+                              : 0.0,
+                    stack.c_str());
+    }
+    if (sorted.empty()) {
+        std::printf("(no attributed stacks)\n");
+    }
+}
+
+void print_per_rank(const Value& root) {
+    std::map<int, std::uint64_t> by_rank;
+    std::uint64_t total = 0;
+    for (const Stack& s : load_stacks(root)) {
+        by_rank[s.rank] += s.samples;
+        total += s.samples;
+    }
+    if (by_rank.empty()) {
+        std::printf("\nper-rank: (no attributed samples)\n");
+        return;
+    }
+    std::uint64_t max_s = 0;
+    for (const auto& [rank, samples] : by_rank) {
+        max_s = std::max(max_s, samples);
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(by_rank.size());
+    std::printf("\n%-6s %10s %7s\n", "rank", "samples", "share");
+    for (const auto& [rank, samples] : by_rank) {
+        std::printf("%-6d %10llu %6.1f%%\n", rank,
+                    static_cast<unsigned long long>(samples),
+                    total > 0 ? 100.0 * static_cast<double>(samples) /
+                                    static_cast<double>(total)
+                              : 0.0);
+    }
+    std::printf("imbalance (max/mean): %.2f\n",
+                mean > 0 ? static_cast<double>(max_s) / mean : 0.0);
+}
+
+void print_collapsed(const Value& root) {
+    std::map<std::string, std::uint64_t> merged;
+    for (const Stack& s : load_stacks(root)) {
+        merged[s.joined] += s.samples;
+    }
+    for (const auto& [stack, samples] : merged) {
+        std::printf("%s %llu\n", stack.c_str(),
+                    static_cast<unsigned long long>(samples));
+    }
+}
+
+int run_diff(const std::string& before_path, const std::string& after_path,
+             double fail_above, bool gate) {
+    const Value before = load_profile(before_path);
+    const Value after = load_profile(after_path);
+    const ProfDiff diff = bat::obs::prof_diff(before, after, fail_above);
+    std::printf("before: %llu attributed sample(s), after: %llu\n",
+                static_cast<unsigned long long>(diff.before_samples),
+                static_cast<unsigned long long>(diff.after_samples));
+    std::printf("%-8s %7s %7s  %s\n", "delta", "before", "after", "stack");
+    int shown = 0;
+    for (const ProfDiffEntry& e : diff.entries) {
+        if (shown++ >= 20) {
+            break;
+        }
+        std::printf("%+7.1f%% %6.1f%% %6.1f%%  %s\n", e.delta, e.before_share,
+                    e.after_share, e.stack.c_str());
+    }
+    if (!diff.flagged.empty()) {
+        std::printf("\n%zu stack(s) moved by >= %.1f points:\n", diff.flagged.size(),
+                    fail_above);
+        for (const ProfDiffEntry& e : diff.flagged) {
+            std::printf("  %+7.1f%%  %s\n", e.delta, e.stack.c_str());
+        }
+        if (gate) {
+            std::printf("FAIL: profile shares shifted beyond --fail-above %.1f\n",
+                        fail_above);
+            return 1;
+        }
+    } else {
+        std::printf("\nno stack moved by >= %.1f points\n", fail_above);
+    }
+    return 0;
+}
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: prof_report [--top K] [--per-rank] [--collapsed]\n"
+                 "                   [--min-attributed F] PROFILE.json\n"
+                 "       prof_report --diff OLD.json NEW.json [--fail-above PTS]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    int top_k = 20;
+    bool per_rank = false;
+    bool collapsed = false;
+    bool diff = false;
+    bool gate = false;
+    double min_attributed = -1.0;
+    double fail_above = 5.0;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            top_k = std::atoi(argv[++i]);
+        } else if (arg == "--per-rank") {
+            per_rank = true;
+        } else if (arg == "--collapsed") {
+            collapsed = true;
+        } else if (arg == "--diff") {
+            diff = true;
+        } else if (arg == "--min-attributed" && i + 1 < argc) {
+            min_attributed = std::atof(argv[++i]);
+        } else if (arg == "--fail-above" && i + 1 < argc) {
+            fail_above = std::atof(argv[++i]);
+            gate = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    try {
+        if (diff) {
+            if (paths.size() != 2) {
+                usage();
+                return 2;
+            }
+            return run_diff(paths[0], paths[1], fail_above, gate);
+        }
+        if (paths.size() != 1) {
+            usage();
+            return 2;
+        }
+        const Value root = load_profile(paths[0]);
+        if (collapsed) {
+            print_collapsed(root);
+            return 0;
+        }
+        print_totals(root);
+        print_top(root, top_k);
+        if (per_rank) {
+            print_per_rank(root);
+        }
+        if (min_attributed >= 0) {
+            const double samples = num_or(root, "samples", 0);
+            const double attributed = num_or(root, "attributed", 0);
+            const double frac = samples > 0 ? attributed / samples : 0.0;
+            if (samples <= 0 || frac < min_attributed) {
+                std::printf("FAIL: attribution %.3f below --min-attributed %.3f "
+                            "(%.0f samples)\n",
+                            frac, min_attributed, samples);
+                return 1;
+            }
+            std::printf("attribution gate ok: %.3f >= %.3f\n", frac, min_attributed);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "prof_report: %s\n", e.what());
+        return 1;
+    }
+}
